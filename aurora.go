@@ -1,0 +1,420 @@
+// Package aurora is a from-scratch reproduction of Amazon Aurora (SIGMOD
+// 2017): a relational OLTP engine whose redo processing is pushed into a
+// multi-tenant, quorum-replicated, self-healing storage service. The log is
+// the database: the writer ships only redo records — never pages — to six
+// segment replicas across three simulated availability zones, commits
+// asynchronously once the volume durable LSN passes the commit record, and
+// recovers from crashes in milliseconds because redo application runs
+// continuously on the storage fleet.
+//
+// A Cluster bundles the simulated multi-AZ network, the storage fleet, the
+// single writer instance and any read replicas:
+//
+//	c, err := aurora.NewCluster(aurora.Options{})
+//	defer c.Close()
+//	err = c.Put([]byte("k"), []byte("v"))
+//	tx := c.Begin()
+//	...
+//
+// The internal packages implement every substrate the paper depends on —
+// the network and SSD simulators, an EBS-style mirrored block store and a
+// MySQL-style baseline engine for the paper's comparisons, an S3-style
+// object store for continuous backup, quorum machinery with a Monte-Carlo
+// durability model, and the storage-node pipeline of Figure 4.
+package aurora
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"aurora/internal/core"
+	"aurora/internal/disk"
+	"aurora/internal/engine"
+	"aurora/internal/netsim"
+	"aurora/internal/objstore"
+	"aurora/internal/replica"
+	"aurora/internal/volume"
+	"aurora/internal/zdp"
+)
+
+// NetworkProfile selects the latency model of the simulated network.
+type NetworkProfile int
+
+const (
+	// NetFast is a zero-latency network for tests and functional use.
+	NetFast NetworkProfile = iota
+	// NetDatacenter is the scaled-down three-AZ model used by benchmarks:
+	// 100µs intra-AZ, 500µs cross-AZ, jitter and rare 10x outliers.
+	NetDatacenter
+)
+
+// Options configures a cluster.
+type Options struct {
+	// Name prefixes node identities, letting several clusters share a
+	// network (multi-tenancy).
+	Name string
+	// PGs is the number of protection groups the volume is striped over
+	// (default 4). Each PG is six segment replicas, two per AZ.
+	PGs int
+	// CachePages sets the writer's buffer cache size in pages (default
+	// 4096); the knob behind the paper's instance-size sweeps.
+	CachePages int
+	// Network selects the latency model.
+	Network NetworkProfile
+	// RealisticDisks enables NVMe-like latencies on storage node SSDs.
+	RealisticDisks bool
+	// LockTimeout bounds row-lock waits (deadlock resolution).
+	LockTimeout time.Duration
+	// DisableBackup turns off continuous backup to the object store.
+	DisableBackup bool
+	// StartBackground launches the storage nodes' gossip/coalesce/backup/
+	// scrub loops (on by default in NewCluster; benchmarks may disable for
+	// determinism and drive them manually).
+	DisableBackground bool
+}
+
+// Cluster is one Aurora deployment: network, storage fleet, object store,
+// writer instance, replicas.
+type Cluster struct {
+	opts      Options
+	net       *netsim.Network
+	fleet     *volume.Fleet
+	store     *objstore.Store
+	db        *engine.DB
+	proxy     *zdp.Proxy
+	replicas  []*Replica
+	writerGen int
+	closed    bool
+}
+
+// NewCluster provisions a fresh cluster: 3 AZs, PGs×6 storage nodes, an
+// object store, and a formatted database with its writer in AZ 0.
+func NewCluster(opts Options) (*Cluster, error) {
+	if opts.PGs <= 0 {
+		opts.PGs = 4
+	}
+	if opts.Name == "" {
+		opts.Name = "aurora"
+	}
+	var netCfg netsim.Config
+	switch opts.Network {
+	case NetDatacenter:
+		netCfg = netsim.Datacenter()
+	default:
+		netCfg = netsim.FastLocal()
+	}
+	net := netsim.New(netCfg)
+	store := objstore.New()
+	if opts.DisableBackup {
+		store = nil
+	}
+	dcfg := disk.FastLocal()
+	if opts.RealisticDisks {
+		dcfg = disk.NVMe()
+	}
+	fleet, err := volume.NewFleet(volume.FleetConfig{
+		Name: opts.Name, PGs: opts.PGs, Net: net, Disk: dcfg, Store: store,
+	})
+	if err != nil {
+		return nil, err
+	}
+	vol := volume.Bootstrap(fleet, volume.ClientConfig{
+		WriterNode: netsim.NodeID(opts.Name + "-writer"), WriterAZ: 0,
+	})
+	db, err := engine.Create(vol, engine.Config{CachePages: opts.CachePages, LockTimeout: opts.LockTimeout})
+	if err != nil {
+		vol.Close()
+		return nil, err
+	}
+	if !opts.DisableBackground {
+		fleet.Start()
+	}
+	return &Cluster{
+		opts:  opts,
+		net:   net,
+		fleet: fleet,
+		store: store,
+		db:    db,
+		proxy: zdp.NewProxy(db),
+	}, nil
+}
+
+// Close shuts the cluster down: replicas, writer, storage fleet.
+func (c *Cluster) Close() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	for _, r := range c.replicas {
+		r.inner.Close()
+	}
+	c.db.Close()
+	c.fleet.Stop()
+}
+
+// Begin starts a read-committed writer transaction.
+func (c *Cluster) Begin() *Tx { return &Tx{inner: c.db.Begin()} }
+
+// BeginSnapshot starts a read-only transaction at a frozen view (the
+// current volume durable LSN).
+func (c *Cluster) BeginSnapshot() *Tx { return &Tx{inner: c.db.BeginSnapshot()} }
+
+// Put writes one row in its own transaction, returning once durable.
+func (c *Cluster) Put(key, val []byte) error { return c.db.Put(key, val) }
+
+// Get reads one row (read committed).
+func (c *Cluster) Get(key []byte) ([]byte, bool, error) { return c.db.Get(key) }
+
+// Delete removes one row in its own transaction.
+func (c *Cluster) Delete(key []byte) error { return c.db.Delete(key) }
+
+// Scan visits rows with from <= key < to in key order in an autocommit
+// read transaction; to == nil is unbounded.
+func (c *Cluster) Scan(from, to []byte, fn func(key, val []byte) bool) error {
+	tx := c.Begin()
+	defer tx.Abort()
+	return tx.Scan(from, to, fn)
+}
+
+// Rows returns the approximate number of live rows.
+func (c *Cluster) Rows() (uint64, error) { return c.db.Rows() }
+
+// AddReplica attaches a read replica in the given AZ (up to 15, §4.2.4).
+func (c *Cluster) AddReplica(name string, az int) (*Replica, error) {
+	if len(c.replicas) >= 15 {
+		return nil, errors.New("aurora: replica limit (15) reached")
+	}
+	r := replica.Attach(c.db, c.fleet, replica.Config{
+		Name:       netsim.NodeID(fmt.Sprintf("%s-replica-%s", c.opts.Name, name)),
+		AZ:         netsim.AZ(az % 3),
+		CachePages: c.opts.CachePages,
+	})
+	rep := &Replica{inner: r}
+	c.replicas = append(c.replicas, rep)
+	return rep, nil
+}
+
+// CrashWriter kills the writer instance abruptly. The storage fleet keeps
+// all durable state; call Failover to bring up a new writer.
+func (c *Cluster) CrashWriter() { c.db.Crash() }
+
+// Failover recovers the volume and attaches a fresh writer instance,
+// returning the recovery report. Replicas must be re-attached by the
+// caller (their stream died with the writer).
+func (c *Cluster) Failover() (*RecoveryReport, error) {
+	c.writerGen++
+	db, rep, err := engine.Recover(c.fleet, volume.ClientConfig{
+		WriterNode: netsim.NodeID(fmt.Sprintf("%s-writer-g%d", c.opts.Name, c.writerGen)),
+		WriterAZ:   netsim.AZ(c.writerGen % 3),
+	}, engine.Config{CachePages: c.opts.CachePages, LockTimeout: c.opts.LockTimeout})
+	if err != nil {
+		return nil, err
+	}
+	c.db = db
+	c.proxy = zdp.NewProxy(db)
+	c.replicas = nil
+	return &RecoveryReport{
+		VCL: uint64(rep.VCL), VDL: uint64(rep.VDL), Epoch: rep.Epoch,
+		Duration: rep.Duration, NodesContacted: rep.Contacted,
+	}, nil
+}
+
+// RecoveryReport summarises a volume recovery (§4.3): no redo is replayed
+// at the database; the volume's durable points are re-established and the
+// uncommitted tail truncated.
+type RecoveryReport struct {
+	VCL            uint64
+	VDL            uint64
+	Epoch          uint64
+	Duration       time.Duration
+	NodesContacted int
+}
+
+// BackupNow stages a backup of every segment to the object store (the
+// continuous background backup runs anyway when background loops are on;
+// this forces a consistent-enough point for RestoreAt). It returns how
+// many segments were backed up.
+func (c *Cluster) BackupNow() int {
+	if c.store == nil {
+		return 0
+	}
+	n := 0
+	for g := 0; g < c.fleet.PGs(); g++ {
+		for r := 0; r < 6; r++ {
+			if v := c.fleet.Node(core.PGID(g), r).BackupNow(); v > 0 {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// RestoreAt performs a point-in-time restore: it provisions a brand-new
+// cluster (own network, own storage fleet) from the newest backups at or
+// before asOf, runs volume recovery to a consistent durable point, and
+// returns it. The source cluster is untouched.
+func (c *Cluster) RestoreAt(name string, asOf time.Time) (*Cluster, error) {
+	if c.store == nil {
+		return nil, errors.New("aurora: cluster has no backup store")
+	}
+	var netCfg netsim.Config
+	switch c.opts.Network {
+	case NetDatacenter:
+		netCfg = netsim.Datacenter()
+	default:
+		netCfg = netsim.FastLocal()
+	}
+	net := netsim.New(netCfg)
+	dcfg := disk.FastLocal()
+	if c.opts.RealisticDisks {
+		dcfg = disk.NVMe()
+	}
+	fleet, _, err := volume.RestoreFleet(volume.FleetConfig{
+		Name: c.opts.Name, PGs: c.opts.PGs, Net: net, Disk: dcfg, Store: c.store,
+	}, asOf)
+	if err != nil {
+		return nil, err
+	}
+	db, _, err := engine.Recover(fleet, volume.ClientConfig{
+		WriterNode: netsim.NodeID(name + "-writer"), WriterAZ: 0,
+	}, engine.Config{CachePages: c.opts.CachePages, LockTimeout: c.opts.LockTimeout})
+	if err != nil {
+		return nil, err
+	}
+	opts := c.opts
+	opts.Name = name
+	if !opts.DisableBackground {
+		fleet.Start()
+	}
+	return &Cluster{
+		opts: opts, net: net, fleet: fleet, store: c.store, db: db,
+		proxy: zdp.NewProxy(db),
+	}, nil
+}
+
+// FailAZ fails (or restores) an entire availability zone. With the 4/6
+// quorum, writes and reads continue through a single AZ failure.
+func (c *Cluster) FailAZ(az int, down bool) { c.net.SetAZDown(netsim.AZ(az%3), down) }
+
+// CrashStorageNode crashes (or restarts) one segment replica.
+func (c *Cluster) CrashStorageNode(pg, replicaIdx int, down bool) {
+	n := c.fleet.Node(core.PGID(pg), replicaIdx%6)
+	if down {
+		n.Crash()
+	} else {
+		n.Restart()
+		n.GossipOnce()
+	}
+}
+
+// RepairStorageNode re-replicates a segment from its peers after a wipe.
+func (c *Cluster) RepairStorageNode(pg, replicaIdx int) error {
+	return c.fleet.RepairSegment(core.PGID(pg), replicaIdx%6)
+}
+
+// Patch performs a zero-downtime patch (§7.4): it waits for a quiet
+// instant, spools session state, swaps in a freshly recovered engine and
+// resumes. Connections held through the cluster's proxy survive.
+func (c *Cluster) Patch(timeout time.Duration) (sessions int, pause time.Duration, err error) {
+	rep, err := c.proxy.Patch(func(old *engine.DB) (*engine.DB, error) {
+		old.Crash()
+		c.writerGen++
+		db, _, err := engine.Recover(c.fleet, volume.ClientConfig{
+			WriterNode: netsim.NodeID(fmt.Sprintf("%s-writer-g%d", c.opts.Name, c.writerGen)),
+			WriterAZ:   0,
+		}, engine.Config{CachePages: c.opts.CachePages, LockTimeout: c.opts.LockTimeout})
+		if err == nil {
+			c.db = db
+			c.replicas = nil
+		}
+		return db, err
+	}, timeout)
+	if err != nil {
+		return 0, 0, err
+	}
+	return rep.Sessions, rep.PauseLatency, nil
+}
+
+// Proxy exposes the session proxy for connection-oriented use (ZDP demos).
+func (c *Cluster) Proxy() *zdp.Proxy { return c.proxy }
+
+// Stats is a cluster-wide snapshot.
+type Stats struct {
+	Commits         uint64
+	Aborts          uint64
+	VDL             uint64
+	CacheHits       uint64
+	CacheMisses     uint64
+	NetworkMessages uint64
+	NetworkBytes    uint64
+	ReplicaCount    int
+	BackupObjects   int
+}
+
+// Stats returns a cluster-wide snapshot.
+func (c *Cluster) Stats() Stats {
+	es := c.db.Stats()
+	ns := c.net.Stats()
+	s := Stats{
+		Commits: es.Commits, Aborts: es.Aborts, VDL: uint64(es.Volume.VDL),
+		CacheHits: es.Cache.Hits, CacheMisses: es.Cache.Misses,
+		NetworkMessages: ns.Messages, NetworkBytes: ns.Bytes,
+		ReplicaCount: len(c.replicas),
+	}
+	if c.store != nil {
+		s.BackupObjects = len(c.store.List(""))
+	}
+	return s
+}
+
+// Tx is a transaction on the writer instance.
+type Tx struct{ inner *engine.Tx }
+
+// Get returns the value for key as seen by this transaction.
+func (t *Tx) Get(key []byte) ([]byte, bool, error) { return t.inner.Get(key) }
+
+// Put inserts or updates a row under its exclusive row lock.
+func (t *Tx) Put(key, val []byte) error { return t.inner.Put(key, val) }
+
+// Delete removes a row under its exclusive row lock.
+func (t *Tx) Delete(key []byte) error { return t.inner.Delete(key) }
+
+// Scan visits rows in range, overlaying this transaction's writes.
+func (t *Tx) Scan(from, to []byte, fn func(k, v []byte) bool) error {
+	return t.inner.Scan(from, to, fn)
+}
+
+// Commit makes the transaction durable: it returns once the volume durable
+// LSN has passed the commit record (asynchronous commit, §4.2.2).
+func (t *Tx) Commit() error { return t.inner.Commit() }
+
+// Abort discards the transaction; nothing ever reached the log.
+func (t *Tx) Abort() { t.inner.Abort() }
+
+// Replica is a read-only instance consuming the writer's redo stream.
+type Replica struct{ inner *replica.Replica }
+
+// Get reads a row at the replica's current durable view.
+func (r *Replica) Get(key []byte) ([]byte, bool, error) { return r.inner.Get(key) }
+
+// Scan visits rows in range at the replica's current view.
+func (r *Replica) Scan(from, to []byte, fn func(k, v []byte) bool) error {
+	return r.inner.Scan(from, to, fn)
+}
+
+// WarmUp pre-loads pages so subsequent redo is applied in place.
+func (r *Replica) WarmUp(from, to []byte) error { return r.inner.WarmUp(from, to) }
+
+// Lag returns how many LSNs the replica trails the writer by.
+func (r *Replica) Lag(c *Cluster) uint64 {
+	w := uint64(c.db.VDL())
+	rv := uint64(r.inner.VDL())
+	if rv >= w {
+		return 0
+	}
+	return w - rv
+}
+
+// Close detaches the replica.
+func (r *Replica) Close() { r.inner.Close() }

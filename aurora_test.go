@@ -1,0 +1,222 @@
+package aurora
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func newCluster(t *testing.T, opts Options) *Cluster {
+	t.Helper()
+	opts.DisableBackground = true
+	c, err := NewCluster(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+func TestClusterCRUDAndScan(t *testing.T) {
+	c := newCluster(t, Options{})
+	for i := 0; i < 20; i++ {
+		if err := c.Put([]byte(fmt.Sprintf("k%02d", i)), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v, ok, err := c.Get([]byte("k07"))
+	if err != nil || !ok || string(v) != "v7" {
+		t.Fatalf("get %q %v %v", v, ok, err)
+	}
+	if err := c.Delete([]byte("k07")); err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	if err := c.Scan([]byte("k00"), []byte("k10"), func(k, v []byte) bool {
+		count++
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count != 9 {
+		t.Fatalf("scan count %d", count)
+	}
+	rows, err := c.Rows()
+	if err != nil || rows != 19 {
+		t.Fatalf("rows %d %v", rows, err)
+	}
+	s := c.Stats()
+	if s.Commits == 0 || s.VDL == 0 || s.NetworkMessages == 0 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestClusterTransactions(t *testing.T) {
+	c := newCluster(t, Options{})
+	tx := c.Begin()
+	if err := tx.Put([]byte("a"), []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Put([]byte("b"), []byte("2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	snap := c.BeginSnapshot()
+	defer snap.Abort()
+	if err := c.Put([]byte("a"), []byte("9")); err != nil {
+		t.Fatal(err)
+	}
+	v, _, err := snap.Get([]byte("a"))
+	if err != nil || string(v) != "1" {
+		t.Fatalf("snapshot %q %v", v, err)
+	}
+}
+
+func TestClusterSurvivesAZFailure(t *testing.T) {
+	c := newCluster(t, Options{})
+	if err := c.Put([]byte("pre"), []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	c.FailAZ(1, true)
+	defer c.FailAZ(1, false)
+	if err := c.Put([]byte("during"), []byte("y")); err != nil {
+		t.Fatalf("write during AZ failure: %v", err)
+	}
+	if v, ok, err := c.Get([]byte("pre")); err != nil || !ok || string(v) != "x" {
+		t.Fatalf("read during AZ failure: %q %v %v", v, ok, err)
+	}
+}
+
+func TestClusterFailover(t *testing.T) {
+	c := newCluster(t, Options{})
+	for i := 0; i < 25; i++ {
+		if err := c.Put([]byte(fmt.Sprintf("f%02d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.CrashWriter()
+	rep, err := c.Failover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.VDL == 0 || rep.Epoch == 0 {
+		t.Fatalf("report %+v", rep)
+	}
+	if v, ok, err := c.Get([]byte("f13")); err != nil || !ok || string(v) != "v" {
+		t.Fatalf("read after failover: %q %v %v", v, ok, err)
+	}
+	if err := c.Put([]byte("post"), []byte("failover")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClusterReplicas(t *testing.T) {
+	c := newCluster(t, Options{})
+	r, err := c.AddReplica("one", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put([]byte("rk"), []byte("rv")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		v, ok, err := r.Get([]byte("rk"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok && string(v) == "rv" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("replica never saw the write")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if r.Lag(c) != 0 {
+		// Lag can legitimately be zero or near-zero here; only fail if huge.
+		if r.Lag(c) > 1000 {
+			t.Fatalf("lag %d", r.Lag(c))
+		}
+	}
+	r.Close()
+}
+
+func TestClusterPatch(t *testing.T) {
+	c := newCluster(t, Options{})
+	if err := c.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	id := c.Proxy().Connect()
+	sessions, pause, err := c.Patch(2 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sessions != 1 {
+		t.Fatalf("sessions %d", sessions)
+	}
+	if pause > time.Second {
+		t.Fatalf("pause %v", pause)
+	}
+	// Data and the session survive; writes work on the patched engine.
+	if v, ok, err := c.Get([]byte("k")); err != nil || !ok || string(v) != "v" {
+		t.Fatalf("read after patch: %q %v %v", v, ok, err)
+	}
+	if c.Proxy().Sessions() != 1 {
+		t.Fatal("session lost")
+	}
+	_ = id
+}
+
+func TestReplicaLimit(t *testing.T) {
+	c := newCluster(t, Options{PGs: 1})
+	for i := 0; i < 15; i++ {
+		if _, err := c.AddReplica(fmt.Sprintf("r%d", i), i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.AddReplica("overflow", 0); err == nil {
+		t.Fatal("16th replica accepted")
+	}
+}
+
+func TestClusterPITR(t *testing.T) {
+	c := newCluster(t, Options{PGs: 2})
+	if err := c.Put([]byte("doc"), []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if n := c.BackupNow(); n != 12 {
+		t.Fatalf("backed up %d segments, want 12", n)
+	}
+	cutoff := time.Now()
+	time.Sleep(5 * time.Millisecond)
+	if err := c.Put([]byte("doc"), []byte("v2-oops")); err != nil {
+		t.Fatal(err)
+	}
+	c.BackupNow()
+
+	restored, err := c.RestoreAt("restored", cutoff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restored.Close()
+	v, ok, err := restored.Get([]byte("doc"))
+	if err != nil || !ok || string(v) != "v1" {
+		t.Fatalf("restored doc = %q %v %v, want v1", v, ok, err)
+	}
+	// Restored cluster is independent and writable.
+	if err := restored.Put([]byte("doc"), []byte("v3")); err != nil {
+		t.Fatal(err)
+	}
+	v, _, _ = c.Get([]byte("doc"))
+	if string(v) != "v2-oops" {
+		t.Fatalf("source cluster changed: %q", v)
+	}
+	// Restoring without a store fails cleanly.
+	noStore := newCluster(t, Options{DisableBackup: true})
+	if _, err := noStore.RestoreAt("x", time.Now()); err == nil {
+		t.Fatal("restore without store accepted")
+	}
+}

@@ -1,0 +1,175 @@
+package aurora
+
+import (
+	"fmt"
+	"testing"
+
+	"aurora/internal/harness"
+)
+
+// One benchmark per table and figure of the paper's evaluation. Each
+// iteration runs the corresponding harness experiment at quick scale and
+// reports its headline metrics; `cmd/aurora-bench` runs the same
+// experiments at full scale and prints the paper-shaped tables.
+
+func benchExperiment(b *testing.B, id string, report ...string) {
+	b.Helper()
+	s := harness.Quick()
+	fn, ok := harness.Registry[id]
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	var last *harness.Result
+	for i := 0; i < b.N; i++ {
+		last = fn(s)
+	}
+	for _, m := range report {
+		if v, ok := last.Metrics[m]; ok {
+			b.ReportMetric(v, m)
+		}
+	}
+}
+
+func BenchmarkTable1NetworkIOs(b *testing.B) {
+	benchExperiment(b, "table1", "aurora_ios_per_txn", "mysql_ios_per_txn", "txn_ratio")
+}
+
+func BenchmarkFigure6ReadScaling(b *testing.B) {
+	benchExperiment(b, "fig6", "aurora_scaling_factor", "aurora_vs_mysql_top")
+}
+
+func BenchmarkFigure7WriteScaling(b *testing.B) {
+	benchExperiment(b, "fig7", "aurora_scaling_factor", "aurora_vs_mysql_top")
+}
+
+func BenchmarkTable2DataSizes(b *testing.B) {
+	benchExperiment(b, "table2", "aurora_degradation", "mysql_degradation", "advantage_at_max")
+}
+
+func BenchmarkTable3Connections(b *testing.B) {
+	benchExperiment(b, "table3", "aurora_growth", "mysql_tail_vs_peak")
+}
+
+func BenchmarkTable4ReplicaLag(b *testing.B) {
+	benchExperiment(b, "table4", "aurora_lag_ms_at_1000", "mysql_lag_ms_at_1000")
+}
+
+func BenchmarkTable5TPCC(b *testing.B) {
+	benchExperiment(b, "table5", "min_ratio", "max_ratio")
+}
+
+func BenchmarkFigure8ResponseTime(b *testing.B) {
+	benchExperiment(b, "fig8", "before_ms", "after_ms", "improvement")
+}
+
+func BenchmarkFigure9SelectLatency(b *testing.B) {
+	benchExperiment(b, "fig9", "p95_improvement")
+}
+
+func BenchmarkFigure10InsertLatency(b *testing.B) {
+	benchExperiment(b, "fig10", "p95_improvement")
+}
+
+func BenchmarkFigure11MultiReplicaLag(b *testing.B) {
+	benchExperiment(b, "fig11", "max_lag_ms")
+}
+
+func BenchmarkFigure12ZDP(b *testing.B) {
+	benchExperiment(b, "fig12", "pause_ms", "failed_stmts")
+}
+
+func BenchmarkRecoveryTime(b *testing.B) {
+	benchExperiment(b, "recovery", "aurora_ms_at_max", "mysql_ms_at_max")
+}
+
+func BenchmarkDurabilityModel(b *testing.B) {
+	benchExperiment(b, "durability", "aurora_read_loss", "twothree_read_loss")
+}
+
+func BenchmarkAblationSyncCommit(b *testing.B) {
+	benchExperiment(b, "ablation-sync-commit", "speedup")
+}
+
+func BenchmarkAblationCoalescing(b *testing.B) {
+	benchExperiment(b, "ablation-coalesce", "coalesced_ios", "uncoalesced_ios")
+}
+
+func BenchmarkAblationFullPageWrites(b *testing.B) {
+	benchExperiment(b, "ablation-full-pages", "amplification")
+}
+
+func BenchmarkAblationMaterialization(b *testing.B) {
+	benchExperiment(b, "ablation-materialize", "chain_before", "chain_after")
+}
+
+// Micro-benchmarks of the public API on a fast local cluster.
+
+func benchCluster(b *testing.B) *Cluster {
+	b.Helper()
+	c, err := NewCluster(Options{Name: "bench", DisableBackground: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(c.Close)
+	return c
+}
+
+func BenchmarkClusterPut(b *testing.B) {
+	c := benchCluster(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Put([]byte(fmt.Sprintf("bench-%09d", i)), []byte("value")); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkClusterGet(b *testing.B) {
+	c := benchCluster(b)
+	const rows = 10000
+	for i := 0; i < rows; i++ {
+		if err := c.Put([]byte(fmt.Sprintf("bench-%09d", i)), []byte("value")); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok, err := c.Get([]byte(fmt.Sprintf("bench-%09d", i%rows))); err != nil || !ok {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkClusterTxnCommit(b *testing.B) {
+	c := benchCluster(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx := c.Begin()
+		for j := 0; j < 4; j++ {
+			if err := tx.Put([]byte(fmt.Sprintf("t%d-%d", i, j)), []byte("v")); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := tx.Commit(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkClusterParallelPut(b *testing.B) {
+	c := benchCluster(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var n int64
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			n++
+			if err := c.Put([]byte(fmt.Sprintf("p-%d-%d", n, b.N)), []byte("v")); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

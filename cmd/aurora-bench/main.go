@@ -1,0 +1,65 @@
+// aurora-bench regenerates the paper's tables and figures against the
+// simulated substrate and prints them.
+//
+// Usage:
+//
+//	aurora-bench                  # run every experiment at full scale
+//	aurora-bench -exp table1      # one experiment
+//	aurora-bench -quick           # CI-sized runs
+//	aurora-bench -list            # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"aurora/internal/harness"
+)
+
+func main() {
+	exp := flag.String("exp", "", "experiment id to run (default: all)")
+	quick := flag.Bool("quick", false, "CI-sized scale instead of full")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		ids := make([]string, 0, len(harness.Registry))
+		for id := range harness.Registry {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	scale := harness.Full()
+	if *quick {
+		scale = harness.Quick()
+	}
+
+	run := func(id string) {
+		fn, ok := harness.Registry[id]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", id)
+			os.Exit(2)
+		}
+		start := time.Now()
+		res := fn(scale)
+		res.Print(os.Stdout)
+		fmt.Printf("  [%s in %v]\n", id, time.Since(start).Round(time.Millisecond))
+	}
+
+	if *exp != "" {
+		run(*exp)
+		return
+	}
+	fmt.Printf("aurora-bench: reproducing the SIGMOD'17 evaluation (scale: %+v)\n", scale)
+	for _, id := range harness.Order {
+		run(id)
+	}
+}

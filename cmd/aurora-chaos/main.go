@@ -1,0 +1,77 @@
+// aurora-chaos runs a randomized fault-injection campaign against a full
+// Aurora stack: node crashes, AZ outages, segment wipes with repair, slow
+// disks and page corruption, all while a probe workload verifies that
+// committed data is never lost or wrong (§2's operational claims).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"time"
+
+	"aurora/internal/chaos"
+	"aurora/internal/core"
+	"aurora/internal/disk"
+	"aurora/internal/engine"
+	"aurora/internal/netsim"
+	"aurora/internal/volume"
+)
+
+func main() {
+	rounds := flag.Int("rounds", 5, "fault rounds")
+	seed := flag.Int64("seed", 7, "rng seed")
+	hold := flag.Duration("hold", 50*time.Millisecond, "how long each fault stays active")
+	flag.Parse()
+
+	net := netsim.New(netsim.Datacenter())
+	fleet, err := volume.NewFleet(volume.FleetConfig{Name: "chaos", PGs: 4, Net: net, Disk: disk.FastLocal()})
+	if err != nil {
+		log.Fatal(err)
+	}
+	vol := volume.Bootstrap(fleet, volume.ClientConfig{WriterNode: "chaos-writer", WriterAZ: 0})
+	db, err := engine.Create(vol, engine.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+	fleet.Start()
+	defer fleet.Stop()
+
+	rng := rand.New(rand.NewSource(*seed))
+	var faults []chaos.Fault
+	for i := 0; i < *rounds; i++ {
+		pg := core.PGID(rng.Intn(fleet.PGs()))
+		replica := rng.Intn(6)
+		switch rng.Intn(4) {
+		case 0:
+			faults = append(faults, chaos.CrashNode(fleet, pg, replica))
+		case 1:
+			faults = append(faults, chaos.AZOutage(net, netsim.AZ(1+rng.Intn(2)))) // never the writer's AZ
+		case 2:
+			faults = append(faults, chaos.WipeAndRepairNode(fleet, pg, replica))
+		case 3:
+			faults = append(faults, chaos.SlowDisk(fleet, pg, replica))
+		}
+	}
+
+	fmt.Printf("chaos campaign: %d faults, %v hold, seed %d\n", len(faults), *hold, *seed)
+	for _, f := range faults {
+		fmt.Printf("  - %s\n", f.Name)
+	}
+	runner := &chaos.Runner{DB: db, Faults: faults, HoldFor: *hold, Seed: *seed}
+	rep := runner.Run()
+
+	fmt.Printf("\nresults:\n")
+	fmt.Printf("  faults injected : %d\n", rep.FaultsInjected)
+	fmt.Printf("  writes          : %d ok / %d attempted\n", rep.WritesOK, rep.WritesAttempted)
+	fmt.Printf("  reads           : %d ok / %d attempted\n", rep.ReadsOK, rep.ReadsAttempted)
+	fmt.Printf("  data errors     : %d\n", rep.DataErrors)
+	if rep.DataErrors > 0 {
+		fmt.Println("FAIL: committed data was lost or wrong")
+		os.Exit(1)
+	}
+	fmt.Println("PASS: no committed data lost under chaos")
+}

@@ -1,0 +1,106 @@
+// aurora-demo is a guided tour of the log-is-the-database architecture: it
+// narrates what crosses the network on each operation, shows the
+// consistency points advancing, runs a replica, and walks through a crash
+// recovery — the paper's §3–§4, live.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"aurora"
+)
+
+func main() {
+	pgs := flag.Int("pgs", 4, "protection groups")
+	flag.Parse()
+
+	fmt.Println("Aurora reproduction — guided demo")
+	fmt.Println("=================================")
+	c, err := aurora.NewCluster(aurora.Options{Name: "demo", PGs: *pgs})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+	fmt.Printf("provisioned: 3 AZs, %d protection groups x 6 segment replicas, 1 writer\n\n", *pgs)
+
+	step := func(title string, f func()) {
+		before := c.Stats()
+		f()
+		after := c.Stats()
+		fmt.Printf("» %s\n    network: +%d messages, +%d bytes; VDL %d -> %d\n\n",
+			title, after.NetworkMessages-before.NetworkMessages,
+			after.NetworkBytes-before.NetworkBytes, before.VDL, after.VDL)
+	}
+
+	step("one durable write (only redo records cross the network)", func() {
+		if err := c.Put([]byte("k1"), []byte("hello")); err != nil {
+			log.Fatal(err)
+		}
+	})
+
+	step("a 5-row transaction commits as one mini-transaction", func() {
+		tx := c.Begin()
+		for i := 0; i < 5; i++ {
+			if err := tx.Put([]byte(fmt.Sprintf("row%d", i)), []byte("v")); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if err := tx.Commit(); err != nil {
+			log.Fatal(err)
+		}
+	})
+
+	step("a cached read costs nothing on the wire", func() {
+		if _, _, err := c.Get([]byte("k1")); err != nil {
+			log.Fatal(err)
+		}
+	})
+
+	fmt.Println("attaching a read replica (no extra storage, no write cost)...")
+	r, err := c.AddReplica("demo", 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := c.Put([]byte("streamed"), []byte("to-replica")); err != nil {
+		log.Fatal(err)
+	}
+	for {
+		if v, ok, _ := r.Get([]byte("streamed")); ok && string(v) == "to-replica" {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	fmt.Printf("replica caught up (lag: %d LSNs)\n\n", r.Lag(c))
+
+	fmt.Println("failing an availability zone...")
+	c.FailAZ(2, true)
+	if err := c.Put([]byte("az-down"), []byte("still-writing")); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("wrote through the outage: 4/6 quorum tolerates a whole AZ")
+	c.FailAZ(2, false)
+
+	fmt.Println("\ncrashing the writer instance...")
+	c.CrashWriter()
+	start := time.Now()
+	rep, err := c.Failover()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("recovered in %v (measured %v): VDL=%d, epoch=%d, %d nodes contacted\n",
+		rep.Duration, time.Since(start), rep.VDL, rep.Epoch, rep.NodesContacted)
+	fmt.Println("no redo was replayed: redo application lives on the storage fleet")
+
+	v, _, err := c.Get([]byte("az-down"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("data intact after recovery: az-down = %q\n", v)
+
+	s := c.Stats()
+	fmt.Printf("\nfinal stats: commits=%d VDL=%d messages=%d bytes=%d backups=%d\n",
+		s.Commits, s.VDL, s.NetworkMessages, s.NetworkBytes, s.BackupObjects)
+}

@@ -1,0 +1,115 @@
+// Traffic spike with read replicas (§6.2, §7.2): an internet application
+// runs steady-state load, then a televised event multiplies its traffic.
+// The cluster absorbs the spike with many concurrent connections, and read
+// replicas serve the read surge at millisecond staleness, adding no write
+// or storage cost.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"aurora"
+)
+
+func main() {
+	c, err := aurora.NewCluster(aurora.Options{Name: "gaming", PGs: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+
+	// Seed the player table.
+	const players = 2000
+	for p := 0; p < players; p += 100 {
+		tx := c.Begin()
+		for i := p; i < p+100; i++ {
+			if err := tx.Put(key(i), []byte("score=0")); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if err := tx.Commit(); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Two read replicas offload the leaderboard reads.
+	r1, err := c.AddReplica("leaderboard-1", 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	r2, err := c.AddReplica("leaderboard-2", 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := r1.WarmUp(nil, nil); err != nil {
+		log.Fatal(err)
+	}
+	if err := r2.WarmUp(nil, nil); err != nil {
+		log.Fatal(err)
+	}
+
+	run := func(conns int, dur time.Duration) (writes, reads uint64) {
+		var w, r atomic.Uint64
+		var wg sync.WaitGroup
+		deadline := time.Now().Add(dur)
+		for i := 0; i < conns; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(i)))
+				reps := []*aurora.Replica{r1, r2}
+				for time.Now().Before(deadline) {
+					p := rng.Intn(players)
+					if rng.Float64() < 0.3 { // 30% score updates on the writer
+						if c.Put(key(p), []byte(fmt.Sprintf("score=%d", rng.Intn(1_000_000)))) == nil {
+							w.Add(1)
+						}
+					} else { // 70% leaderboard reads on replicas
+						if _, _, err := reps[p%2].Get(key(p)); err == nil {
+							r.Add(1)
+						}
+					}
+				}
+			}(i)
+		}
+		wg.Wait()
+		return w.Load(), r.Load()
+	}
+
+	steadyW, steadyR := run(8, 300*time.Millisecond)
+	fmt.Printf("steady state: %d writes, %d replica reads\n", steadyW, steadyR)
+
+	// The spike: 10x the connections, instantly.
+	spikeW, spikeR := run(80, 300*time.Millisecond)
+	fmt.Printf("spike (10x connections): %d writes, %d replica reads\n", spikeW, spikeR)
+	if spikeW+spikeR < steadyW+steadyR {
+		log.Fatal("spike throughput regressed below steady state")
+	}
+
+	// Replica staleness after the spike: bounded and small.
+	probe := []byte("spike-probe")
+	want := fmt.Sprintf("t=%d", time.Now().UnixNano())
+	if err := c.Put(probe, []byte(want)); err != nil {
+		log.Fatal(err)
+	}
+	start := time.Now()
+	for {
+		v, ok, _ := r1.Get(probe)
+		if ok && string(v) == want {
+			break
+		}
+		if time.Since(start) > 2*time.Second {
+			log.Fatal("replica lag exceeded 2s")
+		}
+	}
+	fmt.Printf("replica caught up %v after commit (lag LSNs now: r1=%d r2=%d)\n",
+		time.Since(start), r1.Lag(c), r2.Lag(c))
+	fmt.Printf("cluster: %+v\n", c.Stats())
+}
+
+func key(p int) []byte { return []byte(fmt.Sprintf("player:%06d", p)) }

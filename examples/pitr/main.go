@@ -1,0 +1,71 @@
+// Point-in-time restore: continuous backup to the object store lets an
+// operator roll a fat-fingered deletion back by cloning the volume as of a
+// timestamp — without touching the production cluster (§1, §5).
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"aurora"
+)
+
+func main() {
+	c, err := aurora.NewCluster(aurora.Options{Name: "prod", PGs: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+
+	// Day 1: healthy data, continuously backed up.
+	for i := 0; i < 30; i++ {
+		if err := c.Put([]byte(fmt.Sprintf("order:%03d", i)), []byte("paid")); err != nil {
+			log.Fatal(err)
+		}
+	}
+	c.BackupNow()
+	cutoff := time.Now()
+	fmt.Printf("30 orders written and backed up; cutoff = %v\n", cutoff.Format(time.RFC3339Nano))
+	time.Sleep(5 * time.Millisecond)
+
+	// Day 2: a buggy migration destroys half the orders.
+	for i := 0; i < 30; i += 2 {
+		if err := c.Delete([]byte(fmt.Sprintf("order:%03d", i))); err != nil {
+			log.Fatal(err)
+		}
+	}
+	c.BackupNow()
+	remaining := 0
+	if err := c.Scan([]byte("order:"), []byte("order;"), func(k, v []byte) bool {
+		remaining++
+		return true
+	}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after the bad migration: %d orders remain on prod\n", remaining)
+
+	// Restore a new cluster as of the cutoff.
+	restored, err := c.RestoreAt("restored", cutoff)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer restored.Close()
+	count := 0
+	if err := restored.Scan([]byte("order:"), []byte("order;"), func(k, v []byte) bool {
+		count++
+		return true
+	}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("restored cluster as of cutoff: %d orders (prod untouched: %d)\n", count, remaining)
+	if count != 30 {
+		log.Fatalf("restore incomplete: %d", count)
+	}
+
+	// The restored clone is fully writable.
+	if err := restored.Put([]byte("order:999"), []byte("new-on-clone")); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("restored clone accepts new writes; PITR complete")
+}

@@ -1,0 +1,317 @@
+package btree
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+
+	"aurora/internal/page"
+)
+
+// Node types stored in the first payload byte.
+const (
+	nodeFree     = 0
+	nodeLeaf     = 1
+	nodeInternal = 2
+	nodeMeta     = 3
+)
+
+// Payload layout (offsets within page payload):
+//
+//	[0]     node type
+//	[1:3)   live entry count (u16)
+//	[3:11)  leaf: next-leaf page id; internal: leftmost child page id (u64)
+//	[11:13) used bytes in the entry area (u16)
+//	[13:)   entry area
+//
+// Leaf entries are append-only: [klen u16][vlen u16][flags u8][key][value];
+// flag bit 0 marks the entry dead (superseded or deleted). Appends keep
+// redo deltas small; compaction rewrites the page when the area fills.
+// Internal entries are kept sorted: [klen u16][key][child u64].
+const (
+	offType  = 0
+	offCount = 1
+	offLink  = 3
+	offUsed  = 11
+	entBase  = 13
+)
+
+// Size limits enforced at the API boundary.
+const (
+	MaxKey   = 256
+	MaxValue = 1024
+)
+
+const entryDead = 1
+
+// Errors surfaced by the tree.
+var (
+	ErrKeyTooLarge   = errors.New("btree: key exceeds MaxKey")
+	ErrValueTooLarge = errors.New("btree: value exceeds MaxValue")
+	ErrEmptyKey      = errors.New("btree: empty key")
+	ErrCorrupt       = errors.New("btree: corrupt node")
+	ErrNotBtreePage  = errors.New("btree: page is not a tree node")
+)
+
+type node struct {
+	p page.Page
+}
+
+func (n node) typ() byte      { return n.p.Payload()[offType] }
+func (n node) setTyp(t byte)  { n.p.Payload()[offType] = t }
+func (n node) count() int     { return int(binary.LittleEndian.Uint16(n.p.Payload()[offCount:])) }
+func (n node) setCount(c int) { binary.LittleEndian.PutUint16(n.p.Payload()[offCount:], uint16(c)) }
+func (n node) link() uint64   { return binary.LittleEndian.Uint64(n.p.Payload()[offLink:]) }
+func (n node) setLink(v uint64) {
+	binary.LittleEndian.PutUint64(n.p.Payload()[offLink:], v)
+}
+func (n node) used() int     { return int(binary.LittleEndian.Uint16(n.p.Payload()[offUsed:])) }
+func (n node) setUsed(u int) { binary.LittleEndian.PutUint16(n.p.Payload()[offUsed:], uint16(u)) }
+
+func (n node) area() []byte { return n.p.Payload()[entBase:] }
+
+// free reports the remaining bytes in the entry area.
+func (n node) free() int { return len(n.area()) - n.used() }
+
+// leafEntry is a decoded leaf slot.
+type leafEntry struct {
+	off  int // offset of the entry within the area (for in-place kill)
+	dead bool
+	key  []byte // aliases the page payload
+	val  []byte // aliases the page payload
+}
+
+const leafHdr = 2 + 2 + 1
+
+func leafEntrySize(k, v int) int { return leafHdr + k + v }
+
+// scanLeaf decodes every entry (live and dead) of a leaf.
+func (n node) scanLeaf() ([]leafEntry, error) {
+	area := n.area()
+	used := n.used()
+	var out []leafEntry
+	off := 0
+	for off < used {
+		if off+leafHdr > used {
+			return nil, fmt.Errorf("%w: leaf entry header at %d", ErrCorrupt, off)
+		}
+		klen := int(binary.LittleEndian.Uint16(area[off:]))
+		vlen := int(binary.LittleEndian.Uint16(area[off+2:]))
+		flags := area[off+4]
+		end := off + leafHdr + klen + vlen
+		if end > used {
+			return nil, fmt.Errorf("%w: leaf entry body at %d", ErrCorrupt, off)
+		}
+		out = append(out, leafEntry{
+			off:  off,
+			dead: flags&entryDead != 0,
+			key:  area[off+leafHdr : off+leafHdr+klen],
+			val:  area[off+leafHdr+klen : end],
+		})
+		off = end
+	}
+	return out, nil
+}
+
+// findLive returns the live entry for key, if any.
+func (n node) findLive(key []byte) (leafEntry, bool, error) {
+	ents, err := n.scanLeaf()
+	if err != nil {
+		return leafEntry{}, false, err
+	}
+	for _, e := range ents {
+		if !e.dead && bytes.Equal(e.key, key) {
+			return e, true, nil
+		}
+	}
+	return leafEntry{}, false, nil
+}
+
+// kill marks the entry at off dead and decrements the live count.
+func (n node) kill(off int) {
+	n.area()[off+4] |= entryDead
+	n.setCount(n.count() - 1)
+}
+
+// appendLeaf appends a live entry; the caller has verified space.
+func (n node) appendLeaf(key, val []byte) {
+	area := n.area()
+	off := n.used()
+	binary.LittleEndian.PutUint16(area[off:], uint16(len(key)))
+	binary.LittleEndian.PutUint16(area[off+2:], uint16(len(val)))
+	area[off+4] = 0
+	copy(area[off+leafHdr:], key)
+	copy(area[off+leafHdr+len(key):], val)
+	n.setUsed(off + leafEntrySize(len(key), len(val)))
+	n.setCount(n.count() + 1)
+}
+
+// liveSorted returns the live entries sorted by key (data copied so the
+// page can be rewritten underneath).
+func (n node) liveSorted() ([]kv, error) {
+	ents, err := n.scanLeaf()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]kv, 0, n.count())
+	for _, e := range ents {
+		if !e.dead {
+			out = append(out, kv{
+				k: append([]byte(nil), e.key...),
+				v: append([]byte(nil), e.val...),
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return bytes.Compare(out[i].k, out[j].k) < 0 })
+	return out, nil
+}
+
+type kv struct{ k, v []byte }
+
+// liveBytes returns the space live entries occupy.
+func (n node) liveBytes() (int, error) {
+	ents, err := n.scanLeaf()
+	if err != nil {
+		return 0, err
+	}
+	total := 0
+	for _, e := range ents {
+		if !e.dead {
+			total += leafEntrySize(len(e.key), len(e.val))
+		}
+	}
+	return total, nil
+}
+
+// rewriteLeaf replaces the leaf's entry area with the given live entries.
+func (n node) rewriteLeaf(entries []kv) {
+	area := n.area()
+	for i := range area {
+		area[i] = 0
+	}
+	n.setUsed(0)
+	n.setCount(0)
+	for _, e := range entries {
+		n.appendLeaf(e.k, e.v)
+	}
+}
+
+// initLeaf formats a page as an empty leaf.
+func initLeaf(p page.Page, next uint64) node {
+	n := node{p}
+	pl := p.Payload()
+	for i := range pl {
+		pl[i] = 0
+	}
+	n.setTyp(nodeLeaf)
+	n.setLink(next)
+	return n
+}
+
+// Internal-node entries: sorted [klen u16][key][child u64].
+
+type branch struct {
+	key   []byte
+	child uint64
+}
+
+const branchHdr = 2 + 8
+
+func branchSize(k int) int { return branchHdr + k }
+
+// scanInternal decodes the sorted separators of an internal node.
+func (n node) scanInternal() ([]branch, error) {
+	area := n.area()
+	used := n.used()
+	var out []branch
+	off := 0
+	for off < used {
+		if off+2 > used {
+			return nil, fmt.Errorf("%w: branch header at %d", ErrCorrupt, off)
+		}
+		klen := int(binary.LittleEndian.Uint16(area[off:]))
+		end := off + 2 + klen + 8
+		if end > used {
+			return nil, fmt.Errorf("%w: branch body at %d", ErrCorrupt, off)
+		}
+		out = append(out, branch{
+			key:   area[off+2 : off+2+klen],
+			child: binary.LittleEndian.Uint64(area[off+2+klen : end]),
+		})
+		off = end
+	}
+	return out, nil
+}
+
+// rewriteInternal replaces the separators of an internal node.
+func (n node) rewriteInternal(leftmost uint64, brs []branch) {
+	area := n.area()
+	for i := range area {
+		area[i] = 0
+	}
+	n.setLink(leftmost)
+	off := 0
+	for _, b := range brs {
+		binary.LittleEndian.PutUint16(area[off:], uint16(len(b.key)))
+		copy(area[off+2:], b.key)
+		binary.LittleEndian.PutUint64(area[off+2+len(b.key):], b.child)
+		off += branchSize(len(b.key))
+	}
+	n.setUsed(off)
+	n.setCount(len(brs))
+}
+
+// childFor returns the child page to descend into for key.
+func (n node) childFor(key []byte) (uint64, error) {
+	brs, err := n.scanInternal()
+	if err != nil {
+		return 0, err
+	}
+	child := n.link() // leftmost
+	for _, b := range brs {
+		if bytes.Compare(key, b.key) >= 0 {
+			child = b.child
+		} else {
+			break
+		}
+	}
+	return child, nil
+}
+
+// initInternal formats a page as an internal node.
+func initInternal(p page.Page, leftmost uint64, brs []branch) node {
+	n := node{p}
+	pl := p.Payload()
+	for i := range pl {
+		pl[i] = 0
+	}
+	n.setTyp(nodeInternal)
+	n.rewriteInternal(leftmost, brs)
+	return n
+}
+
+// Meta page layout (type nodeMeta):
+//
+//	[1:5)   magic
+//	[5:13)  root page id
+//	[13:21) next free page id
+//	[21:29) row count (approximate, maintained by Put/Delete)
+const metaMagic = 0x42545245 // "BTRE"
+
+type meta struct{ p page.Page }
+
+func (m meta) magic() uint32 { return binary.LittleEndian.Uint32(m.p.Payload()[1:]) }
+func (m meta) root() uint64  { return binary.LittleEndian.Uint64(m.p.Payload()[5:]) }
+func (m meta) setRoot(r uint64) {
+	binary.LittleEndian.PutUint64(m.p.Payload()[5:], r)
+}
+func (m meta) next() uint64 { return binary.LittleEndian.Uint64(m.p.Payload()[13:]) }
+func (m meta) setNext(n uint64) {
+	binary.LittleEndian.PutUint64(m.p.Payload()[13:], n)
+}
+func (m meta) rows() uint64 { return binary.LittleEndian.Uint64(m.p.Payload()[21:]) }
+func (m meta) setRows(n uint64) {
+	binary.LittleEndian.PutUint64(m.p.Payload()[21:], n)
+}

@@ -1,0 +1,109 @@
+// Package btree implements the access method of the database engine: a
+// B+-tree over fixed-size pages, standing in for InnoDB's clustered index.
+// The tree never writes pages anywhere — it mutates cached page images and
+// records every structural or row change as redo log records (byte deltas
+// between before- and after-images), grouped into mini-transactions by the
+// caller. Splits and merges of tree pages are exactly the "groups of
+// operations that must be executed atomically" that InnoDB's MTRs model
+// (§5).
+package btree
+
+import (
+	"aurora/internal/core"
+	"aurora/internal/page"
+)
+
+// diffGap is the merge distance for delta spans: nearby edits within a page
+// collapse into one record.
+const diffGap = 24
+
+// Recorder captures the before-images of every page an operation touches
+// and turns the accumulated changes into redo records for one MTR.
+type Recorder struct {
+	before map[core.PageID][]byte
+	pages  map[core.PageID]page.Page
+	order  []core.PageID
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{
+		before: make(map[core.PageID][]byte),
+		pages:  make(map[core.PageID]page.Page),
+	}
+}
+
+// Touch registers a page about to be mutated, saving its before-image on
+// first touch. It must be called before the first mutation of each page.
+func (r *Recorder) Touch(id core.PageID, p page.Page) {
+	if _, ok := r.before[id]; ok {
+		return
+	}
+	r.before[id] = append([]byte(nil), p.Payload()...)
+	r.pages[id] = p
+	r.order = append(r.order, id)
+}
+
+// Touched reports whether any page was modified.
+func (r *Recorder) Touched() bool { return len(r.order) > 0 }
+
+// AppendRecords emits the delta records for every touched page, in touch
+// order, into m. pgOf maps pages onto protection groups.
+func (r *Recorder) AppendRecords(m *core.MTR, pgOf func(core.PageID) core.PGID) error {
+	for _, id := range r.order {
+		p := r.pages[id]
+		recs, err := page.DiffRecords(pgOf(id), id, m.Txn, r.before[id], p.Payload(), diffGap)
+		if err != nil {
+			return err
+		}
+		m.Records = append(m.Records, recs...)
+	}
+	return nil
+}
+
+// AppendFullPages emits a full-image record for every touched page instead
+// of byte deltas — the "ship whole pages" ablation that quantifies why
+// Aurora writes only redo (§3.1: what is written matters as much as how).
+func (r *Recorder) AppendFullPages(m *core.MTR, pgOf func(core.PageID) core.PGID) {
+	for _, id := range r.order {
+		p := r.pages[id]
+		m.Records = append(m.Records, core.Record{
+			Type: core.RecPageInit, PG: pgOf(id), Page: id, Txn: m.Txn,
+			Data: append([]byte(nil), p.Payload()...),
+		})
+	}
+}
+
+// StampLSNs stores the final LSN each touched page received into the page
+// header, maintaining the engine invariant that a cached page's LSN names
+// its latest logged change. lastFor reports the highest LSN assigned to a
+// page's records (volume.PendingWrite.LastLSNFor).
+func (r *Recorder) StampLSNs(lastFor func(core.PageID) core.LSN) {
+	for _, id := range r.order {
+		if lsn := lastFor(id); lsn > r.pages[id].LSN() {
+			r.pages[id].SetLSN(lsn)
+		}
+	}
+}
+
+// Rollback restores every touched page to its before-image — used when an
+// operation fails midway (e.g. a value too large) so the cache never holds
+// unlogged garbage.
+func (r *Recorder) Rollback() {
+	for _, id := range r.order {
+		copy(r.pages[id].Payload(), r.before[id])
+	}
+	r.Reset()
+}
+
+// Reset clears the recorder for reuse.
+func (r *Recorder) Reset() {
+	r.before = make(map[core.PageID][]byte)
+	r.pages = make(map[core.PageID]page.Page)
+	r.order = r.order[:0]
+}
+
+// TouchedPages returns the ids of the touched pages in touch order.
+func (r *Recorder) TouchedPages() []core.PageID {
+	return append([]core.PageID(nil), r.order...)
+}

@@ -1,0 +1,195 @@
+// Package bufcache implements the database engine's buffer cache. Aurora
+// never writes pages out — not on eviction, not for checkpoints, not in the
+// background — so eviction is governed by a durability rule instead of a
+// write-back: a page may be evicted only if its page LSN (the LSN of the
+// latest change applied to it) is at or below the VDL. That guarantees
+// (a) every change to the page is hardened in the log, and (b) a cache miss
+// can always be served by requesting the page as of the current VDL from
+// the storage service (§4.2.3).
+package bufcache
+
+import (
+	"container/list"
+	"errors"
+	"sync"
+
+	"aurora/internal/core"
+	"aurora/internal/page"
+)
+
+// ErrPinned is returned by Evict for a pinned page.
+var ErrPinned = errors.New("bufcache: page pinned")
+
+// Stats is a snapshot of cache counters.
+type Stats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	// Overflow counts inserts that exceeded capacity because no page was
+	// evictable (all hot pages were above the VDL) — the back-pressure
+	// signal a real engine would throttle on.
+	Overflow uint64
+	Len      int
+	Capacity int
+}
+
+type entry struct {
+	id   core.PageID
+	p    page.Page
+	pins int
+	elem *list.Element
+}
+
+// Cache is a fixed-capacity page cache with LRU eviction under the VDL
+// rule. All methods are safe for concurrent use; the pages themselves are
+// mutated by the engine under its own latching discipline while pinned.
+type Cache struct {
+	mu       sync.Mutex
+	capacity int
+	vdl      func() core.LSN
+	pages    map[core.PageID]*entry
+	lru      *list.List // front = most recently used
+
+	hits, misses, evictions, overflow uint64
+}
+
+// New returns a cache holding up to capacity pages. vdl supplies the
+// current volume durable LSN (the eviction fence).
+func New(capacity int, vdl func() core.LSN) *Cache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Cache{
+		capacity: capacity,
+		vdl:      vdl,
+		pages:    make(map[core.PageID]*entry, capacity),
+		lru:      list.New(),
+	}
+}
+
+// Get returns the cached page, pinning it until Unpin. The bool reports a
+// hit. Pinned pages are never evicted.
+func (c *Cache) Get(id core.PageID) (page.Page, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.pages[id]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	e.pins++
+	c.lru.MoveToFront(e.elem)
+	return e.p, true
+}
+
+// Unpin releases one pin taken by Get or Put.
+func (c *Cache) Unpin(id core.PageID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.pages[id]; ok && e.pins > 0 {
+		e.pins--
+	}
+}
+
+// Put inserts (or replaces) a page and returns it pinned. If the cache is
+// full it evicts the least-recently-used page whose pageLSN <= VDL; when
+// nothing qualifies the cache overflows rather than lose an undurable page.
+func (c *Cache) Put(id core.PageID, p page.Page) page.Page {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.pages[id]; ok {
+		e.p = p
+		e.pins++
+		c.lru.MoveToFront(e.elem)
+		return e.p
+	}
+	for len(c.pages) >= c.capacity {
+		if !c.evictOneLocked() {
+			c.overflow++
+			break
+		}
+	}
+	e := &entry{id: id, p: p, pins: 1}
+	e.elem = c.lru.PushFront(e)
+	c.pages[id] = e
+	return e.p
+}
+
+// evictOneLocked drops the least-recently-used unpinned page that the VDL
+// rule allows. It reports whether a page was evicted.
+func (c *Cache) evictOneLocked() bool {
+	fence := c.vdl()
+	for elem := c.lru.Back(); elem != nil; elem = elem.Prev() {
+		e := elem.Value.(*entry)
+		if e.pins > 0 {
+			continue
+		}
+		if e.p.LSN() > fence {
+			// The latest change to this page is not yet durable in the
+			// log; evicting would violate the "page in cache is always the
+			// latest version" guarantee. Skip it.
+			continue
+		}
+		c.lru.Remove(elem)
+		delete(c.pages, e.id)
+		c.evictions++
+		return true
+	}
+	return false
+}
+
+// Evict removes a specific page, honouring pins (used by tests and by the
+// engine when a page is deallocated).
+func (c *Cache) Evict(id core.PageID) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.pages[id]
+	if !ok {
+		return nil
+	}
+	if e.pins > 0 {
+		return ErrPinned
+	}
+	c.lru.Remove(e.elem)
+	delete(c.pages, id)
+	c.evictions++
+	return nil
+}
+
+// Invalidate drops every cached page regardless of pins — used when the
+// writer crashes and the runtime state must be rebuilt from storage.
+func (c *Cache) Invalidate() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.pages = make(map[core.PageID]*entry, c.capacity)
+	c.lru.Init()
+}
+
+// Resize changes the capacity (instance scaling, §6.1.1). Shrinking evicts
+// lazily on the next Put.
+func (c *Cache) Resize(capacity int) {
+	if capacity < 1 {
+		capacity = 1
+	}
+	c.mu.Lock()
+	c.capacity = capacity
+	c.mu.Unlock()
+}
+
+// Len returns the number of cached pages.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.pages)
+}
+
+// Stats returns a snapshot of counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits: c.hits, Misses: c.misses, Evictions: c.evictions,
+		Overflow: c.overflow, Len: len(c.pages), Capacity: c.capacity,
+	}
+}

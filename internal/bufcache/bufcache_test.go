@@ -1,0 +1,178 @@
+package bufcache
+
+import (
+	"sync"
+	"testing"
+
+	"aurora/internal/core"
+	"aurora/internal/page"
+)
+
+func mkPage(id core.PageID, lsn core.LSN) page.Page {
+	p := page.New(id)
+	p.SetLSN(lsn)
+	return p
+}
+
+func TestHitMissAndPin(t *testing.T) {
+	c := New(4, func() core.LSN { return 100 })
+	if _, ok := c.Get(1); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put(1, mkPage(1, 5))
+	c.Unpin(1)
+	p, ok := c.Get(1)
+	if !ok || p.ID() != 1 {
+		t.Fatal("miss after put")
+	}
+	c.Unpin(1)
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 1 || s.Len != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestLRUEvictionOrder(t *testing.T) {
+	c := New(2, func() core.LSN { return 100 })
+	c.Put(1, mkPage(1, 1))
+	c.Unpin(1)
+	c.Put(2, mkPage(2, 2))
+	c.Unpin(2)
+	// Touch page 1 so page 2 is the LRU victim.
+	if _, ok := c.Get(1); !ok {
+		t.Fatal("page 1 missing")
+	}
+	c.Unpin(1)
+	c.Put(3, mkPage(3, 3))
+	c.Unpin(3)
+	if _, ok := c.Get(2); ok {
+		t.Fatal("LRU page 2 survived")
+	}
+	if _, ok := c.Get(1); !ok {
+		t.Fatal("recently used page 1 evicted")
+	}
+	c.Unpin(1)
+}
+
+func TestVDLEvictionRule(t *testing.T) {
+	vdl := core.LSN(10)
+	c := New(2, func() core.LSN { return vdl })
+	// Two pages whose latest changes are NOT durable yet.
+	c.Put(1, mkPage(1, 20))
+	c.Unpin(1)
+	c.Put(2, mkPage(2, 25))
+	c.Unpin(2)
+	// Nothing is evictable: the cache must overflow, never drop them.
+	c.Put(3, mkPage(3, 30))
+	c.Unpin(3)
+	if c.Len() != 3 {
+		t.Fatalf("len %d, want 3 (overflow)", c.Len())
+	}
+	if c.Stats().Overflow != 1 {
+		t.Fatalf("overflow %d", c.Stats().Overflow)
+	}
+	// The VDL advances past page 1 and 2: now eviction may proceed.
+	vdl = 26
+	c.Put(4, mkPage(4, 40))
+	c.Unpin(4)
+	if _, ok := c.Get(1); ok {
+		t.Fatal("page 1 should have been evicted once durable")
+	}
+	if c.Stats().Evictions == 0 {
+		t.Fatal("no evictions counted")
+	}
+}
+
+func TestPinnedPagesNeverEvicted(t *testing.T) {
+	c := New(1, func() core.LSN { return 1000 })
+	c.Put(1, mkPage(1, 1)) // stays pinned
+	c.Put(2, mkPage(2, 2))
+	c.Unpin(2)
+	if _, ok := c.Get(1); !ok {
+		t.Fatal("pinned page evicted")
+	}
+	c.Unpin(1)
+	c.Unpin(1) // now unpinned
+	if err := c.Evict(1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEvictRespectsPins(t *testing.T) {
+	c := New(4, func() core.LSN { return 1000 })
+	c.Put(1, mkPage(1, 1))
+	if err := c.Evict(1); err != ErrPinned {
+		t.Fatalf("evict pinned: %v", err)
+	}
+	c.Unpin(1)
+	if err := c.Evict(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Evict(99); err != nil {
+		t.Fatal("evict of absent page should be nil")
+	}
+}
+
+func TestPutReplacesAndRepins(t *testing.T) {
+	c := New(4, func() core.LSN { return 100 })
+	c.Put(1, mkPage(1, 5))
+	c.Unpin(1)
+	repl := mkPage(1, 9)
+	got := c.Put(1, repl)
+	if got.LSN() != 9 {
+		t.Fatal("replacement not installed")
+	}
+	c.Unpin(1)
+	if c.Len() != 1 {
+		t.Fatalf("len %d", c.Len())
+	}
+}
+
+func TestInvalidateAndResize(t *testing.T) {
+	c := New(4, func() core.LSN { return 100 })
+	for i := core.PageID(1); i <= 4; i++ {
+		c.Put(i, mkPage(i, 1))
+		c.Unpin(i)
+	}
+	c.Invalidate()
+	if c.Len() != 0 {
+		t.Fatal("invalidate left pages")
+	}
+	c.Resize(2)
+	for i := core.PageID(1); i <= 3; i++ {
+		c.Put(i, mkPage(i, 1))
+		c.Unpin(i)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len %d after resize to 2", c.Len())
+	}
+	c.Resize(0) // clamps to 1
+	if c.Stats().Capacity != 1 {
+		t.Fatal("capacity clamp failed")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := New(32, func() core.LSN { return 1 << 40 })
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				id := core.PageID(i % 64)
+				if p, ok := c.Get(id); ok {
+					_ = p.LSN()
+					c.Unpin(id)
+				} else {
+					c.Put(id, mkPage(id, core.LSN(i)))
+					c.Unpin(id)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Len() > 33 {
+		t.Fatalf("cache grew unboundedly: %d", c.Len())
+	}
+}

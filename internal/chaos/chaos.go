@@ -1,0 +1,154 @@
+// Package chaos provides scripted fault injection against an Aurora
+// cluster: node crashes, AZ outages, slow and failed disks, partitions and
+// page corruption — the "continuous low level background noise of node,
+// disk and network path failures" of §2.1 — together with invariant
+// checkers that verify the cluster's availability claims while faults are
+// active.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"aurora/internal/core"
+	"aurora/internal/engine"
+	"aurora/internal/netsim"
+	"aurora/internal/volume"
+)
+
+// Fault is one injectable failure with its undo.
+type Fault struct {
+	Name   string
+	Inject func()
+	Heal   func()
+}
+
+// CrashNode crashes one storage node.
+func CrashNode(f *volume.Fleet, pg core.PGID, replica int) Fault {
+	n := f.Node(pg, replica)
+	return Fault{
+		Name:   fmt.Sprintf("crash %s", n.NodeID()),
+		Inject: n.Crash,
+		Heal: func() {
+			n.Restart()
+			n.GossipOnce()
+		},
+	}
+}
+
+// WipeAndRepairNode destroys a segment's disk; healing re-replicates it.
+func WipeAndRepairNode(f *volume.Fleet, pg core.PGID, replica int) Fault {
+	n := f.Node(pg, replica)
+	return Fault{
+		Name:   fmt.Sprintf("wipe %s", n.NodeID()),
+		Inject: n.Wipe,
+		Heal: func() {
+			if err := f.RepairSegment(pg, replica); err != nil {
+				panic(fmt.Sprintf("chaos: repair failed: %v", err))
+			}
+		},
+	}
+}
+
+// AZOutage fails a whole availability zone.
+func AZOutage(net *netsim.Network, az netsim.AZ) Fault {
+	return Fault{
+		Name:   fmt.Sprintf("AZ %d outage", az),
+		Inject: func() { net.SetAZDown(az, true) },
+		Heal:   func() { net.SetAZDown(az, false) },
+	}
+}
+
+// SlowDisk makes one segment's SSD 20x slower (a hot disk, §2.3).
+func SlowDisk(f *volume.Fleet, pg core.PGID, replica int) Fault {
+	d := f.Node(pg, replica).Disk()
+	return Fault{
+		Name:   fmt.Sprintf("slow disk pg%d/%d", pg, replica),
+		Inject: func() { d.SetSlow(20) },
+		Heal:   func() { d.SetSlow(0) },
+	}
+}
+
+// CorruptPage flips bits in a materialized page; the scrubber heals it.
+func CorruptPage(f *volume.Fleet, pg core.PGID, replica int, page core.PageID) Fault {
+	n := f.Node(pg, replica)
+	return Fault{
+		Name:   fmt.Sprintf("corrupt pg%d/%d page %d", pg, replica, page),
+		Inject: func() { n.CorruptPage(page) },
+		Heal:   func() { n.ScrubOnce() },
+	}
+}
+
+// Report summarises a chaos run.
+type Report struct {
+	FaultsInjected  int
+	WritesAttempted int
+	WritesOK        int
+	ReadsAttempted  int
+	ReadsOK         int
+	DataErrors      int // reads that returned wrong data: must be zero
+}
+
+// Runner drives a workload while injecting faults from a schedule.
+type Runner struct {
+	DB     *engine.DB
+	Faults []Fault
+	// HoldFor is how long each fault stays active (default 20ms).
+	HoldFor time.Duration
+	Seed    int64
+}
+
+// Run injects each fault in turn while writing and reading a set of probe
+// rows, verifying that every successful read returns the value most
+// recently committed for that key.
+func (r *Runner) Run() Report {
+	if r.HoldFor <= 0 {
+		r.HoldFor = 20 * time.Millisecond
+	}
+	rng := rand.New(rand.NewSource(r.Seed))
+	rep := Report{}
+	expected := map[string]string{}
+
+	probe := func() {
+		// One write and two reads per probe round.
+		k := fmt.Sprintf("chaos-%02d", rng.Intn(16))
+		v := fmt.Sprintf("v%d", rng.Int63())
+		rep.WritesAttempted++
+		if err := r.DB.Put([]byte(k), []byte(v)); err == nil {
+			rep.WritesOK++
+			expected[k] = v
+		}
+		for i := 0; i < 2; i++ {
+			k := fmt.Sprintf("chaos-%02d", rng.Intn(16))
+			want, known := expected[k]
+			rep.ReadsAttempted++
+			got, ok, err := r.DB.Get([]byte(k))
+			if err != nil {
+				continue
+			}
+			rep.ReadsOK++
+			if known && ok && string(got) != want {
+				rep.DataErrors++
+			}
+			if known && !ok {
+				rep.DataErrors++
+			}
+		}
+	}
+
+	for _, f := range r.Faults {
+		f.Inject()
+		rep.FaultsInjected++
+		deadline := time.Now().Add(r.HoldFor)
+		for time.Now().Before(deadline) {
+			probe()
+		}
+		f.Heal()
+		// And probe again healthy.
+		for i := 0; i < 5; i++ {
+			probe()
+		}
+	}
+	return rep
+}

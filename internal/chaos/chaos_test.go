@@ -1,0 +1,96 @@
+package chaos
+
+import (
+	"testing"
+
+	"aurora/internal/disk"
+	"aurora/internal/engine"
+	"aurora/internal/netsim"
+	"aurora/internal/volume"
+)
+
+func stack(t *testing.T) (*netsim.Network, *volume.Fleet, *engine.DB) {
+	t.Helper()
+	net := netsim.New(netsim.FastLocal())
+	f, err := volume.NewFleet(volume.FleetConfig{Name: "c", PGs: 2, Net: net, Disk: disk.FastLocal()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vol := volume.Bootstrap(f, volume.ClientConfig{WriterNode: "writer", WriterAZ: 0})
+	db, err := engine.Create(vol, engine.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(db.Close)
+	return net, f, db
+}
+
+func TestSingleNodeCrashIsInvisible(t *testing.T) {
+	_, f, db := stack(t)
+	r := &Runner{DB: db, Faults: []Fault{CrashNode(f, 0, 0), CrashNode(f, 1, 5)}, Seed: 1}
+	rep := r.Run()
+	if rep.DataErrors != 0 {
+		t.Fatalf("data errors: %+v", rep)
+	}
+	if rep.WritesOK != rep.WritesAttempted {
+		t.Fatalf("writes failed under single-node crash: %+v", rep)
+	}
+	if rep.ReadsOK != rep.ReadsAttempted {
+		t.Fatalf("reads failed under single-node crash: %+v", rep)
+	}
+}
+
+func TestAZOutageWritesContinue(t *testing.T) {
+	net, f, db := stack(t)
+	r := &Runner{DB: db, Faults: []Fault{AZOutage(net, 2)}, Seed: 2}
+	rep := r.Run()
+	if rep.DataErrors != 0 {
+		t.Fatalf("data errors: %+v", rep)
+	}
+	if rep.WritesOK != rep.WritesAttempted {
+		t.Fatalf("writes failed during AZ outage: %+v", rep)
+	}
+	_ = f
+}
+
+func TestWipeRepairAndSlowDisk(t *testing.T) {
+	_, f, db := stack(t)
+	r := &Runner{
+		DB: db,
+		Faults: []Fault{
+			WipeAndRepairNode(f, 0, 2),
+			SlowDisk(f, 0, 1),
+		},
+		Seed: 3,
+	}
+	rep := r.Run()
+	if rep.DataErrors != 0 {
+		t.Fatalf("data errors: %+v", rep)
+	}
+	if rep.WritesOK != rep.WritesAttempted {
+		t.Fatalf("writes failed: %+v", rep)
+	}
+	// The wiped segment must be whole again.
+	if f.Node(0, 2).SCL() == 0 {
+		t.Fatal("repair did not restore the segment")
+	}
+}
+
+func TestCorruptionHealedByScrub(t *testing.T) {
+	_, f, db := stack(t)
+	// Materialize some pages first so there is something to corrupt.
+	for i := 0; i < 20; i++ {
+		if err := db.Put([]byte{byte('a' + i)}, []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 6; i++ {
+		f.Node(0, i).CoalesceOnce()
+		f.Node(1, i).CoalesceOnce()
+	}
+	r := &Runner{DB: db, Faults: []Fault{CorruptPage(f, 0, 0, 0)}, Seed: 4}
+	rep := r.Run()
+	if rep.DataErrors != 0 {
+		t.Fatalf("data errors: %+v", rep)
+	}
+}

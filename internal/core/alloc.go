@@ -1,0 +1,114 @@
+package core
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrAllocatorClosed is returned by Alloc after Close, e.g. when the writer
+// instance is shutting down or has crashed.
+var ErrAllocatorClosed = errors.New("core: LSN allocator closed")
+
+// DefaultLAL is the default LSN Allocation Limit. The paper sets it to 10
+// million; the constant here is the same and is scaled down by tests that
+// want to exercise back-pressure quickly.
+const DefaultLAL = 10_000_000
+
+// Allocator hands out monotonically increasing LSNs to the writer, subject
+// to the LSN Allocation Limit: no LSN may be allocated with a value greater
+// than VDL + LAL. This bounds how far the database can run ahead of the
+// storage service and introduces back-pressure that throttles incoming
+// writes when storage or network cannot keep up (§4.2.1).
+type Allocator struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	next   LSN // next LSN to hand out
+	vdl    LSN // latest VDL the allocator has been told about
+	lal    uint64
+	closed bool
+}
+
+// NewAllocator returns an allocator that will hand out LSNs starting at
+// start+1 with the given allocation limit. lal <= 0 selects DefaultLAL.
+func NewAllocator(start LSN, lal int64) *Allocator {
+	if lal <= 0 {
+		lal = DefaultLAL
+	}
+	a := &Allocator{next: start + 1, vdl: start, lal: uint64(lal)}
+	a.cond = sync.NewCond(&a.mu)
+	return a
+}
+
+// Alloc reserves n consecutive LSNs and returns the first. It blocks while
+// the allocation would exceed VDL + LAL, resuming when AdvanceVDL frees
+// headroom. n must be >= 1.
+func (a *Allocator) Alloc(n int) (LSN, error) {
+	if n < 1 {
+		panic("core: Alloc of non-positive count")
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for !a.closed && uint64(a.next)+uint64(n)-1 > uint64(a.vdl)+a.lal {
+		a.cond.Wait()
+	}
+	if a.closed {
+		return ZeroLSN, ErrAllocatorClosed
+	}
+	first := a.next
+	a.next += LSN(n)
+	return first, nil
+}
+
+// TryAlloc is a non-blocking Alloc; ok is false when the LAL window is full.
+func (a *Allocator) TryAlloc(n int) (lsn LSN, ok bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.closed || uint64(a.next)+uint64(n)-1 > uint64(a.vdl)+a.lal {
+		return ZeroLSN, false
+	}
+	first := a.next
+	a.next += LSN(n)
+	return first, true
+}
+
+// AdvanceVDL informs the allocator of a new volume durable LSN, releasing
+// any writers blocked on the allocation limit. Regressions are ignored.
+func (a *Allocator) AdvanceVDL(vdl LSN) {
+	a.mu.Lock()
+	if vdl > a.vdl {
+		a.vdl = vdl
+		a.cond.Broadcast()
+	}
+	a.mu.Unlock()
+}
+
+// Next returns the next LSN that would be allocated (for observability).
+func (a *Allocator) Next() LSN {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.next
+}
+
+// HighestAllocated returns the highest LSN handed out so far.
+func (a *Allocator) HighestAllocated() LSN {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.next - 1
+}
+
+// UpperBound returns the highest LSN that could possibly have been
+// allocated given the current VDL: VDL + LAL. Recovery uses this to bound
+// the truncation range it must annul (§4.3).
+func (a *Allocator) UpperBound() LSN {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.vdl + LSN(a.lal)
+}
+
+// Close releases all blocked allocators with ErrAllocatorClosed.
+func (a *Allocator) Close() {
+	a.mu.Lock()
+	a.closed = true
+	a.cond.Broadcast()
+	a.mu.Unlock()
+}

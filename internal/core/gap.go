@@ -1,0 +1,84 @@
+package core
+
+import "sync"
+
+// GapTracker tracks completeness of the per-PG backlink chain on one
+// segment. Each log record carries the LSN of the previous record destined
+// for the same protection group; a segment's SCL (Segment Complete LSN) is
+// the greatest LSN below which every record of the chain has been received
+// (§4.2.1). Records may arrive out of order or duplicated; the tracker
+// advances the SCL as holes fill (normally via peer gossip).
+type GapTracker struct {
+	mu      sync.Mutex
+	scl     LSN
+	pending map[LSN]LSN // prevLSN -> LSN of a received record not yet linked
+}
+
+// NewGapTracker returns a tracker whose chain starts after base: the first
+// expected record has PrevLSN == base (ZeroLSN for a fresh segment).
+func NewGapTracker(base LSN) *GapTracker {
+	return &GapTracker{scl: base, pending: make(map[LSN]LSN)}
+}
+
+// Add records receipt of a record with the given backlink and LSN and
+// reports whether the SCL advanced. Duplicates and records below the SCL
+// are ignored.
+func (g *GapTracker) Add(prev, lsn LSN) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if lsn <= g.scl {
+		return false
+	}
+	if prev != g.scl {
+		g.pending[prev] = lsn
+		return false
+	}
+	g.scl = lsn
+	for {
+		next, ok := g.pending[g.scl]
+		if !ok {
+			break
+		}
+		delete(g.pending, g.scl)
+		g.scl = next
+	}
+	return true
+}
+
+// SCL returns the current segment complete LSN.
+func (g *GapTracker) SCL() LSN {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.scl
+}
+
+// HasGap reports whether records have been received beyond a hole in the
+// chain — the condition that triggers gossip with peers.
+func (g *GapTracker) HasGap() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.pending) > 0
+}
+
+// PendingCount returns the number of received-but-unlinked records.
+func (g *GapTracker) PendingCount() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.pending)
+}
+
+// TruncateAbove discards all chain knowledge above limit: the SCL is capped
+// at limit and pending records beyond it are dropped. Used when a recovery
+// truncation range annuls the tail of the log.
+func (g *GapTracker) TruncateAbove(limit LSN) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.scl > limit {
+		g.scl = limit
+	}
+	for prev, lsn := range g.pending {
+		if lsn > limit {
+			delete(g.pending, prev)
+		}
+	}
+}

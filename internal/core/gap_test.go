@@ -1,0 +1,134 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGapTrackerInOrder(t *testing.T) {
+	g := NewGapTracker(ZeroLSN)
+	prev := ZeroLSN
+	for lsn := LSN(1); lsn <= 10; lsn++ {
+		if !g.Add(prev, lsn) {
+			t.Fatalf("in-order add of %d did not advance", lsn)
+		}
+		prev = lsn
+	}
+	if g.SCL() != 10 {
+		t.Fatalf("SCL %d, want 10", g.SCL())
+	}
+	if g.HasGap() {
+		t.Fatal("no gaps expected")
+	}
+}
+
+func TestGapTrackerHoleAndFill(t *testing.T) {
+	g := NewGapTracker(ZeroLSN)
+	g.Add(0, 1)
+	// Record 2 is lost in transit; 3 and 4 arrive.
+	g.Add(2, 3)
+	g.Add(3, 4)
+	if g.SCL() != 1 {
+		t.Fatalf("SCL %d, want 1 while hole open", g.SCL())
+	}
+	if !g.HasGap() {
+		t.Fatal("expected gap while record 2 missing")
+	}
+	// Gossip fills the hole: SCL must jump across everything pending.
+	if !g.Add(1, 2) {
+		t.Fatal("filling the hole should advance SCL")
+	}
+	if g.SCL() != 4 {
+		t.Fatalf("SCL %d, want 4 after fill", g.SCL())
+	}
+	if g.HasGap() {
+		t.Fatal("gap should be closed")
+	}
+}
+
+func TestGapTrackerDuplicatesAndStale(t *testing.T) {
+	g := NewGapTracker(ZeroLSN)
+	g.Add(0, 1)
+	g.Add(1, 2)
+	if g.Add(0, 1) {
+		t.Fatal("stale record advanced SCL")
+	}
+	if g.Add(1, 2) {
+		t.Fatal("duplicate record advanced SCL")
+	}
+	if g.SCL() != 2 {
+		t.Fatalf("SCL %d, want 2", g.SCL())
+	}
+}
+
+func TestGapTrackerTruncateAbove(t *testing.T) {
+	g := NewGapTracker(ZeroLSN)
+	g.Add(0, 1)
+	g.Add(1, 2)
+	g.Add(3, 4) // pending beyond hole at 3
+	g.TruncateAbove(1)
+	if g.SCL() != 1 {
+		t.Fatalf("SCL %d after truncate, want 1", g.SCL())
+	}
+	if g.HasGap() {
+		t.Fatal("pending record above truncation survived")
+	}
+	// The chain can be rebuilt past the truncation point.
+	g.Add(1, 5)
+	if g.SCL() != 5 {
+		t.Fatalf("SCL %d, want 5", g.SCL())
+	}
+}
+
+func TestGapTrackerNonZeroBase(t *testing.T) {
+	g := NewGapTracker(100)
+	if g.Add(99, 100) {
+		t.Fatal("record at base advanced SCL")
+	}
+	if !g.Add(100, 101) {
+		t.Fatal("first record after base should advance")
+	}
+	if g.SCL() != 101 {
+		t.Fatalf("SCL %d", g.SCL())
+	}
+}
+
+// Property: for any permutation of a linear chain, once all records are
+// added the SCL equals the chain tail and no gaps remain.
+func TestGapTrackerPermutationProperty(t *testing.T) {
+	f := func(seed int64, nSmall uint8) bool {
+		n := int(nSmall%50) + 1
+		rng := rand.New(rand.NewSource(seed))
+		perm := rng.Perm(n)
+		g := NewGapTracker(ZeroLSN)
+		for _, i := range perm {
+			g.Add(LSN(i), LSN(i+1))
+		}
+		return g.SCL() == LSN(n) && !g.HasGap()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: SCL never exceeds the highest contiguously delivered prefix.
+func TestGapTrackerPrefixProperty(t *testing.T) {
+	f := func(seed int64, nSmall, dropSmall uint8) bool {
+		n := int(nSmall%60) + 2
+		drop := int(dropSmall)%n + 1 // drop record with LSN == drop
+		rng := rand.New(rand.NewSource(seed))
+		g := NewGapTracker(ZeroLSN)
+		for _, i := range rng.Perm(n) {
+			lsn := i + 1
+			if lsn == drop {
+				continue
+			}
+			g.Add(LSN(lsn-1), LSN(lsn))
+		}
+		return g.SCL() == LSN(drop-1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

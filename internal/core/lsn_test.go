@@ -1,0 +1,62 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTruncationRangeAnnuls(t *testing.T) {
+	tr := TruncationRange{Epoch: 1, From: 10, To: 20}
+	if tr.Annuls(10) {
+		t.Fatal("From is exclusive")
+	}
+	if !tr.Annuls(11) || !tr.Annuls(20) {
+		t.Fatal("interior/To must be annulled")
+	}
+	if tr.Annuls(21) {
+		t.Fatal("beyond To annulled")
+	}
+}
+
+func TestTruncationSupersedes(t *testing.T) {
+	a := TruncationRange{Epoch: 1, From: 5, To: 10}
+	b := TruncationRange{Epoch: 2, From: 7, To: 9}
+	if !b.Supersedes(a) || a.Supersedes(b) {
+		t.Fatal("higher epoch must win")
+	}
+	c := TruncationRange{Epoch: 1, From: 5, To: 12}
+	if !c.Supersedes(a) || a.Supersedes(c) {
+		t.Fatal("within an epoch the wider range wins")
+	}
+}
+
+// Property: Supersedes is antisymmetric for distinct ranges that differ in
+// epoch or extent.
+func TestSupersedesAntisymmetry(t *testing.T) {
+	f := func(e1, e2 uint8, to1, to2 uint16) bool {
+		a := TruncationRange{Epoch: uint64(e1), To: LSN(to1)}
+		b := TruncationRange{Epoch: uint64(e2), To: LSN(to2)}
+		if a.Epoch == b.Epoch && a.To == b.To {
+			return true // equal ranges: neither supersedes
+		}
+		return a.Supersedes(b) != b.Supersedes(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if LSN(42).String() != "lsn(42)" {
+		t.Fatal(LSN(42).String())
+	}
+	s := SegmentID{PG: 3, Replica: 4}
+	if s.String() != "seg(3/4)" {
+		t.Fatal(s.String())
+	}
+	for _, rt := range []RecordType{RecPageDelta, RecPageInit, RecTxnBegin, RecTxnCommit, RecTxnAbort, RecCheckpointHint, RecordType(99)} {
+		if rt.String() == "" {
+			t.Fatalf("empty string for %d", rt)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"errors"
+	"sync"
+)
+
+// MTR is a mini-transaction: an ordered group of contiguous log records
+// that must be applied atomically (§4.1). The engine builds one MTR per
+// atomic structural operation (e.g. a B+-tree split/merge) or per row
+// mutation; the Framer stamps the final record as a CPL.
+type MTR struct {
+	Txn     uint64
+	Records []Record // LSN/PrevLSN/Flags unset until framed
+}
+
+// AddDelta appends a page-delta record to the MTR.
+func (m *MTR) AddDelta(pg PGID, page PageID, offset uint32, data []byte) {
+	m.Records = append(m.Records, Record{
+		Type: RecPageDelta, PG: pg, Page: page, Txn: m.Txn,
+		Offset: offset, Data: data,
+	})
+}
+
+// AddInit appends a full-page-image record to the MTR.
+func (m *MTR) AddInit(pg PGID, page PageID, image []byte) {
+	m.Records = append(m.Records, Record{
+		Type: RecPageInit, PG: pg, Page: page, Txn: m.Txn, Data: image,
+	})
+}
+
+// AddMeta appends a metadata record (begin/commit/abort) addressed to pg.
+// Metadata records participate in the PG's backlink chain like any other
+// record so completeness tracking covers them.
+func (m *MTR) AddMeta(t RecordType, pg PGID) {
+	m.Records = append(m.Records, Record{Type: t, PG: pg, Txn: m.Txn})
+}
+
+// Empty reports whether the MTR holds no records.
+func (m *MTR) Empty() bool { return len(m.Records) == 0 }
+
+// ErrEmptyMTR is returned when framing an MTR with no records.
+var ErrEmptyMTR = errors.New("core: cannot frame empty mini-transaction")
+
+// Framer serialises mini-transactions into the single ordered LSN domain:
+// it allocates consecutive LSNs for the MTR's records, threads the per-PG
+// backlink chains, and tags the final record as a CPL. Framing is atomic
+// with respect to concurrent MTRs so that per-PG chain order always matches
+// LSN order.
+type Framer struct {
+	mu    sync.Mutex
+	alloc *Allocator
+	last  map[PGID]LSN // last LSN emitted per protection group
+}
+
+// NewFramer returns a framer drawing LSNs from alloc. lastPerPG seeds the
+// backlink chains (nil for a fresh volume); recovery passes the chain tails
+// discovered from storage.
+func NewFramer(alloc *Allocator, lastPerPG map[PGID]LSN) *Framer {
+	last := make(map[PGID]LSN, len(lastPerPG))
+	for pg, lsn := range lastPerPG {
+		last[pg] = lsn
+	}
+	return &Framer{alloc: alloc, last: last}
+}
+
+// Frame assigns LSNs and backlinks to the MTR's records in place, marks the
+// last record as a CPL, and returns the records sharded into per-PG batches
+// together with the MTR's CPL. Frame blocks if the LSN allocator is at its
+// allocation limit.
+func (f *Framer) Frame(m *MTR) ([]Batch, LSN, error) {
+	if m.Empty() {
+		return nil, ZeroLSN, ErrEmptyMTR
+	}
+	n := len(m.Records)
+	// Allocate outside the chain lock so back-pressure stalls do not block
+	// other writers that still have headroom... but LSN order must match
+	// chain order, so allocation and chaining happen under one lock.
+	f.mu.Lock()
+	first, err := f.alloc.Alloc(n)
+	if err != nil {
+		f.mu.Unlock()
+		return nil, ZeroLSN, err
+	}
+	byPG := make(map[PGID]*Batch)
+	order := make([]PGID, 0, 2)
+	for i := range m.Records {
+		r := &m.Records[i]
+		r.LSN = first + LSN(i)
+		r.PrevLSN = f.last[r.PG]
+		f.last[r.PG] = r.LSN
+		if i == n-1 {
+			r.Flags |= FlagCPL
+		}
+		b, ok := byPG[r.PG]
+		if !ok {
+			b = &Batch{PG: r.PG}
+			byPG[r.PG] = b
+			order = append(order, r.PG)
+		}
+		b.Records = append(b.Records, *r)
+	}
+	f.mu.Unlock()
+	batches := make([]Batch, 0, len(order))
+	for _, pg := range order {
+		batches = append(batches, *byPG[pg])
+	}
+	return batches, first + LSN(n-1), nil
+}
+
+// ChainTail returns the last LSN framed for pg (ZeroLSN if none).
+func (f *Framer) ChainTail(pg PGID) LSN {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.last[pg]
+}

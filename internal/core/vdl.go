@@ -1,0 +1,108 @@
+package core
+
+import (
+	"container/heap"
+	"sync"
+	"sync/atomic"
+)
+
+// VDLTracker maintains the Volume Durable LSN and lets callers wait for it
+// to reach a target. It is the primitive behind asynchronous commits
+// (§4.2.2): the commit path registers the transaction's commit LSN and a
+// dedicated goroutine acknowledges it once VDL >= commitLSN, so worker
+// threads never stall on commit.
+type VDLTracker struct {
+	vdl     atomic.Uint64
+	mu      sync.Mutex
+	waiters waiterHeap
+	closed  bool
+}
+
+type waiter struct {
+	target LSN
+	ch     chan struct{}
+}
+
+type waiterHeap []waiter
+
+func (h waiterHeap) Len() int            { return len(h) }
+func (h waiterHeap) Less(i, j int) bool  { return h[i].target < h[j].target }
+func (h waiterHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *waiterHeap) Push(x interface{}) { *h = append(*h, x.(waiter)) }
+func (h *waiterHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// NewVDLTracker returns a tracker initialised to start.
+func NewVDLTracker(start LSN) *VDLTracker {
+	t := &VDLTracker{}
+	t.vdl.Store(uint64(start))
+	return t
+}
+
+// VDL returns the current volume durable LSN.
+func (t *VDLTracker) VDL() LSN { return LSN(t.vdl.Load()) }
+
+// Advance moves the VDL forward (regressions are ignored) and wakes every
+// waiter whose target has been reached. It reports whether the VDL moved.
+func (t *VDLTracker) Advance(vdl LSN) bool {
+	for {
+		cur := t.vdl.Load()
+		if uint64(vdl) <= cur {
+			return false
+		}
+		if t.vdl.CompareAndSwap(cur, uint64(vdl)) {
+			break
+		}
+	}
+	t.mu.Lock()
+	for len(t.waiters) > 0 && t.waiters[0].target <= vdl {
+		w := heap.Pop(&t.waiters).(waiter)
+		close(w.ch)
+	}
+	t.mu.Unlock()
+	return true
+}
+
+// WaitChan returns a channel that is closed once the VDL reaches target.
+// If the target is already durable the channel is closed immediately.
+func (t *VDLTracker) WaitChan(target LSN) <-chan struct{} {
+	ch := make(chan struct{})
+	t.mu.Lock()
+	if t.closed || t.VDL() >= target {
+		t.mu.Unlock()
+		close(ch)
+		return ch
+	}
+	heap.Push(&t.waiters, waiter{target: target, ch: ch})
+	t.mu.Unlock()
+	return ch
+}
+
+// Wait blocks until the VDL reaches target or the tracker is closed.
+func (t *VDLTracker) Wait(target LSN) { <-t.WaitChan(target) }
+
+// PendingWaiters returns the number of registered waiters (observability).
+func (t *VDLTracker) PendingWaiters() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.waiters)
+}
+
+// Close releases all current and future waiters unconditionally. Callers
+// must re-check durability themselves after a close (writer crash).
+func (t *VDLTracker) Close() {
+	t.mu.Lock()
+	if !t.closed {
+		t.closed = true
+		for len(t.waiters) > 0 {
+			w := heap.Pop(&t.waiters).(waiter)
+			close(w.ch)
+		}
+	}
+	t.mu.Unlock()
+}

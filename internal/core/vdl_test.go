@@ -1,0 +1,89 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestVDLTrackerAdvance(t *testing.T) {
+	v := NewVDLTracker(ZeroLSN)
+	if !v.Advance(5) {
+		t.Fatal("advance to 5 reported no movement")
+	}
+	if v.Advance(3) {
+		t.Fatal("regression reported movement")
+	}
+	if v.VDL() != 5 {
+		t.Fatalf("VDL %d, want 5", v.VDL())
+	}
+}
+
+func TestVDLTrackerWaitAlreadyDurable(t *testing.T) {
+	v := NewVDLTracker(10)
+	select {
+	case <-v.WaitChan(7):
+	default:
+		t.Fatal("wait for already-durable LSN did not complete immediately")
+	}
+}
+
+func TestVDLTrackerWaitOrdering(t *testing.T) {
+	v := NewVDLTracker(ZeroLSN)
+	ch3 := v.WaitChan(3)
+	ch7 := v.WaitChan(7)
+	ch5 := v.WaitChan(5)
+	if v.PendingWaiters() != 3 {
+		t.Fatalf("pending %d, want 3", v.PendingWaiters())
+	}
+	v.Advance(5)
+	assertClosed(t, ch3, "waiter@3")
+	assertClosed(t, ch5, "waiter@5")
+	select {
+	case <-ch7:
+		t.Fatal("waiter@7 released early")
+	default:
+	}
+	v.Advance(9)
+	assertClosed(t, ch7, "waiter@7")
+}
+
+func assertClosed(t *testing.T, ch <-chan struct{}, name string) {
+	t.Helper()
+	select {
+	case <-ch:
+	case <-time.After(time.Second):
+		t.Fatalf("%s not released", name)
+	}
+}
+
+func TestVDLTrackerClose(t *testing.T) {
+	v := NewVDLTracker(ZeroLSN)
+	ch := v.WaitChan(100)
+	v.Close()
+	assertClosed(t, ch, "waiter after close")
+	// Waiters registered after close complete immediately.
+	assertClosed(t, v.WaitChan(200), "post-close waiter")
+}
+
+func TestVDLTrackerConcurrent(t *testing.T) {
+	v := NewVDLTracker(ZeroLSN)
+	const n = 200
+	var wg sync.WaitGroup
+	for i := 1; i <= n; i++ {
+		wg.Add(1)
+		go func(target LSN) {
+			defer wg.Done()
+			v.Wait(target)
+			if v.VDL() < target {
+				t.Errorf("woken before VDL reached %d (vdl=%d)", target, v.VDL())
+			}
+		}(LSN(i))
+	}
+	go func() {
+		for i := 1; i <= n; i++ {
+			v.Advance(LSN(i))
+		}
+	}()
+	wg.Wait()
+}

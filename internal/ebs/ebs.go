@@ -1,0 +1,167 @@
+// Package ebs simulates Amazon EBS-style networked block volumes, including
+// the synchronous mirroring chain of Figure 2: a write issued by a database
+// instance travels to the EBS server, then to an AZ-local EBS mirror, and is
+// only acknowledged when both copies are durable. The package also provides
+// the cross-AZ software-mirrored pair used by the mirrored-MySQL baseline,
+// in which steps 1 (primary EBS+mirror), 3 (stage to standby instance) and
+// 5 (standby EBS+mirror) are sequential and synchronous — the write
+// amplification and latency chaining that §3.1 argues is untenable.
+package ebs
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"aurora/internal/disk"
+	"aurora/internal/netsim"
+)
+
+// Volume is one EBS volume: a server node plus an AZ-local mirror node,
+// both with simulated SSDs, attached to a single instance node.
+type Volume struct {
+	net      *netsim.Network
+	instance netsim.NodeID
+	server   netsim.NodeID
+	mirror   netsim.NodeID
+	ssd      *disk.SSD
+	mirrSSD  *disk.SSD
+
+	writes atomic.Uint64
+	reads  atomic.Uint64
+	bytes  atomic.Uint64
+}
+
+// NewVolume creates an EBS volume in az, attached to the given instance
+// node (which must already be registered with the network). The volume
+// registers two nodes: name-ebs and name-ebs-mirror.
+func NewVolume(net *netsim.Network, name string, instance netsim.NodeID, az netsim.AZ, cfg disk.Config) *Volume {
+	v := &Volume{
+		net:      net,
+		instance: instance,
+		server:   netsim.NodeID(name + "-ebs"),
+		mirror:   netsim.NodeID(name + "-ebs-mirror"),
+		ssd:      disk.New(cfg),
+		mirrSSD:  disk.New(cfg),
+	}
+	net.AddNode(v.server, az)
+	net.AddNode(v.mirror, az)
+	return v
+}
+
+// Write performs one synchronous block write of size bytes: instance →
+// EBS server (disk write) → AZ-local mirror (disk write), acknowledged when
+// both copies are durable (Figure 2 steps 1–2).
+func (v *Volume) Write(size int) error {
+	if err := v.net.Send(v.instance, v.server, size); err != nil {
+		return fmt.Errorf("ebs %s: %w", v.server, err)
+	}
+	if err := v.ssd.Write(size); err != nil {
+		return fmt.Errorf("ebs %s: %w", v.server, err)
+	}
+	if err := v.net.Send(v.server, v.mirror, size); err != nil {
+		return fmt.Errorf("ebs %s mirror: %w", v.server, err)
+	}
+	if err := v.mirrSSD.Write(size); err != nil {
+		return fmt.Errorf("ebs %s mirror: %w", v.server, err)
+	}
+	// Acknowledgement back to the instance.
+	if err := v.net.Send(v.server, v.instance, ackSize); err != nil {
+		return fmt.Errorf("ebs %s ack: %w", v.server, err)
+	}
+	v.writes.Add(1)
+	v.bytes.Add(uint64(size))
+	return nil
+}
+
+// Read performs one synchronous block read of size bytes from the EBS
+// server.
+func (v *Volume) Read(size int) error {
+	if err := v.net.Send(v.instance, v.server, reqSize); err != nil {
+		return fmt.Errorf("ebs %s read: %w", v.server, err)
+	}
+	if err := v.ssd.Read(size); err != nil {
+		return fmt.Errorf("ebs %s read: %w", v.server, err)
+	}
+	if err := v.net.Send(v.server, v.instance, size); err != nil {
+		return fmt.Errorf("ebs %s read: %w", v.server, err)
+	}
+	v.reads.Add(1)
+	return nil
+}
+
+// Disk exposes the primary SSD for fault injection.
+func (v *Volume) Disk() *disk.SSD { return v.ssd }
+
+// Stats returns write count, read count and bytes written.
+func (v *Volume) Stats() (writes, reads, bytes uint64) {
+	return v.writes.Load(), v.reads.Load(), v.bytes.Load()
+}
+
+const (
+	ackSize = 64 // bytes on the wire for an acknowledgement
+	reqSize = 64 // bytes on the wire for a read request
+)
+
+// Mirrored is the active-standby, cross-AZ software-mirrored configuration
+// of Figure 2: a primary instance with its EBS volume in one AZ and a
+// standby instance with its EBS volume in another, synchronised by
+// block-level software mirroring.
+type Mirrored struct {
+	net      *netsim.Network
+	primary  *Volume
+	standby  *Volume
+	primInst netsim.NodeID
+	stbyInst netsim.NodeID
+
+	writes atomic.Uint64
+}
+
+// NewMirrored builds the mirrored pair. Both instance nodes must already be
+// registered; the volumes are created in the instances' AZs.
+func NewMirrored(net *netsim.Network, name string, primInst, stbyInst netsim.NodeID, primAZ, stbyAZ netsim.AZ, cfg disk.Config) *Mirrored {
+	return &Mirrored{
+		net:      net,
+		primary:  NewVolume(net, name+"-prim", primInst, primAZ, cfg),
+		standby:  NewVolume(net, name+"-stby", stbyInst, stbyAZ, cfg),
+		primInst: primInst,
+		stbyInst: stbyInst,
+	}
+}
+
+// Write performs the full five-step synchronous chain of Figure 2:
+//
+//  1. write to primary EBS, 2. primary EBS mirrors locally,
+//  3. stage the write to the standby instance (cross-AZ),
+//  4. write to standby EBS, 5. standby EBS mirrors locally.
+//
+// Steps 1, 3 and 5 are sequential; latency is additive and jitter is
+// amplified because every step waits for its slowest participant (§3.1).
+func (m *Mirrored) Write(size int) error {
+	if err := m.primary.Write(size); err != nil {
+		return err
+	}
+	if err := m.net.Send(m.primInst, m.stbyInst, size); err != nil {
+		return fmt.Errorf("mirror stage: %w", err)
+	}
+	if err := m.standby.Write(size); err != nil {
+		return err
+	}
+	// Standby acknowledges the staged write back to the primary.
+	if err := m.net.Send(m.stbyInst, m.primInst, ackSize); err != nil {
+		return fmt.Errorf("mirror ack: %w", err)
+	}
+	m.writes.Add(1)
+	return nil
+}
+
+// Read reads from the primary volume only.
+func (m *Mirrored) Read(size int) error { return m.primary.Read(size) }
+
+// Primary exposes the primary volume (fault injection, stats).
+func (m *Mirrored) Primary() *Volume { return m.primary }
+
+// Standby exposes the standby volume.
+func (m *Mirrored) Standby() *Volume { return m.standby }
+
+// Writes returns the number of completed mirrored writes.
+func (m *Mirrored) Writes() uint64 { return m.writes.Load() }

@@ -1,0 +1,122 @@
+package ebs
+
+import (
+	"testing"
+	"time"
+
+	"aurora/internal/disk"
+	"aurora/internal/netsim"
+)
+
+func testNet() *netsim.Network {
+	n := netsim.New(netsim.FastLocal())
+	n.AddNode("db1", 0)
+	n.AddNode("db2", 1)
+	return n
+}
+
+func TestVolumeWriteChain(t *testing.T) {
+	net := testNet()
+	v := NewVolume(net, "vol", "db1", 0, disk.FastLocal())
+	if err := v.Write(4096); err != nil {
+		t.Fatal(err)
+	}
+	w, r, b := v.Stats()
+	if w != 1 || r != 0 || b != 4096 {
+		t.Fatalf("stats %d %d %d", w, r, b)
+	}
+	// One write = instance->server, server->mirror, server->instance ack.
+	if got := net.Stats().Messages; got != 3 {
+		t.Fatalf("messages %d, want 3", got)
+	}
+	// Both the server and the mirror persisted the block.
+	if s := v.Disk().Stats(); s.Writes != 1 || s.BytesWritten != 4096 {
+		t.Fatalf("primary ssd %+v", s)
+	}
+}
+
+func TestVolumeRead(t *testing.T) {
+	net := testNet()
+	v := NewVolume(net, "vol", "db1", 0, disk.FastLocal())
+	if err := v.Read(4096); err != nil {
+		t.Fatal(err)
+	}
+	_, r, _ := v.Stats()
+	if r != 1 {
+		t.Fatal("read not counted")
+	}
+	if got := net.Stats().Messages; got != 2 {
+		t.Fatalf("messages %d, want 2 (request + response)", got)
+	}
+}
+
+func TestVolumeFailedDisk(t *testing.T) {
+	net := testNet()
+	v := NewVolume(net, "vol", "db1", 0, disk.FastLocal())
+	v.Disk().Fail(true)
+	if err := v.Write(1); err == nil {
+		t.Fatal("write to failed volume succeeded")
+	}
+}
+
+func TestMirroredWriteIsSequentialChain(t *testing.T) {
+	cfg := netsim.Config{IntraAZ: time.Millisecond, CrossAZ: 10 * time.Millisecond}
+	net := netsim.New(cfg)
+	var total time.Duration
+	net.SetSleeper(func(d time.Duration) { total += d })
+	net.AddNode("db1", 0)
+	net.AddNode("db2", 1)
+	m := NewMirrored(net, "data", "db1", "db2", 0, 1, disk.FastLocal())
+	if err := m.Write(4096); err != nil {
+		t.Fatal(err)
+	}
+	if m.Writes() != 1 {
+		t.Fatal("write not counted")
+	}
+	// 8 messages: 3 on the primary volume, 1 cross-AZ stage, 3 on the
+	// standby volume, 1 cross-AZ ack.
+	if got := net.Stats().Messages; got != 8 {
+		t.Fatalf("messages %d, want 8", got)
+	}
+	// Latency is additive: six intra-AZ hops + two cross-AZ hops.
+	want := 6*time.Millisecond + 2*10*time.Millisecond
+	if total != want {
+		t.Fatalf("accumulated latency %v, want %v", total, want)
+	}
+}
+
+func TestMirroredSurfacesStandbyFailure(t *testing.T) {
+	net := testNet()
+	m := NewMirrored(net, "data", "db1", "db2", 0, 1, disk.FastLocal())
+	m.Standby().Disk().Fail(true)
+	if err := m.Write(1); err == nil {
+		t.Fatal("mirrored write succeeded with failed standby — 4/4 quorum should block")
+	}
+	// This is the availability weakness of the 4/4 model (§3.1): a single
+	// failed replica stalls every write.
+}
+
+func TestMirroredAZFailureBlocksWrites(t *testing.T) {
+	net := testNet()
+	m := NewMirrored(net, "data", "db1", "db2", 0, 1, disk.FastLocal())
+	net.SetAZDown(1, true)
+	if err := m.Write(1); err == nil {
+		t.Fatal("mirrored write survived standby AZ failure")
+	}
+	net.SetAZDown(1, false)
+	if err := m.Write(1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMirroredRead(t *testing.T) {
+	net := testNet()
+	m := NewMirrored(net, "data", "db1", "db2", 0, 1, disk.FastLocal())
+	if err := m.Read(4096); err != nil {
+		t.Fatal(err)
+	}
+	_, r, _ := m.Primary().Stats()
+	if r != 1 {
+		t.Fatal("read did not hit primary volume")
+	}
+}

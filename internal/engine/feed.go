@@ -1,0 +1,126 @@
+package engine
+
+import (
+	"sync"
+
+	"aurora/internal/core"
+)
+
+// Event is one element of the log stream the writer sends to its read
+// replicas: redo records in LSN order plus the writer's VDL at emission
+// time (§4.2.4). Events with no records are pure VDL advancements.
+type Event struct {
+	Records []core.Record
+	VDL     core.LSN
+}
+
+type subscriber struct {
+	ch   chan Event
+	done chan struct{}
+}
+
+// feed fans the log stream out to subscribers. Records are enqueued in
+// frame order (under the engine latch) and pumped to subscribers by a
+// dedicated goroutine so the write path never blocks on a slow replica's
+// channel.
+type feed struct {
+	mu     sync.Mutex
+	queue  []Event
+	subs   map[int]*subscriber
+	nextID int
+	wake   chan struct{}
+	closed bool
+}
+
+func newFeed() *feed {
+	f := &feed{subs: make(map[int]*subscriber), wake: make(chan struct{}, 1)}
+	go f.pump()
+	return f
+}
+
+// publish enqueues an event for delivery.
+func (f *feed) publish(ev Event) {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return
+	}
+	f.queue = append(f.queue, ev)
+	f.mu.Unlock()
+	select {
+	case f.wake <- struct{}{}:
+	default:
+	}
+}
+
+func (f *feed) pump() {
+	for range f.wake {
+		for {
+			f.mu.Lock()
+			if len(f.queue) == 0 {
+				f.mu.Unlock()
+				break
+			}
+			ev := f.queue[0]
+			f.queue = f.queue[1:]
+			subs := make([]*subscriber, 0, len(f.subs))
+			for _, s := range f.subs {
+				subs = append(subs, s)
+			}
+			f.mu.Unlock()
+			for _, s := range subs {
+				select {
+				case s.ch <- ev:
+				case <-s.done: // subscriber cancelled: drop
+				}
+			}
+		}
+	}
+	// Feed closed: signal every subscriber.
+	f.mu.Lock()
+	for id, s := range f.subs {
+		close(s.ch)
+		delete(f.subs, id)
+	}
+	f.mu.Unlock()
+}
+
+// subscribe attaches a new consumer; it receives all events published
+// after this call.
+func (f *feed) subscribe() (<-chan Event, func()) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		ch := make(chan Event)
+		close(ch)
+		return ch, func() {}
+	}
+	id := f.nextID
+	f.nextID++
+	s := &subscriber{ch: make(chan Event, 4096), done: make(chan struct{})}
+	f.subs[id] = s
+	var once sync.Once
+	return s.ch, func() {
+		once.Do(func() {
+			f.mu.Lock()
+			delete(f.subs, id)
+			f.mu.Unlock()
+			close(s.done)
+		})
+	}
+}
+
+func (f *feed) close() {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return
+	}
+	f.closed = true
+	f.mu.Unlock()
+	close(f.wake)
+}
+
+// Subscribe attaches a log-stream consumer (a read replica) to the writer.
+// The returned cancel function detaches it.
+func (db *DB) Subscribe() (<-chan Event, func()) { return db.feed.subscribe() }

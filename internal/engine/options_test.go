@@ -1,0 +1,136 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+
+	"aurora/internal/core"
+	"aurora/internal/page"
+	"aurora/internal/volume"
+)
+
+func TestSyncCommitOptionCorrectness(t *testing.T) {
+	_, db := testDB(t, Config{SyncCommit: true})
+	for i := 0; i < 20; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("s%02d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if db.VDL() == 0 {
+		t.Fatal("VDL did not advance")
+	}
+	for i := 0; i < 20; i += 5 {
+		v, ok, err := db.Get([]byte(fmt.Sprintf("s%02d", i)))
+		if err != nil || !ok || string(v) != "v" {
+			t.Fatalf("get: %q %v %v", v, ok, err)
+		}
+	}
+	// Snapshot reads work under sync commit too.
+	snap := db.BeginSnapshot()
+	defer snap.Abort()
+	if _, ok, err := snap.Get([]byte("s00")); err != nil || !ok {
+		t.Fatalf("snapshot get: %v %v", ok, err)
+	}
+}
+
+func TestFullPageWritesOptionShipsImages(t *testing.T) {
+	f, db := testDB(t, Config{FullPageWrites: true})
+	events, cancel := db.Subscribe()
+	defer cancel()
+	if err := db.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	// The stream must contain full page-image records, each a whole
+	// payload, instead of small deltas.
+	sawInit := false
+	for !sawInit {
+		ev := <-events
+		for _, r := range ev.Records {
+			if r.Type == core.RecPageInit {
+				if len(r.Data) != page.PayloadSize {
+					t.Fatalf("init record %d bytes, want full payload %d", len(r.Data), page.PayloadSize)
+				}
+				sawInit = true
+			}
+			if r.Type == core.RecPageDelta {
+				t.Fatal("delta record under FullPageWrites")
+			}
+		}
+	}
+	// Data still correct, including from cold storage.
+	db.Cache().Invalidate()
+	v, ok, err := db.Get([]byte("k"))
+	if err != nil || !ok || string(v) != "v" {
+		t.Fatalf("cold get: %q %v %v", v, ok, err)
+	}
+	_ = f
+}
+
+func TestFullPageWritesSurviveRecovery(t *testing.T) {
+	f, db := testDB(t, Config{FullPageWrites: true})
+	for i := 0; i < 15; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("fp%02d", i)), []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db.Crash()
+	db2, _, err := Recover(f, volume.ClientConfig{WriterNode: "w2", WriterAZ: 0}, Config{FullPageWrites: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	for i := 0; i < 15; i += 3 {
+		v, ok, err := db2.Get([]byte(fmt.Sprintf("fp%02d", i)))
+		if err != nil || !ok || string(v) != "x" {
+			t.Fatalf("get after recovery: %q %v %v", v, ok, err)
+		}
+	}
+}
+
+func TestFeedMultipleSubscribers(t *testing.T) {
+	_, db := testDB(t, Config{})
+	ch1, cancel1 := db.Subscribe()
+	ch2, cancel2 := db.Subscribe()
+	defer cancel2()
+	if err := db.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	saw := func(ch <-chan Event) bool {
+		for ev := range ch {
+			for _, r := range ev.Records {
+				if r.Type == core.RecTxnCommit {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	if !saw(limitChan(ch1, 10)) {
+		t.Fatal("subscriber 1 missed the commit")
+	}
+	// Cancel one subscriber; the other keeps receiving.
+	cancel1()
+	cancel1() // idempotent
+	if err := db.Put([]byte("k2"), []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	if !saw(limitChan(ch2, 20)) {
+		t.Fatal("subscriber 2 missed events after the other cancelled")
+	}
+}
+
+// limitChan copies up to n events so range loops terminate.
+func limitChan(ch <-chan Event, n int) <-chan Event {
+	out := make(chan Event, n)
+	go func() {
+		defer close(out)
+		for i := 0; i < n; i++ {
+			ev, ok := <-ch
+			if !ok {
+				return
+			}
+			out <- ev
+		}
+	}()
+	return out
+}

@@ -1,0 +1,173 @@
+package engine
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Evolver implements §7.3's efficient online DDL. Rails-style applications
+// issue frequent schema migrations; copying whole tables per migration is
+// untenable. Instead, every stored row carries its schema version; a DDL
+// registers a migration and returns instantly regardless of table size;
+// reads decode any row on demand through its schema history; and writes
+// lazily upgrade rows to the latest schema (modify-on-write).
+type Evolver struct {
+	db *DB
+	mu sync.RWMutex
+	// migrations[i] upgrades a row from version i to version i+1.
+	migrations []func(old []byte) []byte
+}
+
+// ErrFutureSchema is returned when a row claims a version newer than any
+// registered migration — corruption or a registry that lost state.
+var ErrFutureSchema = errors.New("engine: row from a future schema version")
+
+// NewEvolver wraps a database with a schema registry at version 0.
+func NewEvolver(db *DB) *Evolver { return &Evolver{db: db} }
+
+// Version returns the current schema version.
+func (e *Evolver) Version() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return len(e.migrations)
+}
+
+// Migrate registers a migration from the current version to the next and
+// returns the new version. It is O(1): no row is touched now — this is the
+// property that lets a DBA absorb "a few dozen migrations a week" (§7.3).
+func (e *Evolver) Migrate(up func(old []byte) []byte) int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.migrations = append(e.migrations, up)
+	return len(e.migrations)
+}
+
+// encode stamps a value with the current schema version.
+func (e *Evolver) encode(val []byte) []byte {
+	v := e.Version()
+	buf := make([]byte, binary.MaxVarintLen32+len(val))
+	n := binary.PutUvarint(buf, uint64(v))
+	copy(buf[n:], val)
+	return buf[:n+len(val)]
+}
+
+// decode returns the row's payload upgraded to the current version, plus
+// the version it was stored at.
+func (e *Evolver) decode(stored []byte) ([]byte, int, error) {
+	ver64, n := binary.Uvarint(stored)
+	if n <= 0 {
+		return nil, 0, errors.New("engine: row missing schema version")
+	}
+	ver := int(ver64)
+	payload := stored[n:]
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if ver > len(e.migrations) {
+		return nil, ver, fmt.Errorf("%w: row v%d, registry v%d", ErrFutureSchema, ver, len(e.migrations))
+	}
+	out := append([]byte(nil), payload...)
+	for i := ver; i < len(e.migrations); i++ {
+		out = e.migrations[i](out)
+	}
+	return out, ver, nil
+}
+
+// Put writes a row at the current schema version within tx — writing is
+// what upgrades a row (modify-on-write).
+func (e *Evolver) Put(tx *Tx, key, val []byte) error {
+	return tx.Put(key, e.encode(val))
+}
+
+// Get reads a row within tx, decoding through its schema history. The
+// stored row is not rewritten: upgrades stay lazy.
+func (e *Evolver) Get(tx *Tx, key []byte) ([]byte, bool, error) {
+	stored, ok, err := tx.Get(key)
+	if err != nil || !ok {
+		return nil, ok, err
+	}
+	out, _, err := e.decode(stored)
+	if err != nil {
+		return nil, true, err
+	}
+	return out, true, nil
+}
+
+// StoredVersion reports which schema version a row currently sits at
+// (observability: how far lazy upgrading has progressed).
+func (e *Evolver) StoredVersion(tx *Tx, key []byte) (int, bool, error) {
+	stored, ok, err := tx.Get(key)
+	if err != nil || !ok {
+		return 0, ok, err
+	}
+	ver, n := binary.Uvarint(stored)
+	if n <= 0 {
+		return 0, true, errors.New("engine: row missing schema version")
+	}
+	return int(ver), true, nil
+}
+
+// Scan visits rows in range, each decoded through its history.
+func (e *Evolver) Scan(tx *Tx, from, to []byte, fn func(key, val []byte) bool) error {
+	var decodeErr error
+	err := tx.Scan(from, to, func(k, stored []byte) bool {
+		out, _, err := e.decode(stored)
+		if err != nil {
+			decodeErr = fmt.Errorf("key %q: %w", k, err)
+			return false
+		}
+		return fn(k, out)
+	})
+	if decodeErr != nil {
+		return decodeErr
+	}
+	return err
+}
+
+// UpgradeAll eagerly rewrites every row in range at the latest version —
+// the optional backfill an operator may run in quiet hours. It processes
+// rows in batches of batch per transaction and returns how many rows were
+// upgraded.
+func (e *Evolver) UpgradeAll(from, to []byte, batch int) (int, error) {
+	if batch <= 0 {
+		batch = 128
+	}
+	current := e.Version()
+	upgraded := 0
+	cursor := from
+	for {
+		type rowKV struct{ k, v []byte }
+		var stale []rowKV
+		tx := e.db.Begin()
+		err := tx.Scan(cursor, to, func(k, stored []byte) bool {
+			ver, n := binary.Uvarint(stored)
+			if n > 0 && int(ver) < current {
+				out, _, derr := e.decode(stored)
+				if derr == nil {
+					stale = append(stale, rowKV{append([]byte(nil), k...), out})
+				}
+			}
+			cursor = append(append([]byte(nil), k...), 0) // resume after k
+			return len(stale) < batch
+		})
+		tx.Abort()
+		if err != nil {
+			return upgraded, err
+		}
+		if len(stale) == 0 {
+			return upgraded, nil
+		}
+		wtx := e.db.Begin()
+		for _, r := range stale {
+			if err := e.Put(wtx, r.k, r.v); err != nil {
+				wtx.Abort()
+				return upgraded, err
+			}
+		}
+		if err := wtx.Commit(); err != nil {
+			return upgraded, err
+		}
+		upgraded += len(stale)
+	}
+}

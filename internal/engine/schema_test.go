@@ -1,0 +1,173 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestEvolverLazyUpgrade(t *testing.T) {
+	_, db := testDB(t, Config{})
+	e := NewEvolver(db)
+
+	// v0 rows.
+	tx := db.Begin()
+	if err := e.Put(tx, []byte("u1"), []byte("ada")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// DDL: instant, touches no rows.
+	v := e.Migrate(func(old []byte) []byte { return []byte(strings.ToUpper(string(old))) })
+	if v != 1 || e.Version() != 1 {
+		t.Fatalf("version %d", v)
+	}
+
+	// Reads decode through the history; the stored row stays at v0.
+	tx = db.Begin()
+	got, ok, err := e.Get(tx, []byte("u1"))
+	if err != nil || !ok || string(got) != "ADA" {
+		t.Fatalf("get: %q %v %v", got, ok, err)
+	}
+	ver, _, err := e.StoredVersion(tx, []byte("u1"))
+	if err != nil || ver != 0 {
+		t.Fatalf("stored version %d %v (lazy upgrade must not rewrite)", ver, err)
+	}
+	tx.Abort()
+
+	// A write upgrades the row (modify-on-write).
+	tx = db.Begin()
+	if err := e.Put(tx, []byte("u1"), []byte("ada lovelace")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	tx = db.Begin()
+	defer tx.Abort()
+	ver, _, _ = e.StoredVersion(tx, []byte("u1"))
+	if ver != 1 {
+		t.Fatalf("version after write %d, want 1", ver)
+	}
+	got, _, _ = e.Get(tx, []byte("u1"))
+	if string(got) != "ada lovelace" {
+		t.Fatalf("current-version row double-upgraded: %q", got)
+	}
+}
+
+func TestEvolverChainedMigrations(t *testing.T) {
+	_, db := testDB(t, Config{})
+	e := NewEvolver(db)
+	tx := db.Begin()
+	if err := e.Put(tx, []byte("r"), []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	e.Migrate(func(old []byte) []byte { return append(old, '1') })
+	e.Migrate(func(old []byte) []byte { return append(old, '2') })
+	e.Migrate(func(old []byte) []byte { return append(old, '3') })
+	tx = db.Begin()
+	defer tx.Abort()
+	got, _, err := e.Get(tx, []byte("r"))
+	if err != nil || string(got) != "x123" {
+		t.Fatalf("chained decode %q %v", got, err)
+	}
+}
+
+func TestEvolverScanDecodesMixedVersions(t *testing.T) {
+	_, db := testDB(t, Config{})
+	e := NewEvolver(db)
+	tx := db.Begin()
+	if err := e.Put(tx, []byte("a"), []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	e.Migrate(func(old []byte) []byte { return append([]byte("v1:"), old...) })
+	tx = db.Begin()
+	if err := e.Put(tx, []byte("b"), []byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	tx = db.Begin()
+	defer tx.Abort()
+	vals := map[string]string{}
+	if err := e.Scan(tx, nil, nil, func(k, v []byte) bool {
+		vals[string(k)] = string(v)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if vals["a"] != "v1:old" || vals["b"] != "new" {
+		t.Fatalf("scan vals %v", vals)
+	}
+}
+
+func TestEvolverUpgradeAllBackfill(t *testing.T) {
+	_, db := testDB(t, Config{})
+	e := NewEvolver(db)
+	const n = 100
+	tx := db.Begin()
+	for i := 0; i < n; i++ {
+		if err := e.Put(tx, []byte(fmt.Sprintf("row%03d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	e.Migrate(func(old []byte) []byte { return append(old, '!') })
+
+	upgraded, err := e.UpgradeAll(nil, nil, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if upgraded != n {
+		t.Fatalf("upgraded %d, want %d", upgraded, n)
+	}
+	tx = db.Begin()
+	defer tx.Abort()
+	for _, k := range []string{"row000", "row050", "row099"} {
+		ver, _, err := e.StoredVersion(tx, []byte(k))
+		if err != nil || ver != 1 {
+			t.Fatalf("%s at version %d after backfill (%v)", k, ver, err)
+		}
+		v, _, _ := e.Get(tx, []byte(k))
+		if string(v) != "v!" {
+			t.Fatalf("%s = %q", k, v)
+		}
+	}
+	// Idempotent.
+	again, err := e.UpgradeAll(nil, nil, 16)
+	if err != nil || again != 0 {
+		t.Fatalf("second backfill touched %d rows (%v)", again, err)
+	}
+}
+
+func TestEvolverFutureVersionRejected(t *testing.T) {
+	_, db := testDB(t, Config{})
+	e := NewEvolver(db)
+	e.Migrate(func(old []byte) []byte { return old })
+	tx := db.Begin()
+	if err := e.Put(tx, []byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// A second registry that never saw the migration reads the row.
+	e2 := NewEvolver(db)
+	tx = db.Begin()
+	defer tx.Abort()
+	if _, _, err := e2.Get(tx, []byte("k")); !errors.Is(err, ErrFutureSchema) {
+		t.Fatalf("future version: %v", err)
+	}
+}

@@ -1,0 +1,354 @@
+package engine
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"aurora/internal/btree"
+	"aurora/internal/core"
+)
+
+// Tx is a transaction. Writer transactions buffer their writes privately
+// under exclusive row locks (2PL on the write set) and apply them to the
+// tree as a single mini-transaction at commit — so pages, the log, and
+// hence replicas and recovery only ever contain committed data. Snapshot
+// transactions are read-only views at a fixed read point served straight
+// from the storage service (§4.2.3).
+type Tx struct {
+	db       *DB
+	id       uint64
+	writes   map[string]writeOp
+	order    []string
+	snapshot bool
+	point    core.LSN
+	release  func()
+	done     bool
+}
+
+type writeOp struct {
+	val []byte
+	del bool
+}
+
+// Begin starts a read-committed writer transaction.
+func (db *DB) Begin() *Tx {
+	db.begins.Add(1)
+	return &Tx{db: db, id: db.ids.Next(), writes: make(map[string]writeOp)}
+}
+
+// BeginSnapshot starts a read-only transaction pinned to the current VDL.
+// Its read point holds the volume's low-water mark down until the
+// transaction finishes, keeping the page versions it needs alive on the
+// storage nodes.
+func (db *DB) BeginSnapshot() *Tx {
+	db.begins.Add(1)
+	point, release := db.vol.RegisterReadPoint()
+	return &Tx{db: db, id: db.ids.Next(), snapshot: true, point: point, release: release}
+}
+
+// ReadPoint returns the snapshot's read point (ZeroLSN for writer txs).
+func (tx *Tx) ReadPoint() core.LSN { return tx.point }
+
+// Get returns the value for key as seen by this transaction.
+func (tx *Tx) Get(key []byte) ([]byte, bool, error) {
+	if tx.done {
+		return nil, false, ErrTxDone
+	}
+	if tx.snapshot {
+		t := btree.View(&snapStore{db: tx.db, readPoint: tx.point})
+		return t.Get(key)
+	}
+	if w, ok := tx.writes[string(key)]; ok {
+		if w.del {
+			return nil, false, nil
+		}
+		return append([]byte(nil), w.val...), true, nil
+	}
+	tx.db.latch.RLock()
+	defer tx.db.latch.RUnlock()
+	t := btree.View(&readStore{db: tx.db})
+	return t.Get(key)
+}
+
+// Put buffers an insert/update, taking the exclusive row lock. A lock
+// timeout aborts the transaction.
+func (tx *Tx) Put(key, val []byte) error {
+	if tx.done {
+		return ErrTxDone
+	}
+	if tx.snapshot {
+		return ErrReadOnlyTx
+	}
+	if len(key) == 0 {
+		return btree.ErrEmptyKey
+	}
+	if len(key) > btree.MaxKey {
+		return btree.ErrKeyTooLarge
+	}
+	if len(val) > btree.MaxValue {
+		return btree.ErrValueTooLarge
+	}
+	if err := tx.lockRow(key); err != nil {
+		return err
+	}
+	k := string(key)
+	if _, seen := tx.writes[k]; !seen {
+		tx.order = append(tx.order, k)
+	}
+	tx.writes[k] = writeOp{val: append([]byte(nil), val...)}
+	return nil
+}
+
+// Delete buffers a deletion, taking the exclusive row lock.
+func (tx *Tx) Delete(key []byte) error {
+	if tx.done {
+		return ErrTxDone
+	}
+	if tx.snapshot {
+		return ErrReadOnlyTx
+	}
+	if len(key) == 0 {
+		return btree.ErrEmptyKey
+	}
+	if err := tx.lockRow(key); err != nil {
+		return err
+	}
+	k := string(key)
+	if _, seen := tx.writes[k]; !seen {
+		tx.order = append(tx.order, k)
+	}
+	tx.writes[k] = writeOp{del: true}
+	return nil
+}
+
+// lockRow acquires the row lock, aborting the transaction on timeout so
+// deadlocks resolve (the caller sees the error and must not reuse the tx).
+func (tx *Tx) lockRow(key []byte) error {
+	if err := tx.db.locks.Acquire(tx.id, string(key)); err != nil {
+		tx.finish(false)
+		return fmt.Errorf("txn %d key %q: %w", tx.id, key, err)
+	}
+	return nil
+}
+
+// Scan visits rows with from <= key < to in key order, overlaying this
+// transaction's own uncommitted writes on the committed tree state.
+func (tx *Tx) Scan(from, to []byte, fn func(key, val []byte) bool) error {
+	if tx.done {
+		return ErrTxDone
+	}
+	if tx.snapshot {
+		t := btree.View(&snapStore{db: tx.db, readPoint: tx.point})
+		return t.Scan(from, to, fn)
+	}
+
+	// Pending write keys in range, sorted.
+	var pend []string
+	for k := range tx.writes {
+		bk := []byte(k)
+		if from != nil && bytes.Compare(bk, from) < 0 {
+			continue
+		}
+		if to != nil && bytes.Compare(bk, to) >= 0 {
+			continue
+		}
+		pend = append(pend, k)
+	}
+	sort.Strings(pend)
+	pi := 0
+	stopped := false
+
+	emitPending := func(upTo []byte) bool {
+		for pi < len(pend) && (upTo == nil || bytes.Compare([]byte(pend[pi]), upTo) < 0) {
+			w := tx.writes[pend[pi]]
+			if !w.del {
+				if !fn([]byte(pend[pi]), w.val) {
+					return false
+				}
+			}
+			pi++
+		}
+		return true
+	}
+
+	tx.db.latch.RLock()
+	t := btree.View(&readStore{db: tx.db})
+	err := t.Scan(from, to, func(k, v []byte) bool {
+		if !emitPending(k) {
+			stopped = true
+			return false
+		}
+		if w, ok := tx.writes[string(k)]; ok {
+			if pi < len(pend) && pend[pi] == string(k) {
+				pi++
+			}
+			if w.del {
+				return true
+			}
+			if !fn(k, w.val) {
+				stopped = true
+				return false
+			}
+			return true
+		}
+		if !fn(k, v) {
+			stopped = true
+			return false
+		}
+		return true
+	})
+	tx.db.latch.RUnlock()
+	if err != nil {
+		return err
+	}
+	if !stopped {
+		emitPending(nil)
+	}
+	return nil
+}
+
+// Commit applies the write set to the tree as one mini-transaction, ships
+// it, and returns once the commit is durable (VDL has reached the commit
+// record). The calling goroutine blocks — that is the client waiting for
+// its commit acknowledgement — but no engine thread or latch is held
+// while waiting (§4.2.2).
+func (tx *Tx) Commit() error {
+	if tx.done {
+		return ErrTxDone
+	}
+	if tx.snapshot || len(tx.writes) == 0 {
+		tx.finish(true)
+		return nil
+	}
+	if tx.db.Degraded() {
+		tx.finish(false)
+		return ErrDegraded
+	}
+
+	tx.db.latch.Lock()
+	ws := &writeStore{db: tx.db}
+	t := btree.View(ws)
+	rec := btree.NewRecorder()
+	for _, k := range tx.order {
+		w := tx.writes[k]
+		var err error
+		if w.del {
+			_, err = t.Delete(rec, []byte(k))
+		} else {
+			err = t.Put(rec, []byte(k), w.val)
+		}
+		if err != nil {
+			rec.Rollback()
+			ws.done()
+			tx.db.latch.Unlock()
+			tx.finish(false)
+			return fmt.Errorf("txn %d apply: %w", tx.id, err)
+		}
+	}
+	m := &core.MTR{Txn: tx.id}
+	if tx.db.cfg.FullPageWrites {
+		rec.AppendFullPages(m, tx.db.vol.PGOf)
+	} else if err := rec.AppendRecords(m, tx.db.vol.PGOf); err != nil {
+		rec.Rollback()
+		ws.done()
+		tx.db.latch.Unlock()
+		tx.finish(false)
+		return err
+	}
+	m.AddMeta(core.RecTxnCommit, tx.db.vol.PGOf(btree.MetaPageID))
+	// FrameMTR may stall here on LAL back-pressure: this is precisely the
+	// throttle that stops the database running ahead of storage (§4.2.1).
+	pending, err := tx.db.vol.FrameMTR(m)
+	if err != nil {
+		rec.Rollback()
+		ws.done()
+		tx.db.latch.Unlock()
+		tx.finish(false)
+		return err
+	}
+	rec.StampLSNs(pending.LastLSNFor)
+	tx.db.feed.publish(Event{Records: cloneRecords(m.Records), VDL: tx.db.vol.VDL()})
+	ws.done()
+	if tx.db.cfg.SyncCommit {
+		// Ablation: the worker stalls the whole engine through shipping and
+		// durability, as a synchronous-commit design would.
+		err := pending.Ship()
+		if err == nil {
+			tx.db.vol.WaitDurable(pending.CPL())
+		}
+		tx.db.latch.Unlock()
+		if err != nil {
+			tx.db.degraded.Store(true)
+			tx.finish(false)
+			return fmt.Errorf("txn %d: %w (%v)", tx.id, ErrDegraded, err)
+		}
+		tx.db.feed.publish(Event{VDL: tx.db.vol.VDL()})
+		tx.finish(true)
+		return nil
+	}
+	tx.db.latch.Unlock()
+
+	if err := pending.Ship(); err != nil {
+		// Write quorum lost: the volume is unavailable for writes. The
+		// records may or may not survive recovery; the engine suspends
+		// writes rather than guess.
+		tx.db.degraded.Store(true)
+		tx.finish(false)
+		return fmt.Errorf("txn %d: %w (%v)", tx.id, ErrDegraded, err)
+	}
+	tx.db.vol.WaitDurable(pending.CPL())
+	tx.db.feed.publish(Event{VDL: tx.db.vol.VDL()})
+	tx.finish(true)
+	return nil
+}
+
+// Abort discards the write set and releases the transaction's locks.
+// Nothing was ever applied to the tree or the log, so there is nothing to
+// undo.
+func (tx *Tx) Abort() {
+	if tx.done {
+		return
+	}
+	tx.finish(false)
+}
+
+func (tx *Tx) finish(committed bool) {
+	tx.done = true
+	if tx.release != nil {
+		tx.release()
+	}
+	tx.db.locks.ReleaseAll(tx.id)
+	if committed {
+		tx.db.commits.Add(1)
+	} else {
+		tx.db.aborts.Add(1)
+	}
+}
+
+// Convenience autocommit helpers.
+
+// Put writes one row in its own transaction.
+func (db *DB) Put(key, val []byte) error {
+	tx := db.Begin()
+	if err := tx.Put(key, val); err != nil {
+		return err
+	}
+	return tx.Commit()
+}
+
+// Get reads one row (read committed).
+func (db *DB) Get(key []byte) ([]byte, bool, error) {
+	tx := db.Begin()
+	defer tx.Abort()
+	return tx.Get(key)
+}
+
+// Delete removes one row in its own transaction.
+func (db *DB) Delete(key []byte) error {
+	tx := db.Begin()
+	if err := tx.Delete(key); err != nil {
+		return err
+	}
+	return tx.Commit()
+}

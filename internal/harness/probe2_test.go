@@ -1,0 +1,23 @@
+package harness
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestProbeSome prints selected experiments (PROBE_IDS=comma,list).
+func TestProbeSome(t *testing.T) {
+	ids := os.Getenv("PROBE_IDS")
+	if ids == "" {
+		t.Skip("set PROBE_IDS to run")
+	}
+	s := Quick()
+	for _, id := range strings.Split(ids, ",") {
+		res := Registry[id](s)
+		res.Print(os.Stdout)
+		for k, v := range res.Metrics {
+			t.Logf("%s %s=%v", id, k, v)
+		}
+	}
+}

@@ -1,0 +1,22 @@
+package harness
+
+import (
+	"os"
+	"testing"
+)
+
+// TestProbeAll prints all experiments at quick scale (manual inspection;
+// run with -run TestProbeAll -v). Shape assertions live in harness_test.go.
+func TestProbeAll(t *testing.T) {
+	if os.Getenv("PROBE") == "" {
+		t.Skip("set PROBE=1 to run")
+	}
+	s := Quick()
+	for _, id := range Order {
+		res := Registry[id](s)
+		res.Print(os.Stdout)
+		for k, v := range res.Metrics {
+			t.Logf("%s %s=%v", id, k, v)
+		}
+	}
+}

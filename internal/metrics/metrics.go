@@ -1,0 +1,164 @@
+// Package metrics provides the measurement primitives the benchmark
+// harness uses to regenerate the paper's tables and figures: latency
+// histograms with percentiles (the P50/P95 plots of §6.2), counters, and
+// timestamped series (the replica-lag and response-time charts).
+package metrics
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Histogram collects duration samples and reports percentiles. Beyond the
+// reservoir capacity it keeps a uniform random sample, which preserves
+// percentile estimates under long runs.
+type Histogram struct {
+	mu       sync.Mutex
+	samples  []time.Duration
+	count    uint64
+	sum      time.Duration
+	max      time.Duration
+	capacity int
+	rng      *rand.Rand
+}
+
+// NewHistogram returns a histogram with the given reservoir capacity
+// (<=0 selects 64k samples).
+func NewHistogram(capacity int) *Histogram {
+	if capacity <= 0 {
+		capacity = 1 << 16
+	}
+	return &Histogram{capacity: capacity, rng: rand.New(rand.NewSource(1))}
+}
+
+// Record adds one sample.
+func (h *Histogram) Record(d time.Duration) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.count++
+	h.sum += d
+	if d > h.max {
+		h.max = d
+	}
+	if len(h.samples) < h.capacity {
+		h.samples = append(h.samples, d)
+		return
+	}
+	// Reservoir replacement.
+	if i := h.rng.Int63n(int64(h.count)); int(i) < h.capacity {
+		h.samples[i] = d
+	}
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Mean returns the arithmetic mean of all samples.
+func (h *Histogram) Mean() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / time.Duration(h.count)
+}
+
+// Max returns the largest sample.
+func (h *Histogram) Max() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.max
+}
+
+// Percentile returns the p-th percentile (0 < p <= 100).
+func (h *Histogram) Percentile(p float64) time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), h.samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(p/100*float64(len(sorted))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// Summary renders count/mean/p50/p95/p99/max on one line.
+func (h *Histogram) Summary() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p95=%v p99=%v max=%v",
+		h.Count(), h.Mean().Round(time.Microsecond),
+		h.Percentile(50).Round(time.Microsecond),
+		h.Percentile(95).Round(time.Microsecond),
+		h.Percentile(99).Round(time.Microsecond),
+		h.Max().Round(time.Microsecond))
+}
+
+// Point is one timestamped observation.
+type Point struct {
+	At    time.Duration // offset from the series start
+	Value float64
+}
+
+// Series is an append-only timestamped value sequence.
+type Series struct {
+	mu     sync.Mutex
+	start  time.Time
+	points []Point
+}
+
+// NewSeries starts a series anchored at now.
+func NewSeries() *Series { return &Series{start: time.Now()} }
+
+// Add appends an observation at the current time.
+func (s *Series) Add(v float64) {
+	s.mu.Lock()
+	s.points = append(s.points, Point{At: time.Since(s.start), Value: v})
+	s.mu.Unlock()
+}
+
+// Points returns a copy of the observations.
+func (s *Series) Points() []Point {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Point(nil), s.points...)
+}
+
+// Max returns the largest observed value (0 when empty).
+func (s *Series) Max() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := 0.0
+	for _, p := range s.points {
+		if p.Value > m {
+			m = p.Value
+		}
+	}
+	return m
+}
+
+// Mean returns the mean observed value (0 when empty).
+func (s *Series) Mean() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.points) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, p := range s.points {
+		sum += p.Value
+	}
+	return sum / float64(len(s.points))
+}

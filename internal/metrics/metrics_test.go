@@ -1,0 +1,98 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramPercentiles(t *testing.T) {
+	h := NewHistogram(0)
+	for i := 1; i <= 100; i++ {
+		h.Record(time.Duration(i) * time.Millisecond)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count %d", h.Count())
+	}
+	if p := h.Percentile(50); p != 50*time.Millisecond {
+		t.Fatalf("p50 %v", p)
+	}
+	if p := h.Percentile(95); p != 95*time.Millisecond {
+		t.Fatalf("p95 %v", p)
+	}
+	if h.Max() != 100*time.Millisecond {
+		t.Fatalf("max %v", h.Max())
+	}
+	if m := h.Mean(); m != 50500*time.Microsecond {
+		t.Fatalf("mean %v", m)
+	}
+	if h.Summary() == "" {
+		t.Fatal("empty summary")
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram(10)
+	if h.Percentile(50) != 0 || h.Mean() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram not zero")
+	}
+}
+
+func TestHistogramReservoir(t *testing.T) {
+	h := NewHistogram(128)
+	for i := 0; i < 100000; i++ {
+		h.Record(time.Duration(i%1000) * time.Microsecond)
+	}
+	if h.Count() != 100000 {
+		t.Fatalf("count %d", h.Count())
+	}
+	// The reservoir percentile should approximate the true median (~500µs).
+	p := h.Percentile(50)
+	if p < 300*time.Microsecond || p > 700*time.Microsecond {
+		t.Fatalf("reservoir p50 %v far from 500µs", p)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram(0)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Record(time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Fatalf("count %d", h.Count())
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s := NewSeries()
+	s.Add(1)
+	s.Add(5)
+	s.Add(3)
+	pts := s.Points()
+	if len(pts) != 3 || pts[1].Value != 5 {
+		t.Fatalf("points %+v", pts)
+	}
+	if s.Max() != 5 {
+		t.Fatalf("max %v", s.Max())
+	}
+	if s.Mean() != 3 {
+		t.Fatalf("mean %v", s.Mean())
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].At < pts[i-1].At {
+			t.Fatal("timestamps not monotonic")
+		}
+	}
+	empty := NewSeries()
+	if empty.Max() != 0 || empty.Mean() != 0 {
+		t.Fatal("empty series not zero")
+	}
+}

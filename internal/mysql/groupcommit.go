@@ -1,0 +1,63 @@
+package mysql
+
+import "aurora/internal/core"
+
+// groupCommitter batches concurrent commits into shared WAL flushes. The
+// flush itself is serialized — InnoDB's log mutex — so commit throughput is
+// bounded by the latency of one synchronous chain through EBS (and the
+// standby, when mirrored) times the achievable group size. This is the
+// structural stall Aurora removes by acknowledging quorums asynchronously
+// (§3.1, §4.2.2).
+type groupCommitter struct {
+	db  *DB
+	ch  chan commitReq
+	max int
+}
+
+type commitReq struct {
+	records []core.Record
+	binlog  int
+	done    chan error
+}
+
+func newGroupCommitter(db *DB, max int) *groupCommitter {
+	g := &groupCommitter{db: db, ch: make(chan commitReq, 4096), max: max}
+	go g.loop()
+	return g
+}
+
+// commit enqueues and waits for the flush that covers this commit.
+func (g *groupCommitter) commit(records []core.Record, binlogBytes int) error {
+	req := commitReq{records: records, binlog: binlogBytes, done: make(chan error, 1)}
+	g.ch <- req
+	return <-req.done
+}
+
+func (g *groupCommitter) loop() {
+	for req := range g.ch {
+		batch := []commitReq{req}
+		// Absorb whatever else is already queued, up to the group bound.
+	drain:
+		for len(batch) < g.max {
+			select {
+			case more := <-g.ch:
+				batch = append(batch, more)
+			default:
+				break drain
+			}
+		}
+		var all []core.Record
+		binlog := 0
+		for _, b := range batch {
+			all = append(all, b.records...)
+			binlog += b.binlog
+		}
+		err := g.db.flushWAL(all)
+		if err == nil && binlog > 0 {
+			err = g.db.writeBinlog(binlog)
+		}
+		for _, b := range batch {
+			b.done <- err
+		}
+	}
+}

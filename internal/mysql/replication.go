@@ -1,0 +1,150 @@
+package mysql
+
+import (
+	"sync"
+	"time"
+)
+
+// binlogEvent is one logical row change shipped to the replica, stamped
+// with its commit time so lag is directly measurable.
+type binlogEvent struct {
+	key       string
+	val       []byte
+	del       bool
+	committed time.Time
+}
+
+// Replication is MySQL-style asynchronous binlog replication: the primary
+// appends logical events to an unbounded relay queue and a single SQL
+// thread on the replica applies them serially, each with the replica's own
+// full write path. Under parallel primary load the serial apply falls
+// behind and lag grows to seconds or minutes (Table 4, Figure 11's "before"
+// world) — unlike Aurora replicas, which consume the writer's redo stream
+// directly.
+type Replication struct {
+	replica *DB
+
+	mu     sync.Mutex
+	queue  []binlogEvent
+	busy   bool
+	wake   chan struct{}
+	closed bool
+	done   chan struct{}
+
+	lagMu   sync.Mutex
+	lastLag time.Duration
+	maxLag  time.Duration
+	applied uint64
+}
+
+// AttachReplica wires a previously created baseline DB as this primary's
+// replica and starts the apply thread. The replica must start from the
+// same (empty) state as the primary had when created.
+func (db *DB) AttachReplica(replica *DB) *Replication {
+	r := &Replication{
+		replica: replica,
+		wake:    make(chan struct{}, 1),
+		done:    make(chan struct{}),
+	}
+	db.repl = r
+	go r.applyLoop()
+	return r
+}
+
+func (r *Replication) publish(evs []binlogEvent) {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.queue = append(r.queue, evs...)
+	r.mu.Unlock()
+	select {
+	case r.wake <- struct{}{}:
+	default:
+	}
+}
+
+func (r *Replication) applyLoop() {
+	defer close(r.done)
+	for range r.wake {
+		for {
+			r.mu.Lock()
+			if len(r.queue) == 0 {
+				r.busy = false
+				r.mu.Unlock()
+				break
+			}
+			ev := r.queue[0]
+			r.queue = r.queue[1:]
+			r.busy = true
+			r.mu.Unlock()
+
+			// Serial apply through the replica's full write path.
+			var err error
+			if ev.del {
+				err = r.replica.Delete([]byte(ev.key))
+			} else {
+				err = r.replica.Put([]byte(ev.key), ev.val)
+			}
+			lag := time.Since(ev.committed)
+			r.lagMu.Lock()
+			r.lastLag = lag
+			if lag > r.maxLag {
+				r.maxLag = lag
+			}
+			if err == nil {
+				r.applied++
+			}
+			r.lagMu.Unlock()
+		}
+	}
+}
+
+// Lag returns the most recent and maximum observed replica lag, and the
+// current relay queue depth.
+func (r *Replication) Lag() (last, max time.Duration, queued int) {
+	r.mu.Lock()
+	queued = len(r.queue)
+	r.mu.Unlock()
+	r.lagMu.Lock()
+	defer r.lagMu.Unlock()
+	return r.lastLag, r.maxLag, queued
+}
+
+// Applied returns the number of events the replica has applied.
+func (r *Replication) Applied() uint64 {
+	r.lagMu.Lock()
+	defer r.lagMu.Unlock()
+	return r.applied
+}
+
+// Drain blocks until the relay queue is empty (tests and experiments).
+func (r *Replication) Drain(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		r.mu.Lock()
+		empty := len(r.queue) == 0 && !r.busy
+		r.mu.Unlock()
+		if empty {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// Close stops the apply thread.
+func (r *Replication) Close() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.closed = true
+	r.mu.Unlock()
+	close(r.wake)
+	<-r.done
+}

@@ -1,0 +1,358 @@
+// Package netsim simulates the multi-AZ network that Aurora's argument
+// revolves around: the paper's central claim is that the bottleneck of a
+// cloud database has moved to the network between the database tier and the
+// storage tier (§1). The simulator models per-hop latency (intra-AZ vs
+// cross-AZ), bandwidth, jitter and heavy-tailed outliers ("the tail at
+// scale" [42]), silent message loss, node failures, AZ failures and
+// partitions — and it counts every message and byte so experiments such as
+// Table 1 can report network IOs per transaction.
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// AZ identifies an availability zone (0..2 in the standard topology).
+type AZ uint8
+
+// NodeID names a participant in the network (database instance, storage
+// node, replica, EBS server...).
+type NodeID string
+
+// Errors returned by Send.
+var (
+	ErrUnknownNode = errors.New("netsim: unknown node")
+	ErrNodeDown    = errors.New("netsim: node down")
+	ErrAZDown      = errors.New("netsim: availability zone down")
+	ErrPartitioned = errors.New("netsim: link partitioned")
+	ErrDropped     = errors.New("netsim: message silently dropped")
+)
+
+// Config sets the latency model.
+type Config struct {
+	// IntraAZ is the one-way latency between two nodes in the same AZ.
+	IntraAZ time.Duration
+	// CrossAZ is the one-way latency between nodes in different AZs.
+	CrossAZ time.Duration
+	// Jitter is the fractional uniform jitter applied to every latency
+	// sample (0.2 means ±20%).
+	Jitter float64
+	// OutlierProb is the probability that a message experiences a tail
+	// event, multiplying its latency by OutlierMult. This reproduces the
+	// outlier-performance arguments of §1 and §3.1.
+	OutlierProb float64
+	OutlierMult float64
+	// DropProb is the probability a message is silently lost in transit
+	// (the sender observes success). Lost log batches are what the storage
+	// gossip protocol exists to repair (§3.3 step 4).
+	DropProb float64
+	// Bandwidth in bytes/second per link; 0 means unlimited. Serialization
+	// delay size/Bandwidth is added to each message's latency.
+	Bandwidth int64
+	// Seed for the deterministic RNG. 0 selects a fixed default.
+	Seed int64
+}
+
+// FastLocal returns a config with zero latencies for logic-focused tests.
+func FastLocal() Config { return Config{} }
+
+// Datacenter returns the default scaled-down three-AZ latency model used by
+// the benchmark harness: 100µs intra-AZ, 500µs cross-AZ, light jitter and a
+// 1-in-1000 10x outlier.
+func Datacenter() Config {
+	return Config{
+		IntraAZ:     100 * time.Microsecond,
+		CrossAZ:     500 * time.Microsecond,
+		Jitter:      0.2,
+		OutlierProb: 0.001,
+		OutlierMult: 10,
+		Bandwidth:   1 << 30, // 1 GiB/s per link
+	}
+}
+
+// Stats is a snapshot of traffic counters.
+type Stats struct {
+	Messages uint64
+	Bytes    uint64
+	Drops    uint64
+	Rejects  uint64 // sends refused due to down nodes/partitions
+}
+
+type node struct {
+	az       AZ
+	down     atomic.Bool
+	slowMult atomic.Int64 // x1000 fixed point; 0 means 1.0
+	sent     atomic.Uint64
+	sentB    atomic.Uint64
+	recv     atomic.Uint64
+	recvB    atomic.Uint64
+}
+
+// Network is a simulated multi-AZ network. All methods are safe for
+// concurrent use.
+type Network struct {
+	cfg Config
+
+	mu         sync.RWMutex
+	nodes      map[NodeID]*node
+	azDown     [8]bool
+	partitions map[[2]NodeID]bool
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	messages atomic.Uint64
+	bytes    atomic.Uint64
+	drops    atomic.Uint64
+	rejects  atomic.Uint64
+
+	sleep func(time.Duration)
+}
+
+// New builds a network with the given latency model.
+func New(cfg Config) *Network {
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 0x44757261 // deterministic default
+	}
+	return &Network{
+		cfg:        cfg,
+		nodes:      make(map[NodeID]*node),
+		partitions: make(map[[2]NodeID]bool),
+		rng:        rand.New(rand.NewSource(seed)),
+		sleep:      time.Sleep,
+	}
+}
+
+// SetSleeper overrides the sleep function (tests use a recording sleeper).
+func (n *Network) SetSleeper(f func(time.Duration)) { n.sleep = f }
+
+// AddNode registers a node in the given AZ. Registering an existing node
+// moves it (used when a segment is repaired onto a new host).
+func (n *Network) AddNode(id NodeID, az AZ) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if existing, ok := n.nodes[id]; ok {
+		existing.az = az
+		return
+	}
+	n.nodes[id] = &node{az: az}
+}
+
+// RemoveNode deletes a node entirely.
+func (n *Network) RemoveNode(id NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.nodes, id)
+}
+
+// NodeAZ reports the AZ a node lives in.
+func (n *Network) NodeAZ(id NodeID) (AZ, bool) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	nd, ok := n.nodes[id]
+	if !ok {
+		return 0, false
+	}
+	return nd.az, true
+}
+
+// SetNodeDown marks a node failed (or repaired). Sends to or from a down
+// node fail with ErrNodeDown.
+func (n *Network) SetNodeDown(id NodeID, down bool) error {
+	n.mu.RLock()
+	nd, ok := n.nodes[id]
+	n.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownNode, id)
+	}
+	nd.down.Store(down)
+	return nil
+}
+
+// NodeDown reports whether the node is marked failed.
+func (n *Network) NodeDown(id NodeID) bool {
+	n.mu.RLock()
+	nd, ok := n.nodes[id]
+	n.mu.RUnlock()
+	return ok && nd.down.Load()
+}
+
+// SetAZDown fails or restores an entire availability zone — the correlated
+// failure mode §2.1 designs for.
+func (n *Network) SetAZDown(az AZ, down bool) {
+	n.mu.Lock()
+	n.azDown[az%8] = down
+	n.mu.Unlock()
+}
+
+// SetSlowNode applies a latency multiplier to all traffic touching the
+// node, simulating a hot or throttled storage node (§3.3). mult <= 1 clears.
+func (n *Network) SetSlowNode(id NodeID, mult float64) error {
+	n.mu.RLock()
+	nd, ok := n.nodes[id]
+	n.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownNode, id)
+	}
+	if mult <= 1 {
+		nd.slowMult.Store(0)
+	} else {
+		nd.slowMult.Store(int64(mult * 1000))
+	}
+	return nil
+}
+
+// Partition blocks (or restores) the link between two nodes in both
+// directions.
+func (n *Network) Partition(a, b NodeID, blocked bool) {
+	if b < a {
+		a, b = b, a
+	}
+	n.mu.Lock()
+	if blocked {
+		n.partitions[[2]NodeID{a, b}] = true
+	} else {
+		delete(n.partitions, [2]NodeID{a, b})
+	}
+	n.mu.Unlock()
+}
+
+// Send transports size bytes from one node to another, blocking for the
+// modelled latency. It returns ErrDropped for silent loss (the message must
+// not be delivered), and a reachability error when either endpoint is down
+// or the link is partitioned.
+func (n *Network) Send(from, to NodeID, size int) error {
+	n.mu.RLock()
+	src, okSrc := n.nodes[from]
+	dst, okDst := n.nodes[to]
+	var partitioned bool
+	if okSrc && okDst {
+		a, b := from, to
+		if b < a {
+			a, b = b, a
+		}
+		partitioned = n.partitions[[2]NodeID{a, b}]
+	}
+	var srcAZDown, dstAZDown bool
+	if okSrc {
+		srcAZDown = n.azDown[src.az%8]
+	}
+	if okDst {
+		dstAZDown = n.azDown[dst.az%8]
+	}
+	n.mu.RUnlock()
+
+	if !okSrc {
+		return fmt.Errorf("%w: %s", ErrUnknownNode, from)
+	}
+	if !okDst {
+		return fmt.Errorf("%w: %s", ErrUnknownNode, to)
+	}
+	if src.down.Load() {
+		n.rejects.Add(1)
+		return fmt.Errorf("%w: %s", ErrNodeDown, from)
+	}
+	if dst.down.Load() {
+		n.rejects.Add(1)
+		return fmt.Errorf("%w: %s", ErrNodeDown, to)
+	}
+	if srcAZDown || dstAZDown {
+		n.rejects.Add(1)
+		return ErrAZDown
+	}
+	if partitioned {
+		n.rejects.Add(1)
+		return ErrPartitioned
+	}
+
+	lat, dropped := n.sample(src, dst, size)
+	if lat > 0 {
+		n.sleep(lat)
+	}
+	n.messages.Add(1)
+	n.bytes.Add(uint64(size))
+	src.sent.Add(1)
+	src.sentB.Add(uint64(size))
+	if dropped {
+		n.drops.Add(1)
+		return ErrDropped
+	}
+	dst.recv.Add(1)
+	dst.recvB.Add(uint64(size))
+	return nil
+}
+
+// sample computes latency and loss for one message.
+func (n *Network) sample(src, dst *node, size int) (time.Duration, bool) {
+	base := n.cfg.CrossAZ
+	if src.az == dst.az {
+		base = n.cfg.IntraAZ
+	}
+	if n.cfg.Bandwidth > 0 && size > 0 {
+		base += time.Duration(int64(size) * int64(time.Second) / n.cfg.Bandwidth)
+	}
+	var dropped bool
+	if n.cfg.Jitter > 0 || n.cfg.OutlierProb > 0 || n.cfg.DropProb > 0 {
+		n.rngMu.Lock()
+		if n.cfg.Jitter > 0 {
+			j := 1 + n.cfg.Jitter*(2*n.rng.Float64()-1)
+			base = time.Duration(float64(base) * j)
+		}
+		if n.cfg.OutlierProb > 0 && n.rng.Float64() < n.cfg.OutlierProb {
+			base = time.Duration(float64(base) * n.cfg.OutlierMult)
+		}
+		if n.cfg.DropProb > 0 && n.rng.Float64() < n.cfg.DropProb {
+			dropped = true
+		}
+		n.rngMu.Unlock()
+	}
+	for _, nd := range [2]*node{src, dst} {
+		if m := nd.slowMult.Load(); m > 0 {
+			base = time.Duration(int64(base) * m / 1000)
+		}
+	}
+	return base, dropped
+}
+
+// Stats returns global traffic counters.
+func (n *Network) Stats() Stats {
+	return Stats{
+		Messages: n.messages.Load(),
+		Bytes:    n.bytes.Load(),
+		Drops:    n.drops.Load(),
+		Rejects:  n.rejects.Load(),
+	}
+}
+
+// NodeStats returns per-node counters: messages/bytes sent and received.
+func (n *Network) NodeStats(id NodeID) (sent, sentBytes, recv, recvBytes uint64, ok bool) {
+	n.mu.RLock()
+	nd, found := n.nodes[id]
+	n.mu.RUnlock()
+	if !found {
+		return 0, 0, 0, 0, false
+	}
+	return nd.sent.Load(), nd.sentB.Load(), nd.recv.Load(), nd.recvB.Load(), true
+}
+
+// ResetStats zeroes all counters (per-node and global).
+func (n *Network) ResetStats() {
+	n.messages.Store(0)
+	n.bytes.Store(0)
+	n.drops.Store(0)
+	n.rejects.Store(0)
+	n.mu.RLock()
+	for _, nd := range n.nodes {
+		nd.sent.Store(0)
+		nd.sentB.Store(0)
+		nd.recv.Store(0)
+		nd.recvB.Store(0)
+	}
+	n.mu.RUnlock()
+}

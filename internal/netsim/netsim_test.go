@@ -1,0 +1,223 @@
+package netsim
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func twoNodeNet(cfg Config) *Network {
+	n := New(cfg)
+	n.AddNode("a", 0)
+	n.AddNode("b", 1)
+	n.AddNode("c", 0)
+	return n
+}
+
+func TestSendCountsTraffic(t *testing.T) {
+	n := twoNodeNet(FastLocal())
+	for i := 0; i < 5; i++ {
+		if err := n.Send("a", "b", 100); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := n.Stats()
+	if s.Messages != 5 || s.Bytes != 500 {
+		t.Fatalf("stats %+v", s)
+	}
+	sent, sentB, _, _, ok := n.NodeStats("a")
+	if !ok || sent != 5 || sentB != 500 {
+		t.Fatalf("node a stats: %d %d", sent, sentB)
+	}
+	_, _, recv, recvB, _ := n.NodeStats("b")
+	if recv != 5 || recvB != 500 {
+		t.Fatalf("node b stats: %d %d", recv, recvB)
+	}
+	n.ResetStats()
+	if s := n.Stats(); s.Messages != 0 || s.Bytes != 0 {
+		t.Fatalf("reset failed: %+v", s)
+	}
+}
+
+func TestSendUnknownAndDownNodes(t *testing.T) {
+	n := twoNodeNet(FastLocal())
+	if err := n.Send("a", "zz", 1); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("unknown dest: %v", err)
+	}
+	if err := n.Send("zz", "a", 1); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("unknown src: %v", err)
+	}
+	if err := n.SetNodeDown("b", true); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Send("a", "b", 1); !errors.Is(err, ErrNodeDown) {
+		t.Fatalf("down dest: %v", err)
+	}
+	if !n.NodeDown("b") {
+		t.Fatal("NodeDown not reported")
+	}
+	if err := n.SetNodeDown("b", false); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Send("a", "b", 1); err != nil {
+		t.Fatalf("restored node: %v", err)
+	}
+	if n.Stats().Rejects != 1 {
+		t.Fatalf("rejects %d, want 1", n.Stats().Rejects)
+	}
+}
+
+func TestAZFailureIsCorrelated(t *testing.T) {
+	n := twoNodeNet(FastLocal())
+	n.SetAZDown(0, true)
+	// Both a and c live in AZ 0: everything touching them fails.
+	if err := n.Send("a", "b", 1); !errors.Is(err, ErrAZDown) {
+		t.Fatalf("a->b: %v", err)
+	}
+	if err := n.Send("b", "c", 1); !errors.Is(err, ErrAZDown) {
+		t.Fatalf("b->c: %v", err)
+	}
+	n.SetAZDown(0, false)
+	if err := n.Send("a", "b", 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPartition(t *testing.T) {
+	n := twoNodeNet(FastLocal())
+	n.Partition("b", "a", true)
+	if err := n.Send("a", "b", 1); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("partitioned: %v", err)
+	}
+	// Order-insensitive and other links unaffected.
+	if err := n.Send("a", "c", 1); err != nil {
+		t.Fatal(err)
+	}
+	n.Partition("a", "b", false)
+	if err := n.Send("a", "b", 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLatencyModel(t *testing.T) {
+	cfg := Config{IntraAZ: time.Millisecond, CrossAZ: 5 * time.Millisecond}
+	n := twoNodeNet(cfg)
+	var slept []time.Duration
+	var mu sync.Mutex
+	n.SetSleeper(func(d time.Duration) { mu.Lock(); slept = append(slept, d); mu.Unlock() })
+	if err := n.Send("a", "c", 0); err != nil { // same AZ
+		t.Fatal(err)
+	}
+	if err := n.Send("a", "b", 0); err != nil { // cross AZ
+		t.Fatal(err)
+	}
+	if len(slept) != 2 || slept[0] != time.Millisecond || slept[1] != 5*time.Millisecond {
+		t.Fatalf("slept %v", slept)
+	}
+}
+
+func TestBandwidthSerializationDelay(t *testing.T) {
+	cfg := Config{IntraAZ: 0, Bandwidth: 1000} // 1000 B/s
+	n := twoNodeNet(cfg)
+	var slept time.Duration
+	n.SetSleeper(func(d time.Duration) { slept += d })
+	if err := n.Send("a", "c", 500); err != nil {
+		t.Fatal(err)
+	}
+	if slept != 500*time.Millisecond {
+		t.Fatalf("serialization delay %v, want 500ms", slept)
+	}
+}
+
+func TestSlowNodeMultiplier(t *testing.T) {
+	cfg := Config{IntraAZ: time.Millisecond}
+	n := twoNodeNet(cfg)
+	var slept time.Duration
+	n.SetSleeper(func(d time.Duration) { slept = d })
+	if err := n.SetSlowNode("c", 8); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Send("a", "c", 0); err != nil {
+		t.Fatal(err)
+	}
+	if slept != 8*time.Millisecond {
+		t.Fatalf("slow node latency %v, want 8ms", slept)
+	}
+	if err := n.SetSlowNode("c", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Send("a", "c", 0); err != nil {
+		t.Fatal(err)
+	}
+	if slept != time.Millisecond {
+		t.Fatalf("cleared slow node latency %v", slept)
+	}
+	if err := n.SetSlowNode("nope", 2); err == nil {
+		t.Fatal("unknown node accepted")
+	}
+}
+
+func TestDropProbability(t *testing.T) {
+	cfg := Config{DropProb: 0.5, Seed: 7}
+	n := twoNodeNet(cfg)
+	drops := 0
+	const total = 2000
+	for i := 0; i < total; i++ {
+		err := n.Send("a", "b", 10)
+		if errors.Is(err, ErrDropped) {
+			drops++
+		} else if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if drops < total/3 || drops > 2*total/3 {
+		t.Fatalf("drops %d of %d, expected ~half", drops, total)
+	}
+	if n.Stats().Drops != uint64(drops) {
+		t.Fatalf("drop counter %d != %d", n.Stats().Drops, drops)
+	}
+	// Dropped messages still cost sender traffic but never arrive.
+	_, _, recv, _, _ := n.NodeStats("b")
+	if recv != uint64(total-drops) {
+		t.Fatalf("receiver saw %d, want %d", recv, total-drops)
+	}
+}
+
+func TestNodeReplacementMovesAZ(t *testing.T) {
+	n := twoNodeNet(FastLocal())
+	if az, _ := n.NodeAZ("a"); az != 0 {
+		t.Fatal("setup")
+	}
+	n.AddNode("a", 2)
+	if az, _ := n.NodeAZ("a"); az != 2 {
+		t.Fatal("AddNode did not move node")
+	}
+	n.RemoveNode("a")
+	if _, ok := n.NodeAZ("a"); ok {
+		t.Fatal("node not removed")
+	}
+}
+
+func TestConcurrentSends(t *testing.T) {
+	n := twoNodeNet(Config{Jitter: 0.3, OutlierProb: 0.01, OutlierMult: 5, DropProb: 0.01})
+	n.SetSleeper(func(time.Duration) {})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				err := n.Send("a", "b", 64)
+				if err != nil && !errors.Is(err, ErrDropped) {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := n.Stats().Messages; got != 4000 {
+		t.Fatalf("messages %d, want 4000", got)
+	}
+}

@@ -1,0 +1,67 @@
+package page
+
+import "aurora/internal/core"
+
+// Span is one contiguous modified byte range of a page payload.
+type Span struct {
+	Offset int
+	Data   []byte
+}
+
+// Diff computes the changed spans between two equal-length payloads,
+// merging changes separated by fewer than gap unchanged bytes so that a
+// cluster of nearby edits becomes a single compact record. Data slices are
+// copies of after.
+//
+// This is how the engine produces redo records: it mutates the cached page
+// image freely and logs the difference between the after-image and the
+// before-image (§3.1).
+func Diff(before, after []byte, gap int) []Span {
+	if gap < 1 {
+		gap = 1
+	}
+	n := len(before)
+	if len(after) < n {
+		n = len(after)
+	}
+	var spans []Span
+	i := 0
+	for i < n {
+		if before[i] == after[i] {
+			i++
+			continue
+		}
+		start := i
+		last := i
+		for j := i + 1; j < n && j-last <= gap; j++ {
+			if before[j] != after[j] {
+				last = j
+			}
+		}
+		spans = append(spans, Span{
+			Offset: start,
+			Data:   append([]byte(nil), after[start:last+1]...),
+		})
+		i = last + 1
+	}
+	// Length changes (should not occur for fixed pages) are appended.
+	if len(after) > len(before) {
+		spans = append(spans, Span{Offset: len(before), Data: append([]byte(nil), after[len(before):]...)})
+	}
+	return spans
+}
+
+// DiffRecords converts the changed spans of a page payload into redo
+// records for the MTR under construction.
+func DiffRecords(pg core.PGID, id core.PageID, txn uint64, before, after []byte, gap int) ([]core.Record, error) {
+	spans := Diff(before, after, gap)
+	recs := make([]core.Record, 0, len(spans))
+	for _, s := range spans {
+		r, err := DeltaRecord(pg, id, txn, s.Offset, s.Data)
+		if err != nil {
+			return nil, err
+		}
+		recs = append(recs, r)
+	}
+	return recs, nil
+}

@@ -1,0 +1,111 @@
+package page
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"aurora/internal/core"
+)
+
+func TestDiffBasic(t *testing.T) {
+	before := []byte("aaaaaaaaaa")
+	after := []byte("aaXXaaaaYa")
+	spans := Diff(before, after, 1)
+	if len(spans) != 2 {
+		t.Fatalf("spans %v", spans)
+	}
+	if spans[0].Offset != 2 || string(spans[0].Data) != "XX" {
+		t.Fatalf("span0 %+v", spans[0])
+	}
+	if spans[1].Offset != 8 || string(spans[1].Data) != "Y" {
+		t.Fatalf("span1 %+v", spans[1])
+	}
+}
+
+func TestDiffIdentical(t *testing.T) {
+	b := []byte("same")
+	if spans := Diff(b, b, 4); spans != nil {
+		t.Fatalf("identical payloads diffed: %v", spans)
+	}
+}
+
+func TestDiffGapMerging(t *testing.T) {
+	before := make([]byte, 32)
+	after := make([]byte, 32)
+	after[0], after[3], after[6] = 1, 1, 1
+	// With a large gap the three edits merge into one span covering 0..6.
+	spans := Diff(before, after, 8)
+	if len(spans) != 1 || spans[0].Offset != 0 || len(spans[0].Data) != 7 {
+		t.Fatalf("merged spans %v", spans)
+	}
+	// With gap 1 they stay separate.
+	spans = Diff(before, after, 1)
+	if len(spans) != 3 {
+		t.Fatalf("unmerged spans %v", spans)
+	}
+}
+
+func TestDiffDataIsCopied(t *testing.T) {
+	before := []byte{0, 0}
+	after := []byte{1, 0}
+	spans := Diff(before, after, 1)
+	after[0] = 9
+	if spans[0].Data[0] != 1 {
+		t.Fatal("span aliases after buffer")
+	}
+}
+
+// Property: applying the diff spans to before always reproduces after.
+func TestDiffRoundTripProperty(t *testing.T) {
+	f := func(seed int64, edits, gap uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		before := make([]byte, 256)
+		rng.Read(before)
+		after := append([]byte(nil), before...)
+		for e := 0; e < int(edits%12); e++ {
+			off := rng.Intn(len(after))
+			after[off] = byte(rng.Intn(256))
+		}
+		spans := Diff(before, after, int(gap%9)+1)
+		got := append([]byte(nil), before...)
+		for _, s := range spans {
+			copy(got[s.Offset:], s.Data)
+		}
+		return bytes.Equal(got, after)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: replaying DiffRecords through the log applicator reproduces
+// the after-image — the end-to-end engine->storage contract.
+func TestDiffRecordsApplyProperty(t *testing.T) {
+	f := func(seed int64, edits uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := New(3)
+		rng.Read(p.Payload())
+		before := append([]byte(nil), p.Payload()...)
+		after := append([]byte(nil), before...)
+		for e := 0; e < int(edits%10)+1; e++ {
+			off := rng.Intn(PayloadSize)
+			after[off] ^= 0xFF
+		}
+		recs, err := DiffRecords(1, 3, 7, before, after, 16)
+		if err != nil {
+			return false
+		}
+		for i := range recs {
+			recs[i].LSN = core.LSN(i + 100)
+			if err := p.Apply(&recs[i]); err != nil {
+				return false
+			}
+		}
+		return bytes.Equal(p.Payload(), after)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,158 @@
+package quorum
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// DurabilityParams drives the Monte-Carlo durability model of §2.2. The
+// model answers the paper's question: given independent node failures
+// (MTTF) repaired within MTTR, plus correlated whole-AZ failures, what is
+// the probability that a protection group loses read quorum (can no longer
+// prove durability) or write quorum (loses write availability) during the
+// mission time?
+type DurabilityParams struct {
+	NodeMTTF time.Duration // mean time between failures of one copy's node
+	NodeMTTR time.Duration // time to repair one failed copy (re-replication)
+	AZMTTF   time.Duration // mean time between whole-AZ failures; 0 disables
+	AZMTTR   time.Duration // duration of an AZ outage
+	Mission  time.Duration // observation window (e.g. one year)
+	Trials   int
+	Seed     int64
+}
+
+// DurabilityResult summarises the trials.
+type DurabilityResult struct {
+	Trials int
+	// ReadQuorumLossProb is the fraction of trials in which, at some
+	// instant, fewer than Vr copies were healthy — the model's proxy for
+	// data loss risk (durability cannot be proven and write quorum cannot
+	// be rebuilt).
+	ReadQuorumLossProb float64
+	// WriteQuorumLossProb is the fraction of trials in which write
+	// availability was lost at some instant.
+	WriteQuorumLossProb float64
+	// WriteUnavailFraction is the mean fraction of mission time without
+	// write availability.
+	WriteUnavailFraction float64
+}
+
+// RepairTime returns the time to re-replicate a segment of the given size
+// over a link of the given bandwidth — the §2.2 observation that a 10GB
+// segment repairs in 10 seconds on a 10Gbps link, which is why segmenting
+// shrinks the window of vulnerability to a double fault.
+func RepairTime(segmentBytes int64, linkBitsPerSec int64) time.Duration {
+	if linkBitsPerSec <= 0 {
+		return 0
+	}
+	secs := float64(segmentBytes*8) / float64(linkBitsPerSec)
+	return time.Duration(secs * float64(time.Second))
+}
+
+// interval is a half-open outage window [from, to).
+type interval struct{ from, to float64 }
+
+// sampleOutages generates outage intervals over [0, mission) for a
+// component with exponential inter-failure times.
+func sampleOutages(rng *rand.Rand, mttf, mttr, mission float64) []interval {
+	if mttf <= 0 {
+		return nil
+	}
+	var out []interval
+	t := rng.ExpFloat64() * mttf
+	for t < mission {
+		end := t + mttr
+		out = append(out, interval{t, math.Min(end, mission)})
+		t = end + rng.ExpFloat64()*mttf
+	}
+	return out
+}
+
+// SimulateDurability runs the Monte-Carlo model for one protection group
+// under the given quorum scheme.
+func SimulateDurability(cfg Config, p DurabilityParams) DurabilityResult {
+	if p.Trials <= 0 {
+		p.Trials = 1000
+	}
+	seed := p.Seed
+	if seed == 0 {
+		seed = 0x5175 // deterministic default
+	}
+	rng := rand.New(rand.NewSource(seed))
+	mission := p.Mission.Seconds()
+
+	var readLoss, writeLoss int
+	var unavailTotal float64
+
+	for trial := 0; trial < p.Trials; trial++ {
+		// Outage intervals for each copy: its own node failures plus the
+		// failures of its AZ.
+		azOutages := make([][]interval, cfg.AZs)
+		if p.AZMTTF > 0 {
+			for az := 0; az < cfg.AZs; az++ {
+				azOutages[az] = sampleOutages(rng, p.AZMTTF.Seconds(), p.AZMTTR.Seconds(), mission)
+			}
+		}
+		// Build a sweep line: +1 when a copy goes down, -1 when it
+		// recovers.
+		type event struct {
+			t     float64
+			delta int
+		}
+		var events []event
+		addIntervals := func(ivs []interval) {
+			for _, iv := range ivs {
+				events = append(events, event{iv.from, +1}, event{iv.to, -1})
+			}
+		}
+		for i := 0; i < cfg.V; i++ {
+			addIntervals(sampleOutages(rng, p.NodeMTTF.Seconds(), p.NodeMTTR.Seconds(), mission))
+			if cfg.AZs > 0 {
+				addIntervals(azOutages[cfg.ReplicaAZ(i)])
+			}
+		}
+		if len(events) == 0 {
+			continue
+		}
+		sort.Slice(events, func(a, b int) bool { return events[a].t < events[b].t })
+
+		// Note: a copy down for two overlapping reasons (node + AZ) counts
+		// twice in the sweep; that overcounts failures slightly, making the
+		// model conservative (it can only over-estimate loss probability,
+		// never under-estimate it).
+		down := 0
+		lostRead, lostWrite := false, false
+		var unavail, prevT float64
+		writeBlocked := false
+		for _, e := range events {
+			if writeBlocked {
+				unavail += e.t - prevT
+			}
+			prevT = e.t
+			down += e.delta
+			if !cfg.ReadAvailable(down) {
+				lostRead = true
+			}
+			writeBlocked = !cfg.WriteAvailable(down)
+			if writeBlocked {
+				lostWrite = true
+			}
+		}
+		if lostRead {
+			readLoss++
+		}
+		if lostWrite {
+			writeLoss++
+		}
+		unavailTotal += unavail / mission
+	}
+
+	return DurabilityResult{
+		Trials:               p.Trials,
+		ReadQuorumLossProb:   float64(readLoss) / float64(p.Trials),
+		WriteQuorumLossProb:  float64(writeLoss) / float64(p.Trials),
+		WriteUnavailFraction: unavailTotal / float64(p.Trials),
+	}
+}

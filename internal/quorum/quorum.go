@@ -1,0 +1,162 @@
+// Package quorum implements Aurora's quorum model (§2): V copies of each
+// data item spread across availability zones, a write quorum Vw and a read
+// quorum Vr obeying Vr+Vw > V and Vw > V/2. It provides the write-ack
+// tracker used on the volume write path, availability predicates used by
+// chaos tests, and a Monte-Carlo durability model that reproduces the
+// paper's argument that 2/3 quorums are inadequate while the 4/6 AZ+1
+// design survives an AZ failure plus background noise (§2.1–2.2).
+package quorum
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Config describes a quorum scheme and its placement across AZs.
+type Config struct {
+	V     int // total copies
+	Vw    int // write quorum
+	Vr    int // read quorum
+	AZs   int // number of availability zones copies are spread over
+	PerAZ int // copies per AZ (V == AZs*PerAZ for the symmetric schemes)
+}
+
+// Aurora returns the paper's design point: 6 copies, 2 per AZ across 3 AZs,
+// write quorum 4/6, read quorum 3/6.
+func Aurora() Config { return Config{V: 6, Vw: 4, Vr: 3, AZs: 3, PerAZ: 2} }
+
+// TwoOfThree returns the common 2/3 quorum with one copy per AZ — the
+// scheme §2.1 argues is inadequate.
+func TwoOfThree() Config { return Config{V: 3, Vw: 2, Vr: 2, AZs: 3, PerAZ: 1} }
+
+// MirroredFourOfFour models the mirrored-MySQL configuration of §3.1
+// (primary EBS + mirror, standby EBS + mirror, all synchronous): 4 copies
+// across 2 AZs where every write must reach all 4.
+func MirroredFourOfFour() Config { return Config{V: 4, Vw: 4, Vr: 1, AZs: 2, PerAZ: 2} }
+
+// Validate checks the two consistency rules from [6]: Vr + Vw > V (reads
+// see the newest write) and Vw > V/2 (no conflicting writes), plus
+// placement sanity.
+func (c Config) Validate() error {
+	if c.V <= 0 || c.Vw <= 0 || c.Vr <= 0 {
+		return errors.New("quorum: V, Vw, Vr must be positive")
+	}
+	if c.Vr+c.Vw <= c.V {
+		return fmt.Errorf("quorum: Vr+Vw=%d must exceed V=%d", c.Vr+c.Vw, c.V)
+	}
+	if 2*c.Vw <= c.V {
+		return fmt.Errorf("quorum: 2*Vw=%d must exceed V=%d", 2*c.Vw, c.V)
+	}
+	if c.AZs > 0 && c.PerAZ > 0 && c.AZs*c.PerAZ != c.V {
+		return fmt.Errorf("quorum: AZs*PerAZ=%d != V=%d", c.AZs*c.PerAZ, c.V)
+	}
+	return nil
+}
+
+// ReplicaAZ returns the AZ index hosting replica i under symmetric
+// placement (two consecutive replicas per AZ for the Aurora scheme).
+func (c Config) ReplicaAZ(i int) int {
+	if c.PerAZ == 0 {
+		return 0
+	}
+	return (i / c.PerAZ) % c.AZs
+}
+
+// WriteAvailable reports whether writes can proceed with the given number
+// of failed copies.
+func (c Config) WriteAvailable(failed int) bool { return c.V-failed >= c.Vw }
+
+// ReadAvailable reports whether read quorum survives the given number of
+// failed copies (and hence whether write quorum can be rebuilt, §2.1).
+func (c Config) ReadAvailable(failed int) bool { return c.V-failed >= c.Vr }
+
+// SurvivesAZPlusOne reports whether the scheme keeps read availability
+// after losing one full AZ plus one additional copy — the paper's AZ+1
+// durability goal.
+func (c Config) SurvivesAZPlusOne() bool { return c.ReadAvailable(c.PerAZ + 1) }
+
+// SurvivesAZForWrites reports whether the scheme keeps write availability
+// after losing one full AZ.
+func (c Config) SurvivesAZForWrites() bool { return c.WriteAvailable(c.PerAZ) }
+
+// ErrQuorumImpossible is reported by a Tracker when enough replicas have
+// rejected that the write quorum can never be reached.
+var ErrQuorumImpossible = errors.New("quorum: write quorum unreachable")
+
+// Tracker accumulates acknowledgements for one write (a log batch sent to
+// all V replicas) and resolves once Vw have acked, or fails once more than
+// V-Vw have rejected. It is safe for concurrent use and resolves exactly
+// once.
+type Tracker struct {
+	mu      sync.Mutex
+	cfg     Config
+	acked   map[int]bool
+	nacked  map[int]bool
+	done    chan struct{}
+	failed  bool
+	resolve sync.Once
+}
+
+// NewTracker returns a tracker for one quorum write.
+func NewTracker(cfg Config) *Tracker {
+	return &Tracker{
+		cfg:    cfg,
+		acked:  make(map[int]bool, cfg.V),
+		nacked: make(map[int]bool, cfg.V),
+		done:   make(chan struct{}),
+	}
+}
+
+// Ack records a positive acknowledgement from replica i.
+func (t *Tracker) Ack(i int) {
+	t.mu.Lock()
+	if !t.nacked[i] {
+		t.acked[i] = true
+	}
+	reached := len(t.acked) >= t.cfg.Vw
+	t.mu.Unlock()
+	if reached {
+		t.resolve.Do(func() { close(t.done) })
+	}
+}
+
+// Nack records a failure from replica i (node down, send error...).
+func (t *Tracker) Nack(i int) {
+	t.mu.Lock()
+	if !t.acked[i] {
+		t.nacked[i] = true
+	}
+	impossible := len(t.nacked) > t.cfg.V-t.cfg.Vw
+	t.mu.Unlock()
+	if impossible {
+		t.resolve.Do(func() {
+			t.mu.Lock()
+			t.failed = true
+			t.mu.Unlock()
+			close(t.done)
+		})
+	}
+}
+
+// Done returns a channel closed when the write resolves (success or
+// failure).
+func (t *Tracker) Done() <-chan struct{} { return t.done }
+
+// Err returns nil on success, ErrQuorumImpossible when the quorum can no
+// longer be reached. Only meaningful after Done is closed.
+func (t *Tracker) Err() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.failed {
+		return ErrQuorumImpossible
+	}
+	return nil
+}
+
+// Acks returns the number of positive acknowledgements so far.
+func (t *Tracker) Acks() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.acked)
+}

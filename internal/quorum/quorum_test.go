@@ -1,0 +1,237 @@
+package quorum
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestConfigValidation(t *testing.T) {
+	for _, c := range []Config{Aurora(), TwoOfThree(), MirroredFourOfFour()} {
+		if err := c.Validate(); err != nil {
+			t.Fatalf("%+v: %v", c, err)
+		}
+	}
+	bad := []Config{
+		{V: 6, Vw: 3, Vr: 3, AZs: 3, PerAZ: 2}, // Vr+Vw == V: stale reads possible
+		{V: 6, Vw: 3, Vr: 4, AZs: 3, PerAZ: 2}, // 2*Vw == V: conflicting writes
+		{V: 0, Vw: 0, Vr: 0},
+		{V: 6, Vw: 4, Vr: 3, AZs: 3, PerAZ: 3}, // placement mismatch
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Fatalf("%+v validated", c)
+		}
+	}
+}
+
+// Property: any valid (V,Vw,Vr) has intersecting read/write sets and
+// non-conflicting write sets.
+func TestQuorumRulesProperty(t *testing.T) {
+	f := func(v, vw, vr uint8) bool {
+		c := Config{V: int(v%9) + 1, Vw: int(vw%9) + 1, Vr: int(vr%9) + 1}
+		err := c.Validate()
+		intersect := c.Vr+c.Vw > c.V
+		majority := 2*c.Vw > c.V
+		sane := c.Vw <= c.V && c.Vr <= c.V
+		// Validate must accept exactly the schemes with both properties
+		// (bounded by V); note Validate does not require Vw<=V explicitly,
+		// but Vr+Vw>V with Vw>V/2 and Vr>=1 is what the paper needs.
+		if err == nil && (!intersect || !majority) {
+			return false
+		}
+		if err != nil && intersect && majority && sane {
+			// Placement fields unset: should have validated.
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAuroraAZPlusOne(t *testing.T) {
+	a := Aurora()
+	// (a) lose an entire AZ (2 copies) plus one more node: reads survive.
+	if !a.SurvivesAZPlusOne() {
+		t.Fatal("Aurora scheme must survive AZ+1 for reads")
+	}
+	if !a.ReadAvailable(3) || a.ReadAvailable(4) {
+		t.Fatal("read availability boundary should be exactly 3 failures")
+	}
+	// (b) lose an entire AZ: writes survive; any third failure blocks them.
+	if !a.SurvivesAZForWrites() {
+		t.Fatal("Aurora scheme must keep writing through an AZ loss")
+	}
+	if !a.WriteAvailable(2) || a.WriteAvailable(3) {
+		t.Fatal("write availability boundary should be exactly 2 failures")
+	}
+}
+
+func TestTwoOfThreeBreaksUnderAZPlusOne(t *testing.T) {
+	c := TwoOfThree()
+	// AZ failure (1 copy) plus one background-noise failure = 2 failures:
+	// only 1 copy left, below Vr=2 — the §2.1 inadequacy argument.
+	if c.SurvivesAZPlusOne() {
+		t.Fatal("2/3 should NOT survive AZ+1")
+	}
+	if !c.WriteAvailable(1) {
+		t.Fatal("2/3 keeps writes through a single failure")
+	}
+	if c.WriteAvailable(2) {
+		t.Fatal("2/3 loses writes at two failures")
+	}
+}
+
+func TestMirroredFourOfFourFragility(t *testing.T) {
+	c := MirroredFourOfFour()
+	// A single failed copy blocks all writes — §3.1's criticism.
+	if c.WriteAvailable(1) {
+		t.Fatal("4/4 should lose write availability on any failure")
+	}
+}
+
+func TestReplicaAZPlacement(t *testing.T) {
+	a := Aurora()
+	want := []int{0, 0, 1, 1, 2, 2}
+	for i, az := range want {
+		if got := a.ReplicaAZ(i); got != az {
+			t.Fatalf("replica %d in AZ %d, want %d", i, got, az)
+		}
+	}
+}
+
+func TestTrackerReachesQuorum(t *testing.T) {
+	tr := NewTracker(Aurora())
+	tr.Ack(0)
+	tr.Ack(1)
+	tr.Ack(1) // duplicate must not double count
+	tr.Ack(2)
+	select {
+	case <-tr.Done():
+		t.Fatal("resolved with 3 acks, need 4")
+	default:
+	}
+	tr.Ack(5)
+	select {
+	case <-tr.Done():
+	case <-time.After(time.Second):
+		t.Fatal("did not resolve at 4 acks")
+	}
+	if tr.Err() != nil {
+		t.Fatal(tr.Err())
+	}
+	if tr.Acks() != 4 {
+		t.Fatalf("acks %d", tr.Acks())
+	}
+}
+
+func TestTrackerImpossible(t *testing.T) {
+	tr := NewTracker(Aurora())
+	tr.Nack(0)
+	tr.Nack(1)
+	select {
+	case <-tr.Done():
+		t.Fatal("resolved with 2 nacks; one more failure still allows 4/6")
+	default:
+	}
+	tr.Nack(2)
+	select {
+	case <-tr.Done():
+	case <-time.After(time.Second):
+		t.Fatal("did not fail at 3 nacks")
+	}
+	if tr.Err() != ErrQuorumImpossible {
+		t.Fatalf("err %v", tr.Err())
+	}
+}
+
+func TestTrackerConcurrent(t *testing.T) {
+	tr := NewTracker(Aurora())
+	var wg sync.WaitGroup
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go func(i int) { defer wg.Done(); tr.Ack(i) }(i)
+	}
+	wg.Wait()
+	<-tr.Done()
+	if tr.Err() != nil || tr.Acks() != 6 {
+		t.Fatalf("err=%v acks=%d", tr.Err(), tr.Acks())
+	}
+}
+
+func TestRepairTime(t *testing.T) {
+	// The paper's example: 10GB on a 10Gbps link ≈ 10 seconds (§2.2, using
+	// 1GB = 1e9 bytes as the paper's arithmetic implies).
+	got := RepairTime(10_000_000_000, 10_000_000_000)
+	if got != 8*time.Second { // 80Gbit over 10Gbps = 8s with SI units
+		t.Fatalf("repair time %v", got)
+	}
+	if RepairTime(1, 0) != 0 {
+		t.Fatal("zero bandwidth should return 0")
+	}
+}
+
+func TestSimulateDurabilityShape(t *testing.T) {
+	// Key claim of §2.2: with fast repair (small segments), the 4/6 scheme
+	// rides through an AZ failure plus background noise, while 2/3 loses
+	// quorum far more often under the same conditions.
+	p := DurabilityParams{
+		NodeMTTF: 500 * time.Hour,
+		NodeMTTR: 1 * time.Hour,
+		AZMTTF:   2000 * time.Hour,
+		AZMTTR:   12 * time.Hour,
+		Mission:  24 * 365 * time.Hour,
+		Trials:   400,
+		Seed:     42,
+	}
+	aurora := SimulateDurability(Aurora(), p)
+	twoThree := SimulateDurability(TwoOfThree(), p)
+	if aurora.ReadQuorumLossProb >= twoThree.ReadQuorumLossProb {
+		t.Fatalf("4/6 read-loss %v should be below 2/3 read-loss %v",
+			aurora.ReadQuorumLossProb, twoThree.ReadQuorumLossProb)
+	}
+	mirrored := SimulateDurability(MirroredFourOfFour(), p)
+	if mirrored.WriteUnavailFraction <= aurora.WriteUnavailFraction {
+		t.Fatalf("4/4 write-unavail %v should exceed 4/6 %v",
+			mirrored.WriteUnavailFraction, aurora.WriteUnavailFraction)
+	}
+}
+
+func TestSimulateDurabilityFastRepairShrinksRisk(t *testing.T) {
+	// Reducing MTTR (the segmented-storage argument) must reduce the
+	// probability of double faults compounding into quorum loss.
+	base := DurabilityParams{
+		NodeMTTF: 200 * time.Hour,
+		AZMTTF:   1000 * time.Hour,
+		AZMTTR:   6 * time.Hour,
+		Mission:  24 * 365 * time.Hour,
+		Trials:   300,
+		Seed:     7,
+	}
+	slow := base
+	slow.NodeMTTR = 10 * time.Hour
+	fast := base
+	fast.NodeMTTR = 10 * time.Second // 10GB segment on 10Gbps
+	rSlow := SimulateDurability(Aurora(), slow)
+	rFast := SimulateDurability(Aurora(), fast)
+	if rFast.ReadQuorumLossProb > rSlow.ReadQuorumLossProb {
+		t.Fatalf("fast repair %v should not exceed slow repair %v",
+			rFast.ReadQuorumLossProb, rSlow.ReadQuorumLossProb)
+	}
+	if rFast.WriteUnavailFraction >= rSlow.WriteUnavailFraction {
+		t.Fatalf("fast repair unavail %v should be below slow %v",
+			rFast.WriteUnavailFraction, rSlow.WriteUnavailFraction)
+	}
+}
+
+func TestSimulateDurabilityDefaults(t *testing.T) {
+	r := SimulateDurability(Aurora(), DurabilityParams{
+		NodeMTTF: time.Hour, NodeMTTR: time.Minute, Mission: 10 * time.Hour,
+	})
+	if r.Trials != 1000 {
+		t.Fatalf("default trials %d", r.Trials)
+	}
+}

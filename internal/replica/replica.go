@@ -1,0 +1,254 @@
+// Package replica implements Aurora read replicas. Up to 15 replicas mount
+// the same storage volume as the writer, adding no storage or write IO: the
+// writer streams its redo log to each replica, which applies records to
+// pages already in its buffer cache and discards the rest (§4.2.4). Two
+// rules keep a replica consistent: only records at or below the writer's
+// VDL are applied, and the records of one mini-transaction are applied
+// atomically. Cache misses are served by the shared storage service at the
+// replica's own read point.
+package replica
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"aurora/internal/btree"
+	"aurora/internal/bufcache"
+	"aurora/internal/core"
+	"aurora/internal/engine"
+	"aurora/internal/netsim"
+	"aurora/internal/page"
+	"aurora/internal/volume"
+)
+
+// ErrClosed is returned by reads on a closed replica.
+var ErrClosed = errors.New("replica: closed")
+
+// Config tunes one read replica.
+type Config struct {
+	Name       netsim.NodeID
+	AZ         netsim.AZ
+	CachePages int
+}
+
+// Stats is a snapshot of replica counters.
+type Stats struct {
+	Events    uint64
+	Applied   uint64 // records applied to cached pages
+	Discarded uint64 // records for uncached pages
+	Buffered  int    // records above the VDL awaiting durability
+	VDL       core.LSN
+	Cache     bufcache.Stats
+}
+
+// Replica is one read-only instance attached to the writer's log stream
+// and the shared storage volume.
+type Replica struct {
+	name   netsim.NodeID
+	reader *volume.Reader
+	cache  *bufcache.Cache
+	pgOf   func(core.PageID) core.PGID
+
+	mu      sync.RWMutex // excludes reads during atomic MTR application
+	vdl     core.LSN
+	vdlA    atomic.Uint64 // lock-free mirror of vdl for the eviction fence
+	pending []core.Record // records above vdl, in LSN order
+	tails   map[core.PGID]core.LSN
+
+	cancel func()
+	stop   chan struct{}
+	done   chan struct{}
+	closed atomic.Bool
+
+	events    atomic.Uint64
+	applied   atomic.Uint64
+	discarded atomic.Uint64
+}
+
+// Attach creates a replica consuming db's log stream and reading cold
+// pages from the fleet.
+func Attach(db *engine.DB, f *volume.Fleet, cfg Config) *Replica {
+	if cfg.CachePages <= 0 {
+		cfg.CachePages = 4096
+	}
+	r := &Replica{
+		name:   cfg.Name,
+		reader: volume.NewReader(f, cfg.Name, cfg.AZ),
+		pgOf:   f.PGOf,
+		tails:  make(map[core.PGID]core.LSN),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	// The replica's cache eviction fence is its own applied VDL.
+	r.cache = bufcache.New(cfg.CachePages, r.VDL)
+	events, cancel := db.Subscribe()
+	r.cancel = cancel
+	// Seed the view from the writer's current durable state so reads issued
+	// before the first stream event see real data, not an empty volume.
+	// Events already queued re-advance idempotently.
+	vol := db.Volume()
+	r.vdl = vol.VDL()
+	r.vdlA.Store(uint64(r.vdl))
+	for g := 0; g < f.PGs(); g++ {
+		if tail := vol.DurableTail(core.PGID(g)); tail > 0 {
+			r.tails[core.PGID(g)] = tail
+		}
+	}
+	go r.loop(events)
+	return r
+}
+
+func (r *Replica) loop(events <-chan engine.Event) {
+	defer close(r.done)
+	for {
+		select {
+		case ev, ok := <-events:
+			if !ok {
+				return
+			}
+			r.events.Add(1)
+			r.ingest(ev)
+		case <-r.stop:
+			return
+		}
+	}
+}
+
+// ingest buffers the event's records and applies everything at or below
+// the new VDL atomically.
+func (r *Replica) ingest(ev engine.Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.pending = append(r.pending, ev.Records...)
+	newVDL := r.vdl
+	if ev.VDL > newVDL {
+		newVDL = ev.VDL
+	}
+	// Apply the prefix of pending records at or below the VDL. The VDL is
+	// always a CPL, so this prefix is a whole number of MTRs; holding the
+	// exclusive lock for the whole prefix makes the application atomic
+	// with respect to replica reads.
+	cut := 0
+	for cut < len(r.pending) && r.pending[cut].LSN <= newVDL {
+		rec := &r.pending[cut]
+		r.applyLocked(rec)
+		cut++
+	}
+	if cut > 0 {
+		r.pending = append([]core.Record(nil), r.pending[cut:]...)
+	}
+	if newVDL > r.vdl {
+		r.vdl = newVDL
+		r.vdlA.Store(uint64(newVDL))
+	}
+}
+
+func (r *Replica) applyLocked(rec *core.Record) {
+	if rec.PageRecord() {
+		if rec.LSN > r.tails[rec.PG] {
+			r.tails[rec.PG] = rec.LSN
+		}
+	}
+	if !rec.PageRecord() {
+		return
+	}
+	p, ok := r.cache.Get(rec.Page)
+	if !ok {
+		r.discarded.Add(1)
+		return
+	}
+	defer r.cache.Unpin(rec.Page)
+	if rec.LSN <= p.LSN() {
+		return // already reflected (page fetched fresh from storage)
+	}
+	if err := p.Apply(rec); err == nil {
+		r.applied.Add(1)
+	}
+}
+
+// VDL returns the replica's applied durable point. It is lock-free so the
+// buffer cache can consult it as its eviction fence from any context.
+func (r *Replica) VDL() core.LSN { return core.LSN(r.vdlA.Load()) }
+
+// replicaStore serves tree pages at the replica's read point: cache first,
+// then the shared storage volume. Callers hold r.mu.RLock for the whole
+// tree operation, so the apply loop cannot interleave.
+type replicaStore struct {
+	r         *Replica
+	readPoint core.LSN
+}
+
+func (s *replicaStore) Page(id core.PageID) (page.Page, error) {
+	if p, ok := s.r.cache.Get(id); ok {
+		s.r.cache.Unpin(id)
+		return p, nil
+	}
+	required := s.r.tails[s.r.pgOf(id)] // under RLock
+	p, err := s.r.reader.ReadPageAt(id, s.readPoint, required)
+	if err != nil {
+		return nil, err
+	}
+	cached := s.r.cache.Put(id, p)
+	s.r.cache.Unpin(id)
+	return cached, nil
+}
+
+func (s *replicaStore) FreshPage(core.PageID) (page.Page, error) {
+	return nil, errors.New("replica: read-only")
+}
+
+// Get reads a row at the replica's current view.
+func (r *Replica) Get(key []byte) ([]byte, bool, error) {
+	if r.closed.Load() {
+		return nil, false, ErrClosed
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	t := btree.View(&replicaStore{r: r, readPoint: r.vdl})
+	return t.Get(key)
+}
+
+// Scan visits rows in range at the replica's current view.
+func (r *Replica) Scan(from, to []byte, fn func(k, v []byte) bool) error {
+	if r.closed.Load() {
+		return ErrClosed
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	t := btree.View(&replicaStore{r: r, readPoint: r.vdl})
+	return t.Scan(from, to, fn)
+}
+
+// WarmUp pre-loads the pages holding the given key range into the cache so
+// subsequent log records for them are applied rather than discarded.
+func (r *Replica) WarmUp(from, to []byte) error {
+	return r.Scan(from, to, func(k, v []byte) bool { return true })
+}
+
+// Stats returns a snapshot of replica counters.
+func (r *Replica) Stats() Stats {
+	r.mu.RLock()
+	buffered := len(r.pending)
+	vdl := r.vdl
+	r.mu.RUnlock()
+	return Stats{
+		Events:    r.events.Load(),
+		Applied:   r.applied.Load(),
+		Discarded: r.discarded.Load(),
+		Buffered:  buffered,
+		VDL:       vdl,
+		Cache:     r.cache.Stats(),
+	}
+}
+
+// Close detaches the replica from the stream and the network.
+func (r *Replica) Close() {
+	if r.closed.Swap(true) {
+		return
+	}
+	r.cancel()
+	close(r.stop)
+	<-r.done
+	r.reader.Close()
+}

@@ -1,0 +1,275 @@
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+
+	"aurora/internal/core"
+	"aurora/internal/page"
+)
+
+// ErrBadSnapshot reports a corrupt or truncated snapshot.
+var ErrBadSnapshot = errors.New("storage: malformed snapshot")
+
+// snapshotMagic guards against restoring foreign blobs.
+const snapshotMagic = uint32(0x41555253) // "AURS"
+
+// Snapshot serialises the segment's full durable state: materialized base
+// pages, retained log records, CPL index and consistency points. It is the
+// payload for both continuous backup to the object store (Figure 4 step 6)
+// and peer-to-peer segment repair (§2.3).
+func (n *Node) Snapshot() []byte {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.snapshotLocked()
+}
+
+func (n *Node) snapshotLocked() []byte {
+	var buf []byte
+	var tmp [8]byte
+	put32 := func(v uint32) {
+		binary.LittleEndian.PutUint32(tmp[:4], v)
+		buf = append(buf, tmp[:4]...)
+	}
+	put64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(tmp[:], v)
+		buf = append(buf, tmp[:]...)
+	}
+	put32(snapshotMagic)
+
+	// Pages, sorted for determinism.
+	ids := make([]core.PageID, 0, len(n.pages))
+	for id := range n.pages {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	put32(uint32(len(ids)))
+	for _, id := range ids {
+		ps := n.pages[id]
+		put64(uint64(id))
+		if ps.base != nil {
+			buf = append(buf, 1)
+			buf = append(buf, ps.base...)
+		} else {
+			buf = append(buf, 0)
+		}
+	}
+
+	// Records, sorted by LSN.
+	lsns := make([]core.LSN, 0, len(n.log))
+	for lsn := range n.log {
+		lsns = append(lsns, lsn)
+	}
+	sort.Slice(lsns, func(i, j int) bool { return lsns[i] < lsns[j] })
+	put32(uint32(len(lsns)))
+	for _, lsn := range lsns {
+		buf = n.log[lsn].AppendEncode(buf)
+	}
+
+	// CPL index and points.
+	put32(uint32(len(n.cpls)))
+	for _, c := range n.cpls {
+		put64(uint64(c))
+	}
+	put64(uint64(n.vdl))
+	put64(uint64(n.pgmrpl))
+	put64(uint64(n.gcTail))
+	put64(n.trunc.Epoch)
+	put64(uint64(n.trunc.From))
+	put64(uint64(n.trunc.To))
+	return buf
+}
+
+// LoadSnapshot replaces the node's state with the snapshot contents. It is
+// the restore half of backup and the receive half of repair.
+func (n *Node) LoadSnapshot(buf []byte) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.loadSnapshotLocked(buf)
+}
+
+func (n *Node) loadSnapshotLocked(buf []byte) error {
+	off := 0
+	need := func(k int) error {
+		if len(buf)-off < k {
+			return ErrBadSnapshot
+		}
+		return nil
+	}
+	get32 := func() (uint32, error) {
+		if err := need(4); err != nil {
+			return 0, err
+		}
+		v := binary.LittleEndian.Uint32(buf[off:])
+		off += 4
+		return v, nil
+	}
+	get64 := func() (uint64, error) {
+		if err := need(8); err != nil {
+			return 0, err
+		}
+		v := binary.LittleEndian.Uint64(buf[off:])
+		off += 8
+		return v, nil
+	}
+	magic, err := get32()
+	if err != nil || magic != snapshotMagic {
+		return ErrBadSnapshot
+	}
+
+	pages := make(map[core.PageID]*pageState)
+	log := make(map[core.LSN]*core.Record)
+
+	nPages, err := get32()
+	if err != nil {
+		return err
+	}
+	for i := uint32(0); i < nPages; i++ {
+		id, err := get64()
+		if err != nil {
+			return err
+		}
+		if err := need(1); err != nil {
+			return err
+		}
+		hasBase := buf[off] == 1
+		off++
+		ps := &pageState{}
+		if hasBase {
+			if err := need(page.Size); err != nil {
+				return err
+			}
+			ps.base = append(page.Page(nil), buf[off:off+page.Size]...)
+			off += page.Size
+		}
+		pages[core.PageID(id)] = ps
+	}
+
+	nRecs, err := get32()
+	if err != nil {
+		return err
+	}
+	gaps := core.NewGapTracker(core.ZeroLSN)
+	for i := uint32(0); i < nRecs; i++ {
+		r, used, err := core.DecodeRecord(buf[off:])
+		if err != nil {
+			return fmt.Errorf("%w: record %d: %v", ErrBadSnapshot, i, err)
+		}
+		off += used
+		cl := r.Clone()
+		log[cl.LSN] = &cl
+		if cl.PageRecord() {
+			ps := pages[cl.Page]
+			if ps == nil {
+				ps = &pageState{}
+				pages[cl.Page] = ps
+			}
+			ps.chain = append(ps.chain, &cl)
+		}
+	}
+	for _, ps := range pages {
+		sort.Slice(ps.chain, func(i, j int) bool { return ps.chain[i].LSN < ps.chain[j].LSN })
+	}
+
+	nCPL, err := get32()
+	if err != nil {
+		return err
+	}
+	cpls := make([]core.LSN, 0, nCPL)
+	for i := uint32(0); i < nCPL; i++ {
+		v, err := get64()
+		if err != nil {
+			return err
+		}
+		cpls = append(cpls, core.LSN(v))
+	}
+	vdl, err := get64()
+	if err != nil {
+		return err
+	}
+	pgmrpl, err := get64()
+	if err != nil {
+		return err
+	}
+	gcTail, err := get64()
+	if err != nil {
+		return err
+	}
+	epoch, err := get64()
+	if err != nil {
+		return err
+	}
+	from, err := get64()
+	if err != nil {
+		return err
+	}
+	to, err := get64()
+	if err != nil {
+		return err
+	}
+
+	// Rebuild the gap tracker: the retained log chains from the GC boundary
+	// (everything at or below gcTail lives only in materialized pages and
+	// was complete when coalesced).
+	gaps = core.NewGapTracker(core.LSN(gcTail))
+	for _, r := range sortedRecords(log) {
+		gaps.Add(r.PrevLSN, r.LSN)
+	}
+
+	n.pages = pages
+	n.log = log
+	n.cpls = cpls
+	n.vdl = core.LSN(vdl)
+	n.pgmrpl = core.LSN(pgmrpl)
+	n.gcTail = core.LSN(gcTail)
+	n.trunc = core.TruncationRange{Epoch: epoch, From: core.LSN(from), To: core.LSN(to)}
+	n.gaps = gaps
+	n.wiped = false
+	return nil
+}
+
+func sortedRecords(log map[core.LSN]*core.Record) []*core.Record {
+	out := make([]*core.Record, 0, len(log))
+	for _, r := range log {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].LSN < out[j].LSN })
+	return out
+}
+
+// BackupKey returns the object-store key for this segment's backups.
+func (n *Node) BackupKey() string {
+	return fmt.Sprintf("backup/pg%04d/seg%d", n.cfg.Seg.PG, n.cfg.Seg.Replica)
+}
+
+// BackupNow stages the segment's state to the object store (Figure 4
+// step 6) and returns the stored version id, or 0 if no store is attached.
+func (n *Node) BackupNow() int {
+	if n.cfg.Store == nil || n.down.Load() {
+		return 0
+	}
+	snap := n.Snapshot()
+	if err := n.ssd.Read(len(snap)); err != nil {
+		return 0
+	}
+	v := n.cfg.Store.Put(n.BackupKey(), snap)
+	n.backups.Add(1)
+	return v
+}
+
+// RestoreFromBackup loads the newest backup version from the object store.
+func (n *Node) RestoreFromBackup() error {
+	if n.cfg.Store == nil {
+		return errors.New("storage: no object store attached")
+	}
+	snap, err := n.cfg.Store.Get(n.BackupKey())
+	if err != nil {
+		return err
+	}
+	if err := n.ssd.Write(len(snap)); err != nil {
+		return err
+	}
+	return n.LoadSnapshot(snap)
+}

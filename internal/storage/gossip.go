@@ -1,0 +1,109 @@
+package storage
+
+import (
+	"sort"
+
+	"aurora/internal/core"
+)
+
+// gossipBatchLimit bounds how many records one gossip exchange transfers.
+const gossipBatchLimit = 512
+
+// gossipRequestSize is the wire size of a gossip pull request.
+const gossipRequestSize = 64
+
+// GossipOnce runs one round of peer-to-peer gossip: the node asks each
+// reachable peer for records it is missing (Figure 4 step 4). Gossip is the
+// mechanism that fills holes left by silently dropped batches, so the
+// writer never has to retry into a slow or flaky replica — the 4/6 quorum
+// absorbs it and gossip repairs it (§3.3, §4.1).
+//
+// The exchange is a pull: the requester advertises its SCL and the peer
+// returns records with larger LSNs. It returns the number of records
+// ingested this round.
+func (n *Node) GossipOnce() int {
+	if n.down.Load() {
+		return 0
+	}
+	total := 0
+	n.mu.Lock()
+	peers := append([]*Node(nil), n.peers...)
+	n.mu.Unlock()
+	for _, peer := range peers {
+		if peer.down.Load() {
+			continue
+		}
+		// Cheap pre-check: nothing to pull if the peer is not ahead and we
+		// have no holes to fill.
+		myscl := n.SCL()
+		if peer.SCL() <= myscl && !n.HasGaps() {
+			continue
+		}
+		if err := n.cfg.Net.Send(n.cfg.Node, peer.cfg.Node, gossipRequestSize); err != nil {
+			continue
+		}
+		recs, vdl, pgmrpl := peer.recordsAfter(myscl, gossipBatchLimit)
+		if len(recs) == 0 {
+			continue
+		}
+		size := 0
+		for _, r := range recs {
+			size += r.EncodedSize()
+		}
+		if err := n.cfg.Net.Send(peer.cfg.Node, n.cfg.Node, size); err != nil {
+			continue
+		}
+		if err := n.ssd.Write(size); err != nil {
+			continue
+		}
+		fresh := 0
+		n.mu.Lock()
+		if !n.wiped {
+			for _, r := range recs {
+				if n.ingestLocked(r) {
+					fresh++
+				}
+			}
+			n.observePointsLocked(vdl, pgmrpl)
+		}
+		n.mu.Unlock()
+		peer.gossiped.Add(uint64(fresh))
+		total += fresh
+	}
+	n.gossips.Add(1)
+	return total
+}
+
+// recordsAfter returns up to limit retained records with LSN > after,
+// sorted by ascending LSN, along with the node's view of VDL and PGMRPL so
+// consistency points propagate epidemically too.
+func (n *Node) recordsAfter(after core.LSN, limit int) ([]*core.Record, core.LSN, core.LSN) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	var out []*core.Record
+	for lsn, r := range n.log {
+		if lsn > after {
+			out = append(out, r)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].LSN < out[j].LSN })
+	if len(out) > limit {
+		out = out[:limit]
+	}
+	return out, n.vdl, n.pgmrpl
+}
+
+// SyncGroup runs gossip rounds across a group of nodes until no node makes
+// progress — used by volume recovery, which first lets the storage service
+// repair itself before computing durable points (§4.1), and by tests.
+func SyncGroup(nodes []*Node) {
+	for {
+		progress := 0
+		for _, nd := range nodes {
+			progress += nd.GossipOnce()
+		}
+		if progress == 0 {
+			return
+		}
+	}
+}

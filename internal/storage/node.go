@@ -1,0 +1,550 @@
+// Package storage implements Aurora's multi-tenant scale-out storage
+// service: the storage node that receives redo log batches, persists and
+// acknowledges them in the foreground, and performs everything else —
+// sorting and gap detection, peer-to-peer gossip, coalescing log records
+// into materialized data pages, backup to the object store, garbage
+// collection below the PGMRPL, and CRC scrubbing — continuously and
+// asynchronously in the background (Figure 4, §3.3).
+//
+// The log is the database: a node's materialized pages are only a cache of
+// log applications, and any read can be served by materializing the page's
+// delta chain on demand at the requested read point.
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"aurora/internal/core"
+	"aurora/internal/disk"
+	"aurora/internal/netsim"
+	"aurora/internal/objstore"
+	"aurora/internal/page"
+)
+
+// Errors returned by node operations.
+var (
+	ErrNodeDown     = errors.New("storage: node down")
+	ErrIncomplete   = errors.New("storage: segment not complete at read point")
+	ErrNoSuchPage   = errors.New("storage: page never written")
+	ErrStaleEpoch   = errors.New("storage: truncation epoch stale")
+	ErrWipedSegment = errors.New("storage: segment wiped, needs repair")
+)
+
+// Config configures one storage node (one segment replica).
+type Config struct {
+	Seg  core.SegmentID
+	Node netsim.NodeID
+	AZ   netsim.AZ
+	Net  *netsim.Network
+	Disk disk.Config
+	// Store receives periodic backups; nil disables backup.
+	Store *objstore.Store
+	// GossipInterval controls the background gossip loop (Start).
+	GossipInterval time.Duration
+	// CoalesceInterval controls background page materialization (Start).
+	CoalesceInterval time.Duration
+	// BackupInterval controls background backup staging (Start).
+	BackupInterval time.Duration
+	// ScrubInterval controls background CRC validation (Start).
+	ScrubInterval time.Duration
+	// CoalesceChainLen triggers materialization of a page once its delta
+	// chain exceeds this many records even above the PGMRPL (the paper's
+	// observation that only pages with long chains need rematerialization).
+	CoalesceChainLen int
+}
+
+func (c *Config) fillDefaults() {
+	if c.GossipInterval <= 0 {
+		c.GossipInterval = 20 * time.Millisecond
+	}
+	if c.CoalesceInterval <= 0 {
+		c.CoalesceInterval = 20 * time.Millisecond
+	}
+	if c.BackupInterval <= 0 {
+		c.BackupInterval = 200 * time.Millisecond
+	}
+	if c.ScrubInterval <= 0 {
+		c.ScrubInterval = 500 * time.Millisecond
+	}
+	if c.CoalesceChainLen <= 0 {
+		c.CoalesceChainLen = 32
+	}
+}
+
+// pageState is one page on the segment: an optional materialized base image
+// plus the chain of not-yet-coalesced records sorted by ascending LSN.
+type pageState struct {
+	base  page.Page
+	chain []*core.Record
+}
+
+// Stats is a snapshot of node activity counters.
+type Stats struct {
+	BatchesReceived uint64
+	RecordsReceived uint64
+	RecordsHeld     int
+	PagesHeld       int
+	GossipRounds    uint64
+	RecordsGossiped uint64
+	PagesCoalesced  uint64
+	RecordsGCed     uint64
+	Backups         uint64
+	ScrubsClean     uint64
+	ScrubsRepaired  uint64
+	Reads           uint64
+}
+
+// Ack is the acknowledgement a node returns for a persisted batch. The
+// writer uses the piggybacked SCL to maintain its runtime view of segment
+// completeness for read routing (§4.2.3).
+type Ack struct {
+	Seg core.SegmentID
+	SCL core.LSN
+}
+
+// Node is one storage node hosting one segment replica.
+type Node struct {
+	cfg Config
+	ssd *disk.SSD
+
+	mu     sync.Mutex
+	log    map[core.LSN]*core.Record // retained records for gossip/materialize
+	pages  map[core.PageID]*pageState
+	cpls   []core.LSN // sorted CPL LSNs at or below SCL retention
+	gaps   *core.GapTracker
+	gcTail core.LSN // highest record LSN ever garbage collected
+	trunc  core.TruncationRange
+	pgmrpl core.LSN
+	vdl    core.LSN // latest VDL learned from the writer (piggybacked)
+	wiped  bool
+
+	peers []*Node
+
+	down atomic.Bool
+
+	stopMu  sync.Mutex
+	stopCh  chan struct{}
+	stopped sync.WaitGroup
+
+	batches   atomic.Uint64
+	records   atomic.Uint64
+	gossips   atomic.Uint64
+	gossiped  atomic.Uint64
+	coalesces atomic.Uint64
+	gced      atomic.Uint64
+	backups   atomic.Uint64
+	scrubOK   atomic.Uint64
+	scrubFix  atomic.Uint64
+	reads     atomic.Uint64
+}
+
+// NewNode creates a storage node and registers it on the network.
+func NewNode(cfg Config) *Node {
+	cfg.fillDefaults()
+	cfg.Net.AddNode(cfg.Node, cfg.AZ)
+	return &Node{
+		cfg:   cfg,
+		ssd:   disk.New(cfg.Disk),
+		log:   make(map[core.LSN]*core.Record),
+		pages: make(map[core.PageID]*pageState),
+		gaps:  core.NewGapTracker(core.ZeroLSN),
+	}
+}
+
+// Seg returns the segment identity this node hosts.
+func (n *Node) Seg() core.SegmentID { return n.cfg.Seg }
+
+// NodeID returns the node's network identity.
+func (n *Node) NodeID() netsim.NodeID { return n.cfg.Node }
+
+// AZ returns the availability zone the node lives in.
+func (n *Node) AZ() netsim.AZ { return n.cfg.AZ }
+
+// Disk exposes the node's SSD for fault injection.
+func (n *Node) Disk() *disk.SSD { return n.ssd }
+
+// SetPeers wires the node to the other replicas of its protection group.
+func (n *Node) SetPeers(peers []*Node) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.peers = nil
+	for _, p := range peers {
+		if p != n {
+			n.peers = append(n.peers, p)
+		}
+	}
+}
+
+// Crash makes the node reject all traffic (a node reboot or failure). Its
+// durable state — persisted log and pages — is retained for Restart.
+func (n *Node) Crash() { n.down.Store(true) }
+
+// Restart brings a crashed node back online.
+func (n *Node) Restart() { n.down.Store(false) }
+
+// Down reports whether the node is crashed.
+func (n *Node) Down() bool { return n.down.Load() }
+
+// Wipe simulates permanent loss of the node's disk: all durable state is
+// destroyed and the node refuses service until repaired from peers.
+func (n *Node) Wipe() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.log = make(map[core.LSN]*core.Record)
+	n.pages = make(map[core.PageID]*pageState)
+	n.cpls = nil
+	n.gaps = core.NewGapTracker(core.ZeroLSN)
+	n.wiped = true
+}
+
+// ReceiveBatch is the foreground write path: steps (1) and (2) of Figure 4.
+// The records are queued, persisted to the hot log on local SSD, and
+// acknowledged. Everything else happens in the background. VDL and PGMRPL
+// are piggybacked from the writer on every batch.
+func (n *Node) ReceiveBatch(b *core.Batch, vdl, pgmrpl core.LSN) (Ack, error) {
+	if n.down.Load() {
+		return Ack{}, fmt.Errorf("%s: %w", n.cfg.Node, ErrNodeDown)
+	}
+	// Persist the batch to the hot log before acknowledging.
+	size := b.EncodedSize()
+	if err := n.ssd.Write(size); err != nil {
+		return Ack{}, fmt.Errorf("%s hot log: %w", n.cfg.Node, err)
+	}
+	if err := n.ssd.Sync(); err != nil {
+		return Ack{}, fmt.Errorf("%s hot log sync: %w", n.cfg.Node, err)
+	}
+
+	n.mu.Lock()
+	if n.wiped {
+		n.mu.Unlock()
+		return Ack{}, fmt.Errorf("%s: %w", n.cfg.Node, ErrWipedSegment)
+	}
+	for i := range b.Records {
+		n.ingestLocked(&b.Records[i])
+	}
+	n.observePointsLocked(vdl, pgmrpl)
+	scl := n.gaps.SCL()
+	n.mu.Unlock()
+
+	n.batches.Add(1)
+	n.records.Add(uint64(len(b.Records)))
+	return Ack{Seg: n.cfg.Seg, SCL: scl}, nil
+}
+
+// ReceiveBatches is the coalesced foreground write path: several batches
+// (accumulated by the writer's per-segment sender while a previous flight
+// was in the air) arrive as one network message and are persisted with one
+// hot-log write and one sync. This is what drives IOs per transaction below
+// one at high concurrency (Table 1).
+func (n *Node) ReceiveBatches(bs []*core.Batch, vdl, pgmrpl core.LSN) (Ack, error) {
+	if n.down.Load() {
+		return Ack{}, fmt.Errorf("%s: %w", n.cfg.Node, ErrNodeDown)
+	}
+	size := 0
+	records := 0
+	for _, b := range bs {
+		size += b.EncodedSize()
+		records += len(b.Records)
+	}
+	if err := n.ssd.Write(size); err != nil {
+		return Ack{}, fmt.Errorf("%s hot log: %w", n.cfg.Node, err)
+	}
+	if err := n.ssd.Sync(); err != nil {
+		return Ack{}, fmt.Errorf("%s hot log sync: %w", n.cfg.Node, err)
+	}
+	n.mu.Lock()
+	if n.wiped {
+		n.mu.Unlock()
+		return Ack{}, fmt.Errorf("%s: %w", n.cfg.Node, ErrWipedSegment)
+	}
+	for _, b := range bs {
+		for i := range b.Records {
+			n.ingestLocked(&b.Records[i])
+		}
+	}
+	n.observePointsLocked(vdl, pgmrpl)
+	scl := n.gaps.SCL()
+	n.mu.Unlock()
+	n.batches.Add(uint64(len(bs)))
+	n.records.Add(uint64(records))
+	return Ack{Seg: n.cfg.Seg, SCL: scl}, nil
+}
+
+// ingestLocked files one record into the log, page chains, CPL index and
+// gap tracker, reporting whether the record was new. Duplicates and
+// annulled records are ignored.
+func (n *Node) ingestLocked(r *core.Record) bool {
+	if n.trunc.Annuls(r.LSN) || r.LSN <= n.gcTail {
+		return false
+	}
+	if _, dup := n.log[r.LSN]; dup {
+		return false
+	}
+	cl := r.Clone()
+	rec := &cl
+	n.log[r.LSN] = rec
+	if rec.PageRecord() {
+		ps := n.pages[rec.Page]
+		if ps == nil {
+			ps = &pageState{}
+			n.pages[rec.Page] = ps
+		}
+		// Insert keeping the chain sorted by LSN; records usually arrive
+		// in order so the common case is an append.
+		i := len(ps.chain)
+		for i > 0 && ps.chain[i-1].LSN > rec.LSN {
+			i--
+		}
+		ps.chain = append(ps.chain, nil)
+		copy(ps.chain[i+1:], ps.chain[i:])
+		ps.chain[i] = rec
+	}
+	if rec.IsCPL() {
+		i := sort.Search(len(n.cpls), func(j int) bool { return n.cpls[j] >= rec.LSN })
+		if i == len(n.cpls) || n.cpls[i] != rec.LSN {
+			n.cpls = append(n.cpls, 0)
+			copy(n.cpls[i+1:], n.cpls[i:])
+			n.cpls[i] = rec.LSN
+		}
+	}
+	n.gaps.Add(rec.PrevLSN, rec.LSN)
+	return true
+}
+
+func (n *Node) observePointsLocked(vdl, pgmrpl core.LSN) {
+	if vdl > n.vdl {
+		n.vdl = vdl
+	}
+	if pgmrpl > n.pgmrpl {
+		n.pgmrpl = pgmrpl
+	}
+}
+
+// SCL returns the segment complete LSN.
+func (n *Node) SCL() core.LSN {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.gaps.SCL()
+}
+
+// HasGaps reports whether the node is missing records it knows exist.
+func (n *Node) HasGaps() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.gaps.HasGap()
+}
+
+// HighestLSN returns the highest LSN the node knows of: the maximum of its
+// retained records, its GC boundary and its completeness point. Recovery
+// compares it against the SCL to detect dangling records above a hole.
+func (n *Node) HighestLSN() core.LSN {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	max := n.gcTail
+	if scl := n.gaps.SCL(); scl > max {
+		max = scl
+	}
+	for lsn := range n.log {
+		if lsn > max {
+			max = lsn
+		}
+	}
+	return max
+}
+
+// HighestCPLAtOrBelow returns the highest consistency point at or below
+// limit that this node has seen (ZeroLSN if none). Volume recovery uses it
+// to compute the VDL from the VCL (§4.1).
+func (n *Node) HighestCPLAtOrBelow(limit core.LSN) core.LSN {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	i := sort.Search(len(n.cpls), func(j int) bool { return n.cpls[j] > limit })
+	if i == 0 {
+		return core.ZeroLSN
+	}
+	return n.cpls[i-1]
+}
+
+// ReadPage is the foreground read path: it serves the version of the page
+// as of readPoint, materializing from the base image plus the delta chain.
+//
+// required is the completeness the writer demands: the LSN of the last
+// record of this protection group at or below the read point. The writer
+// tracks it precisely (§4.2.3 — "the database ... normally knows which
+// segment is capable of satisfying a read"), and the node re-verifies its
+// SCL against it. The read point itself may exceed the SCL when the PG has
+// been idle while the volume's VDL advanced on other PGs.
+func (n *Node) ReadPage(id core.PageID, readPoint, required core.LSN) (page.Page, error) {
+	if n.down.Load() {
+		return nil, fmt.Errorf("%s: %w", n.cfg.Node, ErrNodeDown)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.wiped {
+		return nil, fmt.Errorf("%s: %w", n.cfg.Node, ErrWipedSegment)
+	}
+	if n.gaps.SCL() < required {
+		return nil, fmt.Errorf("%s: %w: scl=%d required=%d", n.cfg.Node, ErrIncomplete, n.gaps.SCL(), required)
+	}
+	ps := n.pages[id]
+	if ps == nil {
+		return nil, fmt.Errorf("%s page %d: %w", n.cfg.Node, id, ErrNoSuchPage)
+	}
+	if err := n.ssd.Read(page.Size); err != nil {
+		return nil, err
+	}
+	p, err := page.Materialize(id, ps.base, ps.chain, readPoint)
+	if err != nil {
+		return nil, err
+	}
+	n.reads.Add(1)
+	return p, nil
+}
+
+// Truncate applies an epoch-versioned truncation range (§4.3), annulling
+// every record in (From, To]. Stale epochs are rejected so an interrupted
+// and restarted recovery cannot be confused by older truncations.
+func (n *Node) Truncate(tr core.TruncationRange) error {
+	if n.down.Load() {
+		return fmt.Errorf("%s: %w", n.cfg.Node, ErrNodeDown)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if tr.Epoch < n.trunc.Epoch {
+		return fmt.Errorf("%s: %w: have %d, got %d", n.cfg.Node, ErrStaleEpoch, n.trunc.Epoch, tr.Epoch)
+	}
+	n.trunc = tr
+	for lsn, rec := range n.log {
+		if !tr.Annuls(lsn) {
+			continue
+		}
+		delete(n.log, lsn)
+		if rec.PageRecord() {
+			if ps := n.pages[rec.Page]; ps != nil {
+				ps.chain = removeRecord(ps.chain, lsn)
+				if ps.base == nil && len(ps.chain) == 0 {
+					delete(n.pages, rec.Page)
+				}
+			}
+		}
+	}
+	n.cpls = filterLSNs(n.cpls, func(l core.LSN) bool { return !tr.Annuls(l) })
+	n.rebuildGapsLocked()
+	// Persist the truncation decision durably.
+	return n.ssd.Write(64)
+}
+
+// rebuildGapsLocked reconstructs the completeness tracker from the
+// surviving records. The chain is seeded at the highest LSN ever garbage
+// collected (everything at or below it was complete when coalesced), so
+// that after a truncation the SCL lands on an actual record LSN and future
+// records chain correctly from it.
+func (n *Node) rebuildGapsLocked() {
+	g := core.NewGapTracker(n.gcTail)
+	for _, r := range sortedRecords(n.log) {
+		g.Add(r.PrevLSN, r.LSN)
+	}
+	n.gaps = g
+}
+
+// TruncationEpoch returns the epoch of the last applied truncation.
+func (n *Node) TruncationEpoch() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.trunc.Epoch
+}
+
+func removeRecord(chain []*core.Record, lsn core.LSN) []*core.Record {
+	for i, r := range chain {
+		if r.LSN == lsn {
+			return append(chain[:i], chain[i+1:]...)
+		}
+	}
+	return chain
+}
+
+func filterLSNs(in []core.LSN, keep func(core.LSN) bool) []core.LSN {
+	out := in[:0]
+	for _, l := range in {
+		if keep(l) {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// Stats returns a snapshot of activity counters.
+func (n *Node) Stats() Stats {
+	n.mu.Lock()
+	held := len(n.log)
+	pages := len(n.pages)
+	n.mu.Unlock()
+	return Stats{
+		BatchesReceived: n.batches.Load(),
+		RecordsReceived: n.records.Load(),
+		RecordsHeld:     held,
+		PagesHeld:       pages,
+		GossipRounds:    n.gossips.Load(),
+		RecordsGossiped: n.gossiped.Load(),
+		PagesCoalesced:  n.coalesces.Load(),
+		RecordsGCed:     n.gced.Load(),
+		Backups:         n.backups.Load(),
+		ScrubsClean:     n.scrubOK.Load(),
+		ScrubsRepaired:  n.scrubFix.Load(),
+		Reads:           n.reads.Load(),
+	}
+}
+
+// Start launches the background loops: gossip, coalesce/GC, backup, scrub.
+// Stop terminates them. Tests can instead drive GossipOnce/CoalesceOnce/
+// BackupNow/ScrubOnce deterministically.
+func (n *Node) Start() {
+	n.stopMu.Lock()
+	defer n.stopMu.Unlock()
+	if n.stopCh != nil {
+		return
+	}
+	n.stopCh = make(chan struct{})
+	stop := n.stopCh
+	run := func(interval time.Duration, f func()) {
+		n.stopped.Add(1)
+		go func() {
+			defer n.stopped.Done()
+			t := time.NewTicker(interval)
+			defer t.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-t.C:
+					if !n.down.Load() {
+						f()
+					}
+				}
+			}
+		}()
+	}
+	run(n.cfg.GossipInterval, func() { n.GossipOnce() })
+	run(n.cfg.CoalesceInterval, func() { n.CoalesceOnce() })
+	if n.cfg.Store != nil {
+		run(n.cfg.BackupInterval, func() { n.BackupNow() })
+	}
+	run(n.cfg.ScrubInterval, func() { n.ScrubOnce() })
+}
+
+// Stop terminates the background loops started by Start.
+func (n *Node) Stop() {
+	n.stopMu.Lock()
+	ch := n.stopCh
+	n.stopCh = nil
+	n.stopMu.Unlock()
+	if ch != nil {
+		close(ch)
+		n.stopped.Wait()
+	}
+}

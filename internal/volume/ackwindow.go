@@ -1,0 +1,209 @@
+// Package volume implements the client side of Aurora's storage protocol:
+// the storage volume as seen by the single writer instance. It maps pages
+// onto protection groups, ships framed log batches to all six replicas of
+// each PG, advances the Volume Durable LSN as write quorums are
+// acknowledged, routes reads to individual segments known to be complete
+// (no read quorums in the normal path), maintains the protection-group
+// minimum read point for storage-side GC, and performs crash recovery with
+// epoch-versioned truncation (§4).
+package volume
+
+import (
+	"container/heap"
+	"sync"
+
+	"aurora/internal/core"
+)
+
+// ackWindow tracks which allocated LSNs have reached write quorum and
+// derives the VDL: the highest CPL at or below the contiguous acked
+// frontier. LSNs are allocated densely by the framer, so the frontier
+// advances pointwise.
+type ackWindow struct {
+	mu       sync.Mutex
+	frontier core.LSN // every LSN <= frontier has reached write quorum
+	acked    map[core.LSN]struct{}
+	cpls     lsnHeap
+	vdl      core.LSN
+}
+
+type lsnHeap []core.LSN
+
+func (h lsnHeap) Len() int            { return len(h) }
+func (h lsnHeap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h lsnHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *lsnHeap) Push(x interface{}) { *h = append(*h, x.(core.LSN)) }
+func (h *lsnHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// newAckWindow starts a window with everything at or below start already
+// durable (recovery seeds this with the recovered VDL).
+func newAckWindow(start core.LSN) *ackWindow {
+	return &ackWindow{
+		frontier: start,
+		acked:    make(map[core.LSN]struct{}),
+		vdl:      start,
+	}
+}
+
+// addCPL registers a framed MTR's consistency point.
+func (w *ackWindow) addCPL(lsn core.LSN) {
+	w.mu.Lock()
+	heap.Push(&w.cpls, lsn)
+	w.mu.Unlock()
+}
+
+// markAcked records that the LSN range [first, last] reached write quorum
+// and returns the new VDL (which may be unchanged).
+func (w *ackWindow) markAcked(first, last core.LSN) core.LSN {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for l := first; l <= last; l++ {
+		if l > w.frontier {
+			w.acked[l] = struct{}{}
+		}
+	}
+	for {
+		if _, ok := w.acked[w.frontier+1]; !ok {
+			break
+		}
+		delete(w.acked, w.frontier+1)
+		w.frontier++
+	}
+	for len(w.cpls) > 0 && w.cpls[0] <= w.frontier {
+		w.vdl = heap.Pop(&w.cpls).(core.LSN)
+	}
+	return w.vdl
+}
+
+// skipTo declares the range (frontier, to] abandoned — used when a write
+// fails its quorum permanently and the volume is being torn down, so that
+// observability does not report phantom outstanding writes.
+func (w *ackWindow) skipTo(to core.LSN) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if to > w.frontier {
+		w.frontier = to
+	}
+	for len(w.cpls) > 0 && w.cpls[0] <= w.frontier {
+		lsn := heap.Pop(&w.cpls).(core.LSN)
+		if lsn > w.vdl {
+			w.vdl = lsn
+		}
+	}
+}
+
+// outstanding returns the number of acked-but-not-contiguous LSNs plus
+// pending CPLs — a backlog signal.
+func (w *ackWindow) outstanding() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.acked) + len(w.cpls)
+}
+
+// PGTailTracker tracks, per protection group, the highest record LSN that is at
+// or below the VDL. This is the completeness the writer requires of a
+// segment before routing a read to it: a segment whose SCL has reached the
+// PG's durable tail holds every durable record of that PG, even when the
+// volume-wide VDL (the read point) is far ahead because other PGs have been
+// busier (§4.2.3).
+type PGTailTracker struct {
+	mu      sync.Mutex
+	pending map[core.PGID][]core.LSN // framed record LSNs > last advance
+	durable map[core.PGID]core.LSN
+}
+
+// NewPGTailTracker seeds the tracker (nil for a fresh volume).
+func NewPGTailTracker(seed map[core.PGID]core.LSN) *PGTailTracker {
+	d := make(map[core.PGID]core.LSN, len(seed))
+	for pg, lsn := range seed {
+		d[pg] = lsn
+	}
+	return &PGTailTracker{pending: make(map[core.PGID][]core.LSN), durable: d}
+}
+
+// Add registers the record LSNs of a framed batch (ascending per PG).
+func (t *PGTailTracker) Add(b *core.Batch) {
+	t.mu.Lock()
+	for i := range b.Records {
+		t.pending[b.PG] = append(t.pending[b.PG], b.Records[i].LSN)
+	}
+	t.mu.Unlock()
+}
+
+// Advance moves durable tails up to the new VDL.
+func (t *PGTailTracker) Advance(vdl core.LSN) {
+	t.mu.Lock()
+	for pg, lsns := range t.pending {
+		i := 0
+		for i < len(lsns) && lsns[i] <= vdl {
+			i++
+		}
+		if i > 0 {
+			if lsns[i-1] > t.durable[pg] {
+				t.durable[pg] = lsns[i-1]
+			}
+			t.pending[pg] = lsns[i:]
+		}
+	}
+	t.mu.Unlock()
+}
+
+// DurableTail returns the completeness a read of the given PG requires.
+func (t *PGTailTracker) DurableTail(pg core.PGID) core.LSN {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.durable[pg]
+}
+
+// readRegistry tracks outstanding read points (page reads and transaction
+// read views). Its minimum is the volume's MRPL: the low-water mark below
+// which no future read can be issued, which the writer gossips to storage
+// nodes so they can coalesce and garbage collect (§4.2.3).
+type readRegistry struct {
+	mu     sync.Mutex
+	next   int64
+	points map[int64]core.LSN
+	floor  core.LSN // monotonic published low-water mark
+}
+
+func newReadRegistry(start core.LSN) *readRegistry {
+	return &readRegistry{points: make(map[int64]core.LSN), floor: start}
+}
+
+// register records an outstanding read point and returns a release func.
+func (r *readRegistry) register(p core.LSN) func() {
+	r.mu.Lock()
+	id := r.next
+	r.next++
+	r.points[id] = p
+	r.mu.Unlock()
+	return func() {
+		r.mu.Lock()
+		delete(r.points, id)
+		r.mu.Unlock()
+	}
+}
+
+// lowWaterMark returns the MRPL given the current VDL: the minimum
+// outstanding read point, or the VDL when no reads are outstanding. The
+// result is monotonic.
+func (r *readRegistry) lowWaterMark(vdl core.LSN) core.LSN {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := vdl
+	for _, p := range r.points {
+		if p < m {
+			m = p
+		}
+	}
+	if m > r.floor {
+		r.floor = m
+	}
+	return r.floor
+}

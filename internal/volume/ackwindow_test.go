@@ -1,0 +1,146 @@
+package volume
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"aurora/internal/core"
+)
+
+func TestAckWindowFrontierAndVDL(t *testing.T) {
+	w := newAckWindow(0)
+	w.addCPL(3)
+	w.addCPL(5)
+	// Acks out of order: 4-5 first, then 1-3.
+	if vdl := w.markAcked(4, 5); vdl != 0 {
+		t.Fatalf("vdl %d before prefix acked", vdl)
+	}
+	if vdl := w.markAcked(1, 3); vdl != 5 {
+		t.Fatalf("vdl %d, want 5 (both CPLs covered)", vdl)
+	}
+	if w.outstanding() != 0 {
+		t.Fatalf("outstanding %d", w.outstanding())
+	}
+}
+
+func TestAckWindowVDLOnlyAtCPLs(t *testing.T) {
+	w := newAckWindow(0)
+	w.addCPL(4)
+	if vdl := w.markAcked(1, 3); vdl != 0 {
+		t.Fatalf("vdl %d: LSN 3 is not a CPL", vdl)
+	}
+	if vdl := w.markAcked(4, 4); vdl != 4 {
+		t.Fatalf("vdl %d, want 4", vdl)
+	}
+}
+
+func TestAckWindowSeededStart(t *testing.T) {
+	w := newAckWindow(100)
+	w.addCPL(102)
+	if vdl := w.markAcked(101, 102); vdl != 102 {
+		t.Fatalf("vdl %d after recovery-seeded window", vdl)
+	}
+}
+
+func TestAckWindowSkipTo(t *testing.T) {
+	w := newAckWindow(0)
+	w.addCPL(2)
+	w.addCPL(9)
+	w.markAcked(1, 2)
+	w.skipTo(10)
+	if w.outstanding() != 0 {
+		t.Fatalf("outstanding %d after skip", w.outstanding())
+	}
+}
+
+// Property: for any permutation of ack order, once everything is acked the
+// VDL equals the highest CPL.
+func TestAckWindowPermutationProperty(t *testing.T) {
+	f := func(seed int64, nSmall uint8) bool {
+		n := int(nSmall%40) + 1
+		rng := rand.New(rand.NewSource(seed))
+		w := newAckWindow(0)
+		var lastCPL core.LSN
+		for l := 1; l <= n; l++ {
+			if rng.Intn(3) == 0 || l == n {
+				w.addCPL(core.LSN(l))
+				lastCPL = core.LSN(l)
+			}
+		}
+		var final core.LSN
+		for _, l := range rng.Perm(n) {
+			final = w.markAcked(core.LSN(l+1), core.LSN(l+1))
+		}
+		// After all acks the VDL must have reached the last CPL (the final
+		// markAcked call may not be the one that crossed it, so query by
+		// acking an empty-range no-op).
+		if got := w.markAcked(1, 1); got != lastCPL {
+			return false
+		}
+		_ = final
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPGTailTracker(t *testing.T) {
+	tr := NewPGTailTracker(map[core.PGID]core.LSN{2: 50})
+	if tr.DurableTail(2) != 50 || tr.DurableTail(0) != 0 {
+		t.Fatal("seed tails wrong")
+	}
+	tr.Add(&core.Batch{PG: 0, Records: []core.Record{
+		{LSN: 60, Type: core.RecPageDelta, PG: 0, Page: 1},
+		{LSN: 62, Type: core.RecPageDelta, PG: 0, Page: 2},
+	}})
+	tr.Add(&core.Batch{PG: 2, Records: []core.Record{
+		{LSN: 61, Type: core.RecPageDelta, PG: 2, Page: 3},
+	}})
+	tr.Advance(61)
+	if got := tr.DurableTail(0); got != 60 {
+		t.Fatalf("pg0 tail %d, want 60 (62 not durable yet)", got)
+	}
+	if got := tr.DurableTail(2); got != 61 {
+		t.Fatalf("pg2 tail %d, want 61", got)
+	}
+	tr.Advance(100)
+	if got := tr.DurableTail(0); got != 62 {
+		t.Fatalf("pg0 tail %d, want 62", got)
+	}
+	// Advance is monotonic; a stale advance changes nothing.
+	tr.Advance(10)
+	if got := tr.DurableTail(0); got != 62 {
+		t.Fatalf("tail regressed to %d", got)
+	}
+}
+
+func TestReadRegistryLowWaterMark(t *testing.T) {
+	r := newReadRegistry(10)
+	if lwm := r.lowWaterMark(20); lwm != 20 {
+		t.Fatalf("no-readers LWM %d, want VDL", lwm)
+	}
+	rel5 := r.register(15)
+	rel8 := r.register(18)
+	if lwm := r.lowWaterMark(30); lwm != 20 {
+		// Floor is monotonic: it already advanced to 20 above, and the
+		// outstanding reads (15, 18) cannot drag it back.
+		t.Fatalf("LWM %d, want floor 20", lwm)
+	}
+	rel5()
+	rel8()
+	if lwm := r.lowWaterMark(40); lwm != 40 {
+		t.Fatalf("LWM %d after releases, want 40", lwm)
+	}
+	// A long-held read pins the mark.
+	hold := r.register(40)
+	r.register(45) // a later read does not matter; min rules
+	if lwm := r.lowWaterMark(99); lwm != 40 {
+		t.Fatalf("LWM %d, want pinned 40", lwm)
+	}
+	hold()
+	if lwm := r.lowWaterMark(99); lwm != 45 {
+		t.Fatalf("LWM %d, want 45 (remaining read)", lwm)
+	}
+}

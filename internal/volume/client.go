@@ -1,0 +1,366 @@
+package volume
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"aurora/internal/core"
+	"aurora/internal/netsim"
+	"aurora/internal/page"
+	"aurora/internal/quorum"
+	"aurora/internal/storage"
+)
+
+// Wire-size constants for request/ack frames.
+const (
+	reqSize = 64
+	ackSize = 64
+)
+
+// Errors returned by the client.
+var (
+	ErrClosed          = errors.New("volume: client closed")
+	ErrReadUnavailable = errors.New("volume: no segment can satisfy the read")
+)
+
+// Client is the single writer instance's handle on the storage volume. It
+// owns the LSN space: it frames MTRs, ships batches, advances the VDL as
+// write quorums complete, and routes reads to individual complete segments.
+type Client struct {
+	fleet *Fleet
+	node  netsim.NodeID // the writer's network identity
+	q     quorum.Config
+
+	alloc  *core.Allocator
+	framer *core.Framer
+	vdl    *core.VDLTracker
+	win    *ackWindow
+	tails  *PGTailTracker
+	reads  *readRegistry
+	epoch  uint64
+
+	sclMu sync.RWMutex
+	scls  map[core.SegmentID]core.LSN // writer's runtime view of completeness
+
+	senders [][]*replicaSender // per-PG, per-replica delivery pipelines
+
+	closed atomic.Bool
+
+	mtrs        atomic.Uint64
+	recsWritten atomic.Uint64
+	readsServed atomic.Uint64
+	readRetries atomic.Uint64
+	writeFails  atomic.Uint64
+}
+
+// ClientConfig configures a writer session.
+type ClientConfig struct {
+	WriterNode netsim.NodeID
+	WriterAZ   netsim.AZ
+	// LAL is the LSN allocation limit; 0 selects core.DefaultLAL.
+	LAL int64
+	// NoCoalesce is an ablation: each framed batch flies as its own
+	// network message instead of coalescing with queued neighbours.
+	NoCoalesce bool
+}
+
+// Bootstrap attaches a brand-new writer to an empty fleet (a freshly
+// created volume). For a volume with history, use Recover.
+func Bootstrap(f *Fleet, cfg ClientConfig) *Client {
+	return newClient(f, cfg, core.ZeroLSN, nil, 0)
+}
+
+func newClient(f *Fleet, cfg ClientConfig, start core.LSN, tails map[core.PGID]core.LSN, epoch uint64) *Client {
+	f.cfg.Net.AddNode(cfg.WriterNode, cfg.WriterAZ)
+	alloc := core.NewAllocator(start, cfg.LAL)
+	c := &Client{
+		fleet:  f,
+		node:   cfg.WriterNode,
+		q:      f.q,
+		alloc:  alloc,
+		framer: core.NewFramer(alloc, tails),
+		vdl:    core.NewVDLTracker(start),
+		win:    newAckWindow(start),
+		tails:  NewPGTailTracker(tails),
+		reads:  newReadRegistry(start),
+		epoch:  epoch,
+		scls:   make(map[core.SegmentID]core.LSN),
+	}
+	c.vdl.Advance(start)
+	c.senders = make([][]*replicaSender, f.PGs())
+	for g := range c.senders {
+		replicas := f.Replicas(core.PGID(g))
+		c.senders[g] = make([]*replicaSender, len(replicas))
+		for i, n := range replicas {
+			c.senders[g][i] = newReplicaSender(c, core.PGID(g), i, n, cfg.NoCoalesce)
+		}
+	}
+	return c
+}
+
+// VDL returns the current volume durable LSN.
+func (c *Client) VDL() core.LSN { return c.vdl.VDL() }
+
+// WaitDurable blocks until the VDL reaches lsn (or the client closes).
+// This is the primitive behind asynchronous commit: the WAL protocol's
+// equivalent is completing a commit if and only if VDL >= commit LSN
+// (§4.2.2).
+func (c *Client) WaitDurable(lsn core.LSN) { c.vdl.Wait(lsn) }
+
+// DurableChan returns a channel closed once the VDL reaches lsn.
+func (c *Client) DurableChan(lsn core.LSN) <-chan struct{} { return c.vdl.WaitChan(lsn) }
+
+// Epoch returns the client's recovery epoch.
+func (c *Client) Epoch() uint64 { return c.epoch }
+
+// Fleet returns the underlying storage fleet.
+func (c *Client) Fleet() *Fleet { return c.fleet }
+
+// PGOf maps a page to its protection group.
+func (c *Client) PGOf(id core.PageID) core.PGID { return c.fleet.PGOf(id) }
+
+// DurableTail returns the highest record LSN of a protection group at or
+// below the VDL — the completeness a read of that PG requires (§4.2.3).
+func (c *Client) DurableTail(pg core.PGID) core.LSN { return c.tails.DurableTail(pg) }
+
+// LowWaterMark returns the current MRPL (see readRegistry).
+func (c *Client) LowWaterMark() core.LSN { return c.reads.lowWaterMark(c.vdl.VDL()) }
+
+// RegisterReadPoint establishes a read view at the current VDL, holding
+// the volume's low-water mark down until released. The engine uses it for
+// transaction snapshots; page reads register internally.
+func (c *Client) RegisterReadPoint() (core.LSN, func()) {
+	p := c.vdl.VDL()
+	return p, c.reads.register(p)
+}
+
+// PendingWrite is a framed mini-transaction whose batches have not yet
+// been shipped. Framing (LSN assignment) is cheap and can run under engine
+// latches; shipping waits for write quorums and must not.
+type PendingWrite struct {
+	c       *Client
+	batches []core.Batch
+	cpl     core.LSN
+	shipped bool
+}
+
+// CPL returns the mini-transaction's consistency point LSN.
+func (p *PendingWrite) CPL() core.LSN { return p.cpl }
+
+// LastLSNFor returns the highest LSN this MTR assigned to records of the
+// given page (ZeroLSN if none) — the engine stamps cached page LSNs with it.
+func (p *PendingWrite) LastLSNFor(id core.PageID) core.LSN {
+	var last core.LSN
+	for i := range p.batches {
+		for j := range p.batches[i].Records {
+			r := &p.batches[i].Records[j]
+			if r.PageRecord() && r.Page == id && r.LSN > last {
+				last = r.LSN
+			}
+		}
+	}
+	return last
+}
+
+// FrameMTR assigns LSNs and backlinks to the MTR and registers its
+// consistency point, without performing any IO. The write is on the wire
+// once Ship is called; until then it occupies the allocation window.
+func (c *Client) FrameMTR(m *core.MTR) (*PendingWrite, error) {
+	if c.closed.Load() {
+		return nil, ErrClosed
+	}
+	batches, cpl, err := c.framer.Frame(m)
+	if err != nil {
+		return nil, err
+	}
+	c.win.addCPL(cpl)
+	for i := range batches {
+		c.tails.Add(&batches[i])
+	}
+	c.mtrs.Add(1)
+	c.recsWritten.Add(uint64(len(m.Records)))
+	return &PendingWrite{c: c, batches: batches, cpl: cpl}, nil
+}
+
+// Ship delivers the framed batches to the storage fleet and returns once
+// every batch has reached its write quorum. Durability of the MTR
+// (VDL >= CPL) may still lag and is awaited separately — worker threads
+// never stall on commit (§4.2.2). Ship must be called exactly once.
+func (p *PendingWrite) Ship() error {
+	if p.shipped {
+		return errors.New("volume: pending write shipped twice")
+	}
+	p.shipped = true
+	c := p.c
+	var wg sync.WaitGroup
+	errs := make([]error, len(p.batches))
+	for i := range p.batches {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = c.shipBatch(&p.batches[i])
+		}(i)
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			c.writeFails.Add(1)
+			return e
+		}
+	}
+	return nil
+}
+
+// WriteMTR frames a mini-transaction into the log and ships it to the
+// storage fleet, returning once every batch has reached its 4/6 write
+// quorum. The returned LSN is the MTR's consistency point.
+func (c *Client) WriteMTR(m *core.MTR) (core.LSN, error) {
+	p, err := c.FrameMTR(m)
+	if err != nil {
+		return core.ZeroLSN, err
+	}
+	return p.cpl, p.Ship()
+}
+
+// noteSCL folds a piggybacked segment completeness point into the writer's
+// runtime view used for read routing.
+func (c *Client) noteSCL(a storage.Ack) {
+	c.sclMu.Lock()
+	if a.SCL > c.scls[a.Seg] {
+		c.scls[a.Seg] = a.SCL
+	}
+	c.sclMu.Unlock()
+}
+
+// trackedSCL returns the writer's last known SCL for a segment.
+func (c *Client) trackedSCL(seg core.SegmentID) core.LSN {
+	c.sclMu.RLock()
+	defer c.sclMu.RUnlock()
+	return c.scls[seg]
+}
+
+// ReadPage reads the latest durable version of a page. It establishes a
+// read point (the current VDL), computes the completeness the owning PG
+// requires, and asks a single segment known to be complete — quorum reads
+// are never needed in the normal path (§4.1, §4.2.3). It returns the page
+// and the read point it reflects.
+func (c *Client) ReadPage(id core.PageID) (page.Page, core.LSN, error) {
+	if c.closed.Load() {
+		return nil, core.ZeroLSN, ErrClosed
+	}
+	readPoint := c.vdl.VDL()
+	release := c.reads.register(readPoint)
+	defer release()
+	p, err := c.readAt(id, readPoint)
+	return p, readPoint, err
+}
+
+// ReadPageAt reads a page at a caller-held read point (a transaction
+// snapshot previously registered with RegisterReadPoint).
+func (c *Client) ReadPageAt(id core.PageID, readPoint core.LSN) (page.Page, error) {
+	if c.closed.Load() {
+		return nil, ErrClosed
+	}
+	return c.readAt(id, readPoint)
+}
+
+func (c *Client) readAt(id core.PageID, readPoint core.LSN) (page.Page, error) {
+	pg := c.fleet.PGOf(id)
+	// required may exceed readPoint when the tail advanced concurrently;
+	// that only makes the completeness demand conservative, never wrong.
+	required := c.tails.DurableTail(pg)
+	replicas := c.fleet.Replicas(pg)
+	myAZ, _ := c.fleet.cfg.Net.NodeAZ(c.node)
+
+	// Candidate order: same-AZ segments first (cheapest hop), then the
+	// rest; within a class prefer the most complete tracked SCL.
+	order := make([]int, 0, len(replicas))
+	var far []int
+	for i, n := range replicas {
+		if n.AZ() == myAZ {
+			order = append(order, i)
+		} else {
+			far = append(far, i)
+		}
+	}
+	order = append(order, far...)
+
+	var lastErr error = ErrReadUnavailable
+	for attempt, i := range order {
+		n := replicas[i]
+		if n.Down() {
+			continue
+		}
+		if c.trackedSCL(n.Seg()) < required && attempt < len(order)-1 {
+			// Writer knows this segment is behind; skip it unless it is the
+			// only candidate left (its SCL may have advanced via gossip).
+			continue
+		}
+		if err := c.fleet.cfg.Net.Send(c.node, n.NodeID(), reqSize); err != nil {
+			lastErr = err
+			continue
+		}
+		p, err := n.ReadPage(id, readPoint, required)
+		if err != nil {
+			lastErr = err
+			c.readRetries.Add(1)
+			continue
+		}
+		if err := c.fleet.cfg.Net.Send(n.NodeID(), c.node, page.Size); err != nil {
+			lastErr = err
+			continue
+		}
+		c.noteSCL(storage.Ack{Seg: n.Seg(), SCL: n.SCL()})
+		c.readsServed.Add(1)
+		return p, nil
+	}
+	return nil, fmt.Errorf("page %d at %d: %w", id, readPoint, lastErr)
+}
+
+// Stats is a snapshot of client counters.
+type Stats struct {
+	MTRs           uint64
+	RecordsWritten uint64
+	ReadsServed    uint64
+	ReadRetries    uint64
+	WriteFailures  uint64
+	VDL            core.LSN
+	HighestLSN     core.LSN
+	Backlog        int
+}
+
+// Stats returns a snapshot of client counters.
+func (c *Client) Stats() Stats {
+	return Stats{
+		MTRs:           c.mtrs.Load(),
+		RecordsWritten: c.recsWritten.Load(),
+		ReadsServed:    c.readsServed.Load(),
+		ReadRetries:    c.readRetries.Load(),
+		WriteFailures:  c.writeFails.Load(),
+		VDL:            c.vdl.VDL(),
+		HighestLSN:     c.alloc.HighestAllocated(),
+		Backlog:        c.win.outstanding(),
+	}
+}
+
+// Crash tears the writer down abruptly: in-flight waiters are released (to
+// re-check durability themselves) and no further operations are accepted.
+// The storage fleet is untouched — its durable state is what Recover reads.
+func (c *Client) Crash() {
+	if c.closed.Swap(true) {
+		return
+	}
+	for _, pg := range c.senders {
+		for _, s := range pg {
+			s.stop()
+		}
+	}
+	c.alloc.Close()
+	c.vdl.Close()
+	c.fleet.cfg.Net.RemoveNode(c.node)
+}
+
+// Close is a graceful Crash (identical effect in the simulation).
+func (c *Client) Close() { c.Crash() }

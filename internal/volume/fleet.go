@@ -1,0 +1,212 @@
+package volume
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"aurora/internal/core"
+	"aurora/internal/disk"
+	"aurora/internal/netsim"
+	"aurora/internal/objstore"
+	"aurora/internal/quorum"
+	"aurora/internal/storage"
+)
+
+// FleetConfig describes the storage fleet backing one volume.
+type FleetConfig struct {
+	// Name prefixes every storage node's network identity so several
+	// volumes can share one simulated network (multi-tenancy, §7.1).
+	Name string
+	// PGs is the number of protection groups. The volume's page space is
+	// striped across them: pg(page) = page mod PGs — the "high entropy"
+	// placement of §3.3.
+	PGs int
+	// Quorum is the replication scheme; zero value selects quorum.Aurora().
+	Quorum quorum.Config
+	Net    *netsim.Network
+	Disk   disk.Config
+	// Store receives continuous backups; nil disables them.
+	Store *objstore.Store
+	// Background cadence for the storage nodes (zero = storage defaults).
+	GossipInterval   time.Duration
+	CoalesceInterval time.Duration
+	BackupInterval   time.Duration
+	ScrubInterval    time.Duration
+}
+
+// Fleet owns the storage nodes of one volume: PGs protection groups of V
+// segment replicas each, placed two per AZ across three AZs (for the
+// default quorum).
+type Fleet struct {
+	cfg FleetConfig
+	q   quorum.Config
+	pgs [][]*storage.Node
+	gen int // migration generation counter for unique node names
+}
+
+// NewFleet provisions the storage nodes and wires each PG's peers.
+func NewFleet(cfg FleetConfig) (*Fleet, error) {
+	if cfg.PGs <= 0 {
+		return nil, errors.New("volume: PGs must be positive")
+	}
+	if cfg.Net == nil {
+		return nil, errors.New("volume: network required")
+	}
+	q := cfg.Quorum
+	if q.V == 0 {
+		q = quorum.Aurora()
+	}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Name == "" {
+		cfg.Name = "vol"
+	}
+	f := &Fleet{cfg: cfg, q: q}
+	f.pgs = make([][]*storage.Node, cfg.PGs)
+	for g := 0; g < cfg.PGs; g++ {
+		replicas := make([]*storage.Node, q.V)
+		for r := 0; r < q.V; r++ {
+			replicas[r] = storage.NewNode(storage.Config{
+				Seg:              core.SegmentID{PG: core.PGID(g), Replica: uint8(r)},
+				Node:             f.nodeName(g, r, 0),
+				AZ:               netsim.AZ(q.ReplicaAZ(r)),
+				Net:              cfg.Net,
+				Disk:             cfg.Disk,
+				Store:            cfg.Store,
+				GossipInterval:   cfg.GossipInterval,
+				CoalesceInterval: cfg.CoalesceInterval,
+				BackupInterval:   cfg.BackupInterval,
+				ScrubInterval:    cfg.ScrubInterval,
+			})
+		}
+		for _, n := range replicas {
+			n.SetPeers(replicas)
+		}
+		f.pgs[g] = replicas
+	}
+	return f, nil
+}
+
+func (f *Fleet) nodeName(pg, replica, gen int) netsim.NodeID {
+	if gen == 0 {
+		return netsim.NodeID(fmt.Sprintf("%s-pg%d-s%d", f.cfg.Name, pg, replica))
+	}
+	return netsim.NodeID(fmt.Sprintf("%s-pg%d-s%d-g%d", f.cfg.Name, pg, replica, gen))
+}
+
+// Quorum returns the replication scheme.
+func (f *Fleet) Quorum() quorum.Config { return f.q }
+
+// PGs returns the number of protection groups.
+func (f *Fleet) PGs() int { return len(f.pgs) }
+
+// PGOf maps a page onto its protection group.
+func (f *Fleet) PGOf(id core.PageID) core.PGID {
+	return core.PGID(uint64(id) % uint64(len(f.pgs)))
+}
+
+// Replicas returns the current replicas of a protection group.
+func (f *Fleet) Replicas(pg core.PGID) []*storage.Node {
+	return f.pgs[int(pg)%len(f.pgs)]
+}
+
+// Node returns one replica.
+func (f *Fleet) Node(pg core.PGID, replica int) *storage.Node {
+	return f.pgs[int(pg)%len(f.pgs)][replica]
+}
+
+// Start launches background loops on every storage node.
+func (f *Fleet) Start() {
+	for _, pg := range f.pgs {
+		for _, n := range pg {
+			n.Start()
+		}
+	}
+}
+
+// Stop terminates all background loops.
+func (f *Fleet) Stop() {
+	for _, pg := range f.pgs {
+		for _, n := range pg {
+			n.Stop()
+		}
+	}
+}
+
+// Net returns the underlying network.
+func (f *Fleet) Net() *netsim.Network { return f.cfg.Net }
+
+// Store returns the backup object store (may be nil).
+func (f *Fleet) Store() *objstore.Store { return f.cfg.Store }
+
+// ErrNoHealthyPeer is returned when a repair finds no source replica.
+var ErrNoHealthyPeer = errors.New("volume: no healthy peer to repair from")
+
+// RepairSegment re-replicates one segment from the first healthy peer in
+// its PG — the quorum repair that restores full replication after a
+// failure (§2.2).
+func (f *Fleet) RepairSegment(pg core.PGID, replica int) error {
+	replicas := f.Replicas(pg)
+	target := replicas[replica]
+	for i, peer := range replicas {
+		if i == replica || peer.Down() {
+			continue
+		}
+		if err := target.RepairFrom(peer); err == nil {
+			// One peer's snapshot may trail the quorum by a batch still in
+			// flight; gossip immediately to converge.
+			target.GossipOnce()
+			return nil
+		}
+	}
+	return fmt.Errorf("pg %d replica %d: %w", pg, replica, ErrNoHealthyPeer)
+}
+
+// MigrateSegment moves one segment replica to a fresh node in the given AZ
+// — heat management and fleet patching from §2.3: mark the segment bad,
+// repair the quorum onto a colder node, retire the old host. The storage
+// node's background loops are not started automatically; callers that run
+// a started fleet should Start() the returned node.
+func (f *Fleet) MigrateSegment(pg core.PGID, replica int, az netsim.AZ) (*storage.Node, error) {
+	replicas := f.Replicas(pg)
+	old := replicas[replica]
+	f.gen++
+	fresh := storage.NewNode(storage.Config{
+		Seg:              core.SegmentID{PG: pg, Replica: uint8(replica)},
+		Node:             f.nodeName(int(pg), replica, f.gen),
+		AZ:               az,
+		Net:              f.cfg.Net,
+		Disk:             f.cfg.Disk,
+		Store:            f.cfg.Store,
+		GossipInterval:   f.cfg.GossipInterval,
+		CoalesceInterval: f.cfg.CoalesceInterval,
+		BackupInterval:   f.cfg.BackupInterval,
+		ScrubInterval:    f.cfg.ScrubInterval,
+	})
+	var src *storage.Node
+	for i, peer := range replicas {
+		if i != replica && !peer.Down() {
+			src = peer
+			break
+		}
+	}
+	if src == nil {
+		f.cfg.Net.RemoveNode(fresh.NodeID())
+		return nil, fmt.Errorf("pg %d replica %d: %w", pg, replica, ErrNoHealthyPeer)
+	}
+	if err := fresh.RepairFrom(src); err != nil {
+		f.cfg.Net.RemoveNode(fresh.NodeID())
+		return nil, err
+	}
+	replicas[replica] = fresh
+	for _, n := range replicas {
+		n.SetPeers(replicas)
+	}
+	fresh.GossipOnce() // converge past any batch still in flight at copy time
+	old.Stop()
+	old.Crash()
+	f.cfg.Net.RemoveNode(old.NodeID())
+	return fresh, nil
+}

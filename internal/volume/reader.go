@@ -1,0 +1,66 @@
+package volume
+
+import (
+	"fmt"
+
+	"aurora/internal/core"
+	"aurora/internal/netsim"
+	"aurora/internal/page"
+)
+
+// Reader is a read-only attachment to a fleet, used by read replicas. A
+// replica learns the per-PG durable tails from the writer's log stream, so
+// it passes the completeness requirement explicitly.
+type Reader struct {
+	fleet *Fleet
+	node  netsim.NodeID
+}
+
+// NewReader registers a read-only consumer of the volume on the network.
+func NewReader(f *Fleet, node netsim.NodeID, az netsim.AZ) *Reader {
+	f.cfg.Net.AddNode(node, az)
+	return &Reader{fleet: f, node: node}
+}
+
+// ReadPageAt fetches the version of a page as of readPoint from a single
+// segment whose SCL covers required, preferring same-AZ replicas.
+func (r *Reader) ReadPageAt(id core.PageID, readPoint, required core.LSN) (page.Page, error) {
+	pg := r.fleet.PGOf(id)
+	replicas := r.fleet.Replicas(pg)
+	myAZ, _ := r.fleet.cfg.Net.NodeAZ(r.node)
+	order := make([]int, 0, len(replicas))
+	var far []int
+	for i, n := range replicas {
+		if n.AZ() == myAZ {
+			order = append(order, i)
+		} else {
+			far = append(far, i)
+		}
+	}
+	order = append(order, far...)
+	var lastErr error = ErrReadUnavailable
+	for _, i := range order {
+		n := replicas[i]
+		if n.Down() {
+			continue
+		}
+		if err := r.fleet.cfg.Net.Send(r.node, n.NodeID(), reqSize); err != nil {
+			lastErr = err
+			continue
+		}
+		p, err := n.ReadPage(id, readPoint, required)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if err := r.fleet.cfg.Net.Send(n.NodeID(), r.node, page.Size); err != nil {
+			lastErr = err
+			continue
+		}
+		return p, nil
+	}
+	return nil, fmt.Errorf("reader %s page %d at %d: %w", r.node, id, readPoint, lastErr)
+}
+
+// Close removes the reader from the network.
+func (r *Reader) Close() { r.fleet.cfg.Net.RemoveNode(r.node) }

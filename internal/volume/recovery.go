@@ -1,0 +1,163 @@
+package volume
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"aurora/internal/core"
+	"aurora/internal/storage"
+)
+
+// ErrQuorumLost is returned when a protection group cannot assemble a read
+// quorum during recovery — the volume's durability cannot be proven.
+var ErrQuorumLost = errors.New("volume: read quorum unavailable during recovery")
+
+// RecoveryReport describes what a volume recovery found and did. Aurora's
+// recovery never replays redo at the database: redo application lives on
+// the storage nodes and runs continuously, so recovery only has to
+// re-establish the durable points and truncate the uncommitted tail (§4.3).
+type RecoveryReport struct {
+	VCL        core.LSN // highest LSN with all prior records available
+	VDL        core.LSN // highest CPL <= VCL; volume truncated above this
+	UpperBound core.LSN // provable bound on outstanding LSNs (VDL + LAL)
+	Epoch      uint64   // the new truncation epoch
+	PGs        int
+	Contacted  int // storage nodes that answered
+	Duration   time.Duration
+	Tails      map[core.PGID]core.LSN // per-PG chain tails after truncation
+}
+
+// Recover attaches a new writer to a fleet with history: it contacts a
+// read quorum of every protection group, lets the storage service complete
+// its own gossip-driven repair, computes the VCL and VDL, writes an
+// epoch-versioned truncation range that annuls every record above the VDL
+// up to the provable allocation bound, and seeds a fresh client whose LSN
+// space begins above that bound so annulled LSNs are never reused (§4.1,
+// §4.3).
+func Recover(f *Fleet, cfg ClientConfig) (*Client, *RecoveryReport, error) {
+	start := time.Now()
+	lal := cfg.LAL
+	if lal <= 0 {
+		lal = core.DefaultLAL
+	}
+	// The new writer must exist on the network before it can probe.
+	f.cfg.Net.AddNode(cfg.WriterNode, cfg.WriterAZ)
+
+	rep := &RecoveryReport{PGs: f.PGs(), Tails: make(map[core.PGID]core.LSN)}
+
+	type pgState struct {
+		reachable []*storage.Node
+		scl       core.LSN
+		highest   core.LSN
+	}
+	states := make([]pgState, f.PGs())
+	var maxEpoch uint64
+
+	// Pass 1: contact a read quorum per PG and let storage self-repair.
+	for g := 0; g < f.PGs(); g++ {
+		pg := core.PGID(g)
+		var reachable []*storage.Node
+		for _, n := range f.Replicas(pg) {
+			if n.Down() || f.cfg.Net.NodeDown(n.NodeID()) {
+				continue
+			}
+			// A recovery probe must actually cross the network.
+			if err := f.cfg.Net.Send(cfg.WriterNode, n.NodeID(), reqSize); err != nil {
+				continue
+			}
+			reachable = append(reachable, n)
+		}
+		if len(reachable) < f.q.Vr {
+			return nil, nil, fmt.Errorf("pg %d: %d of %d reachable, need %d: %w",
+				g, len(reachable), f.q.V, f.q.Vr, ErrQuorumLost)
+		}
+		rep.Contacted += len(reachable)
+		// The storage service completes its own recovery first: gossip
+		// until the reachable replicas agree (§4.1).
+		storage.SyncGroup(reachable)
+		st := pgState{reachable: reachable}
+		for _, n := range reachable {
+			if s := n.SCL(); s > st.scl {
+				st.scl = s
+			}
+			if h := n.HighestLSN(); h > st.highest {
+				st.highest = h
+			}
+			if e := n.TruncationEpoch(); e > maxEpoch {
+				maxEpoch = e
+			}
+		}
+		states[g] = st
+	}
+
+	// Pass 2: compute the VCL. A PG whose replicas hold records above their
+	// completeness point has lost a predecessor forever (those records can
+	// never have been acked — a write quorum would intersect our read
+	// quorum) and caps the VCL at its SCL. PGs with clean chains impose no
+	// cap: absence of a record from a read quorum proves it never reached a
+	// write quorum.
+	var vcl core.LSN
+	for _, st := range states {
+		if st.scl > vcl {
+			vcl = st.scl
+		}
+	}
+	for _, st := range states {
+		if st.highest > st.scl && st.scl < vcl {
+			vcl = st.scl
+		}
+	}
+	rep.VCL = vcl
+
+	// Pass 3: VDL = highest CPL at or below the VCL, across all PGs.
+	var vdl core.LSN
+	for _, st := range states {
+		for _, n := range st.reachable {
+			if c := n.HighestCPLAtOrBelow(vcl); c > vdl {
+				vdl = c
+			}
+		}
+	}
+	rep.VDL = vdl
+	upper := vdl + core.LSN(lal)
+	rep.UpperBound = upper
+	rep.Epoch = maxEpoch + 1
+
+	// Pass 4: truncate (VDL, upper] everywhere, durably and epoch-guarded,
+	// so an interrupted-and-restarted recovery cannot resurrect the tail.
+	tr := core.TruncationRange{Epoch: rep.Epoch, From: vdl, To: upper}
+	for g := range states {
+		for _, n := range states[g].reachable {
+			if err := f.cfg.Net.Send(cfg.WriterNode, n.NodeID(), reqSize); err != nil {
+				continue
+			}
+			if err := n.Truncate(tr); err != nil {
+				return nil, nil, fmt.Errorf("pg %d truncate: %w", g, err)
+			}
+		}
+	}
+
+	// Pass 5: chain tails per PG (equal across reachable replicas after
+	// sync + truncation) seed the framer's backlinks and read routing.
+	tails := make(map[core.PGID]core.LSN, f.PGs())
+	for g := range states {
+		var tail core.LSN
+		for _, n := range states[g].reachable {
+			if s := n.SCL(); s > tail {
+				tail = s
+			}
+		}
+		if tail > core.ZeroLSN {
+			tails[core.PGID(g)] = tail
+		}
+		rep.Tails[core.PGID(g)] = tail
+	}
+
+	// The new LSN space begins above the provable bound: LSNs in the
+	// annulled range are never reused, so a replica that slept through
+	// recovery can never confuse an old record with a new one.
+	c := newClient(f, cfg, upper, tails, rep.Epoch)
+	rep.Duration = time.Since(start)
+	return c, rep, nil
+}

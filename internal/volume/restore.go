@@ -1,0 +1,86 @@
+package volume
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"aurora/internal/core"
+	"aurora/internal/storage"
+)
+
+// ErrNoBackup is returned when a protection group has no usable backup at
+// or before the requested restore point.
+var ErrNoBackup = errors.New("volume: no backup available for restore point")
+
+// RestoreReport describes a point-in-time restore.
+type RestoreReport struct {
+	AsOf     time.Time
+	Segments int // segments loaded from the object store
+	VDL      core.LSN
+	Epoch    uint64
+	Duration time.Duration
+}
+
+// RestoreFleet provisions a brand-new fleet whose state is the newest
+// continuous backup at or before asOf — point-in-time restore (§1, §5:
+// "backing up and restoring data from and to those volumes"). Storage
+// nodes stage snapshots to the object store continuously and
+// independently, so the restored segments are mutually inconsistent by up
+// to one backup interval; the standard volume recovery protocol then
+// brings the restored volume to a consistent durable point exactly as it
+// would after a crash: gossip to completeness, compute VCL/VDL, truncate
+// the tail.
+//
+// The source fleet is untouched: restore always creates a new volume, as
+// the managed service does.
+func RestoreFleet(cfg FleetConfig, asOf time.Time) (*Fleet, *RestoreReport, error) {
+	if cfg.Store == nil {
+		return nil, nil, errors.New("volume: restore requires an object store")
+	}
+	start := time.Now()
+	f, err := NewFleet(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	rep := &RestoreReport{AsOf: asOf}
+	for g := 0; g < f.PGs(); g++ {
+		pg := core.PGID(g)
+		loaded := 0
+		for r, n := range f.Replicas(pg) {
+			key := n.BackupKey()
+			snap, _, err := cfg.Store.GetAsOf(key, asOf)
+			if err != nil {
+				continue // this replica had no backup yet; repair below
+			}
+			if err := n.LoadSnapshot(snap); err != nil {
+				return nil, nil, fmt.Errorf("pg %d replica %d: %w", g, r, err)
+			}
+			loaded++
+		}
+		if loaded < f.Quorum().Vr {
+			return nil, nil, fmt.Errorf("pg %d: %d backups at or before %v: %w",
+				g, loaded, asOf, ErrNoBackup)
+		}
+		rep.Segments += loaded
+		// Replicas without a usable backup re-replicate from the restored
+		// peers, bringing the PG back to full strength.
+		for r, n := range f.Replicas(pg) {
+			if n.SCL() == core.ZeroLSN && n.HighestLSN() == core.ZeroLSN {
+				if err := f.RepairSegment(pg, r); err != nil {
+					return nil, nil, fmt.Errorf("pg %d replica %d repair: %w", g, r, err)
+				}
+			}
+		}
+	}
+	rep.Duration = time.Since(start)
+	return f, rep, nil
+}
+
+// SyncRestored runs the storage-side convergence a restored fleet needs
+// before recovery (exposed for observability; Recover also does this).
+func SyncRestored(f *Fleet) {
+	for g := 0; g < f.PGs(); g++ {
+		storage.SyncGroup(f.Replicas(core.PGID(g)))
+	}
+}

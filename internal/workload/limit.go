@@ -1,0 +1,135 @@
+package workload
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Limiter is a pacing token source: Take blocks until the caller's turn at
+// the configured rate. Waiters' sleeps aggregate, so very high rates stay
+// accurate even though individual sleeps are coarse.
+type Limiter struct {
+	mu       sync.Mutex
+	interval time.Duration
+	next     time.Time
+}
+
+// NewLimiter returns a limiter admitting opsPerSec operations per second.
+func NewLimiter(opsPerSec float64) *Limiter {
+	if opsPerSec <= 0 {
+		return nil
+	}
+	return &Limiter{interval: time.Duration(float64(time.Second) / opsPerSec)}
+}
+
+// Take blocks until the next slot. A nil limiter admits immediately.
+func (l *Limiter) Take() {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	now := time.Now()
+	if l.next.Before(now) {
+		l.next = now
+	}
+	at := l.next
+	l.next = l.next.Add(l.interval)
+	l.mu.Unlock()
+	if wait := time.Until(at); wait > 0 {
+		time.Sleep(wait)
+	}
+}
+
+// Limit wraps a database so that every statement consumes one slot of the
+// limiter — the harness's model of an instance's CPU capacity: an
+// r3.large simply cannot execute as many statements per second as an
+// r3.8xlarge, regardless of how fast the simulation host is (§6.1.1).
+func Limit(db DB, opsPerSec float64) DB {
+	l := NewLimiter(opsPerSec)
+	return DBFunc(func() Tx { return &limitedTx{inner: db.Begin(), l: l} })
+}
+
+type limitedTx struct {
+	inner Tx
+	l     *Limiter
+}
+
+func (t *limitedTx) Get(key []byte) ([]byte, bool, error) {
+	t.l.Take()
+	return t.inner.Get(key)
+}
+func (t *limitedTx) Put(key, val []byte) error {
+	t.l.Take()
+	return t.inner.Put(key, val)
+}
+func (t *limitedTx) Delete(key []byte) error {
+	t.l.Take()
+	return t.inner.Delete(key)
+}
+func (t *limitedTx) Scan(from, to []byte, fn func(k, v []byte) bool) error {
+	t.l.Take()
+	return t.inner.Scan(from, to, fn)
+}
+func (t *limitedTx) Commit() error { return t.inner.Commit() }
+func (t *limitedTx) Abort()        { t.inner.Abort() }
+
+// ThreadThrash models the thread-per-connection scheduler of the
+// traditional engine: beyond a threshold of concurrent connections, each
+// transaction pays a context-switch toll that grows with the square of the
+// excess — and the toll is paid inside the scheduler, serially. This is
+// the mechanism behind MySQL's throughput collapse at thousands of
+// connections (§6.1.3); Aurora's engine, with commits off the thread and
+// storage absorbing the parallelism, keeps scaling instead.
+func ThreadThrash(db DB, threshold int, perConnSquared time.Duration) DB {
+	tt := &thrasher{inner: db, threshold: threshold, unit: perConnSquared}
+	return tt
+}
+
+type thrasher struct {
+	inner     DB
+	threshold int
+	unit      time.Duration
+	active    atomic.Int64
+	sched     sync.Mutex
+}
+
+// Begin implements DB.
+func (t *thrasher) Begin() Tx {
+	n := int(t.active.Add(1))
+	if excess := n - t.threshold; excess > 0 && t.unit > 0 {
+		toll := time.Duration(excess*excess) * t.unit
+		t.sched.Lock()
+		time.Sleep(toll)
+		t.sched.Unlock()
+	}
+	return &thrashTx{inner: t.inner.Begin(), t: t}
+}
+
+type thrashTx struct {
+	inner Tx
+	t     *thrasher
+	done  bool
+}
+
+func (x *thrashTx) release() {
+	if !x.done {
+		x.done = true
+		x.t.active.Add(-1)
+	}
+}
+
+func (x *thrashTx) Get(key []byte) ([]byte, bool, error) { return x.inner.Get(key) }
+func (x *thrashTx) Put(key, val []byte) error            { return x.inner.Put(key, val) }
+func (x *thrashTx) Delete(key []byte) error              { return x.inner.Delete(key) }
+func (x *thrashTx) Scan(from, to []byte, fn func(k, v []byte) bool) error {
+	return x.inner.Scan(from, to, fn)
+}
+func (x *thrashTx) Commit() error {
+	defer x.release()
+	return x.inner.Commit()
+}
+func (x *thrashTx) Abort() {
+	defer x.release()
+	x.inner.Abort()
+}

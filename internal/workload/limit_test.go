@@ -1,0 +1,118 @@
+package workload
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeTx counts operations.
+type fakeTx struct{ gets, puts int }
+
+func (f *fakeTx) Get([]byte) ([]byte, bool, error)                 { f.gets++; return nil, false, nil }
+func (f *fakeTx) Put(_, _ []byte) error                            { f.puts++; return nil }
+func (f *fakeTx) Delete([]byte) error                              { return nil }
+func (f *fakeTx) Scan(_, _ []byte, _ func(k, v []byte) bool) error { return nil }
+func (f *fakeTx) Commit() error                                    { return nil }
+func (f *fakeTx) Abort()                                           {}
+
+func TestLimiterRate(t *testing.T) {
+	l := NewLimiter(1000) // 1ms apart
+	start := time.Now()
+	for i := 0; i < 50; i++ {
+		l.Take()
+	}
+	elapsed := time.Since(start)
+	if elapsed < 40*time.Millisecond {
+		t.Fatalf("50 ops at 1000/s took %v, want >= ~49ms", elapsed)
+	}
+}
+
+func TestLimiterNilAdmitsAll(t *testing.T) {
+	var l *Limiter
+	start := time.Now()
+	for i := 0; i < 1000; i++ {
+		l.Take()
+	}
+	if time.Since(start) > 50*time.Millisecond {
+		t.Fatal("nil limiter throttled")
+	}
+	if NewLimiter(0) != nil {
+		t.Fatal("zero rate should return nil limiter")
+	}
+}
+
+func TestLimiterConcurrentAggregateRate(t *testing.T) {
+	l := NewLimiter(2000)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				l.Take()
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	// 200 ops at 2000/s ≈ 100ms regardless of concurrency.
+	if elapsed < 80*time.Millisecond {
+		t.Fatalf("200 ops at 2000/s took %v across 8 goroutines", elapsed)
+	}
+}
+
+func TestLimitWrapsStatements(t *testing.T) {
+	inner := &fakeTx{}
+	db := Limit(DBFunc(func() Tx { return inner }), 1e9)
+	tx := db.Begin()
+	if _, _, err := tx.Get([]byte("k")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if inner.gets != 1 || inner.puts != 1 {
+		t.Fatalf("ops not forwarded: %+v", inner)
+	}
+}
+
+func TestThreadThrashTollGrowsAndSerializes(t *testing.T) {
+	db := ThreadThrash(DBFunc(func() Tx { return &fakeTx{} }), 2, 50*time.Microsecond)
+
+	// Hold transactions open so the active count climbs past the
+	// threshold; each further Begin pays a growing quadratic toll.
+	var txs []Tx
+	start := time.Now()
+	for i := 0; i < 6; i++ {
+		txs = append(txs, db.Begin())
+	}
+	elapsed := time.Since(start)
+	// Tolls for begins 3..6: (1+4+9+16)*50µs = 1.5ms.
+	if elapsed < time.Millisecond {
+		t.Fatalf("no thrash toll observed (%v)", elapsed)
+	}
+	for _, tx := range txs {
+		tx.Commit() //nolint:errcheck
+	}
+	// After commits release the actives, a fresh Begin is cheap again.
+	start = time.Now()
+	db.Begin().Commit() //nolint:errcheck
+	if time.Since(start) > 500*time.Microsecond {
+		t.Fatalf("toll persisted after release (%v)", time.Since(start))
+	}
+	// Below the threshold there is no toll.
+	fast := ThreadThrash(DBFunc(func() Tx { return &fakeTx{} }), 100, time.Millisecond)
+	start = time.Now()
+	for i := 0; i < 50; i++ {
+		tx := fast.Begin()
+		tx.Commit() //nolint:errcheck
+	}
+	if time.Since(start) > 100*time.Millisecond {
+		t.Fatal("toll charged below threshold")
+	}
+}

@@ -1,0 +1,229 @@
+// Package zdp implements Zero-Downtime Patching (§7.4, Figure 12): the
+// engine looks for an instant when no transactions are active, spools
+// session state to local ephemeral storage, swaps the engine underneath,
+// reloads the state, and resumes — with client connections unaffected and
+// oblivious to the swap.
+package zdp
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"aurora/internal/engine"
+)
+
+// Errors returned by the proxy.
+var (
+	ErrNoQuiesce      = errors.New("zdp: no transaction-free instant found within timeout")
+	ErrSessionUnknown = errors.New("zdp: unknown session")
+)
+
+// Session is the per-connection state that must survive a patch: the
+// application-visible context (variables, sequence counters) that a
+// connection accumulates.
+type Session struct {
+	ID   int               `json:"id"`
+	Vars map[string]string `json:"vars"`
+	Seq  int               `json:"seq"` // statements executed on this session
+}
+
+// PatchReport describes one zero-downtime patch.
+type PatchReport struct {
+	Sessions     int           // sessions spooled and restored
+	SpoolBytes   int           // bytes written to ephemeral storage
+	PauseLatency time.Duration // how long new statements were held
+	WaitedFor    time.Duration // time spent waiting for a quiet instant
+}
+
+// Proxy fronts the database engine: clients hold sessions on the proxy,
+// and the proxy routes statements to whichever engine is current. During a
+// patch, statements are briefly held, never dropped.
+type Proxy struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	db       *engine.DB
+	sessions map[int]*Session
+	nextID   int
+	active   int  // statements in flight
+	paused   bool // patch in progress: hold new statements
+
+	patches int
+}
+
+// NewProxy wraps an engine.
+func NewProxy(db *engine.DB) *Proxy {
+	p := &Proxy{db: db, sessions: make(map[int]*Session)}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+// Connect opens a new client session.
+func (p *Proxy) Connect() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	id := p.nextID
+	p.nextID++
+	p.sessions[id] = &Session{ID: id, Vars: make(map[string]string)}
+	return id
+}
+
+// Disconnect closes a session.
+func (p *Proxy) Disconnect(id int) {
+	p.mu.Lock()
+	delete(p.sessions, id)
+	p.mu.Unlock()
+}
+
+// SetVar records session state (the kind of context ZDP must preserve).
+func (p *Proxy) SetVar(id int, k, v string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s, ok := p.sessions[id]
+	if !ok {
+		return ErrSessionUnknown
+	}
+	s.Vars[k] = v
+	return nil
+}
+
+// Var reads session state.
+func (p *Proxy) Var(id int, k string) (string, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s, ok := p.sessions[id]
+	if !ok {
+		return "", ErrSessionUnknown
+	}
+	return s.Vars[k], nil
+}
+
+// Exec runs one statement on a session. If a patch is in progress the
+// statement waits for the new engine; the connection never errors.
+func (p *Proxy) Exec(id int, fn func(db *engine.DB) error) error {
+	p.mu.Lock()
+	s, ok := p.sessions[id]
+	if !ok {
+		p.mu.Unlock()
+		return ErrSessionUnknown
+	}
+	for p.paused {
+		p.cond.Wait()
+	}
+	db := p.db
+	p.active++
+	s.Seq++
+	p.mu.Unlock()
+
+	err := fn(db)
+
+	p.mu.Lock()
+	p.active--
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	return err
+}
+
+// Sessions returns the number of live sessions.
+func (p *Proxy) Sessions() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.sessions)
+}
+
+// Patches returns how many patches have been applied.
+func (p *Proxy) Patches() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.patches
+}
+
+// DB returns the current engine (tests).
+func (p *Proxy) DB() *engine.DB {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.db
+}
+
+// Patch performs the zero-downtime patch: wait for an instant with no
+// active statements (bounded by timeout), spool session state, swap the
+// engine for the one produced by build (the "patched" engine), restore the
+// sessions, and resume held statements.
+func (p *Proxy) Patch(build func(old *engine.DB) (*engine.DB, error), timeout time.Duration) (*PatchReport, error) {
+	waitStart := time.Now()
+	deadline := waitStart.Add(timeout)
+	// A deadline waker so the quiesce loop re-checks even if no statement
+	// completes (e.g. a hung client).
+	stopWake := make(chan struct{})
+	defer close(stopWake)
+	go func() {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		select {
+		case <-t.C:
+			p.mu.Lock()
+			p.cond.Broadcast()
+			p.mu.Unlock()
+		case <-stopWake:
+		}
+	}()
+
+	p.mu.Lock()
+	p.paused = true
+	for p.active > 0 {
+		if time.Now().After(deadline) {
+			p.paused = false
+			p.cond.Broadcast()
+			p.mu.Unlock()
+			return nil, ErrNoQuiesce
+		}
+		// Poll: waiters signal on completion via cond.
+		p.cond.Wait()
+	}
+	waited := time.Since(waitStart)
+	pauseStart := time.Now()
+
+	// Spool application state to ephemeral storage.
+	spool, err := json.Marshal(p.sessions)
+	if err != nil {
+		p.paused = false
+		p.cond.Broadcast()
+		p.mu.Unlock()
+		return nil, err
+	}
+	old := p.db
+	p.mu.Unlock()
+
+	// Patch the engine while no statement is running.
+	patched, err := build(old)
+	if err != nil {
+		p.mu.Lock()
+		p.paused = false
+		p.cond.Broadcast()
+		p.mu.Unlock()
+		return nil, fmt.Errorf("zdp: engine build failed, resuming on old engine: %w", err)
+	}
+
+	// Reload the spooled state and resume.
+	var restored map[int]*Session
+	if err := json.Unmarshal(spool, &restored); err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	p.db = patched
+	p.sessions = restored
+	p.patches++
+	p.paused = false
+	p.cond.Broadcast()
+	n := len(restored)
+	p.mu.Unlock()
+
+	return &PatchReport{
+		Sessions:     n,
+		SpoolBytes:   len(spool),
+		PauseLatency: time.Since(pauseStart),
+		WaitedFor:    waited,
+	}, nil
+}

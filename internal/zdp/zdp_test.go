@@ -1,0 +1,185 @@
+package zdp
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"aurora/internal/disk"
+	"aurora/internal/engine"
+	"aurora/internal/netsim"
+	"aurora/internal/volume"
+)
+
+func stack(t *testing.T) (*volume.Fleet, *engine.DB) {
+	t.Helper()
+	net := netsim.New(netsim.FastLocal())
+	f, err := volume.NewFleet(volume.FleetConfig{Name: "z", PGs: 2, Net: net, Disk: disk.FastLocal()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vol := volume.Bootstrap(f, volume.ClientConfig{WriterNode: "writer", WriterAZ: 0})
+	db, err := engine.Create(vol, engine.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f, db
+}
+
+// rebuild produces the "patched" engine: the old writer closes and a new
+// one recovers the same volume.
+func rebuild(f *volume.Fleet, gen *int) func(old *engine.DB) (*engine.DB, error) {
+	return func(old *engine.DB) (*engine.DB, error) {
+		old.Crash()
+		*gen++
+		db, _, err := engine.Recover(f, volume.ClientConfig{
+			WriterNode: netsim.NodeID(fmt.Sprintf("writer-g%d", *gen)), WriterAZ: 0,
+		}, engine.Config{})
+		return db, err
+	}
+}
+
+func TestSessionsSurvivePatch(t *testing.T) {
+	f, db := stack(t)
+	p := NewProxy(db)
+	gen := 0
+
+	// Three sessions with state and data.
+	ids := make([]int, 3)
+	for i := range ids {
+		ids[i] = p.Connect()
+		if err := p.SetVar(ids[i], "name", fmt.Sprintf("client-%d", i)); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Exec(ids[i], func(db *engine.DB) error {
+			return db.Put([]byte(fmt.Sprintf("s%d", i)), []byte("pre-patch"))
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	rep, err := p.Patch(rebuild(f, &gen), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sessions != 3 || rep.SpoolBytes == 0 {
+		t.Fatalf("report %+v", rep)
+	}
+	if p.Patches() != 1 {
+		t.Fatal("patch not counted")
+	}
+
+	// Sessions, their state, and the data all survive.
+	for i, id := range ids {
+		v, err := p.Var(id, "name")
+		if err != nil || v != fmt.Sprintf("client-%d", i) {
+			t.Fatalf("session %d var %q %v", id, v, err)
+		}
+		if err := p.Exec(id, func(db *engine.DB) error {
+			got, ok, err := db.Get([]byte(fmt.Sprintf("s%d", i)))
+			if err != nil || !ok || string(got) != "pre-patch" {
+				return fmt.Errorf("data lost: %q %v %v", got, ok, err)
+			}
+			return db.Put([]byte(fmt.Sprintf("s%d-post", i)), []byte("post-patch"))
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.DB().Close()
+}
+
+func TestPatchUnderLiveLoad(t *testing.T) {
+	f, db := stack(t)
+	p := NewProxy(db)
+	gen := 0
+
+	const workers = 4
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			id := p.Connect()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				err := p.Exec(id, func(db *engine.DB) error {
+					return db.Put([]byte(fmt.Sprintf("w%d-%06d", w, i)), []byte("x"))
+				})
+				if err != nil {
+					errs <- fmt.Errorf("worker %d op %d: %w", w, i, err)
+					return
+				}
+			}
+		}(w)
+	}
+	time.Sleep(30 * time.Millisecond)
+	rep, err := p.Patch(rebuild(f, &gen), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(30 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatalf("a connection observed the patch: %v", err)
+	default:
+	}
+	if rep.Sessions != workers {
+		t.Fatalf("sessions %d", rep.Sessions)
+	}
+	// In-flight connections were never dropped and writes continued on the
+	// patched engine.
+	if p.DB().Stats().Commits == 0 {
+		t.Fatal("no commits on patched engine")
+	}
+	p.DB().Close()
+}
+
+func TestPatchTimesOutWithHungStatement(t *testing.T) {
+	f, db := stack(t)
+	defer db.Close()
+	p := NewProxy(db)
+	id := p.Connect()
+	release := make(chan struct{})
+	go p.Exec(id, func(*engine.DB) error { <-release; return nil }) //nolint:errcheck
+	time.Sleep(20 * time.Millisecond)
+	gen := 0
+	_, err := p.Patch(rebuild(f, &gen), 80*time.Millisecond)
+	if !errors.Is(err, ErrNoQuiesce) {
+		t.Fatalf("want ErrNoQuiesce, got %v", err)
+	}
+	close(release)
+	// Engine still works after the failed patch.
+	if err := p.Exec(id, func(db *engine.DB) error { return db.Put([]byte("k"), []byte("v")) }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDisconnectAndUnknownSession(t *testing.T) {
+	_, db := stack(t)
+	defer db.Close()
+	p := NewProxy(db)
+	id := p.Connect()
+	if p.Sessions() != 1 {
+		t.Fatal("session count")
+	}
+	p.Disconnect(id)
+	if err := p.Exec(id, func(*engine.DB) error { return nil }); !errors.Is(err, ErrSessionUnknown) {
+		t.Fatalf("exec on dead session: %v", err)
+	}
+	if _, err := p.Var(id, "k"); !errors.Is(err, ErrSessionUnknown) {
+		t.Fatalf("var on dead session: %v", err)
+	}
+	if err := p.SetVar(id, "k", "v"); !errors.Is(err, ErrSessionUnknown) {
+		t.Fatalf("setvar on dead session: %v", err)
+	}
+}
