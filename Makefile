@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: all build vet test race chaos-smoke ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# Tier-1: the suite that must stay green on every change.
+test: build vet
+	$(GO) test ./...
+
+# Race-detector pass over the concurrency-heavy packages.
+race:
+	$(GO) test -race ./internal/volume/ ./internal/chaos/ ./internal/storage/ \
+		./internal/netsim/ ./internal/metrics/ ./internal/quorum/ ./internal/engine/
+
+# Short gray-failure drill: fails unless zero data errors, >=99% write
+# success, and the retry / hedge / auto-repair machinery all engaged.
+chaos-smoke:
+	$(GO) run ./cmd/aurora-chaos -rounds 4 -probes 25 -seed 7
+
+ci: test race chaos-smoke

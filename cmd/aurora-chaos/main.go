@@ -1,7 +1,10 @@
 // aurora-chaos runs a randomized fault-injection campaign against a full
 // Aurora stack: node crashes, AZ outages, segment wipes with repair, slow
-// disks and page corruption, all while a probe workload verifies that
-// committed data is never lost or wrong (§2's operational claims).
+// disks and page corruption, plus the gray regime — probabilistic packet
+// loss and slow-but-alive nodes — all while a probe workload verifies that
+// committed data is never lost or wrong (§2's operational claims) and that
+// the gray-failure machinery (write retry, hedged reads, self-driven
+// repair) actually engaged.
 package main
 
 import (
@@ -21,9 +24,10 @@ import (
 )
 
 func main() {
-	rounds := flag.Int("rounds", 5, "fault rounds")
+	rounds := flag.Int("rounds", 5, "random fault rounds")
 	seed := flag.Int64("seed", 7, "rng seed")
-	hold := flag.Duration("hold", 50*time.Millisecond, "how long each fault stays active")
+	probes := flag.Int("probes", 40, "probe rounds per active fault (deterministic pacing)")
+	gray := flag.Bool("gray", true, "include the gray regime: packet loss, gray-slow replicas, self-healed wipe")
 	flag.Parse()
 
 	net := netsim.New(netsim.Datacenter())
@@ -42,6 +46,21 @@ func main() {
 
 	rng := rand.New(rand.NewSource(*seed))
 	var faults []chaos.Fault
+	if *gray {
+		// The gray regime: 10% packet loss fleet-wide plus one gray-slow
+		// replica per PG (always a same-AZ one, so it would be the
+		// preferred read target without health-ordered hedging).
+		regime := []chaos.Fault{chaos.PacketLoss(net, 0.10)}
+		for pg := 0; pg < fleet.PGs(); pg++ {
+			slow := fleet.Node(core.PGID(pg), pg%2)
+			regime = append(regime, chaos.GraySlowNode(net, slow.NodeID(), 2*time.Millisecond))
+		}
+		faults = append(faults, chaos.Compose("gray regime: 10% loss + slow replicas", regime...))
+		// One wipe healed only by the fleet's own repair monitor. PG0 holds
+		// the btree root, so every probe write ships it a delta and the
+		// wiped replica's failure streak is guaranteed to build.
+		faults = append(faults, chaos.WipeNode(fleet, 0, rng.Intn(6)))
+	}
 	for i := 0; i < *rounds; i++ {
 		pg := core.PGID(rng.Intn(fleet.PGs()))
 		replica := rng.Intn(6)
@@ -57,21 +76,60 @@ func main() {
 		}
 	}
 
-	fmt.Printf("chaos campaign: %d faults, %v hold, seed %d\n", len(faults), *hold, *seed)
+	fmt.Printf("chaos campaign: %d faults, %d probes/fault, seed %d\n", len(faults), *probes, *seed)
 	for _, f := range faults {
 		fmt.Printf("  - %s\n", f.Name)
 	}
-	runner := &chaos.Runner{DB: db, Faults: faults, HoldFor: *hold, Seed: *seed}
+	runner := &chaos.Runner{DB: db, Faults: faults, ProbesPerFault: *probes, Seed: *seed}
 	rep := runner.Run()
+
+	// Give the self-driven repair monitor a bounded window to finish any
+	// in-flight catch-up before reading the counters.
+	if *gray {
+		deadline := time.Now().Add(2 * time.Second)
+		for fleet.Health().Stats().AutoRepairs == 0 && time.Now().Before(deadline) {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	hs := fleet.Health().Stats()
 
 	fmt.Printf("\nresults:\n")
 	fmt.Printf("  faults injected : %d\n", rep.FaultsInjected)
 	fmt.Printf("  writes          : %d ok / %d attempted\n", rep.WritesOK, rep.WritesAttempted)
 	fmt.Printf("  reads           : %d ok / %d attempted\n", rep.ReadsOK, rep.ReadsAttempted)
 	fmt.Printf("  data errors     : %d\n", rep.DataErrors)
-	if rep.DataErrors > 0 {
-		fmt.Println("FAIL: committed data was lost or wrong")
+	fmt.Printf("  write retries   : %d\n", hs.Retries)
+	fmt.Printf("  hedged reads    : %d launched, %d won\n", hs.Hedges, hs.HedgeWins)
+	fmt.Printf("  auto repairs    : %d\n", hs.AutoRepairs)
+	fmt.Printf("  resp drops      : %d\n", hs.RespDrops)
+	fmt.Printf("  volume reads    : %d served\n", vol.Stats().ReadsServed)
+	for _, e := range rep.HealErrors {
+		fmt.Printf("  heal error      : %v\n", e)
+	}
+
+	fail := func(msg string) {
+		fmt.Printf("FAIL: %s\n", msg)
 		os.Exit(1)
+	}
+	if rep.DataErrors > 0 {
+		fail("committed data was lost or wrong")
+	}
+	if rep.WritesOK*100 < rep.WritesAttempted*99 {
+		fail(fmt.Sprintf("write success rate %.2f%% below 99%%",
+			100*float64(rep.WritesOK)/float64(rep.WritesAttempted)))
+	}
+	if *gray {
+		if hs.Retries == 0 {
+			fail("gray regime ran but the write path never retried")
+		}
+		if hs.Hedges == 0 {
+			fail("gray regime ran but no read was ever hedged")
+		}
+		if hs.AutoRepairs == 0 {
+			fail("wiped segment was never self-repaired")
+		}
+		fmt.Println("PASS: no committed data lost under chaos; gray-failure machinery engaged")
+		return
 	}
 	fmt.Println("PASS: no committed data lost under chaos")
 }

@@ -1,7 +1,8 @@
 // Package chaos provides scripted fault injection against an Aurora
-// cluster: node crashes, AZ outages, slow and failed disks, partitions and
-// page corruption — the "continuous low level background noise of node,
-// disk and network path failures" of §2.1 — together with invariant
+// cluster: node crashes, AZ outages, slow and failed disks, partitions,
+// page corruption, and the gray regime — probabilistic packet loss and
+// slow-but-alive nodes — the "continuous low level background noise of
+// node, disk and network path failures" of §2.1, together with invariant
 // checkers that verify the cluster's availability claims while faults are
 // active.
 package chaos
@@ -17,11 +18,13 @@ import (
 	"aurora/internal/volume"
 )
 
-// Fault is one injectable failure with its undo.
+// Fault is one injectable failure with its undo. Heal reports whether the
+// undo itself succeeded; a fleet healthy enough to probe may still be too
+// degraded to repair, and that is a result, not a panic.
 type Fault struct {
 	Name   string
 	Inject func()
-	Heal   func()
+	Heal   func() error
 }
 
 // CrashNode crashes one storage node.
@@ -30,24 +33,41 @@ func CrashNode(f *volume.Fleet, pg core.PGID, replica int) Fault {
 	return Fault{
 		Name:   fmt.Sprintf("crash %s", n.NodeID()),
 		Inject: n.Crash,
-		Heal: func() {
+		Heal: func() error {
 			n.Restart()
 			n.GossipOnce()
+			return nil
 		},
 	}
 }
 
-// WipeAndRepairNode destroys a segment's disk; healing re-replicates it.
+// WipeAndRepairNode destroys a segment's disk; healing re-replicates it. A
+// failed repair is propagated into the report's HealErrors, not panicked —
+// the probe workload keeps judging the cluster either way.
 func WipeAndRepairNode(f *volume.Fleet, pg core.PGID, replica int) Fault {
 	n := f.Node(pg, replica)
 	return Fault{
 		Name:   fmt.Sprintf("wipe %s", n.NodeID()),
 		Inject: n.Wipe,
-		Heal: func() {
+		Heal: func() error {
 			if err := f.RepairSegment(pg, replica); err != nil {
-				panic(fmt.Sprintf("chaos: repair failed: %v", err))
+				return fmt.Errorf("repair %s: %w", n.NodeID(), err)
 			}
+			return nil
 		},
+	}
+}
+
+// WipeNode destroys a segment's disk and deliberately leaves healing to the
+// fleet's self-driven repair monitor: the write path's failure streak marks
+// the replica suspect, and the monitor re-replicates it (§2.3's MTTR loop)
+// with no chaos-script intervention.
+func WipeNode(f *volume.Fleet, pg core.PGID, replica int) Fault {
+	n := f.Node(pg, replica)
+	return Fault{
+		Name:   fmt.Sprintf("wipe %s (self-heal)", n.NodeID()),
+		Inject: n.Wipe,
+		Heal:   func() error { return nil },
 	}
 }
 
@@ -56,7 +76,7 @@ func AZOutage(net *netsim.Network, az netsim.AZ) Fault {
 	return Fault{
 		Name:   fmt.Sprintf("AZ %d outage", az),
 		Inject: func() { net.SetAZDown(az, true) },
-		Heal:   func() { net.SetAZDown(az, false) },
+		Heal:   func() error { net.SetAZDown(az, false); return nil },
 	}
 }
 
@@ -66,7 +86,30 @@ func SlowDisk(f *volume.Fleet, pg core.PGID, replica int) Fault {
 	return Fault{
 		Name:   fmt.Sprintf("slow disk pg%d/%d", pg, replica),
 		Inject: func() { d.SetSlow(20) },
-		Heal:   func() { d.SetSlow(0) },
+		Heal:   func() error { d.SetSlow(0); return nil },
+	}
+}
+
+// PacketLoss silently drops a fraction of every message on the network —
+// the gray path regime. The write path must ride it out with redelivery,
+// the read path with hedging; no committed data may be lost.
+func PacketLoss(net *netsim.Network, prob float64) Fault {
+	return Fault{
+		Name:   fmt.Sprintf("packet loss %.0f%%", prob*100),
+		Inject: func() { net.SetDropProb(prob) },
+		Heal:   func() error { net.SetDropProb(0); return nil },
+	}
+}
+
+// GraySlowNode inflates the latency of every message touching one node
+// without marking it down — the classic gray failure: alive, acking,
+// stalling. Hedged reads and health-ordered routing must keep the tail
+// bounded while the quorum absorbs the slow acks.
+func GraySlowNode(net *netsim.Network, id netsim.NodeID, delay time.Duration) Fault {
+	return Fault{
+		Name:   fmt.Sprintf("gray-slow %s (+%v)", id, delay),
+		Inject: func() { _ = net.SetNodeDelay(id, delay) },
+		Heal:   func() error { return net.SetNodeDelay(id, 0) },
 	}
 }
 
@@ -76,7 +119,30 @@ func CorruptPage(f *volume.Fleet, pg core.PGID, replica int, page core.PageID) F
 	return Fault{
 		Name:   fmt.Sprintf("corrupt pg%d/%d page %d", pg, replica, page),
 		Inject: func() { n.CorruptPage(page) },
-		Heal:   func() { n.ScrubOnce() },
+		Heal:   func() error { n.ScrubOnce(); return nil },
+	}
+}
+
+// Compose bundles several faults into one that injects and heals them
+// together — a failure regime (e.g. packet loss plus gray-slow replicas)
+// rather than a single event.
+func Compose(name string, faults ...Fault) Fault {
+	return Fault{
+		Name: name,
+		Inject: func() {
+			for _, f := range faults {
+				f.Inject()
+			}
+		},
+		Heal: func() error {
+			var firstErr error
+			for _, f := range faults {
+				if err := f.Heal(); err != nil && firstErr == nil {
+					firstErr = err
+				}
+			}
+			return firstErr
+		},
 	}
 }
 
@@ -87,31 +153,51 @@ type Report struct {
 	WritesOK        int
 	ReadsAttempted  int
 	ReadsOK         int
-	DataErrors      int // reads that returned wrong data: must be zero
+	DataErrors      int     // reads that returned wrong data: must be zero
+	HealErrors      []error // fault undos that failed (e.g. repair without peers)
 }
 
 // Runner drives a workload while injecting faults from a schedule.
 type Runner struct {
 	DB     *engine.DB
 	Faults []Fault
-	// HoldFor is how long each fault stays active (default 20ms).
-	HoldFor time.Duration
-	Seed    int64
+	// ProbesPerFault is how many probe rounds run while each fault is
+	// active (default 40). Pacing is a deterministic probe count, not a
+	// wall-clock window, so a loaded CI machine exercises exactly the
+	// same schedule as an idle one.
+	ProbesPerFault int
+	// HealedProbes is how many probe rounds run after each heal
+	// (default 5).
+	HealedProbes int
+	Seed         int64
 }
 
 // Run injects each fault in turn while writing and reading a set of probe
 // rows, verifying that every successful read returns the value most
 // recently committed for that key.
 func (r *Runner) Run() Report {
-	if r.HoldFor <= 0 {
-		r.HoldFor = 20 * time.Millisecond
+	if r.ProbesPerFault <= 0 {
+		r.ProbesPerFault = 40
+	}
+	if r.HealedProbes <= 0 {
+		r.HealedProbes = 5
 	}
 	rng := rand.New(rand.NewSource(r.Seed))
 	rep := Report{}
 	expected := map[string]string{}
 
+	check := func(k string, got []byte, ok bool) {
+		want, known := expected[k]
+		if known && ok && string(got) != want {
+			rep.DataErrors++
+		}
+		if known && !ok {
+			rep.DataErrors++
+		}
+	}
 	probe := func() {
-		// One write and two reads per probe round.
+		// One write, two cached-path reads and one storage-truth read per
+		// probe round.
 		k := fmt.Sprintf("chaos-%02d", rng.Intn(16))
 		v := fmt.Sprintf("v%d", rng.Int63())
 		rep.WritesAttempted++
@@ -121,32 +207,40 @@ func (r *Runner) Run() Report {
 		}
 		for i := 0; i < 2; i++ {
 			k := fmt.Sprintf("chaos-%02d", rng.Intn(16))
-			want, known := expected[k]
 			rep.ReadsAttempted++
 			got, ok, err := r.DB.Get([]byte(k))
 			if err != nil {
 				continue
 			}
 			rep.ReadsOK++
-			if known && ok && string(got) != want {
-				rep.DataErrors++
-			}
-			if known && !ok {
-				rep.DataErrors++
-			}
+			check(k, got, ok)
+		}
+		// The snapshot read bypasses the buffer cache and fetches pages from
+		// the storage fleet itself: it proves committed data is durable out
+		// there (not merely warm in the writer's cache) and is what drives
+		// the hedged read path while gray faults are active.
+		k = fmt.Sprintf("chaos-%02d", rng.Intn(16))
+		rep.ReadsAttempted++
+		tx := r.DB.BeginSnapshot()
+		got, ok, err := tx.Get([]byte(k))
+		tx.Abort()
+		if err == nil {
+			rep.ReadsOK++
+			check(k, got, ok)
 		}
 	}
 
 	for _, f := range r.Faults {
 		f.Inject()
 		rep.FaultsInjected++
-		deadline := time.Now().Add(r.HoldFor)
-		for time.Now().Before(deadline) {
+		for i := 0; i < r.ProbesPerFault; i++ {
 			probe()
 		}
-		f.Heal()
+		if err := f.Heal(); err != nil {
+			rep.HealErrors = append(rep.HealErrors, fmt.Errorf("%s: %w", f.Name, err))
+		}
 		// And probe again healthy.
-		for i := 0; i < 5; i++ {
+		for i := 0; i < r.HealedProbes; i++ {
 			probe()
 		}
 	}

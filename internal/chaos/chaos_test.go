@@ -2,7 +2,9 @@ package chaos
 
 import (
 	"testing"
+	"time"
 
+	"aurora/internal/core"
 	"aurora/internal/disk"
 	"aurora/internal/engine"
 	"aurora/internal/netsim"
@@ -92,5 +94,62 @@ func TestCorruptionHealedByScrub(t *testing.T) {
 	rep := r.Run()
 	if rep.DataErrors != 0 {
 		t.Fatalf("data errors: %+v", rep)
+	}
+}
+
+// TestGrayRegimeMachineryEngages runs the gray drill end to end: 10% packet
+// loss plus a gray-slow same-AZ replica per PG, and one wiped segment left
+// for the fleet's self-driven repair monitor. No committed data may be lost
+// and every piece of the gray-failure machinery — write redelivery, hedged
+// reads, auto repair — must actually engage.
+func TestGrayRegimeMachineryEngages(t *testing.T) {
+	net := netsim.New(netsim.Datacenter())
+	f, err := volume.NewFleet(volume.FleetConfig{Name: "gray", PGs: 4, Net: net, Disk: disk.FastLocal()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vol := volume.Bootstrap(f, volume.ClientConfig{WriterNode: "gray-writer", WriterAZ: 0})
+	db, err := engine.Create(vol, engine.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(db.Close)
+	f.Start()
+	t.Cleanup(f.Stop)
+
+	regime := []Fault{PacketLoss(net, 0.10)}
+	for pg := 0; pg < f.PGs(); pg++ {
+		slow := f.Node(core.PGID(pg), pg%2)
+		regime = append(regime, GraySlowNode(net, slow.NodeID(), 2*time.Millisecond))
+	}
+	faults := []Fault{
+		Compose("gray regime", regime...),
+		// PG0 holds the btree root, so every probe write ships it a delta:
+		// the wiped replica's failure streak is guaranteed to build.
+		WipeNode(f, 0, 3),
+	}
+	r := &Runner{DB: db, Faults: faults, ProbesPerFault: 25, Seed: 11}
+	rep := r.Run()
+
+	if rep.DataErrors != 0 {
+		t.Fatalf("data errors under gray regime: %+v", rep)
+	}
+	if rep.WritesOK*100 < rep.WritesAttempted*99 {
+		t.Fatalf("write success below 99%%: %+v", rep)
+	}
+	hs := f.Health().Stats()
+	if hs.Retries == 0 {
+		t.Fatal("write path never redelivered under 10% packet loss")
+	}
+	if hs.Hedges == 0 {
+		t.Fatal("no read was hedged with a gray-slow replica per PG")
+	}
+	// The monitor may still be mid-repair when the probes stop.
+	deadline := time.Now().Add(2 * time.Second)
+	for f.Health().Stats().AutoRepairs == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if f.Health().Stats().AutoRepairs == 0 {
+		t.Fatal("wiped segment was never self-repaired")
 	}
 }

@@ -9,8 +9,24 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
+
+// Counter is a monotonically increasing event counter, safe for concurrent
+// use. The gray-failure tolerance layer threads its retry, hedge and
+// auto-repair counts through Counters so chaos drills can assert the
+// machinery actually engaged.
+type Counter struct{ n atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.n.Add(1) }
+
+// Add adds d.
+func (c *Counter) Add(d uint64) { c.n.Add(d) }
+
+// Load returns the current count.
+func (c *Counter) Load() uint64 { return c.n.Load() }
 
 // Histogram collects duration samples and reports percentiles. Beyond the
 // reservoir capacity it keeps a uniform random sample, which preserves

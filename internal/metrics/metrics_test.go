@@ -96,3 +96,29 @@ func TestSeries(t *testing.T) {
 		t.Fatal("empty series not zero")
 	}
 }
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	if c.Load() != 0 {
+		t.Fatal("fresh counter not zero")
+	}
+	c.Inc()
+	c.Add(4)
+	if got := c.Load(); got != 5 {
+		t.Fatalf("count %d, want 5", got)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Load(); got != 805 {
+		t.Fatalf("count %d, want 805", got)
+	}
+}

@@ -11,6 +11,7 @@ package netsim
 import (
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"sync"
 	"sync/atomic"
@@ -84,13 +85,14 @@ type Stats struct {
 }
 
 type node struct {
-	az       AZ
-	down     atomic.Bool
-	slowMult atomic.Int64 // x1000 fixed point; 0 means 1.0
-	sent     atomic.Uint64
-	sentB    atomic.Uint64
-	recv     atomic.Uint64
-	recvB    atomic.Uint64
+	az         AZ
+	down       atomic.Bool
+	slowMult   atomic.Int64 // x1000 fixed point; 0 means 1.0
+	extraDelay atomic.Int64 // nanoseconds added to every message touching the node
+	sent       atomic.Uint64
+	sentB      atomic.Uint64
+	recv       atomic.Uint64
+	recvB      atomic.Uint64
 }
 
 // Network is a simulated multi-AZ network. All methods are safe for
@@ -102,6 +104,9 @@ type Network struct {
 	nodes      map[NodeID]*node
 	azDown     [8]bool
 	partitions map[[2]NodeID]bool
+	linkDrops  map[[2]NodeID]float64 // directional [from,to] drop probability
+
+	dropProb atomic.Uint64 // Float64bits; runtime override of cfg.DropProb
 
 	rngMu sync.Mutex
 	rng   *rand.Rand
@@ -124,6 +129,7 @@ func New(cfg Config) *Network {
 		cfg:        cfg,
 		nodes:      make(map[NodeID]*node),
 		partitions: make(map[[2]NodeID]bool),
+		linkDrops:  make(map[[2]NodeID]float64),
 		rng:        rand.New(rand.NewSource(seed)),
 		sleep:      time.Sleep,
 	}
@@ -208,6 +214,47 @@ func (n *Network) SetSlowNode(id NodeID, mult float64) error {
 	return nil
 }
 
+// SetNodeDelay adds a fixed latency to every message touching the node — a
+// gray-slow node: alive, acking, but inflating the tail (§2.1's background
+// noise without a Down signal). d <= 0 clears.
+func (n *Network) SetNodeDelay(id NodeID, d time.Duration) error {
+	n.mu.RLock()
+	nd, ok := n.nodes[id]
+	n.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownNode, id)
+	}
+	if d < 0 {
+		d = 0
+	}
+	nd.extraDelay.Store(int64(d))
+	return nil
+}
+
+// SetDropProb overrides the configured silent-loss probability at runtime —
+// the probabilistic packet loss of a gray network path. p <= 0 restores the
+// configured value.
+func (n *Network) SetDropProb(p float64) {
+	if p < 0 {
+		p = 0
+	}
+	n.dropProb.Store(math.Float64bits(p))
+}
+
+// SetLinkDropProb drops the given fraction of messages on one directional
+// link (from -> to only), modelling an asymmetric gray path where requests
+// arrive but responses vanish. p <= 0 clears the link override.
+func (n *Network) SetLinkDropProb(from, to NodeID, p float64) {
+	key := [2]NodeID{from, to}
+	n.mu.Lock()
+	if p <= 0 {
+		delete(n.linkDrops, key)
+	} else {
+		n.linkDrops[key] = p
+	}
+	n.mu.Unlock()
+}
+
 // Partition blocks (or restores) the link between two nodes in both
 // directions.
 func (n *Network) Partition(a, b NodeID, blocked bool) {
@@ -232,12 +279,14 @@ func (n *Network) Send(from, to NodeID, size int) error {
 	src, okSrc := n.nodes[from]
 	dst, okDst := n.nodes[to]
 	var partitioned bool
+	var linkDrop float64
 	if okSrc && okDst {
 		a, b := from, to
 		if b < a {
 			a, b = b, a
 		}
 		partitioned = n.partitions[[2]NodeID{a, b}]
+		linkDrop = n.linkDrops[[2]NodeID{from, to}]
 	}
 	var srcAZDown, dstAZDown bool
 	if okSrc {
@@ -271,7 +320,14 @@ func (n *Network) Send(from, to NodeID, size int) error {
 		return ErrPartitioned
 	}
 
-	lat, dropped := n.sample(src, dst, size)
+	dropP := n.cfg.DropProb
+	if dyn := math.Float64frombits(n.dropProb.Load()); dyn > 0 {
+		dropP = dyn
+	}
+	if linkDrop > dropP {
+		dropP = linkDrop
+	}
+	lat, dropped := n.sample(src, dst, size, dropP)
 	if lat > 0 {
 		n.sleep(lat)
 	}
@@ -289,7 +345,7 @@ func (n *Network) Send(from, to NodeID, size int) error {
 }
 
 // sample computes latency and loss for one message.
-func (n *Network) sample(src, dst *node, size int) (time.Duration, bool) {
+func (n *Network) sample(src, dst *node, size int, dropP float64) (time.Duration, bool) {
 	base := n.cfg.CrossAZ
 	if src.az == dst.az {
 		base = n.cfg.IntraAZ
@@ -298,7 +354,7 @@ func (n *Network) sample(src, dst *node, size int) (time.Duration, bool) {
 		base += time.Duration(int64(size) * int64(time.Second) / n.cfg.Bandwidth)
 	}
 	var dropped bool
-	if n.cfg.Jitter > 0 || n.cfg.OutlierProb > 0 || n.cfg.DropProb > 0 {
+	if n.cfg.Jitter > 0 || n.cfg.OutlierProb > 0 || dropP > 0 {
 		n.rngMu.Lock()
 		if n.cfg.Jitter > 0 {
 			j := 1 + n.cfg.Jitter*(2*n.rng.Float64()-1)
@@ -307,7 +363,7 @@ func (n *Network) sample(src, dst *node, size int) (time.Duration, bool) {
 		if n.cfg.OutlierProb > 0 && n.rng.Float64() < n.cfg.OutlierProb {
 			base = time.Duration(float64(base) * n.cfg.OutlierMult)
 		}
-		if n.cfg.DropProb > 0 && n.rng.Float64() < n.cfg.DropProb {
+		if dropP > 0 && n.rng.Float64() < dropP {
 			dropped = true
 		}
 		n.rngMu.Unlock()
@@ -315,6 +371,9 @@ func (n *Network) sample(src, dst *node, size int) (time.Duration, bool) {
 	for _, nd := range [2]*node{src, dst} {
 		if m := nd.slowMult.Load(); m > 0 {
 			base = time.Duration(int64(base) * m / 1000)
+		}
+		if d := nd.extraDelay.Load(); d > 0 {
+			base += time.Duration(d)
 		}
 	}
 	return base, dropped

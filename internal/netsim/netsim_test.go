@@ -221,3 +221,65 @@ func TestConcurrentSends(t *testing.T) {
 		t.Fatalf("messages %d, want 4000", got)
 	}
 }
+
+func TestNodeDelayGraySlow(t *testing.T) {
+	n := New(FastLocal())
+	var slept time.Duration
+	n.SetSleeper(func(d time.Duration) { slept = d })
+	n.AddNode("a", 0)
+	n.AddNode("b", 0)
+	if err := n.SetNodeDelay("b", 3*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Send("a", "b", 10); err != nil {
+		t.Fatal(err)
+	}
+	if slept < 3*time.Millisecond {
+		t.Fatalf("slept %v, want >= 3ms from gray-slow delay", slept)
+	}
+	// Clearing restores zero latency even under FastLocal.
+	if err := n.SetNodeDelay("b", 0); err != nil {
+		t.Fatal(err)
+	}
+	slept = 0
+	if err := n.Send("a", "b", 10); err != nil {
+		t.Fatal(err)
+	}
+	if slept != 0 {
+		t.Fatalf("slept %v after clearing delay", slept)
+	}
+	if err := n.SetNodeDelay("ghost", time.Millisecond); err == nil {
+		t.Fatal("delay on unknown node accepted")
+	}
+}
+
+func TestRuntimeDropProbOverride(t *testing.T) {
+	n := New(FastLocal())
+	n.AddNode("a", 0)
+	n.AddNode("b", 1)
+	n.SetDropProb(1)
+	if err := n.Send("a", "b", 8); !errors.Is(err, ErrDropped) {
+		t.Fatalf("send with p=1: %v", err)
+	}
+	n.SetDropProb(0)
+	if err := n.Send("a", "b", 8); err != nil {
+		t.Fatalf("send after clearing drop prob: %v", err)
+	}
+}
+
+func TestLinkDropIsDirectional(t *testing.T) {
+	n := New(FastLocal())
+	n.AddNode("a", 0)
+	n.AddNode("b", 0)
+	n.SetLinkDropProb("b", "a", 1)
+	if err := n.Send("a", "b", 8); err != nil {
+		t.Fatalf("forward path: %v", err)
+	}
+	if err := n.Send("b", "a", 8); !errors.Is(err, ErrDropped) {
+		t.Fatalf("reverse path: %v", err)
+	}
+	n.SetLinkDropProb("b", "a", 0)
+	if err := n.Send("b", "a", 8); err != nil {
+		t.Fatalf("reverse path after clear: %v", err)
+	}
+}

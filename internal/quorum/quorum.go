@@ -143,6 +143,19 @@ func (t *Tracker) Nack(i int) {
 // failure).
 func (t *Tracker) Done() <-chan struct{} { return t.done }
 
+// Resolved reports whether the write has already resolved. Delivery
+// pipelines use it to stop redelivering a flight whose every batch has
+// settled without this replica — gossip, not the writer, repairs the
+// replica then (§3.3).
+func (t *Tracker) Resolved() bool {
+	select {
+	case <-t.done:
+		return true
+	default:
+		return false
+	}
+}
+
 // Err returns nil on success, ErrQuorumImpossible when the quorum can no
 // longer be reached. Only meaningful after Done is closed.
 func (t *Tracker) Err() error {

@@ -103,3 +103,42 @@ func TestGCTailAndIngestBelowTail(t *testing.T) {
 		t.Fatalf("payload % x", p.Payload()[:6])
 	}
 }
+
+// TestReceiveBatchesRedeliveryIdempotent re-sends a whole flight, as the
+// write path's retry does when an ack is lost after the node already
+// persisted the batches: the duplicate must ack the same SCL and change
+// nothing durable.
+func TestReceiveBatchesRedeliveryIdempotent(t *testing.T) {
+	_, nodes := testPG(t, nil)
+	n := nodes[0]
+	f := core.NewFramer(core.NewAllocator(core.ZeroLSN, 0), nil)
+	var flight []*core.Batch
+	for i := 0; i < 5; i++ {
+		m := &core.MTR{Txn: uint64(i)}
+		m.AddDelta(0, core.PageID(i), 0, []byte{byte(i)})
+		bs, _, err := f.Frame(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := bs[0]
+		flight = append(flight, &b)
+	}
+	ack1, err := n.ReceiveBatches(flight, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	held := n.Stats().RecordsHeld
+	ack2, err := n.ReceiveBatches(flight, 0, 0)
+	if err != nil {
+		t.Fatalf("redelivery rejected: %v", err)
+	}
+	if ack2.SCL != ack1.SCL {
+		t.Fatalf("redelivery ack SCL %d, want %d", ack2.SCL, ack1.SCL)
+	}
+	if got := n.Stats().RecordsHeld; got != held {
+		t.Fatalf("redelivery changed records held: %d, want %d", got, held)
+	}
+	if n.HasGaps() {
+		t.Fatal("redelivery introduced gaps")
+	}
+}

@@ -274,49 +274,49 @@ func (c *Client) readAt(id core.PageID, readPoint core.LSN) (page.Page, error) {
 	replicas := c.fleet.Replicas(pg)
 	myAZ, _ := c.fleet.cfg.Net.NodeAZ(c.node)
 
-	// Candidate order: same-AZ segments first (cheapest hop), then the
-	// rest; within a class prefer the most complete tracked SCL.
-	order := make([]int, 0, len(replicas))
-	var far []int
-	for i, n := range replicas {
-		if n.AZ() == myAZ {
-			order = append(order, i)
+	// Candidate order: health score first (healthy before gray), same-AZ
+	// before cross-AZ within a class. Segments the writer knows are behind
+	// the required completeness stay as last resorts — their SCL may have
+	// advanced via gossip since the last piggybacked ack.
+	order := c.fleet.health.Order(pg, replicas, myAZ)
+	cands := make([]int, 0, len(order))
+	var behind []int
+	for _, i := range order {
+		if c.trackedSCL(replicas[i].Seg()) >= required {
+			cands = append(cands, i)
 		} else {
-			far = append(far, i)
+			behind = append(behind, i)
 		}
 	}
-	order = append(order, far...)
+	cands = append(cands, behind...)
 
-	var lastErr error = ErrReadUnavailable
-	for attempt, i := range order {
+	// Hedged read: one attempt at a time, with a deadline derived from the
+	// PG's observed latency percentiles; an attempt that overruns it races
+	// a hedge to the next-best replica (§4.2.3 without quorum reads).
+	p, err := c.fleet.health.runHedged(pg, cands, func(i int) (page.Page, error) {
 		n := replicas[i]
-		if n.Down() {
-			continue
-		}
-		if c.trackedSCL(n.Seg()) < required && attempt < len(order)-1 {
-			// Writer knows this segment is behind; skip it unless it is the
-			// only candidate left (its SCL may have advanced via gossip).
-			continue
-		}
 		if err := c.fleet.cfg.Net.Send(c.node, n.NodeID(), reqSize); err != nil {
-			lastErr = err
-			continue
+			return nil, err
 		}
 		p, err := n.ReadPage(id, readPoint, required)
 		if err != nil {
-			lastErr = err
 			c.readRetries.Add(1)
-			continue
+			return nil, err
 		}
 		if err := c.fleet.cfg.Net.Send(n.NodeID(), c.node, page.Size); err != nil {
-			lastErr = err
-			continue
+			// The segment served the page but the response never arrived —
+			// a distinct gray signature, counted apart from read errors.
+			c.fleet.health.respDrops.Inc()
+			return nil, err
 		}
 		c.noteSCL(storage.Ack{Seg: n.Seg(), SCL: n.SCL()})
-		c.readsServed.Add(1)
 		return p, nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("page %d at %d: %w", id, readPoint, err)
 	}
-	return nil, fmt.Errorf("page %d at %d: %w", id, readPoint, lastErr)
+	c.readsServed.Add(1)
+	return p, nil
 }
 
 // Stats is a snapshot of client counters.
@@ -325,6 +325,7 @@ type Stats struct {
 	RecordsWritten uint64
 	ReadsServed    uint64
 	ReadRetries    uint64
+	WriteRetries   uint64 // redelivered flights on this client's fleet
 	WriteFailures  uint64
 	VDL            core.LSN
 	HighestLSN     core.LSN
@@ -338,6 +339,7 @@ func (c *Client) Stats() Stats {
 		RecordsWritten: c.recsWritten.Load(),
 		ReadsServed:    c.readsServed.Load(),
 		ReadRetries:    c.readRetries.Load(),
+		WriteRetries:   c.fleet.health.retries.Load(),
 		WriteFailures:  c.writeFails.Load(),
 		VDL:            c.vdl.VDL(),
 		HighestLSN:     c.alloc.HighestAllocated(),

@@ -3,6 +3,7 @@ package volume
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"aurora/internal/core"
@@ -33,16 +34,24 @@ type FleetConfig struct {
 	CoalesceInterval time.Duration
 	BackupInterval   time.Duration
 	ScrubInterval    time.Duration
+	// Health tunes the gray-failure tracker and the self-driven repair
+	// monitor; the zero value selects the defaults in HealthConfig.
+	Health HealthConfig
 }
 
 // Fleet owns the storage nodes of one volume: PGs protection groups of V
 // segment replicas each, placed two per AZ across three AZs (for the
 // default quorum).
 type Fleet struct {
-	cfg FleetConfig
-	q   quorum.Config
-	pgs [][]*storage.Node
-	gen int // migration generation counter for unique node names
+	cfg    FleetConfig
+	q      quorum.Config
+	pgs    [][]*storage.Node
+	gen    int // migration generation counter for unique node names
+	health *HealthTracker
+
+	monMu   sync.Mutex
+	monStop chan struct{}
+	monDone sync.WaitGroup
 }
 
 // NewFleet provisions the storage nodes and wires each PG's peers.
@@ -86,8 +95,12 @@ func NewFleet(cfg FleetConfig) (*Fleet, error) {
 		}
 		f.pgs[g] = replicas
 	}
+	f.health = newHealthTracker(cfg.Health, cfg.PGs, q.V)
 	return f, nil
 }
+
+// Health exposes the fleet's gray-failure tracker.
+func (f *Fleet) Health() *HealthTracker { return f.health }
 
 func (f *Fleet) nodeName(pg, replica, gen int) netsim.NodeID {
 	if gen == 0 {
@@ -117,20 +130,79 @@ func (f *Fleet) Node(pg core.PGID, replica int) *storage.Node {
 	return f.pgs[int(pg)%len(f.pgs)][replica]
 }
 
-// Start launches background loops on every storage node.
+// Start launches background loops on every storage node plus the fleet's
+// self-driven repair monitor.
 func (f *Fleet) Start() {
 	for _, pg := range f.pgs {
 		for _, n := range pg {
 			n.Start()
 		}
 	}
+	f.monMu.Lock()
+	defer f.monMu.Unlock()
+	if f.monStop != nil {
+		return
+	}
+	f.monStop = make(chan struct{})
+	stop := f.monStop
+	f.monDone.Add(1)
+	go func() {
+		defer f.monDone.Done()
+		t := time.NewTicker(f.health.cfg.MonitorInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				f.healthMonitorOnce()
+			}
+		}
+	}()
 }
 
 // Stop terminates all background loops.
 func (f *Fleet) Stop() {
+	f.monMu.Lock()
+	stop := f.monStop
+	f.monStop = nil
+	f.monMu.Unlock()
+	if stop != nil {
+		close(stop)
+		f.monDone.Wait()
+	}
 	for _, pg := range f.pgs {
 		for _, n := range pg {
 			n.Stop()
+		}
+	}
+}
+
+// healthMonitorOnce is one pass of the self-driven repair loop: any replica
+// stuck in Suspect is healed without waiting for a chaos script or an
+// operator — first by a gossip catch-up (cheap, fills dropped batches),
+// then by a full segment repair from a healthy peer. This is the §2.3 MTTR
+// argument turned into a control loop: the fleet notices its own gray
+// failures and shrinks the window in which a second fault could pair with
+// them.
+func (f *Fleet) healthMonitorOnce() {
+	for g, replicas := range f.pgs {
+		pg := core.PGID(g)
+		for i, n := range replicas {
+			if f.health.State(pg, i) != Suspect {
+				continue
+			}
+			if n.Down() {
+				continue // crashed, not gray: restart + gossip heal it
+			}
+			if n.GossipOnce() > 0 && !n.HasGaps() {
+				f.health.autoRepairs.Inc()
+				f.health.Reset(pg, i)
+				continue
+			}
+			if err := f.RepairSegment(pg, i); err == nil {
+				f.health.autoRepairs.Inc()
+			}
 		}
 	}
 }
@@ -158,6 +230,7 @@ func (f *Fleet) RepairSegment(pg core.PGID, replica int) error {
 			// One peer's snapshot may trail the quorum by a batch still in
 			// flight; gossip immediately to converge.
 			target.GossipOnce()
+			f.health.Reset(pg, replica)
 			return nil
 		}
 	}
@@ -208,5 +281,6 @@ func (f *Fleet) MigrateSegment(pg core.PGID, replica int, az netsim.AZ) (*storag
 	old.Stop()
 	old.Crash()
 	f.cfg.Net.RemoveNode(old.NodeID())
+	f.health.Reset(pg, replica) // fresh node, fresh score
 	return fresh, nil
 }

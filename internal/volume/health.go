@@ -1,0 +1,442 @@
+package volume
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"aurora/internal/core"
+	"aurora/internal/metrics"
+	"aurora/internal/netsim"
+	"aurora/internal/page"
+	"aurora/internal/storage"
+)
+
+// HealthState classifies one segment replica from the volume client's
+// vantage point. The storage fleet runs under a "continuous low level
+// background noise of node, disk and network path failures" (§2.1); most of
+// that noise is gray — a replica that is slow or flaky, not down — so a
+// binary up/down view stalls the chain on exactly the nodes the quorum was
+// meant to absorb.
+type HealthState int
+
+const (
+	// Healthy: acks arrive at the latency its peers see.
+	Healthy HealthState = iota
+	// Degraded: alive but slow or briefly flaky; used last, never first.
+	Degraded
+	// Suspect: a failure streak long enough that the fleet's repair
+	// monitor steps in (gossip catch-up or full segment repair, §2.3).
+	Suspect
+)
+
+func (s HealthState) String() string {
+	switch s {
+	case Healthy:
+		return "healthy"
+	case Degraded:
+		return "degraded"
+	case Suspect:
+		return "suspect"
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// HealthConfig tunes the gray-failure tracker. The zero value selects the
+// defaults below.
+type HealthConfig struct {
+	// EWMAAlpha is the weight of a new latency sample (default 0.2).
+	EWMAAlpha float64
+	// DegradedFails consecutive failures mark a replica Degraded
+	// (default 2); SuspectFails mark it Suspect (default 5).
+	DegradedFails int
+	SuspectFails  int
+	// A replica is also Degraded when its latency EWMA exceeds both
+	// DegradedLatencyFloor and DegradedLatencyFactor times the best
+	// peer's EWMA — the gray-slow signature (defaults 1ms, 8x).
+	DegradedLatencyFloor  time.Duration
+	DegradedLatencyFactor float64
+	// Per-attempt read deadline: HedgeMult times the observed p95 read
+	// latency, clamped to [HedgeMin, HedgeMax] (defaults 3x, 250µs, 50ms).
+	// When an attempt exceeds it a hedge is launched to the next-best
+	// replica (§4.2.3's tail-avoidance without quorum reads).
+	HedgeMult        float64
+	HedgeMin         time.Duration
+	HedgeMax         time.Duration
+	// MonitorInterval paces the fleet's self-driven repair loop
+	// (default 5ms at simulation scale).
+	MonitorInterval time.Duration
+}
+
+func (c HealthConfig) withDefaults() HealthConfig {
+	if c.EWMAAlpha <= 0 || c.EWMAAlpha > 1 {
+		c.EWMAAlpha = 0.2
+	}
+	if c.DegradedFails <= 0 {
+		c.DegradedFails = 2
+	}
+	if c.SuspectFails <= 0 {
+		c.SuspectFails = 5
+	}
+	if c.DegradedLatencyFloor <= 0 {
+		c.DegradedLatencyFloor = time.Millisecond
+	}
+	if c.DegradedLatencyFactor <= 0 {
+		c.DegradedLatencyFactor = 8
+	}
+	if c.HedgeMult <= 0 {
+		c.HedgeMult = 3
+	}
+	if c.HedgeMin <= 0 {
+		c.HedgeMin = 250 * time.Microsecond
+	}
+	if c.HedgeMax <= 0 {
+		c.HedgeMax = 50 * time.Millisecond
+	}
+	if c.MonitorInterval <= 0 {
+		c.MonitorInterval = 5 * time.Millisecond
+	}
+	return c
+}
+
+// replicaHealth scores one (PG, replica) pair from delivery acks and read
+// attempts: a latency EWMA plus a consecutive-failure streak.
+type replicaHealth struct {
+	mu    sync.Mutex
+	ewma  float64 // seconds; 0 until the first successful observation
+	fails int     // consecutive failures since the last success
+	oks   uint64
+	errs  uint64
+}
+
+// pgLatency derives the hedge deadline for one protection group from a
+// reservoir of recent successful read latencies. The percentile sort is
+// amortized: the deadline is recomputed every deadlineEvery samples and
+// cached in an atomic.
+type pgLatency struct {
+	hist     *metrics.Histogram
+	n        atomic.Uint64
+	deadline atomic.Int64 // nanoseconds; 0 means "no data yet"
+}
+
+const deadlineEvery = 32
+
+// HealthStats is a snapshot of the gray-failure counters.
+type HealthStats struct {
+	Retries     uint64 // write-path redeliveries after a failed flight
+	Hedges      uint64 // hedged read attempts launched on deadline
+	HedgeWins   uint64 // reads won by a hedge rather than the primary
+	AutoRepairs uint64 // monitor-triggered repairs/catch-ups of suspects
+	RespDrops   uint64 // successful page reads whose response never arrived
+}
+
+// HealthTracker maintains per-(PG, replica) health for one fleet. All
+// methods are safe for concurrent use.
+type HealthTracker struct {
+	cfg  HealthConfig
+	reps [][]*replicaHealth
+	lat  []*pgLatency
+
+	retries     metrics.Counter
+	hedges      metrics.Counter
+	hedgeWins   metrics.Counter
+	autoRepairs metrics.Counter
+	respDrops   metrics.Counter
+}
+
+func newHealthTracker(cfg HealthConfig, pgs, replicas int) *HealthTracker {
+	h := &HealthTracker{cfg: cfg.withDefaults()}
+	h.reps = make([][]*replicaHealth, pgs)
+	h.lat = make([]*pgLatency, pgs)
+	for g := range h.reps {
+		h.reps[g] = make([]*replicaHealth, replicas)
+		for i := range h.reps[g] {
+			h.reps[g][i] = &replicaHealth{}
+		}
+		h.lat[g] = &pgLatency{hist: metrics.NewHistogram(512)}
+	}
+	return h
+}
+
+func (h *HealthTracker) rep(pg core.PGID, idx int) *replicaHealth {
+	return h.reps[int(pg)%len(h.reps)][idx]
+}
+
+// ObserveOK records a successful exchange with the replica and its latency.
+func (h *HealthTracker) ObserveOK(pg core.PGID, idx int, d time.Duration) {
+	r := h.rep(pg, idx)
+	r.mu.Lock()
+	s := d.Seconds()
+	if r.ewma == 0 {
+		r.ewma = s
+	} else {
+		r.ewma += h.cfg.EWMAAlpha * (s - r.ewma)
+	}
+	r.fails = 0
+	r.oks++
+	r.mu.Unlock()
+}
+
+// ObserveFailure records a failed exchange (send error, node error...).
+func (h *HealthTracker) ObserveFailure(pg core.PGID, idx int) {
+	r := h.rep(pg, idx)
+	r.mu.Lock()
+	r.fails++
+	r.errs++
+	r.mu.Unlock()
+}
+
+// Reset clears a replica's failure streak and latency memory — called after
+// the segment has been repaired or migrated onto a fresh node.
+func (h *HealthTracker) Reset(pg core.PGID, idx int) {
+	r := h.rep(pg, idx)
+	r.mu.Lock()
+	r.fails = 0
+	r.ewma = 0
+	r.mu.Unlock()
+}
+
+type repSnap struct {
+	ewma  float64
+	fails int
+}
+
+func (h *HealthTracker) snapshot(pg core.PGID) []repSnap {
+	reps := h.reps[int(pg)%len(h.reps)]
+	out := make([]repSnap, len(reps))
+	for i, r := range reps {
+		r.mu.Lock()
+		out[i] = repSnap{ewma: r.ewma, fails: r.fails}
+		r.mu.Unlock()
+	}
+	return out
+}
+
+// stateOf classifies replica i given a consistent snapshot of its PG.
+func (h *HealthTracker) stateOf(snaps []repSnap, i int) HealthState {
+	s := snaps[i]
+	if s.fails >= h.cfg.SuspectFails {
+		return Suspect
+	}
+	if s.fails >= h.cfg.DegradedFails {
+		return Degraded
+	}
+	// Latency comparison against the fastest peer with data: a replica
+	// whose EWMA is far above its PG's best is gray-slow even though every
+	// exchange nominally succeeds.
+	if s.ewma > h.cfg.DegradedLatencyFloor.Seconds() {
+		best := 0.0
+		for j, p := range snaps {
+			if j == i || p.ewma == 0 {
+				continue
+			}
+			if best == 0 || p.ewma < best {
+				best = p.ewma
+			}
+		}
+		if best == 0 || s.ewma > h.cfg.DegradedLatencyFactor*best {
+			return Degraded
+		}
+	}
+	return Healthy
+}
+
+// State reports the current health classification of one replica.
+func (h *HealthTracker) State(pg core.PGID, idx int) HealthState {
+	return h.stateOf(h.snapshot(pg), idx)
+}
+
+// States reports the classification of every replica in a PG.
+func (h *HealthTracker) States(pg core.PGID) []HealthState {
+	snaps := h.snapshot(pg)
+	out := make([]HealthState, len(snaps))
+	for i := range snaps {
+		out[i] = h.stateOf(snaps, i)
+	}
+	return out
+}
+
+// Order returns read-candidate indices for a PG sorted best-first: healthy
+// before degraded before suspect, same-AZ before cross-AZ within a class,
+// lowest latency EWMA within that. Down nodes are excluded — they are not
+// gray, they are gone, and gossip (not the read path) heals them.
+func (h *HealthTracker) Order(pg core.PGID, replicas []*storage.Node, myAZ netsim.AZ) []int {
+	snaps := h.snapshot(pg)
+	cands := make([]readCand, 0, len(replicas))
+	for i, n := range replicas {
+		if n.Down() {
+			continue
+		}
+		cands = append(cands, readCand{
+			idx:   i,
+			state: h.stateOf(snaps, i),
+			far:   n.AZ() != myAZ,
+			ewma:  snaps[i].ewma,
+		})
+	}
+	// Insertion sort: V is tiny (6) and order must be deterministic.
+	for i := 1; i < len(cands); i++ {
+		for j := i; j > 0 && candLess(cands[j], cands[j-1]); j-- {
+			cands[j], cands[j-1] = cands[j-1], cands[j]
+		}
+	}
+	out := make([]int, len(cands))
+	for i, c := range cands {
+		out[i] = c.idx
+	}
+	return out
+}
+
+type readCand struct {
+	idx   int
+	state HealthState
+	far   bool
+	ewma  float64
+}
+
+func candLess(a, b readCand) bool {
+	if a.state != b.state {
+		return a.state < b.state
+	}
+	if a.far != b.far {
+		return !a.far
+	}
+	if a.ewma != b.ewma {
+		return a.ewma < b.ewma
+	}
+	return a.idx < b.idx
+}
+
+// observeReadLatency feeds the per-PG deadline estimator with one
+// successful read attempt.
+func (h *HealthTracker) observeReadLatency(pg core.PGID, d time.Duration) {
+	l := h.lat[int(pg)%len(h.lat)]
+	l.hist.Record(d)
+	if l.n.Add(1)%deadlineEvery != 0 {
+		return
+	}
+	dl := time.Duration(h.cfg.HedgeMult * float64(l.hist.Percentile(95)))
+	if dl < h.cfg.HedgeMin {
+		dl = h.cfg.HedgeMin
+	}
+	if dl > h.cfg.HedgeMax {
+		dl = h.cfg.HedgeMax
+	}
+	l.deadline.Store(int64(dl))
+}
+
+// ReadDeadline returns the per-attempt deadline for reads of a PG, derived
+// from the observed latency percentiles (HedgeMult x p95, clamped).
+func (h *HealthTracker) ReadDeadline(pg core.PGID) time.Duration {
+	if d := h.lat[int(pg)%len(h.lat)].deadline.Load(); d > 0 {
+		return time.Duration(d)
+	}
+	return h.cfg.HedgeMin
+}
+
+// Stats returns a snapshot of the gray-failure counters.
+func (h *HealthTracker) Stats() HealthStats {
+	return HealthStats{
+		Retries:     h.retries.Load(),
+		Hedges:      h.hedges.Load(),
+		HedgeWins:   h.hedgeWins.Load(),
+		AutoRepairs: h.autoRepairs.Load(),
+		RespDrops:   h.respDrops.Load(),
+	}
+}
+
+// runHedged executes one logical page read over an ordered candidate list.
+// The first candidate is tried immediately; whenever the newest attempt
+// exceeds the PG's read deadline, a hedge is launched to the next candidate.
+// A failed attempt advances to the next candidate at once. The first success
+// wins; late results from losing attempts are discarded ("cancelled" — the
+// simulated network has no interruptible sends, so cancellation is exactly
+// the discard). Health observations are fed for every attempt, so a slow
+// loser still raises its replica's EWMA and sinks in future orderings.
+func (h *HealthTracker) runHedged(pg core.PGID, cands []int, attempt func(idx int) (page.Page, error)) (page.Page, error) {
+	if len(cands) == 0 {
+		return nil, ErrReadUnavailable
+	}
+	type result struct {
+		val   page.Page
+		err   error
+		hedge bool
+	}
+	ch := make(chan result, len(cands)) // buffered: losers never block
+	next := 0
+	launch := func(hedge bool) {
+		idx := cands[next]
+		next++
+		go func() {
+			start := time.Now()
+			v, err := attempt(idx)
+			if err == nil {
+				lat := time.Since(start)
+				h.ObserveOK(pg, idx, lat)
+				h.observeReadLatency(pg, lat)
+			} else {
+				h.ObserveFailure(pg, idx)
+			}
+			ch <- result{val: v, err: err, hedge: hedge}
+		}()
+	}
+	launch(false)
+	inflight := 1
+	deadline := h.ReadDeadline(pg)
+	var lastErr error = ErrReadUnavailable
+	for inflight > 0 {
+		var fire <-chan time.Time
+		var timer *time.Timer
+		if next < len(cands) {
+			timer = time.NewTimer(deadline)
+			fire = timer.C
+		}
+		select {
+		case r := <-ch:
+			if timer != nil {
+				timer.Stop()
+			}
+			inflight--
+			if r.err == nil {
+				if r.hedge {
+					h.hedgeWins.Inc()
+				}
+				return r.val, nil
+			}
+			lastErr = r.err
+			if inflight == 0 && next < len(cands) {
+				launch(false)
+				inflight++
+			}
+		case <-fire:
+			h.hedges.Inc()
+			launch(true)
+			inflight++
+		}
+	}
+	return nil, lastErr
+}
+
+// Write-path redelivery policy: a failed flight is retried with capped
+// exponential backoff plus jitter before the replica is nacked. The budget
+// is deliberately small — the 4/6 quorum masks a replica that stays bad,
+// and gossip repairs it (§3.3) — but one retry absorbs the overwhelmingly
+// common gray case of a single dropped or rejected message.
+const (
+	deliverAttempts    = 4 // 1 initial + 3 retries
+	deliverBaseBackoff = 200 * time.Microsecond
+	deliverMaxBackoff  = 2 * time.Millisecond
+)
+
+// backoffFor returns the pre-retry sleep for retry number n (0-based) with
+// up to 50% uniform jitter, so retries from senders that failed together do
+// not re-collide.
+func backoffFor(n int) time.Duration {
+	d := deliverBaseBackoff << uint(n)
+	if d > deliverMaxBackoff {
+		d = deliverMaxBackoff
+	}
+	return d + time.Duration(rand.Int63n(int64(d)/2+1))
+}

@@ -23,43 +23,36 @@ func NewReader(f *Fleet, node netsim.NodeID, az netsim.AZ) *Reader {
 }
 
 // ReadPageAt fetches the version of a page as of readPoint from a single
-// segment whose SCL covers required, preferring same-AZ replicas.
+// segment whose SCL covers required. Candidates are ordered by health score
+// (healthy before gray) and AZ locality, and the attempt is hedged: when
+// the best replica overruns the PG's latency-derived deadline, the next is
+// raced against it — a slow-but-alive segment must not stall the replica's
+// read path (§4.2.3). A response lost after a successful segment read is
+// counted distinctly (RespDrops) — the page was served, the network ate it.
 func (r *Reader) ReadPageAt(id core.PageID, readPoint, required core.LSN) (page.Page, error) {
 	pg := r.fleet.PGOf(id)
 	replicas := r.fleet.Replicas(pg)
 	myAZ, _ := r.fleet.cfg.Net.NodeAZ(r.node)
-	order := make([]int, 0, len(replicas))
-	var far []int
-	for i, n := range replicas {
-		if n.AZ() == myAZ {
-			order = append(order, i)
-		} else {
-			far = append(far, i)
-		}
-	}
-	order = append(order, far...)
-	var lastErr error = ErrReadUnavailable
-	for _, i := range order {
+	cands := r.fleet.health.Order(pg, replicas, myAZ)
+	p, err := r.fleet.health.runHedged(pg, cands, func(i int) (page.Page, error) {
 		n := replicas[i]
-		if n.Down() {
-			continue
-		}
 		if err := r.fleet.cfg.Net.Send(r.node, n.NodeID(), reqSize); err != nil {
-			lastErr = err
-			continue
+			return nil, err
 		}
 		p, err := n.ReadPage(id, readPoint, required)
 		if err != nil {
-			lastErr = err
-			continue
+			return nil, err
 		}
 		if err := r.fleet.cfg.Net.Send(n.NodeID(), r.node, page.Size); err != nil {
-			lastErr = err
-			continue
+			r.fleet.health.respDrops.Inc()
+			return nil, err
 		}
 		return p, nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("reader %s page %d at %d: %w", r.node, id, readPoint, err)
 	}
-	return nil, fmt.Errorf("reader %s page %d at %d: %w", r.node, id, readPoint, lastErr)
+	return p, nil
 }
 
 // Close removes the reader from the network.

@@ -2,6 +2,7 @@ package volume
 
 import (
 	"sync"
+	"time"
 
 	"aurora/internal/core"
 	"aurora/internal/quorum"
@@ -91,8 +92,13 @@ func (s *replicaSender) loop() {
 }
 
 // deliver ships one coalesced flight: one send, one ReceiveBatches, one
-// ack. Failures nack every batch in the flight; the 4/6 quorum absorbs
-// them and gossip repairs the replica later.
+// ack. A failed flight is redelivered with capped exponential backoff plus
+// jitter — the gray case of a single dropped message must not nack a live
+// replica — and the replica is nacked only once the retry budget is
+// exhausted. If every batch in the flight resolves its quorum while we back
+// off, the redelivery is dropped: the 4/6 quorum absorbed the failure and
+// gossip repairs this replica later (§3.3). Storage ingestion is
+// idempotent, so a redelivery racing a flight that did land is harmless.
 func (s *replicaSender) deliver(flight []shipment) {
 	c := s.c
 	size := 0
@@ -101,30 +107,70 @@ func (s *replicaSender) deliver(flight []shipment) {
 		batches[i] = sh.batch
 		size += sh.batch.EncodedSize()
 	}
-	nackAll := func() {
-		for _, sh := range flight {
-			sh.tr.Nack(s.idx)
+	for try := 0; ; try++ {
+		start := time.Now()
+		ack, err := s.attempt(batches, size)
+		if err == nil {
+			c.fleet.health.ObserveOK(s.pg, s.idx, time.Since(start))
+			// A late ack from a retried flight may arrive after the quorum
+			// already resolved; noteSCL is a monotonic max and Ack on a
+			// resolved tracker is a no-op, so stale acks still advance the
+			// segment's completeness view safely.
+			c.noteSCL(ack)
+			for _, sh := range flight {
+				sh.tr.Ack(s.idx)
+			}
+			return
 		}
+		c.fleet.health.ObserveFailure(s.pg, s.idx)
+		if try+1 >= deliverAttempts {
+			break
+		}
+		if s.resolvedAll(flight) {
+			return // settled without us; gossip will catch this replica up
+		}
+		time.Sleep(backoffFor(try))
+		s.mu.Lock()
+		stopped := s.stopped
+		s.mu.Unlock()
+		if stopped {
+			break
+		}
+		c.fleet.health.retries.Inc()
 	}
+	for _, sh := range flight {
+		sh.tr.Nack(s.idx)
+	}
+}
+
+// attempt performs one delivery exchange: request send, persist+ack on the
+// storage node, ack send back.
+func (s *replicaSender) attempt(batches []*core.Batch, size int) (storage.Ack, error) {
+	c := s.c
 	if err := c.fleet.cfg.Net.Send(c.node, s.node.NodeID(), size); err != nil {
-		nackAll()
-		return
+		return storage.Ack{}, err
 	}
 	vdlNow := c.vdl.VDL()
 	mrpl := c.reads.lowWaterMark(vdlNow)
 	ack, err := s.node.ReceiveBatches(batches, vdlNow, mrpl)
 	if err != nil {
-		nackAll()
-		return
+		return storage.Ack{}, err
 	}
 	if err := c.fleet.cfg.Net.Send(s.node.NodeID(), c.node, ackSize); err != nil {
-		nackAll()
-		return
+		return storage.Ack{}, err
 	}
-	c.noteSCL(ack)
+	return ack, nil
+}
+
+// resolvedAll reports whether every batch in the flight has already
+// resolved its write quorum (success or failure) without this replica.
+func (s *replicaSender) resolvedAll(flight []shipment) bool {
 	for _, sh := range flight {
-		sh.tr.Ack(s.idx)
+		if !sh.tr.Resolved() {
+			return false
+		}
 	}
+	return true
 }
 
 // shipBatch hands one batch to every replica's sender pipeline and waits
