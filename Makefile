@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race chaos-smoke ci
+.PHONY: all build vet test race chaos-smoke bench ci
 
 all: build
 
@@ -23,5 +23,10 @@ race:
 # success, and the retry / hedge / auto-repair machinery all engaged.
 chaos-smoke:
 	$(GO) run ./cmd/aurora-chaos -rounds 4 -probes 25 -seed 7
+
+# Quick benchmark snapshot for this PR: the throughput tables most
+# sensitive to the commit pipeline, written as JSON for comparison.
+bench:
+	$(GO) run ./cmd/aurora-bench -quick -exp table1,table3 -json BENCH_2.json
 
 ci: test race chaos-smoke

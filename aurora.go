@@ -350,6 +350,15 @@ type Stats struct {
 	NetworkBytes    uint64
 	ReplicaCount    int
 	BackupObjects   int
+
+	// Commit-pipeline gauges: framing critical sections, group sizes, and
+	// the commit latency distribution (lock-free histograms on the hot path).
+	FramingOps    uint64
+	MeanGroupSize float64
+	MaxGroupSize  uint64
+	CommitP50     time.Duration
+	CommitP95     time.Duration
+	CommitP99     time.Duration
 }
 
 // Stats returns a cluster-wide snapshot.
@@ -361,6 +370,12 @@ func (c *Cluster) Stats() Stats {
 		CacheHits: es.Cache.Hits, CacheMisses: es.Cache.Misses,
 		NetworkMessages: ns.Messages, NetworkBytes: ns.Bytes,
 		ReplicaCount: len(c.replicas),
+		FramingOps:   es.Pipeline.Frames,
+		MeanGroupSize: es.Pipeline.MeanGroupSize,
+		MaxGroupSize:  es.Pipeline.MaxGroupSize,
+		CommitP50:     es.Pipeline.CommitP50,
+		CommitP95:     es.Pipeline.CommitP95,
+		CommitP99:     es.Pipeline.CommitP99,
 	}
 	if c.store != nil {
 		s.BackupObjects = len(c.store.List(""))

@@ -3,26 +3,37 @@
 //
 // Usage:
 //
-//	aurora-bench                  # run every experiment at full scale
-//	aurora-bench -exp table1      # one experiment
-//	aurora-bench -quick           # CI-sized runs
-//	aurora-bench -list            # list experiment ids
+//	aurora-bench                        # run every experiment at full scale
+//	aurora-bench -exp table1            # one experiment
+//	aurora-bench -exp table1,table3     # a comma-separated subset
+//	aurora-bench -quick                 # CI-sized runs
+//	aurora-bench -json results.json     # also write results as JSON
+//	aurora-bench -list                  # list experiment ids
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 	"time"
 
 	"aurora/internal/harness"
 )
 
+// runRecord is one experiment's JSON output: the Result plus wall time.
+type runRecord struct {
+	*harness.Result
+	ElapsedMS int64 `json:"ElapsedMS"`
+}
+
 func main() {
-	exp := flag.String("exp", "", "experiment id to run (default: all)")
+	exp := flag.String("exp", "", "experiment id(s) to run, comma-separated (default: all)")
 	quick := flag.Bool("quick", false, "CI-sized scale instead of full")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	jsonOut := flag.String("json", "", "write results to this file as JSON")
 	flag.Parse()
 
 	if *list {
@@ -42,6 +53,7 @@ func main() {
 		scale = harness.Quick()
 	}
 
+	var records []runRecord
 	run := func(id string) {
 		fn, ok := harness.Registry[id]
 		if !ok {
@@ -50,16 +62,38 @@ func main() {
 		}
 		start := time.Now()
 		res := fn(scale)
+		elapsed := time.Since(start)
 		res.Print(os.Stdout)
-		fmt.Printf("  [%s in %v]\n", id, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("  [%s in %v]\n", id, elapsed.Round(time.Millisecond))
+		records = append(records, runRecord{Result: res, ElapsedMS: elapsed.Milliseconds()})
 	}
 
+	ids := harness.Order
 	if *exp != "" {
-		run(*exp)
-		return
+		ids = nil
+		for _, id := range strings.Split(*exp, ",") {
+			if id = strings.TrimSpace(id); id != "" {
+				ids = append(ids, id)
+			}
+		}
+	} else {
+		fmt.Printf("aurora-bench: reproducing the SIGMOD'17 evaluation (scale: %+v)\n", scale)
 	}
-	fmt.Printf("aurora-bench: reproducing the SIGMOD'17 evaluation (scale: %+v)\n", scale)
-	for _, id := range harness.Order {
+	for _, id := range ids {
 		run(id)
+	}
+
+	if *jsonOut != "" {
+		buf, err := json.MarshalIndent(records, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "marshal results: %v\n", err)
+			os.Exit(1)
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(*jsonOut, buf, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "write %s: %v\n", *jsonOut, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d result(s) to %s\n", len(records), *jsonOut)
 	}
 }

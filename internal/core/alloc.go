@@ -96,6 +96,11 @@ func (a *Allocator) HighestAllocated() LSN {
 	return a.next - 1
 }
 
+// Limit returns the allocation limit (LAL): the maximum number of LSNs
+// that may be outstanding beyond the VDL. A single allocation larger than
+// this can never succeed, so batching callers must cap their requests.
+func (a *Allocator) Limit() uint64 { return a.lal }
+
 // UpperBound returns the highest LSN that could possibly have been
 // allocated given the current VDL: VDL + LAL. Recovery uses this to bound
 // the truncation range it must annul (§4.3).

@@ -39,6 +39,20 @@ func (m *MTR) AddMeta(t RecordType, pg PGID) {
 // Empty reports whether the MTR holds no records.
 func (m *MTR) Empty() bool { return len(m.Records) == 0 }
 
+// LastLSNFor returns the highest LSN this MTR assigned to records of the
+// given page (ZeroLSN if none, or if the MTR has not been framed yet). The
+// engine stamps cached page LSNs with it after framing.
+func (m *MTR) LastLSNFor(id PageID) LSN {
+	var last LSN
+	for i := range m.Records {
+		r := &m.Records[i]
+		if r.PageRecord() && r.Page == id && r.LSN > last {
+			last = r.LSN
+		}
+	}
+	return last
+}
+
 // ErrEmptyMTR is returned when framing an MTR with no records.
 var ErrEmptyMTR = errors.New("core: cannot frame empty mini-transaction")
 
@@ -69,43 +83,74 @@ func NewFramer(alloc *Allocator, lastPerPG map[PGID]LSN) *Framer {
 // together with the MTR's CPL. Frame blocks if the LSN allocator is at its
 // allocation limit.
 func (f *Framer) Frame(m *MTR) ([]Batch, LSN, error) {
-	if m.Empty() {
-		return nil, ZeroLSN, ErrEmptyMTR
+	batches, cpls, err := f.FrameGroup([]*MTR{m})
+	if err != nil {
+		return nil, ZeroLSN, err
 	}
-	n := len(m.Records)
-	// Allocate outside the chain lock so back-pressure stalls do not block
-	// other writers that still have headroom... but LSN order must match
-	// chain order, so allocation and chaining happen under one lock.
+	return batches, cpls[0], nil
+}
+
+// FrameGroup frames a group of MTRs through one allocation/chaining
+// critical section: a single Alloc covers every record of the group, and
+// the per-PG backlink chains are threaded across all of them in order. The
+// last record of each MTR is tagged as a CPL, so every member remains an
+// individually trackable consistency point. Records are returned sharded
+// into per-PG batches merged across the whole group (chain order equals
+// LSN order within each batch), together with the per-MTR CPLs in group
+// order. This is the group-commit primitive: N concurrent committers pay
+// one framing critical section instead of N (§4.2.2's "no synchronous
+// points" taken one step further).
+func (f *Framer) FrameGroup(ms []*MTR) ([]Batch, []LSN, error) {
+	total := 0
+	for _, m := range ms {
+		if m.Empty() {
+			return nil, nil, ErrEmptyMTR
+		}
+		total += len(m.Records)
+	}
+	if total == 0 {
+		return nil, nil, ErrEmptyMTR
+	}
+	// LSN order must match chain order, so allocation and chaining happen
+	// under one lock — but that lock is held once per *group*, and only the
+	// dedicated framer stage ever blocks here on LAL back-pressure.
 	f.mu.Lock()
-	first, err := f.alloc.Alloc(n)
+	first, err := f.alloc.Alloc(total)
 	if err != nil {
 		f.mu.Unlock()
-		return nil, ZeroLSN, err
+		return nil, nil, err
 	}
 	byPG := make(map[PGID]*Batch)
 	order := make([]PGID, 0, 2)
-	for i := range m.Records {
-		r := &m.Records[i]
-		r.LSN = first + LSN(i)
-		r.PrevLSN = f.last[r.PG]
-		f.last[r.PG] = r.LSN
-		if i == n-1 {
-			r.Flags |= FlagCPL
+	cpls := make([]LSN, len(ms))
+	lsn := first
+	for mi, m := range ms {
+		n := len(m.Records)
+		for i := range m.Records {
+			r := &m.Records[i]
+			r.LSN = lsn
+			lsn++
+			r.PrevLSN = f.last[r.PG]
+			f.last[r.PG] = r.LSN
+			if i == n-1 {
+				r.Flags |= FlagCPL
+			}
+			b, ok := byPG[r.PG]
+			if !ok {
+				b = &Batch{PG: r.PG}
+				byPG[r.PG] = b
+				order = append(order, r.PG)
+			}
+			b.Records = append(b.Records, *r)
 		}
-		b, ok := byPG[r.PG]
-		if !ok {
-			b = &Batch{PG: r.PG}
-			byPG[r.PG] = b
-			order = append(order, r.PG)
-		}
-		b.Records = append(b.Records, *r)
+		cpls[mi] = lsn - 1
 	}
 	f.mu.Unlock()
 	batches := make([]Batch, 0, len(order))
 	for _, pg := range order {
 		batches = append(batches, *byPG[pg])
 	}
-	return batches, first + LSN(n-1), nil
+	return batches, cpls, nil
 }
 
 // ChainTail returns the last LSN framed for pg (ZeroLSN if none).

@@ -20,6 +20,7 @@ import (
 	"aurora/internal/btree"
 	"aurora/internal/bufcache"
 	"aurora/internal/core"
+	"aurora/internal/metrics"
 	"aurora/internal/page"
 	"aurora/internal/txn"
 	"aurora/internal/volume"
@@ -30,6 +31,7 @@ var (
 	ErrTxDone     = errors.New("engine: transaction already finished")
 	ErrReadOnlyTx = errors.New("engine: write on read-only transaction")
 	ErrDegraded   = errors.New("engine: storage quorum lost; writes suspended")
+	ErrClosed     = errors.New("engine: database closed")
 )
 
 // Config tunes a database instance.
@@ -40,30 +42,47 @@ type Config struct {
 	// LockTimeout bounds row lock waits; 0 selects the default.
 	LockTimeout time.Duration
 	// SyncCommit is an ablation: hold the engine's exclusive latch through
-	// quorum shipping and durability, as a traditional synchronous commit
-	// would stall its worker thread (§4.2.2 inverted).
+	// framing, quorum shipping and durability, as a traditional synchronous
+	// commit would stall its worker thread (§4.2.2 inverted). It bypasses
+	// the commit pipeline entirely — group size is forced to 1 and the old
+	// stall semantics apply.
 	SyncCommit bool
 	// FullPageWrites is an ablation: ship full page images instead of byte
 	// deltas, as a page-shipping architecture would (§3.1).
 	FullPageWrites bool
+	// CommitQueueDepth bounds the commit pipeline's apply→framing queue
+	// (default 256). When the framer stalls on LAL back-pressure the queue
+	// fills and new committers block before taking the engine latch — so
+	// back-pressure throttles writers without ever blocking readers.
+	CommitQueueDepth int
+	// MaxCommitGroup caps how many queued commits one framing critical
+	// section absorbs (default 64).
+	MaxCommitGroup int
 }
 
 func (c Config) withDefaults() Config {
 	if c.CachePages <= 0 {
 		c.CachePages = 4096
 	}
+	if c.CommitQueueDepth <= 0 {
+		c.CommitQueueDepth = 256
+	}
+	if c.MaxCommitGroup <= 0 {
+		c.MaxCommitGroup = 64
+	}
 	return c
 }
 
 // DB is one database instance attached as the single writer of a volume.
 type DB struct {
-	cfg   Config
-	vol   *volume.Client
-	cache *bufcache.Cache
-	locks *txn.LockTable
-	ids   txn.IDs
-	latch sync.RWMutex // tree structure latch: shared reads, exclusive writes
-	feed  *feed
+	cfg      Config
+	vol      *volume.Client
+	cache    *bufcache.Cache
+	locks    *txn.LockTable
+	ids      txn.IDs
+	latch    sync.RWMutex // tree structure latch: shared reads, exclusive writes
+	feed     *feed
+	pipeline *commitPipeline
 
 	degraded atomic.Bool
 
@@ -71,6 +90,10 @@ type DB struct {
 	commits atomic.Uint64
 	aborts  atomic.Uint64
 	reads   atomic.Uint64
+
+	// Commit-path gauges, recorded lock-free on the hot path.
+	commitLat  metrics.LockFreeHistogram // commit latency, nanoseconds
+	groupSizes metrics.LockFreeHistogram // commits per framed group
 }
 
 // Create formats a brand-new database on an empty volume.
@@ -107,6 +130,7 @@ func Create(vol *volume.Client, cfg Config) (*DB, error) {
 	}
 	vol.WaitDurable(pending.CPL())
 	db.feed.publish(Event{VDL: vol.VDL()})
+	db.pipeline = newCommitPipeline(db)
 	return db, nil
 }
 
@@ -126,6 +150,7 @@ func Open(vol *volume.Client, cfg Config) (*DB, error) {
 	if _, err := btree.Open(&readStore{db: db}); err != nil {
 		return nil, err
 	}
+	db.pipeline = newCommitPipeline(db)
 	return db, nil
 }
 
@@ -157,47 +182,88 @@ func (db *DB) VDL() core.LSN { return db.vol.VDL() }
 // Degraded reports whether a write quorum failure has suspended writes.
 func (db *DB) Degraded() bool { return db.degraded.Load() }
 
-// Close shuts the engine down gracefully: lock waiters are released and
-// the volume client is closed. Cached state is discarded.
+// Close shuts the engine down gracefully: lock waiters are released, the
+// commit pipeline is drained (closing the volume client first unblocks a
+// framer stalled on the LAL), and cached state is discarded.
 func (db *DB) Close() {
 	db.locks.Close()
-	db.feed.close()
+	db.pipeline.stop()
 	db.vol.Close()
+	db.pipeline.wait()
+	db.feed.close()
 }
 
 // Crash simulates an instance failure: runtime state (cache, locks,
-// feeds) is lost; the storage fleet keeps everything durable.
+// feeds, the commit pipeline) is lost; the storage fleet keeps everything
+// durable.
 func (db *DB) Crash() {
 	db.locks.Close()
-	db.feed.close()
+	db.pipeline.stop()
 	db.cache.Invalidate()
 	db.vol.Crash()
+	db.pipeline.wait()
+	db.feed.close()
+}
+
+// PipelineStats summarises the commit pipeline's behaviour: how many
+// framing critical sections ran, how large the framed groups were, and the
+// commit latency distribution, all collected lock-free on the hot path.
+type PipelineStats struct {
+	Frames          uint64  // framing ops (one per group; < Commits when grouping engages)
+	GroupedCommits  uint64  // commits that passed through the pipeline
+	MeanGroupSize   float64 // GroupedCommits / Frames
+	MaxGroupSize    uint64
+	CommitP50       time.Duration
+	CommitP95       time.Duration
+	CommitP99       time.Duration
+	CommitMean      time.Duration
+	QueuedCommits   int // commits currently waiting to be framed
 }
 
 // Stats is a snapshot of engine counters.
 type Stats struct {
-	Begins  uint64
-	Commits uint64
-	Aborts  uint64
-	Reads   uint64
-	Cache   bufcache.Stats
-	Volume  volume.Stats
-	Waits   uint64
-	Wounds  uint64
+	Begins   uint64
+	Commits  uint64
+	Aborts   uint64
+	Reads    uint64
+	Cache    bufcache.Stats
+	Volume   volume.Stats
+	Pipeline PipelineStats
+	Waits    uint64
+	Wounds   uint64
 }
 
 // Stats returns a snapshot of engine counters.
 func (db *DB) Stats() Stats {
 	waits, wounds := db.locks.Stats()
+	vs := db.vol.Stats()
+	ps := PipelineStats{
+		Frames:         vs.Frames,
+		GroupedCommits: db.groupSizes.Sum(),
+		MaxGroupSize:   db.groupSizes.Max(),
+		CommitP50:      db.commitLat.QuantileDuration(0.50),
+		CommitP95:      db.commitLat.QuantileDuration(0.95),
+		CommitP99:      db.commitLat.QuantileDuration(0.99),
+		CommitMean:     time.Duration(db.commitLat.Mean()),
+	}
+	if n := db.groupSizes.Count(); n > 0 {
+		ps.MeanGroupSize = float64(ps.GroupedCommits) / float64(n)
+	}
+	if db.pipeline != nil {
+		db.pipeline.mu.Lock()
+		ps.QueuedCommits = len(db.pipeline.queue)
+		db.pipeline.mu.Unlock()
+	}
 	return Stats{
-		Begins:  db.begins.Load(),
-		Commits: db.commits.Load(),
-		Aborts:  db.aborts.Load(),
-		Reads:   db.reads.Load(),
-		Cache:   db.cache.Stats(),
-		Volume:  db.vol.Stats(),
-		Waits:   waits,
-		Wounds:  wounds,
+		Begins:   db.begins.Load(),
+		Commits:  db.commits.Load(),
+		Aborts:   db.aborts.Load(),
+		Reads:    db.reads.Load(),
+		Cache:    db.cache.Stats(),
+		Volume:   vs,
+		Pipeline: ps,
+		Waits:    waits,
+		Wounds:   wounds,
 	}
 }
 

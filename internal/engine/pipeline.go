@@ -1,0 +1,267 @@
+package engine
+
+import (
+	"sync"
+
+	"aurora/internal/core"
+	"aurora/internal/volume"
+)
+
+// This file implements the staged group-commit pipeline (§4.2 taken to its
+// conclusion): workers apply, hand their records to the log, and commits
+// complete asynchronously as the VDL advances — with no synchronous point
+// under the engine latch.
+//
+//	Stage 1 — apply.   Tx.Commit reserves a pipeline slot (the only place a
+//	    committer can stall on back-pressure, and it holds no latch there),
+//	    applies its write set under a short exclusive latch, enqueues its
+//	    MTR, and releases the latch before any framing or LAL throttling.
+//	    Enqueue happens under the latch so queue order always equals apply
+//	    order — the log must replay in the order the tree changed.
+//	Stage 2 — framing. A dedicated framer goroutine drains the queue and
+//	    frames whole groups of MTRs through Client.FrameMTRs: one
+//	    LSN-allocation/ordering critical section amortized over every
+//	    committer that arrived while the previous group was in flight.
+//	    LAL back-pressure now stalls only this goroutine (the queue bound
+//	    propagates it to reserve), never a latch holder — so readers keep
+//	    running while storage catches up.
+//	Stage 3 — completion. A per-group watcher ships the merged batches and
+//	    subscribes to the VDL via DurableChan keyed by the group's highest
+//	    CPL; each committer just waits on its request's channel. Feed
+//	    events for the whole group are published once.
+type commitPipeline struct {
+	db *DB
+
+	mu       sync.Mutex
+	cond     *sync.Cond // wakes the framer (work) and reservers (space)
+	queue    []*commitReq
+	reserved int // slots promised to committers not yet enqueued
+	depth    int
+	maxGroup int
+	closed   bool
+
+	// maxGroupRecs caps a group's total record count. An Alloc larger than
+	// the LAL window can never be granted (the VDL cannot advance past the
+	// group's own unshipped records), so groups stay well inside it; the
+	// quarter-window default keeps several groups pipelined inside one LAL.
+	maxGroupRecs int
+
+	// inflight counts framed groups whose watcher has not yet completed.
+	// The framer pauses at maxInflightGroups so that under sustained load
+	// the queue builds between frames and groups actually amortize — a
+	// commit's durability needs every earlier LSN durable anyway (the VDL
+	// is contiguous), so holding its frame behind in-flight groups does
+	// not delay its ack, it only widens the batch.
+	inflight int
+
+	framerDone chan struct{}
+	ships      sync.WaitGroup
+}
+
+// maxInflightGroups bounds how many framed groups may be awaiting
+// durability at once before the framer waits for one to complete.
+const maxInflightGroups = 4
+
+// commitReq is one transaction's passage through the pipeline: the MTR to
+// frame, the recorder whose pages need LSN stamps, the write store whose
+// pins are released once stamped, and the channel the committer waits on.
+type commitReq struct {
+	txn  uint64
+	mtr  *core.MTR
+	rec  stamper
+	ws   *writeStore
+	errc chan error // buffered(1): framing/ship error, or nil once durable
+}
+
+// stamper is the slice of btree.Recorder the pipeline needs (page LSN
+// stamping after framing).
+type stamper interface {
+	StampLSNs(lastFor func(core.PageID) core.LSN)
+}
+
+func newCommitPipeline(db *DB) *commitPipeline {
+	budget := int(db.vol.LAL() / 4)
+	if budget < 1 {
+		budget = 1
+	}
+	p := &commitPipeline{
+		db:           db,
+		depth:        db.cfg.CommitQueueDepth,
+		maxGroup:     db.cfg.MaxCommitGroup,
+		maxGroupRecs: budget,
+		framerDone:   make(chan struct{}),
+	}
+	p.cond = sync.NewCond(&p.mu)
+	go p.framerLoop()
+	return p
+}
+
+// reserve blocks until the pipeline has room for one more commit (the
+// back-pressure point: when the framer is stalled on the LAL the queue
+// fills and new committers wait HERE, holding no latch). It returns
+// ErrClosed once the pipeline shuts down.
+func (p *commitPipeline) reserve() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for !p.closed && len(p.queue)+p.reserved >= p.depth {
+		p.cond.Wait()
+	}
+	if p.closed {
+		return ErrClosed
+	}
+	p.reserved++
+	return nil
+}
+
+// unreserve returns a reservation unused (the commit failed during apply).
+func (p *commitPipeline) unreserve() {
+	p.mu.Lock()
+	p.reserved--
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+// enqueue converts a reservation into a queued request. It is called with
+// the engine latch held, which is what guarantees framing order equals
+// apply order; the critical section here is a pointer append.
+func (p *commitPipeline) enqueue(req *commitReq) {
+	p.mu.Lock()
+	p.reserved--
+	p.queue = append(p.queue, req)
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+// stop shuts the pipeline down. Queued and reserved committers are
+// released with an error by the framer draining the queue against the
+// (now closed) volume client. stop does not wait; callers that need
+// quiescence call wait after closing the volume client so nothing can
+// block on the LAL.
+func (p *commitPipeline) stop() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+// wait blocks until the framer has drained and every in-flight group
+// watcher has finished. Call only after stop plus volume close/crash.
+func (p *commitPipeline) wait() {
+	<-p.framerDone
+	p.ships.Wait()
+}
+
+// framerLoop is stage 2: it drains the queue in arrival order, frames each
+// drained group through one FrameMTRs call, stamps page LSNs, publishes
+// the group's feed event, and hands the group to a completion watcher.
+func (p *commitPipeline) framerLoop() {
+	defer close(p.framerDone)
+	for {
+		p.mu.Lock()
+		// Wait for work; once the in-flight bound is hit, also wait for a
+		// group to complete (except at shutdown, where the queue must drain
+		// unconditionally so every committer is released).
+		for !p.closed && (len(p.queue) == 0 || p.inflight >= maxInflightGroups) {
+			p.cond.Wait()
+		}
+		if len(p.queue) == 0 && p.closed {
+			p.mu.Unlock()
+			return
+		}
+		// Take the longest queue prefix within both the group-size cap and
+		// the record budget; always take at least one commit (a single MTR
+		// above the budget still frames alone — only the full LAL window
+		// is a hard wall).
+		n, recs := 0, 0
+		for n < len(p.queue) && n < p.maxGroup {
+			r := len(p.queue[n].mtr.Records)
+			if n > 0 && recs+r > p.maxGroupRecs {
+				break
+			}
+			n++
+			recs += r
+		}
+		group := p.queue[:n]
+		p.queue = append([]*commitReq(nil), p.queue[n:]...)
+		p.cond.Broadcast() // queue space freed: wake reservers
+		p.mu.Unlock()
+
+		p.frameGroup(group)
+	}
+}
+
+// frameGroup frames one group of commits and launches its completion
+// watcher. On a framing error (only possible when the volume client is
+// closing) the group's committers are failed and writes are suspended —
+// the applied-but-unframed tree state must not be shipped piecemeal later.
+func (p *commitPipeline) frameGroup(group []*commitReq) {
+	db := p.db
+	ms := make([]*core.MTR, len(group))
+	for i, req := range group {
+		ms[i] = req.mtr
+	}
+	gw, err := db.vol.FrameMTRs(ms)
+	if err != nil {
+		db.degraded.Store(true)
+		for _, req := range group {
+			req.ws.done()
+			req.errc <- err
+		}
+		return
+	}
+	// Stamp cached page LSNs while the pages are still pinned (the pins
+	// keep the eviction scan away from the header bytes being written),
+	// then release the pins: from here the VDL rule governs eviction.
+	var recs []core.Record
+	for _, req := range group {
+		req.rec.StampLSNs(req.mtr.LastLSNFor)
+		recs = append(recs, cloneRecords(req.mtr.Records)...)
+	}
+	for _, req := range group {
+		req.ws.done()
+	}
+	// One feed event for the framed group: records in LSN order, VDL as of
+	// publication. The durability advancement event follows once, from the
+	// watcher — not once per commit.
+	db.feed.publish(Event{Records: recs, VDL: db.vol.VDL()})
+	db.groupSizes.Observe(int64(len(group)))
+
+	p.mu.Lock()
+	p.inflight++
+	p.mu.Unlock()
+	p.ships.Add(1)
+	go p.completeGroup(group, gw)
+}
+
+// completeGroup is stage 3: ship the group's batches, wait for the VDL to
+// pass the group's highest CPL, publish the durability event, and release
+// every committer. A write-quorum failure suspends writes and fails the
+// whole group — identical semantics to the unpipelined path.
+func (p *commitPipeline) completeGroup(group []*commitReq, gw *volume.GroupWrite) {
+	defer p.ships.Done()
+	defer func() {
+		p.mu.Lock()
+		p.inflight--
+		p.cond.Broadcast()
+		p.mu.Unlock()
+	}()
+	db := p.db
+	if err := gw.Ship(); err != nil {
+		db.degraded.Store(true)
+		for _, req := range group {
+			req.errc <- err
+		}
+		return
+	}
+	// DurableChan returns a closed channel if the tracker shut down (writer
+	// crash); committers then complete exactly as WaitDurable used to.
+	<-db.vol.DurableChan(gw.MaxCPL())
+	db.feed.publish(Event{VDL: db.vol.VDL()})
+	for _, req := range group {
+		req.errc <- nil
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"sort"
+	"time"
 
 	"aurora/internal/btree"
 	"aurora/internal/core"
@@ -208,11 +209,13 @@ func (tx *Tx) Scan(from, to []byte, fn func(key, val []byte) bool) error {
 	return nil
 }
 
-// Commit applies the write set to the tree as one mini-transaction, ships
-// it, and returns once the commit is durable (VDL has reached the commit
-// record). The calling goroutine blocks — that is the client waiting for
-// its commit acknowledgement — but no engine thread or latch is held
-// while waiting (§4.2.2).
+// Commit applies the write set to the tree as one mini-transaction, hands
+// its records to the commit pipeline, and returns once the commit is
+// durable (VDL has reached the commit record). The calling goroutine
+// blocks — that is the client waiting for its commit acknowledgement — but
+// no engine thread or latch is held while waiting, and no latch is held
+// across framing or LAL throttling either: the exclusive latch covers only
+// the btree apply (§4.2.2, see the pipeline stages in pipeline.go).
 func (tx *Tx) Commit() error {
 	if tx.done {
 		return ErrTxDone
@@ -225,11 +228,18 @@ func (tx *Tx) Commit() error {
 		tx.finish(false)
 		return ErrDegraded
 	}
+	if tx.db.cfg.SyncCommit {
+		return tx.commitSync()
+	}
+	return tx.commitPipelined()
+}
 
-	tx.db.latch.Lock()
-	ws := &writeStore{db: tx.db}
+// apply materializes the write set into the tree under the exclusive
+// latch, which the caller holds. On error the pages are rolled back to
+// their before-images and the pins released; the caller still owns the
+// latch.
+func (tx *Tx) apply(ws *writeStore, rec *btree.Recorder) (*core.MTR, error) {
 	t := btree.View(ws)
-	rec := btree.NewRecorder()
 	for _, k := range tx.order {
 		w := tx.writes[k]
 		var err error
@@ -241,9 +251,7 @@ func (tx *Tx) Commit() error {
 		if err != nil {
 			rec.Rollback()
 			ws.done()
-			tx.db.latch.Unlock()
-			tx.finish(false)
-			return fmt.Errorf("txn %d apply: %w", tx.id, err)
+			return nil, fmt.Errorf("txn %d apply: %w", tx.id, err)
 		}
 	}
 	m := &core.MTR{Txn: tx.id}
@@ -252,13 +260,65 @@ func (tx *Tx) Commit() error {
 	} else if err := rec.AppendRecords(m, tx.db.vol.PGOf); err != nil {
 		rec.Rollback()
 		ws.done()
+		return nil, err
+	}
+	m.AddMeta(core.RecTxnCommit, tx.db.vol.PGOf(btree.MetaPageID))
+	return m, nil
+}
+
+// commitPipelined is the default commit path: stage 1 of the pipeline.
+// Back-pressure is taken in reserve, before any latch; the exclusive latch
+// covers only the apply and a pointer enqueue; framing, shipping and
+// durability happen in the pipeline's own stages while this goroutine
+// waits on its completion channel.
+func (tx *Tx) commitPipelined() error {
+	start := time.Now()
+	p := tx.db.pipeline
+	if err := p.reserve(); err != nil {
+		tx.finish(false)
+		return fmt.Errorf("txn %d: %w", tx.id, err)
+	}
+	tx.db.latch.Lock()
+	ws := &writeStore{db: tx.db}
+	rec := btree.NewRecorder()
+	m, err := tx.apply(ws, rec)
+	if err != nil {
+		tx.db.latch.Unlock()
+		p.unreserve()
+		tx.finish(false)
+		return err
+	}
+	req := &commitReq{txn: tx.id, mtr: m, rec: rec, ws: ws, errc: make(chan error, 1)}
+	// Enqueue under the latch: queue order is apply order, so the framer
+	// assigns LSNs in exactly the order the tree changed.
+	p.enqueue(req)
+	tx.db.latch.Unlock()
+
+	if err := <-req.errc; err != nil {
+		tx.finish(false)
+		return fmt.Errorf("txn %d: %w (%v)", tx.id, ErrDegraded, err)
+	}
+	tx.db.commitLat.ObserveDuration(time.Since(start))
+	tx.finish(true)
+	return nil
+}
+
+// commitSync is the synchronous-commit ablation: the worker holds the
+// engine's exclusive latch through framing, quorum shipping and
+// durability, forcing group size 1 — the stall the pipeline exists to
+// remove. One feed event carries the records together with the final VDL,
+// so the commit publishes exactly once.
+func (tx *Tx) commitSync() error {
+	start := time.Now()
+	tx.db.latch.Lock()
+	ws := &writeStore{db: tx.db}
+	rec := btree.NewRecorder()
+	m, err := tx.apply(ws, rec)
+	if err != nil {
 		tx.db.latch.Unlock()
 		tx.finish(false)
 		return err
 	}
-	m.AddMeta(core.RecTxnCommit, tx.db.vol.PGOf(btree.MetaPageID))
-	// FrameMTR may stall here on LAL back-pressure: this is precisely the
-	// throttle that stops the database running ahead of storage (§4.2.1).
 	pending, err := tx.db.vol.FrameMTR(m)
 	if err != nil {
 		rec.Rollback()
@@ -268,37 +328,20 @@ func (tx *Tx) Commit() error {
 		return err
 	}
 	rec.StampLSNs(pending.LastLSNFor)
-	tx.db.feed.publish(Event{Records: cloneRecords(m.Records), VDL: tx.db.vol.VDL()})
 	ws.done()
-	if tx.db.cfg.SyncCommit {
-		// Ablation: the worker stalls the whole engine through shipping and
-		// durability, as a synchronous-commit design would.
-		err := pending.Ship()
-		if err == nil {
-			tx.db.vol.WaitDurable(pending.CPL())
-		}
-		tx.db.latch.Unlock()
-		if err != nil {
-			tx.db.degraded.Store(true)
-			tx.finish(false)
-			return fmt.Errorf("txn %d: %w (%v)", tx.id, ErrDegraded, err)
-		}
-		tx.db.feed.publish(Event{VDL: tx.db.vol.VDL()})
-		tx.finish(true)
-		return nil
+	tx.db.groupSizes.Observe(1)
+	err = pending.Ship()
+	if err == nil {
+		tx.db.vol.WaitDurable(pending.CPL())
 	}
 	tx.db.latch.Unlock()
-
-	if err := pending.Ship(); err != nil {
-		// Write quorum lost: the volume is unavailable for writes. The
-		// records may or may not survive recovery; the engine suspends
-		// writes rather than guess.
+	if err != nil {
 		tx.db.degraded.Store(true)
 		tx.finish(false)
 		return fmt.Errorf("txn %d: %w (%v)", tx.id, ErrDegraded, err)
 	}
-	tx.db.vol.WaitDurable(pending.CPL())
-	tx.db.feed.publish(Event{VDL: tx.db.vol.VDL()})
+	tx.db.feed.publish(Event{Records: cloneRecords(m.Records), VDL: tx.db.vol.VDL()})
+	tx.db.commitLat.ObserveDuration(time.Since(start))
 	tx.finish(true)
 	return nil
 }

@@ -6,6 +6,7 @@ package metrics
 
 import (
 	"fmt"
+	"math/bits"
 	"math/rand"
 	"sort"
 	"sync"
@@ -120,6 +121,97 @@ func (h *Histogram) Summary() string {
 		h.Percentile(95).Round(time.Microsecond),
 		h.Percentile(99).Round(time.Microsecond),
 		h.Max().Round(time.Microsecond))
+}
+
+// LockFreeHistogram is a histogram safe for use on the hottest paths: a
+// fixed array of power-of-two buckets updated with atomic increments only —
+// no lock, no allocation, no reservoir sampling. Observations land in the
+// bucket of their bit length, so quantiles are exact to within a factor of
+// two; the commit pipeline records every commit's latency and every framed
+// group's size through it without adding a synchronization point of its own.
+type LockFreeHistogram struct {
+	buckets [65]atomic.Uint64 // index = bits.Len64(value)
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	max     atomic.Uint64
+}
+
+// Observe records one non-negative value (negative values clamp to zero).
+func (h *LockFreeHistogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	u := uint64(v)
+	h.buckets[bits.Len64(u)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(u)
+	for {
+		cur := h.max.Load()
+		if u <= cur || h.max.CompareAndSwap(cur, u) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records a duration in nanoseconds.
+func (h *LockFreeHistogram) ObserveDuration(d time.Duration) { h.Observe(int64(d)) }
+
+// Count returns the number of observations.
+func (h *LockFreeHistogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *LockFreeHistogram) Sum() uint64 { return h.sum.Load() }
+
+// Max returns the largest observation.
+func (h *LockFreeHistogram) Max() uint64 { return h.max.Load() }
+
+// Mean returns the arithmetic mean of all observations (0 when empty).
+func (h *LockFreeHistogram) Mean() float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / float64(n)
+}
+
+// Quantile returns an estimate of the q-th quantile (0 < q <= 1): the
+// geometric midpoint of the bucket where the cumulative count crosses
+// q*count. The estimate is exact to within the bucket's factor-of-two
+// resolution. Concurrent Observe calls may skew an in-flight snapshot by a
+// few samples; that is acceptable for observability.
+func (h *LockFreeHistogram) Quantile(q float64) uint64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	target := uint64(q * float64(total))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i := range h.buckets {
+		cum += h.buckets[i].Load()
+		if cum >= target {
+			if i == 0 {
+				return 0
+			}
+			lo := uint64(1) << (i - 1) // smallest value in bucket i
+			hi := lo<<1 - 1            // largest value in bucket i
+			if m := h.max.Load(); hi > m {
+				hi = m
+			}
+			if hi < lo {
+				hi = lo
+			}
+			return lo + (hi-lo)/2
+		}
+	}
+	return h.max.Load()
+}
+
+// QuantileDuration is Quantile for duration-valued histograms.
+func (h *LockFreeHistogram) QuantileDuration(q float64) time.Duration {
+	return time.Duration(h.Quantile(q))
 }
 
 // Point is one timestamped observation.

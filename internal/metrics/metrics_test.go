@@ -71,6 +71,91 @@ func TestHistogramConcurrent(t *testing.T) {
 	}
 }
 
+func TestLockFreeHistogramBasics(t *testing.T) {
+	var h LockFreeHistogram
+	if h.Count() != 0 || h.Sum() != 0 || h.Max() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("fresh histogram not zero")
+	}
+	for _, v := range []int64{1, 2, 4, 8, 16} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 || h.Sum() != 31 || h.Max() != 16 {
+		t.Fatalf("count=%d sum=%d max=%d", h.Count(), h.Sum(), h.Max())
+	}
+	if m := h.Mean(); m != 31.0/5 {
+		t.Fatalf("mean %v", m)
+	}
+	// Negative observations clamp to zero rather than corrupting buckets.
+	h.Observe(-5)
+	if h.Count() != 6 || h.Sum() != 31 {
+		t.Fatalf("after negative: count=%d sum=%d", h.Count(), h.Sum())
+	}
+}
+
+func TestLockFreeHistogramQuantiles(t *testing.T) {
+	var h LockFreeHistogram
+	// 1000 values uniform in [0, 1000): the power-of-two buckets give
+	// factor-of-two resolution, so check the estimates land in the right
+	// bucket range rather than exactly.
+	for i := int64(0); i < 1000; i++ {
+		h.Observe(i)
+	}
+	p50 := h.Quantile(0.50)
+	if p50 < 256 || p50 > 1023 {
+		t.Fatalf("p50 %d outside the bucket containing the true median ~500", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < 512 || p99 > 999 {
+		t.Fatalf("p99 %d outside [512, 999]", p99)
+	}
+	if p99 < p50 {
+		t.Fatalf("quantiles not monotone: p50=%d p99=%d", p50, p99)
+	}
+	if h.Quantile(1.0) > h.Max() {
+		t.Fatalf("p100 %d above max %d", h.Quantile(1.0), h.Max())
+	}
+}
+
+func TestLockFreeHistogramDurations(t *testing.T) {
+	var h LockFreeHistogram
+	for i := 0; i < 100; i++ {
+		h.ObserveDuration(85 * time.Millisecond)
+	}
+	// All samples in one bucket: every quantile reports that bucket's
+	// midpoint, clamped to max.
+	p50, p99 := h.QuantileDuration(0.50), h.QuantileDuration(0.99)
+	if p50 != p99 {
+		t.Fatalf("single-bucket quantiles differ: p50=%v p99=%v", p50, p99)
+	}
+	if p50 < 64*time.Millisecond || p50 > 128*time.Millisecond {
+		t.Fatalf("p50 %v outside the 64–128ms bucket", p50)
+	}
+}
+
+func TestLockFreeHistogramConcurrent(t *testing.T) {
+	var h LockFreeHistogram
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := int64(1); i <= 1000; i++ {
+				h.Observe(i)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Fatalf("count %d, want 8000", h.Count())
+	}
+	if h.Sum() != 8*1000*1001/2 {
+		t.Fatalf("sum %d", h.Sum())
+	}
+	if h.Max() != 1000 {
+		t.Fatalf("max %d", h.Max())
+	}
+}
+
 func TestSeries(t *testing.T) {
 	s := NewSeries()
 	s.Add(1)

@@ -58,6 +58,16 @@ func (w *ackWindow) addCPL(lsn core.LSN) {
 	w.mu.Unlock()
 }
 
+// addCPLs registers the consistency points of a framed group under one
+// lock acquisition.
+func (w *ackWindow) addCPLs(lsns []core.LSN) {
+	w.mu.Lock()
+	for _, lsn := range lsns {
+		heap.Push(&w.cpls, lsn)
+	}
+	w.mu.Unlock()
+}
+
 // markAcked records that the LSN range [first, last] reached write quorum
 // and returns the new VDL (which may be unchanged).
 func (w *ackWindow) markAcked(first, last core.LSN) core.LSN {

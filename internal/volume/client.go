@@ -49,6 +49,7 @@ type Client struct {
 	closed atomic.Bool
 
 	mtrs        atomic.Uint64
+	frames      atomic.Uint64 // framing critical sections (groups count once)
 	recsWritten atomic.Uint64
 	readsServed atomic.Uint64
 	readRetries atomic.Uint64
@@ -115,6 +116,12 @@ func (c *Client) DurableChan(lsn core.LSN) <-chan struct{} { return c.vdl.WaitCh
 // Epoch returns the client's recovery epoch.
 func (c *Client) Epoch() uint64 { return c.epoch }
 
+// LAL returns the LSN allocation limit. Group framing must keep a group's
+// total record count safely inside this window: an allocation larger than
+// the whole window can never be granted, because the VDL cannot advance
+// past the group's own unshipped records.
+func (c *Client) LAL() uint64 { return c.alloc.Limit() }
+
 // Fleet returns the underlying storage fleet.
 func (c *Client) Fleet() *Fleet { return c.fleet }
 
@@ -180,6 +187,7 @@ func (c *Client) FrameMTR(m *core.MTR) (*PendingWrite, error) {
 		c.tails.Add(&batches[i])
 	}
 	c.mtrs.Add(1)
+	c.frames.Add(1)
 	c.recsWritten.Add(uint64(len(m.Records)))
 	return &PendingWrite{c: c, batches: batches, cpl: cpl}, nil
 }
@@ -201,6 +209,81 @@ func (p *PendingWrite) Ship() error {
 		go func(i int) {
 			defer wg.Done()
 			errs[i] = c.shipBatch(&p.batches[i])
+		}(i)
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			c.writeFails.Add(1)
+			return e
+		}
+	}
+	return nil
+}
+
+// GroupWrite is a framed group of mini-transactions: the unit the commit
+// pipeline's framer stage produces. The group's records occupy one
+// contiguous LSN range, its per-PG batches are merged across members (so a
+// busy PG costs one quorum tracker per group, not per commit), and each
+// member MTR keeps its own CPL so durability is still acknowledged
+// per-transaction as the VDL advances.
+type GroupWrite struct {
+	c       *Client
+	batches []core.Batch
+	cpls    []core.LSN // per-MTR consistency points, ascending
+	shipped bool
+}
+
+// CPLs returns the per-MTR consistency points in group order.
+func (g *GroupWrite) CPLs() []core.LSN { return g.cpls }
+
+// MaxCPL returns the group's highest consistency point: VDL >= MaxCPL
+// implies every member of the group is durable (the group's LSN range is
+// contiguous).
+func (g *GroupWrite) MaxCPL() core.LSN { return g.cpls[len(g.cpls)-1] }
+
+// FrameMTRs frames a group of MTRs through one LSN-allocation/ordering
+// critical section and registers every member's consistency point. Like
+// FrameMTR it performs no IO; the group is on the wire once Ship is
+// called. The MTRs' own records are stamped with their LSNs in place, so
+// callers can compute per-page stamp LSNs from each MTR directly.
+func (c *Client) FrameMTRs(ms []*core.MTR) (*GroupWrite, error) {
+	if c.closed.Load() {
+		return nil, ErrClosed
+	}
+	batches, cpls, err := c.framer.FrameGroup(ms)
+	if err != nil {
+		return nil, err
+	}
+	c.win.addCPLs(cpls)
+	total := 0
+	for i := range batches {
+		c.tails.Add(&batches[i])
+		total += len(batches[i].Records)
+	}
+	c.mtrs.Add(uint64(len(ms)))
+	c.frames.Add(1)
+	c.recsWritten.Add(uint64(total))
+	return &GroupWrite{c: c, batches: batches, cpls: cpls}, nil
+}
+
+// Ship delivers the group's merged batches to the storage fleet and
+// returns once every batch has reached its write quorum. As with
+// PendingWrite.Ship, durability (VDL >= CPL) may still lag and is awaited
+// separately. Ship must be called exactly once.
+func (g *GroupWrite) Ship() error {
+	if g.shipped {
+		return errors.New("volume: group write shipped twice")
+	}
+	g.shipped = true
+	c := g.c
+	var wg sync.WaitGroup
+	errs := make([]error, len(g.batches))
+	for i := range g.batches {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = c.shipBatch(&g.batches[i])
 		}(i)
 	}
 	wg.Wait()
@@ -322,6 +405,7 @@ func (c *Client) readAt(id core.PageID, readPoint core.LSN) (page.Page, error) {
 // Stats is a snapshot of client counters.
 type Stats struct {
 	MTRs           uint64
+	Frames         uint64 // framing critical sections (a group counts once)
 	RecordsWritten uint64
 	ReadsServed    uint64
 	ReadRetries    uint64
@@ -336,6 +420,7 @@ type Stats struct {
 func (c *Client) Stats() Stats {
 	return Stats{
 		MTRs:           c.mtrs.Load(),
+		Frames:         c.frames.Load(),
 		RecordsWritten: c.recsWritten.Load(),
 		ReadsServed:    c.readsServed.Load(),
 		ReadRetries:    c.readRetries.Load(),
