@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race chaos-smoke bench ci
+.PHONY: all build vet test race chaos-smoke examples-smoke bench ci
 
 all: build
 
@@ -16,17 +16,23 @@ test: build vet
 
 # Race-detector pass over the concurrency-heavy packages.
 race:
-	$(GO) test -race ./internal/volume/ ./internal/chaos/ ./internal/storage/ \
-		./internal/netsim/ ./internal/metrics/ ./internal/quorum/ ./internal/engine/
+	$(GO) test -race ./internal/trace/ ./internal/volume/ ./internal/chaos/ \
+		./internal/storage/ ./internal/netsim/ ./internal/metrics/ \
+		./internal/quorum/ ./internal/engine/
 
 # Short gray-failure drill: fails unless zero data errors, >=99% write
 # success, and the retry / hedge / auto-repair machinery all engaged.
 chaos-smoke:
 	$(GO) run ./cmd/aurora-chaos -rounds 4 -probes 25 -seed 7
 
+# The runnable examples must keep working as the public API evolves.
+examples-smoke:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/pitr
+
 # Quick benchmark snapshot for this PR: the throughput tables most
 # sensitive to the commit pipeline, written as JSON for comparison.
 bench:
 	$(GO) run ./cmd/aurora-bench -quick -exp table1,table3 -json BENCH_2.json
 
-ci: test race chaos-smoke
+ci: test race chaos-smoke examples-smoke

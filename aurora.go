@@ -34,6 +34,7 @@ import (
 	"aurora/internal/netsim"
 	"aurora/internal/objstore"
 	"aurora/internal/replica"
+	"aurora/internal/trace"
 	"aurora/internal/volume"
 	"aurora/internal/zdp"
 )
@@ -72,6 +73,11 @@ type Options struct {
 	// scrub loops (on by default in NewCluster; benchmarks may disable for
 	// determinism and drive them manually).
 	DisableBackground bool
+	// TraceEvery samples 1 in N commits (and cache-miss page reads) into
+	// the causal tracing subsystem; 0 disables sampling (the default),
+	// leaving only an atomic load on the hot path. The collector is
+	// reachable via Tracer for attribution tables and exemplar trees.
+	TraceEvery int
 }
 
 // Cluster is one Aurora deployment: network, storage fleet, object store,
@@ -122,7 +128,10 @@ func NewCluster(opts Options) (*Cluster, error) {
 	vol := volume.Bootstrap(fleet, volume.ClientConfig{
 		WriterNode: netsim.NodeID(opts.Name + "-writer"), WriterAZ: 0,
 	})
-	db, err := engine.Create(vol, engine.Config{CachePages: opts.CachePages, LockTimeout: opts.LockTimeout})
+	db, err := engine.Create(vol, engine.Config{
+		CachePages: opts.CachePages, LockTimeout: opts.LockTimeout,
+		TraceEvery: opts.TraceEvery,
+	})
 	if err != nil {
 		vol.Close()
 		return nil, err
@@ -339,6 +348,11 @@ func (c *Cluster) Patch(timeout time.Duration) (sessions int, pause time.Duratio
 // Proxy exposes the session proxy for connection-oriented use (ZDP demos).
 func (c *Cluster) Proxy() *zdp.Proxy { return c.proxy }
 
+// Tracer returns the writer's causal-tracing collector: per-stage latency
+// attribution and slowest-exemplar commit/read traces. Sampling is toggled
+// with Tracer().SetSampleEvery (or Options.TraceEvery at creation).
+func (c *Cluster) Tracer() *trace.Collector { return c.db.Tracer() }
+
 // Stats is a cluster-wide snapshot.
 type Stats struct {
 	Commits         uint64
@@ -359,6 +373,20 @@ type Stats struct {
 	CommitP50     time.Duration
 	CommitP95     time.Duration
 	CommitP99     time.Duration
+
+	// Gray-failure tolerance counters (the §4.2.3/§3.3 machinery): read/
+	// write retries, hedged reads, responses lost after a successful
+	// segment read, and fleet self-repairs.
+	ReadRetries   uint64
+	WriteRetries  uint64
+	WriteFailures uint64
+	Hedges        uint64
+	HedgeWins     uint64
+	AutoRepairs   uint64
+	RespDrops     uint64
+
+	// TracesSampled counts finished causal traces (0 with sampling off).
+	TracesSampled uint64
 }
 
 // Stats returns a cluster-wide snapshot.
@@ -376,9 +404,17 @@ func (c *Cluster) Stats() Stats {
 		CommitP50:     es.Pipeline.CommitP50,
 		CommitP95:     es.Pipeline.CommitP95,
 		CommitP99:     es.Pipeline.CommitP99,
+		ReadRetries:   es.Volume.ReadRetries,
+		WriteRetries:  es.Volume.WriteRetries,
+		WriteFailures: es.Volume.WriteFailures,
+		Hedges:        es.Volume.Hedges,
+		HedgeWins:     es.Volume.HedgeWins,
+		AutoRepairs:   es.Volume.AutoRepairs,
+		RespDrops:     es.Volume.RespDrops,
+		TracesSampled: es.Trace.Finished,
 	}
 	if c.store != nil {
-		s.BackupObjects = len(c.store.List(""))
+		s.BackupObjects = c.store.Count()
 	}
 	return s
 }

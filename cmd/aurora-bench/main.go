@@ -7,6 +7,7 @@
 //	aurora-bench -exp table1            # one experiment
 //	aurora-bench -exp table1,table3     # a comma-separated subset
 //	aurora-bench -quick                 # CI-sized runs
+//	aurora-bench -trace                 # commit-latency attribution (tracing)
 //	aurora-bench -json results.json     # also write results as JSON
 //	aurora-bench -list                  # list experiment ids
 package main
@@ -34,6 +35,7 @@ func main() {
 	quick := flag.Bool("quick", false, "CI-sized scale instead of full")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	jsonOut := flag.String("json", "", "write results to this file as JSON")
+	traceMode := flag.Bool("trace", false, "run the latency-attribution experiment (per-stage table + exemplar trace trees)")
 	flag.Parse()
 
 	if *list {
@@ -69,7 +71,9 @@ func main() {
 	}
 
 	ids := harness.Order
-	if *exp != "" {
+	if *traceMode {
+		ids = []string{"latency"}
+	} else if *exp != "" {
 		ids = nil
 		for _, id := range strings.Split(*exp, ",") {
 			if id = strings.TrimSpace(id); id != "" {

@@ -22,6 +22,7 @@ import (
 	"aurora/internal/core"
 	"aurora/internal/metrics"
 	"aurora/internal/page"
+	"aurora/internal/trace"
 	"aurora/internal/txn"
 	"aurora/internal/volume"
 )
@@ -58,6 +59,13 @@ type Config struct {
 	// MaxCommitGroup caps how many queued commits one framing critical
 	// section absorbs (default 64).
 	MaxCommitGroup int
+	// TraceEvery samples 1 in N commits (and cache-miss page reads) into
+	// the causal tracing subsystem; 0 disables sampling, leaving only an
+	// atomic load on the hot path. It can be changed at runtime through
+	// Tracer().SetSampleEvery.
+	TraceEvery int
+	// TraceRing is the completed-trace ring capacity (default 256).
+	TraceRing int
 }
 
 func (c Config) withDefaults() Config {
@@ -83,6 +91,7 @@ type DB struct {
 	latch    sync.RWMutex // tree structure latch: shared reads, exclusive writes
 	feed     *feed
 	pipeline *commitPipeline
+	tracer   *trace.Collector
 
 	degraded atomic.Bool
 
@@ -100,11 +109,12 @@ type DB struct {
 func Create(vol *volume.Client, cfg Config) (*DB, error) {
 	cfg = cfg.withDefaults()
 	db := &DB{
-		cfg:   cfg,
-		vol:   vol,
-		cache: bufcache.New(cfg.CachePages, vol.VDL),
-		locks: txn.NewLockTable(cfg.LockTimeout),
-		feed:  newFeed(),
+		cfg:    cfg,
+		vol:    vol,
+		cache:  bufcache.New(cfg.CachePages, vol.VDL),
+		locks:  txn.NewLockTable(cfg.LockTimeout),
+		feed:   newFeed(),
+		tracer: newTracer(cfg),
 	}
 	ws := &writeStore{db: db}
 	rec := btree.NewRecorder()
@@ -141,11 +151,12 @@ func Create(vol *volume.Client, cfg Config) (*DB, error) {
 func Open(vol *volume.Client, cfg Config) (*DB, error) {
 	cfg = cfg.withDefaults()
 	db := &DB{
-		cfg:   cfg,
-		vol:   vol,
-		cache: bufcache.New(cfg.CachePages, vol.VDL),
-		locks: txn.NewLockTable(cfg.LockTimeout),
-		feed:  newFeed(),
+		cfg:    cfg,
+		vol:    vol,
+		cache:  bufcache.New(cfg.CachePages, vol.VDL),
+		locks:  txn.NewLockTable(cfg.LockTimeout),
+		feed:   newFeed(),
+		tracer: newTracer(cfg),
 	}
 	if _, err := btree.Open(&readStore{db: db}); err != nil {
 		return nil, err
@@ -169,6 +180,18 @@ func Recover(f *volume.Fleet, vcfg volume.ClientConfig, cfg Config) (*DB, *volum
 	}
 	return db, rep, nil
 }
+
+func newTracer(cfg Config) *trace.Collector {
+	c := trace.NewCollector(cfg.TraceRing)
+	if cfg.TraceEvery > 0 {
+		c.SetSampleEvery(uint64(cfg.TraceEvery))
+	}
+	return c
+}
+
+// Tracer returns the instance's causal-tracing collector. Sampling can be
+// toggled at runtime with Tracer().SetSampleEvery.
+func (db *DB) Tracer() *trace.Collector { return db.tracer }
 
 // Volume returns the underlying volume client.
 func (db *DB) Volume() *volume.Client { return db.vol }
@@ -229,6 +252,7 @@ type Stats struct {
 	Cache    bufcache.Stats
 	Volume   volume.Stats
 	Pipeline PipelineStats
+	Trace    trace.Stats
 	Waits    uint64
 	Wounds   uint64
 }
@@ -262,6 +286,7 @@ func (db *DB) Stats() Stats {
 		Cache:    db.cache.Stats(),
 		Volume:   vs,
 		Pipeline: ps,
+		Trace:    db.tracer.Stats(),
 		Waits:    waits,
 		Wounds:   wounds,
 	}
@@ -286,7 +311,10 @@ func (s *readStore) Page(id core.PageID) (page.Page, error) {
 		s.db.cache.Unpin(id)
 		return p, nil
 	}
-	p, _, err := s.db.vol.ReadPage(id)
+	sp := s.db.tracer.Start("read.page")
+	sp.Annotate("page", id)
+	p, _, err := s.db.vol.ReadPageTraced(id, sp)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -346,7 +374,11 @@ type snapStore struct {
 }
 
 func (s *snapStore) Page(id core.PageID) (page.Page, error) {
-	p, err := s.db.vol.ReadPageAt(id, s.readPoint)
+	sp := s.db.tracer.Start("read.page")
+	sp.Annotate("page", id)
+	sp.Annotate("snapshot", s.readPoint)
+	p, err := s.db.vol.ReadPageAtTraced(id, s.readPoint, sp)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}

@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"aurora/internal/core"
+	"aurora/internal/trace"
 	"aurora/internal/volume"
 )
 
@@ -71,6 +72,15 @@ type commitReq struct {
 	rec  stamper
 	ws   *writeStore
 	errc chan error // buffered(1): framing/ship error, or nil once durable
+
+	// Tracing (nil unless this commit won the sampling lottery). sp is the
+	// commit root; queueSp covers enqueue→dequeue; groupSp is either the
+	// detailed group spans' parent (the group's adopted trace) or a single
+	// group.inflight span for sampled commits riding another group member's
+	// detailed trace.
+	sp      *trace.Span
+	queueSp *trace.Span
+	groupSp *trace.Span
 }
 
 // stamper is the slice of btree.Recorder the pipeline needs (page LSN
@@ -204,8 +214,31 @@ func (p *commitPipeline) frameGroup(group []*commitReq) {
 	for i, req := range group {
 		ms[i] = req.mtr
 	}
+	// The group adopts the first sampled member's trace: its spans carry
+	// the per-stage breakdown (framing, stamping, ship, VDL wait) for the
+	// whole group. Other sampled members get one group.inflight span, so
+	// their critical path still decomposes their full latency without
+	// duplicating every flight span on each trace.
+	var gsp *trace.Span
+	for _, req := range group {
+		req.queueSp.End()
+		if req.sp == nil {
+			continue
+		}
+		if gsp == nil {
+			gsp = req.sp
+			req.groupSp = gsp
+		} else {
+			inflight := req.sp.Child("group.inflight")
+			inflight.Annotate("adopted_by", gsp.TraceID())
+			req.groupSp = inflight
+		}
+	}
+	fsp := gsp.Child("group.frame")
+	fsp.Annotate("mtrs", len(group))
 	gw, err := db.vol.FrameMTRs(ms)
 	if err != nil {
+		fsp.End()
 		db.degraded.Store(true)
 		for _, req := range group {
 			req.ws.done()
@@ -213,9 +246,11 @@ func (p *commitPipeline) frameGroup(group []*commitReq) {
 		}
 		return
 	}
+	fsp.End()
 	// Stamp cached page LSNs while the pages are still pinned (the pins
 	// keep the eviction scan away from the header bytes being written),
 	// then release the pins: from here the VDL rule governs eviction.
+	ssp := gsp.Child("group.stamp")
 	var recs []core.Record
 	for _, req := range group {
 		req.rec.StampLSNs(req.mtr.LastLSNFor)
@@ -229,19 +264,20 @@ func (p *commitPipeline) frameGroup(group []*commitReq) {
 	// watcher — not once per commit.
 	db.feed.publish(Event{Records: recs, VDL: db.vol.VDL()})
 	db.groupSizes.Observe(int64(len(group)))
+	ssp.End()
 
 	p.mu.Lock()
 	p.inflight++
 	p.mu.Unlock()
 	p.ships.Add(1)
-	go p.completeGroup(group, gw)
+	go p.completeGroup(group, gw, gsp)
 }
 
 // completeGroup is stage 3: ship the group's batches, wait for the VDL to
 // pass the group's highest CPL, publish the durability event, and release
 // every committer. A write-quorum failure suspends writes and fails the
 // whole group — identical semantics to the unpipelined path.
-func (p *commitPipeline) completeGroup(group []*commitReq, gw *volume.GroupWrite) {
+func (p *commitPipeline) completeGroup(group []*commitReq, gw *volume.GroupWrite, gsp *trace.Span) {
 	defer p.ships.Done()
 	defer func() {
 		p.mu.Lock()
@@ -250,18 +286,34 @@ func (p *commitPipeline) completeGroup(group []*commitReq, gw *volume.GroupWrite
 		p.mu.Unlock()
 	}()
 	db := p.db
-	if err := gw.Ship(); err != nil {
+	shipSp := gsp.Child("group.ship")
+	if err := gw.ShipTraced(shipSp); err != nil {
+		shipSp.Annotate("err", err)
+		shipSp.End()
 		db.degraded.Store(true)
 		for _, req := range group {
+			endGroupSpan(req, gsp)
 			req.errc <- err
 		}
 		return
 	}
+	shipSp.End()
 	// DurableChan returns a closed channel if the tracker shut down (writer
 	// crash); committers then complete exactly as WaitDurable used to.
+	vsp := gsp.Child("vdl.wait")
 	<-db.vol.DurableChan(gw.MaxCPL())
+	vsp.End()
 	db.feed.publish(Event{VDL: db.vol.VDL()})
 	for _, req := range group {
+		endGroupSpan(req, gsp)
 		req.errc <- nil
+	}
+}
+
+// endGroupSpan closes a non-adopter member's group.inflight span (the
+// adopter's groupSp is its own root, ended by the committer itself).
+func endGroupSpan(req *commitReq, gsp *trace.Span) {
+	if req.groupSp != nil && req.groupSp != gsp {
+		req.groupSp.End()
 	}
 }

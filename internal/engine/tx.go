@@ -274,30 +274,46 @@ func (tx *Tx) apply(ws *writeStore, rec *btree.Recorder) (*core.MTR, error) {
 func (tx *Tx) commitPipelined() error {
 	start := time.Now()
 	p := tx.db.pipeline
+	root := tx.db.tracer.Start("commit")
+	root.Annotate("txn", tx.id)
+	rsp := root.Child("commit.reserve")
 	if err := p.reserve(); err != nil {
+		rsp.End()
+		root.End()
 		tx.finish(false)
 		return fmt.Errorf("txn %d: %w", tx.id, err)
 	}
+	rsp.End()
+	lsp := root.Child("commit.latch")
 	tx.db.latch.Lock()
+	lsp.End()
 	ws := &writeStore{db: tx.db}
 	rec := btree.NewRecorder()
+	asp := root.Child("commit.apply")
 	m, err := tx.apply(ws, rec)
+	asp.End()
 	if err != nil {
 		tx.db.latch.Unlock()
 		p.unreserve()
+		root.Annotate("err", err)
+		root.End()
 		tx.finish(false)
 		return err
 	}
-	req := &commitReq{txn: tx.id, mtr: m, rec: rec, ws: ws, errc: make(chan error, 1)}
+	req := &commitReq{txn: tx.id, mtr: m, rec: rec, ws: ws, errc: make(chan error, 1),
+		sp: root, queueSp: root.Child("commit.queue")}
 	// Enqueue under the latch: queue order is apply order, so the framer
 	// assigns LSNs in exactly the order the tree changed.
 	p.enqueue(req)
 	tx.db.latch.Unlock()
 
 	if err := <-req.errc; err != nil {
+		root.Annotate("err", err)
+		root.End()
 		tx.finish(false)
 		return fmt.Errorf("txn %d: %w (%v)", tx.id, ErrDegraded, err)
 	}
+	root.End()
 	tx.db.commitLat.ObserveDuration(time.Since(start))
 	tx.finish(true)
 	return nil
@@ -310,37 +326,57 @@ func (tx *Tx) commitPipelined() error {
 // so the commit publishes exactly once.
 func (tx *Tx) commitSync() error {
 	start := time.Now()
+	root := tx.db.tracer.Start("commit")
+	root.Annotate("txn", tx.id)
+	root.Annotate("sync", true)
+	lsp := root.Child("commit.latch")
 	tx.db.latch.Lock()
+	lsp.End()
 	ws := &writeStore{db: tx.db}
 	rec := btree.NewRecorder()
+	asp := root.Child("commit.apply")
 	m, err := tx.apply(ws, rec)
+	asp.End()
 	if err != nil {
 		tx.db.latch.Unlock()
+		root.End()
 		tx.finish(false)
 		return err
 	}
+	fsp := root.Child("group.frame")
 	pending, err := tx.db.vol.FrameMTR(m)
+	fsp.End()
 	if err != nil {
 		rec.Rollback()
 		ws.done()
 		tx.db.latch.Unlock()
+		root.End()
 		tx.finish(false)
 		return err
 	}
+	ssp := root.Child("group.stamp")
 	rec.StampLSNs(pending.LastLSNFor)
 	ws.done()
+	ssp.End()
 	tx.db.groupSizes.Observe(1)
-	err = pending.Ship()
+	shipSp := root.Child("group.ship")
+	err = pending.ShipTraced(shipSp)
+	shipSp.End()
 	if err == nil {
+		vsp := root.Child("vdl.wait")
 		tx.db.vol.WaitDurable(pending.CPL())
+		vsp.End()
 	}
 	tx.db.latch.Unlock()
 	if err != nil {
+		root.Annotate("err", err)
+		root.End()
 		tx.db.degraded.Store(true)
 		tx.finish(false)
 		return fmt.Errorf("txn %d: %w (%v)", tx.id, ErrDegraded, err)
 	}
 	tx.db.feed.publish(Event{Records: cloneRecords(m.Records), VDL: tx.db.vol.VDL()})
+	root.End()
 	tx.db.commitLat.ObserveDuration(time.Since(start))
 	tx.finish(true)
 	return nil

@@ -46,6 +46,9 @@ type Result struct {
 	Table   *Table
 	Metrics map[string]float64
 	Notes   []string
+	// Raw is preformatted supplemental output (attribution tables,
+	// rendered exemplar trace trees) printed verbatim after the table.
+	Raw string `json:",omitempty"`
 }
 
 // Print renders the result.
@@ -54,6 +57,9 @@ func (r *Result) Print(w io.Writer) {
 	r.Table.Print(w)
 	for _, n := range r.Notes {
 		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	if r.Raw != "" {
+		fmt.Fprintf(w, "\n%s", r.Raw)
 	}
 }
 
@@ -253,6 +259,7 @@ var Registry = map[string]func(Scale) *Result{
 	"ablation-coalesce":    AblationCoalesce,
 	"ablation-full-pages":  AblationFullPages,
 	"ablation-materialize": AblationMaterialize,
+	"latency":              LatencyAttribution,
 }
 
 // Order is the canonical experiment order for "run everything".
@@ -260,5 +267,5 @@ var Order = []string{
 	"table1", "fig6", "fig7", "table2", "table3", "table4", "table5",
 	"fig8", "fig9", "fig10", "fig11", "fig12", "recovery", "durability",
 	"ablation-sync-commit", "ablation-coalesce", "ablation-full-pages",
-	"ablation-materialize",
+	"ablation-materialize", "latency",
 }

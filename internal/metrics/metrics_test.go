@@ -207,3 +207,100 @@ func TestCounter(t *testing.T) {
 		t.Fatalf("count %d, want 805", got)
 	}
 }
+
+func TestLockFreeHistogramQuantileEmpty(t *testing.T) {
+	var h LockFreeHistogram
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		if v := h.Quantile(q); v != 0 {
+			t.Fatalf("empty histogram q%.2f = %d", q, v)
+		}
+	}
+	if h.Mean() != 0 || h.Max() != 0 || h.Count() != 0 {
+		t.Fatal("empty histogram not zero-valued")
+	}
+}
+
+func TestLockFreeHistogramQuantileSingleSample(t *testing.T) {
+	var h LockFreeHistogram
+	h.Observe(777)
+	for _, q := range []float64{0.01, 0.5, 0.95, 0.99, 1.0} {
+		v := h.Quantile(q)
+		// One sample: every quantile must land in its factor-of-two bucket,
+		// clamped by max — so the estimate can never exceed the sample.
+		if v < 512 || v > 777 {
+			t.Fatalf("single-sample q%.2f = %d, want within [512, 777]", q, v)
+		}
+	}
+	var z LockFreeHistogram
+	z.Observe(0)
+	if v := z.Quantile(0.99); v != 0 {
+		t.Fatalf("single zero sample q99 = %d", v)
+	}
+}
+
+func TestLockFreeHistogramOverflowBucket(t *testing.T) {
+	var h LockFreeHistogram
+	// The top bucket (bit length 64) holds values >= 1<<63; the quantile
+	// walk must clamp hi to max rather than overflow.
+	huge := int64(1<<63 - 1) // max int64: bits.Len64 = 63 -> bucket 63
+	h.Observe(huge)
+	if v := h.Quantile(0.99); v > uint64(huge) || v < 1<<62 {
+		t.Fatalf("q99 of max-int64 sample = %d", v)
+	}
+	if h.Max() != uint64(huge) {
+		t.Fatalf("max %d", h.Max())
+	}
+	// Negative values clamp to zero instead of wrapping into the top bucket.
+	h.Observe(-5)
+	if h.Count() != 2 {
+		t.Fatalf("count %d", h.Count())
+	}
+	if v := h.Quantile(0.25); v != 0 {
+		t.Fatalf("clamped negative should land in bucket 0, q25 = %d", v)
+	}
+}
+
+func TestLockFreeHistogramQuantileMonotone(t *testing.T) {
+	rng := uint64(0x9E3779B97F4A7C15)
+	next := func() uint64 { // xorshift: deterministic random fill
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return rng
+	}
+	for trial := 0; trial < 20; trial++ {
+		var h LockFreeHistogram
+		n := int(next()%1000) + 1
+		for i := 0; i < n; i++ {
+			h.Observe(int64(next() % 10_000_000))
+		}
+		p50, p95, p99 := h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99)
+		if p50 > p95 || p95 > p99 {
+			t.Fatalf("trial %d (n=%d): p50=%d p95=%d p99=%d not monotone", trial, n, p50, p95, p99)
+		}
+		if p99 > h.Max() {
+			t.Fatalf("trial %d: p99=%d above max=%d", trial, p99, h.Max())
+		}
+	}
+}
+
+func TestHistogramPercentileMonotoneRandom(t *testing.T) {
+	rng := uint64(12345)
+	next := func() uint64 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return rng
+	}
+	for trial := 0; trial < 10; trial++ {
+		h := NewHistogram(0)
+		n := int(next()%500) + 1
+		for i := 0; i < n; i++ {
+			h.Record(time.Duration(next()%1_000_000) * time.Nanosecond)
+		}
+		p50, p95, p99 := h.Percentile(50), h.Percentile(95), h.Percentile(99)
+		if p50 > p95 || p95 > p99 {
+			t.Fatalf("trial %d (n=%d): p50=%v p95=%v p99=%v not monotone", trial, n, p50, p95, p99)
+		}
+	}
+}

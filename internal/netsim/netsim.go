@@ -16,6 +16,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"aurora/internal/trace"
 )
 
 // AZ identifies an availability zone (0..2 in the standard topology).
@@ -342,6 +344,25 @@ func (n *Network) Send(from, to NodeID, size int) error {
 	dst.recv.Add(1)
 	dst.recvB.Add(uint64(size))
 	return nil
+}
+
+// SendTraced is Send wrapped in a child span (named name, e.g. "net.req" or
+// "net.ack") under parent, annotated with the endpoints and payload size.
+// With a nil parent — the unsampled common case — it is exactly Send.
+func (n *Network) SendTraced(from, to NodeID, size int, parent *trace.Span, name string) error {
+	if parent == nil {
+		return n.Send(from, to, size)
+	}
+	sp := parent.Child(name)
+	sp.Annotate("from", from)
+	sp.Annotate("to", to)
+	sp.Annotate("bytes", size)
+	err := n.Send(from, to, size)
+	if err != nil {
+		sp.Annotate("err", err)
+	}
+	sp.End()
+	return err
 }
 
 // sample computes latency and loss for one message.

@@ -120,6 +120,15 @@ func (s *Store) List(prefix string) []string {
 	return keys
 }
 
+// Count returns the number of distinct keys in the store — O(1) under the
+// lock, unlike List, which materializes and sorts every key. Stats polls
+// use it so a cluster snapshot never allocates a full listing.
+func (s *Store) Count() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.objects)
+}
+
 // Versions returns the number of versions stored for key.
 func (s *Store) Versions(key string) int {
 	s.mu.RLock()

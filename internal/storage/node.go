@@ -24,6 +24,7 @@ import (
 	"aurora/internal/netsim"
 	"aurora/internal/objstore"
 	"aurora/internal/page"
+	"aurora/internal/trace"
 )
 
 // Errors returned by node operations.
@@ -242,6 +243,13 @@ func (n *Node) ReceiveBatch(b *core.Batch, vdl, pgmrpl core.LSN) (Ack, error) {
 // hot-log write and one sync. This is what drives IOs per transaction below
 // one at high concurrency (Table 1).
 func (n *Node) ReceiveBatches(bs []*core.Batch, vdl, pgmrpl core.LSN) (Ack, error) {
+	return n.ReceiveBatchesTraced(bs, vdl, pgmrpl, nil)
+}
+
+// ReceiveBatchesTraced is ReceiveBatches with a storage.ingest span under
+// parent, decomposed into disk.write, disk.sync and storage.apply children —
+// the last hops of a commit's critical path. A nil parent costs nothing.
+func (n *Node) ReceiveBatchesTraced(bs []*core.Batch, vdl, pgmrpl core.LSN, parent *trace.Span) (Ack, error) {
 	if n.down.Load() {
 		return Ack{}, fmt.Errorf("%s: %w", n.cfg.Node, ErrNodeDown)
 	}
@@ -251,15 +259,30 @@ func (n *Node) ReceiveBatches(bs []*core.Batch, vdl, pgmrpl core.LSN) (Ack, erro
 		size += b.EncodedSize()
 		records += len(b.Records)
 	}
+	ingest := parent.Child("storage.ingest")
+	ingest.Annotate("node", n.cfg.Node)
+	ingest.Annotate("batches", len(bs))
+	ingest.Annotate("bytes", size)
+	wsp := ingest.Child("disk.write")
 	if err := n.ssd.Write(size); err != nil {
+		wsp.End()
+		ingest.End()
 		return Ack{}, fmt.Errorf("%s hot log: %w", n.cfg.Node, err)
 	}
+	wsp.End()
+	ssp := ingest.Child("disk.sync")
 	if err := n.ssd.Sync(); err != nil {
+		ssp.End()
+		ingest.End()
 		return Ack{}, fmt.Errorf("%s hot log sync: %w", n.cfg.Node, err)
 	}
+	ssp.End()
+	asp := ingest.Child("storage.apply")
 	n.mu.Lock()
 	if n.wiped {
 		n.mu.Unlock()
+		asp.End()
+		ingest.End()
 		return Ack{}, fmt.Errorf("%s: %w", n.cfg.Node, ErrWipedSegment)
 	}
 	for _, b := range bs {
@@ -270,6 +293,9 @@ func (n *Node) ReceiveBatches(bs []*core.Batch, vdl, pgmrpl core.LSN) (Ack, erro
 	n.observePointsLocked(vdl, pgmrpl)
 	scl := n.gaps.SCL()
 	n.mu.Unlock()
+	asp.End()
+	ingest.Annotate("scl", scl)
+	ingest.End()
 	n.batches.Add(uint64(len(bs)))
 	n.records.Add(uint64(records))
 	return Ack{Seg: n.cfg.Seg, SCL: scl}, nil

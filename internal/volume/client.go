@@ -11,6 +11,7 @@ import (
 	"aurora/internal/page"
 	"aurora/internal/quorum"
 	"aurora/internal/storage"
+	"aurora/internal/trace"
 )
 
 // Wire-size constants for request/ack frames.
@@ -196,7 +197,11 @@ func (c *Client) FrameMTR(m *core.MTR) (*PendingWrite, error) {
 // every batch has reached its write quorum. Durability of the MTR
 // (VDL >= CPL) may still lag and is awaited separately — worker threads
 // never stall on commit (§4.2.2). Ship must be called exactly once.
-func (p *PendingWrite) Ship() error {
+func (p *PendingWrite) Ship() error { return p.ShipTraced(nil) }
+
+// ShipTraced is Ship with the batches' quorum flights recorded as children
+// of sp (nil sp means no tracing — identical to Ship).
+func (p *PendingWrite) ShipTraced(sp *trace.Span) error {
 	if p.shipped {
 		return errors.New("volume: pending write shipped twice")
 	}
@@ -208,7 +213,7 @@ func (p *PendingWrite) Ship() error {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			errs[i] = c.shipBatch(&p.batches[i])
+			errs[i] = c.shipBatch(&p.batches[i], sp)
 		}(i)
 	}
 	wg.Wait()
@@ -271,7 +276,11 @@ func (c *Client) FrameMTRs(ms []*core.MTR) (*GroupWrite, error) {
 // returns once every batch has reached its write quorum. As with
 // PendingWrite.Ship, durability (VDL >= CPL) may still lag and is awaited
 // separately. Ship must be called exactly once.
-func (g *GroupWrite) Ship() error {
+func (g *GroupWrite) Ship() error { return g.ShipTraced(nil) }
+
+// ShipTraced is Ship with each batch's per-replica flights and quorum wait
+// recorded as children of sp (nil sp means no tracing — identical to Ship).
+func (g *GroupWrite) ShipTraced(sp *trace.Span) error {
 	if g.shipped {
 		return errors.New("volume: group write shipped twice")
 	}
@@ -283,7 +292,7 @@ func (g *GroupWrite) Ship() error {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			errs[i] = c.shipBatch(&g.batches[i])
+			errs[i] = c.shipBatch(&g.batches[i], sp)
 		}(i)
 	}
 	wg.Wait()
@@ -336,7 +345,20 @@ func (c *Client) ReadPage(id core.PageID) (page.Page, core.LSN, error) {
 	readPoint := c.vdl.VDL()
 	release := c.reads.register(readPoint)
 	defer release()
-	p, err := c.readAt(id, readPoint)
+	p, err := c.readAt(id, readPoint, nil)
+	return p, readPoint, err
+}
+
+// ReadPageTraced is ReadPage with each hedged attempt recorded as a child
+// span of sp (nil sp means no tracing).
+func (c *Client) ReadPageTraced(id core.PageID, sp *trace.Span) (page.Page, core.LSN, error) {
+	if c.closed.Load() {
+		return nil, core.ZeroLSN, ErrClosed
+	}
+	readPoint := c.vdl.VDL()
+	release := c.reads.register(readPoint)
+	defer release()
+	p, err := c.readAt(id, readPoint, sp)
 	return p, readPoint, err
 }
 
@@ -346,10 +368,18 @@ func (c *Client) ReadPageAt(id core.PageID, readPoint core.LSN) (page.Page, erro
 	if c.closed.Load() {
 		return nil, ErrClosed
 	}
-	return c.readAt(id, readPoint)
+	return c.readAt(id, readPoint, nil)
 }
 
-func (c *Client) readAt(id core.PageID, readPoint core.LSN) (page.Page, error) {
+// ReadPageAtTraced is ReadPageAt with per-attempt child spans under sp.
+func (c *Client) ReadPageAtTraced(id core.PageID, readPoint core.LSN, sp *trace.Span) (page.Page, error) {
+	if c.closed.Load() {
+		return nil, ErrClosed
+	}
+	return c.readAt(id, readPoint, sp)
+}
+
+func (c *Client) readAt(id core.PageID, readPoint core.LSN, sp *trace.Span) (page.Page, error) {
 	pg := c.fleet.PGOf(id)
 	// required may exceed readPoint when the tail advanced concurrently;
 	// that only makes the completeness demand conservative, never wrong.
@@ -376,23 +406,38 @@ func (c *Client) readAt(id core.PageID, readPoint core.LSN) (page.Page, error) {
 	// Hedged read: one attempt at a time, with a deadline derived from the
 	// PG's observed latency percentiles; an attempt that overruns it races
 	// a hedge to the next-best replica (§4.2.3 without quorum reads).
-	p, err := c.fleet.health.runHedged(pg, cands, func(i int) (page.Page, error) {
+	p, err := c.fleet.health.runHedged(pg, cands, func(i int, hedged bool) (page.Page, error) {
 		n := replicas[i]
-		if err := c.fleet.cfg.Net.Send(c.node, n.NodeID(), reqSize); err != nil {
+		asp := sp.Child("read.attempt")
+		asp.Annotate("replica", i)
+		asp.Annotate("node", n.NodeID())
+		if hedged {
+			asp.Annotate("hedge", true)
+		}
+		if err := c.fleet.cfg.Net.SendTraced(c.node, n.NodeID(), reqSize, asp, "net.req"); err != nil {
+			asp.Annotate("err", err)
+			asp.End()
 			return nil, err
 		}
+		ssp := asp.Child("storage.read")
 		p, err := n.ReadPage(id, readPoint, required)
+		ssp.End()
 		if err != nil {
 			c.readRetries.Add(1)
+			asp.Annotate("err", err)
+			asp.End()
 			return nil, err
 		}
-		if err := c.fleet.cfg.Net.Send(n.NodeID(), c.node, page.Size); err != nil {
+		if err := c.fleet.cfg.Net.SendTraced(n.NodeID(), c.node, page.Size, asp, "net.resp"); err != nil {
 			// The segment served the page but the response never arrived —
 			// a distinct gray signature, counted apart from read errors.
 			c.fleet.health.respDrops.Inc()
+			asp.Annotate("err", err)
+			asp.End()
 			return nil, err
 		}
 		c.noteSCL(storage.Ack{Seg: n.Seg(), SCL: n.SCL()})
+		asp.End()
 		return p, nil
 	})
 	if err != nil {
@@ -402,7 +447,8 @@ func (c *Client) readAt(id core.PageID, readPoint core.LSN) (page.Page, error) {
 	return p, nil
 }
 
-// Stats is a snapshot of client counters.
+// Stats is a snapshot of client counters, including the fleet's
+// gray-failure tolerance counters (hedges, redeliveries, self-repairs).
 type Stats struct {
 	MTRs           uint64
 	Frames         uint64 // framing critical sections (a group counts once)
@@ -411,6 +457,10 @@ type Stats struct {
 	ReadRetries    uint64
 	WriteRetries   uint64 // redelivered flights on this client's fleet
 	WriteFailures  uint64
+	Hedges         uint64 // hedged read attempts launched
+	HedgeWins      uint64 // hedges that returned first
+	AutoRepairs    uint64 // suspect replicas repaired by the fleet monitor
+	RespDrops      uint64 // responses lost after a successful segment read
 	VDL            core.LSN
 	HighestLSN     core.LSN
 	Backlog        int
@@ -418,14 +468,19 @@ type Stats struct {
 
 // Stats returns a snapshot of client counters.
 func (c *Client) Stats() Stats {
+	hs := c.fleet.health.Stats()
 	return Stats{
 		MTRs:           c.mtrs.Load(),
 		Frames:         c.frames.Load(),
 		RecordsWritten: c.recsWritten.Load(),
 		ReadsServed:    c.readsServed.Load(),
 		ReadRetries:    c.readRetries.Load(),
-		WriteRetries:   c.fleet.health.retries.Load(),
+		WriteRetries:   hs.Retries,
 		WriteFailures:  c.writeFails.Load(),
+		Hedges:         hs.Hedges,
+		HedgeWins:      hs.HedgeWins,
+		AutoRepairs:    hs.AutoRepairs,
+		RespDrops:      hs.RespDrops,
 		VDL:            c.vdl.VDL(),
 		HighestLSN:     c.alloc.HighestAllocated(),
 		Backlog:        c.win.outstanding(),

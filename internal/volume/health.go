@@ -355,7 +355,7 @@ func (h *HealthTracker) Stats() HealthStats {
 // simulated network has no interruptible sends, so cancellation is exactly
 // the discard). Health observations are fed for every attempt, so a slow
 // loser still raises its replica's EWMA and sinks in future orderings.
-func (h *HealthTracker) runHedged(pg core.PGID, cands []int, attempt func(idx int) (page.Page, error)) (page.Page, error) {
+func (h *HealthTracker) runHedged(pg core.PGID, cands []int, attempt func(idx int, hedged bool) (page.Page, error)) (page.Page, error) {
 	if len(cands) == 0 {
 		return nil, ErrReadUnavailable
 	}
@@ -371,7 +371,7 @@ func (h *HealthTracker) runHedged(pg core.PGID, cands []int, attempt func(idx in
 		next++
 		go func() {
 			start := time.Now()
-			v, err := attempt(idx)
+			v, err := attempt(idx, hedge)
 			if err == nil {
 				lat := time.Since(start)
 				h.ObserveOK(pg, idx, lat)

@@ -34,7 +34,7 @@ func (r *Reader) ReadPageAt(id core.PageID, readPoint, required core.LSN) (page.
 	replicas := r.fleet.Replicas(pg)
 	myAZ, _ := r.fleet.cfg.Net.NodeAZ(r.node)
 	cands := r.fleet.health.Order(pg, replicas, myAZ)
-	p, err := r.fleet.health.runHedged(pg, cands, func(i int) (page.Page, error) {
+	p, err := r.fleet.health.runHedged(pg, cands, func(i int, _ bool) (page.Page, error) {
 		n := replicas[i]
 		if err := r.fleet.cfg.Net.Send(r.node, n.NodeID(), reqSize); err != nil {
 			return nil, err

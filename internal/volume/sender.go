@@ -7,6 +7,7 @@ import (
 	"aurora/internal/core"
 	"aurora/internal/quorum"
 	"aurora/internal/storage"
+	"aurora/internal/trace"
 )
 
 // shipment is one batch awaiting delivery to one segment replica, with the
@@ -14,6 +15,7 @@ import (
 type shipment struct {
 	batch *core.Batch
 	tr    *quorum.Tracker
+	sp    *trace.Span // batch.ship span of a sampled commit; nil otherwise
 }
 
 // replicaSender is the per-(PG, replica) delivery pipeline. Batches framed
@@ -108,8 +110,38 @@ func (s *replicaSender) deliver(flight []shipment) {
 		size += sh.batch.EncodedSize()
 	}
 	for try := 0; ; try++ {
+		// One replica.flight span per traced shipment per attempt. The
+		// first becomes the lead: the single physical exchange's net and
+		// storage children hang off it; coalesced followers share the
+		// flight's wall time but point at the lead for the breakdown.
+		var lead *trace.Span
+		var flightSpans []*trace.Span
+		for _, sh := range flight {
+			fsp := sh.sp.Child("replica.flight")
+			if fsp == nil {
+				continue
+			}
+			fsp.Annotate("replica", s.idx)
+			fsp.Annotate("node", s.node.NodeID())
+			fsp.Annotate("batches", len(flight))
+			if try > 0 {
+				fsp.Annotate("try", try+1)
+			}
+			if lead == nil {
+				lead = fsp
+			} else {
+				fsp.Annotate("coalesced", true)
+			}
+			flightSpans = append(flightSpans, fsp)
+		}
 		start := time.Now()
-		ack, err := s.attempt(batches, size)
+		ack, err := s.attempt(batches, size, lead)
+		for _, fsp := range flightSpans {
+			if err != nil {
+				fsp.Annotate("err", err)
+			}
+			fsp.End()
+		}
 		if err == nil {
 			c.fleet.health.ObserveOK(s.pg, s.idx, time.Since(start))
 			// A late ack from a retried flight may arrive after the quorum
@@ -144,19 +176,20 @@ func (s *replicaSender) deliver(flight []shipment) {
 }
 
 // attempt performs one delivery exchange: request send, persist+ack on the
-// storage node, ack send back.
-func (s *replicaSender) attempt(batches []*core.Batch, size int) (storage.Ack, error) {
+// storage node, ack send back. sp (the lead flight span, nil when the
+// flight carries no sampled commit) parents the hop and ingest spans.
+func (s *replicaSender) attempt(batches []*core.Batch, size int, sp *trace.Span) (storage.Ack, error) {
 	c := s.c
-	if err := c.fleet.cfg.Net.Send(c.node, s.node.NodeID(), size); err != nil {
+	if err := c.fleet.cfg.Net.SendTraced(c.node, s.node.NodeID(), size, sp, "net.req"); err != nil {
 		return storage.Ack{}, err
 	}
 	vdlNow := c.vdl.VDL()
 	mrpl := c.reads.lowWaterMark(vdlNow)
-	ack, err := s.node.ReceiveBatches(batches, vdlNow, mrpl)
+	ack, err := s.node.ReceiveBatchesTraced(batches, vdlNow, mrpl, sp)
 	if err != nil {
 		return storage.Ack{}, err
 	}
-	if err := c.fleet.cfg.Net.Send(s.node.NodeID(), c.node, ackSize); err != nil {
+	if err := c.fleet.cfg.Net.SendTraced(s.node.NodeID(), c.node, ackSize, sp, "net.ack"); err != nil {
 		return storage.Ack{}, err
 	}
 	return ack, nil
@@ -174,16 +207,28 @@ func (s *replicaSender) resolvedAll(flight []shipment) bool {
 }
 
 // shipBatch hands one batch to every replica's sender pipeline and waits
-// for the write quorum.
-func (c *Client) shipBatch(b *core.Batch) error {
+// for the write quorum. A non-nil sp (a sampled commit's ship span) gets a
+// batch.ship child carrying the per-replica flights, and a quorum.wait
+// child covering the time blocked on the 4/6 tracker.
+func (c *Client) shipBatch(b *core.Batch, sp *trace.Span) error {
 	senders := c.senders[int(b.PG)%len(c.senders)]
 	tr := quorum.NewTracker(c.q)
-	sh := shipment{batch: b, tr: tr}
+	bsp := sp.Child("batch.ship")
+	bsp.Annotate("pg", b.PG)
+	bsp.Annotate("records", len(b.Records))
+	sh := shipment{batch: b, tr: tr, sp: bsp}
 	for _, s := range senders {
 		s.enqueue(sh)
 	}
+	qsp := bsp.Child("quorum.wait")
 	<-tr.Done()
-	if err := tr.Err(); err != nil {
+	qsp.End()
+	err := tr.Err()
+	if err != nil {
+		bsp.Annotate("err", err)
+	}
+	bsp.End()
+	if err != nil {
 		return err
 	}
 	first := b.Records[0].LSN
