@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race chaos-smoke examples-smoke bench ci
+.PHONY: all build vet test race chaos-smoke chaos-grow examples-smoke bench ci
 
 all: build
 
@@ -25,6 +25,12 @@ race:
 chaos-smoke:
 	$(GO) run ./cmd/aurora-chaos -rounds 4 -probes 25 -seed 7
 
+# Live volume growth under chaos: grow mid-workload with a gray-slow node,
+# under the race detector. Zero failed commits, monotone VDL, no lost writes.
+chaos-grow:
+	$(GO) test -race -count=1 -run 'TestGrow' ./internal/volume/
+	$(GO) test -race -count=1 -run 'TestGrowVolumeLive' .
+
 # The runnable examples must keep working as the public API evolves.
 examples-smoke:
 	$(GO) run ./examples/quickstart
@@ -35,4 +41,4 @@ examples-smoke:
 bench:
 	$(GO) run ./cmd/aurora-bench -quick -exp table1,table3 -json BENCH_2.json
 
-ci: test race chaos-smoke examples-smoke
+ci: test race chaos-smoke chaos-grow examples-smoke

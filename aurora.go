@@ -50,34 +50,86 @@ const (
 	NetDatacenter
 )
 
-// Options configures a cluster.
+// Options configures a cluster. The zero value is a working configuration:
+// aurora.NewCluster(aurora.Options{}) provisions a 4-PG volume on a fast
+// local network with backups and background loops on.
 type Options struct {
+	// --- Topology: network, storage fleet, volume geometry ---
+
 	// Name prefixes node identities, letting several clusters share a
 	// network (multi-tenancy).
 	Name string
-	// PGs is the number of protection groups the volume is striped over
-	// (default 4). Each PG is six segment replicas, two per AZ.
+	// PGs is the number of protection groups the volume's initial geometry
+	// is striped over (default 4). Each PG is six segment replicas, two per
+	// AZ. The volume can grow beyond this at runtime with GrowVolume; PGs
+	// only fixes the starting point.
 	PGs int
-	// CachePages sets the writer's buffer cache size in pages (default
-	// 4096); the knob behind the paper's instance-size sweeps.
-	CachePages int
 	// Network selects the latency model.
 	Network NetworkProfile
 	// RealisticDisks enables NVMe-like latencies on storage node SSDs.
 	RealisticDisks bool
-	// LockTimeout bounds row-lock waits (deadlock resolution).
-	LockTimeout time.Duration
 	// DisableBackup turns off continuous backup to the object store.
 	DisableBackup bool
-	// StartBackground launches the storage nodes' gossip/coalesce/backup/
-	// scrub loops (on by default in NewCluster; benchmarks may disable for
-	// determinism and drive them manually).
+	// DisableBackground skips launching the storage nodes' gossip/coalesce/
+	// backup/scrub loops (on by default in NewCluster; benchmarks may
+	// disable for determinism and drive them manually).
 	DisableBackground bool
+
+	// --- Engine: the writer instance ---
+
+	// CachePages sets the writer's buffer cache size in pages (default
+	// 4096); the knob behind the paper's instance-size sweeps.
+	CachePages int
+	// LockTimeout bounds row-lock waits (deadlock resolution).
+	LockTimeout time.Duration
+
+	// --- Tracing & observability ---
+
 	// TraceEvery samples 1 in N commits (and cache-miss page reads) into
 	// the causal tracing subsystem; 0 disables sampling (the default),
 	// leaving only an atomic load on the hot path. The collector is
 	// reachable via Tracer for attribution tables and exemplar trees.
 	TraceEvery int
+}
+
+// OptionError reports an invalid Options field.
+type OptionError struct {
+	Field  string
+	Reason string
+}
+
+func (e *OptionError) Error() string {
+	return fmt.Sprintf("aurora: invalid option %s: %s", e.Field, e.Reason)
+}
+
+// ErrInvalidOptions is the sentinel all OptionError values match with
+// errors.Is, so callers can test for configuration errors as a class.
+var ErrInvalidOptions = errors.New("aurora: invalid options")
+
+// Is makes every OptionError match ErrInvalidOptions.
+func (e *OptionError) Is(target error) bool { return target == ErrInvalidOptions }
+
+// Validate checks the options without provisioning anything. The zero
+// value is valid; fields where zero means "use the default" only fail on
+// negative or out-of-range values. NewCluster calls this itself — Validate
+// exists so configuration loaders can reject bad input early.
+func (o Options) Validate() error {
+	if o.PGs < 0 {
+		return &OptionError{Field: "PGs", Reason: "must be >= 0 (0 selects the default)"}
+	}
+	if o.CachePages < 0 {
+		return &OptionError{Field: "CachePages", Reason: "must be >= 0 (0 selects the default)"}
+	}
+	if o.LockTimeout < 0 {
+		return &OptionError{Field: "LockTimeout", Reason: "must be >= 0"}
+	}
+	if o.TraceEvery < 0 {
+		return &OptionError{Field: "TraceEvery", Reason: "must be >= 0 (0 disables sampling)"}
+	}
+	if o.Network != NetFast && o.Network != NetDatacenter {
+		return &OptionError{Field: "Network", Reason: "unknown network profile"}
+	}
+	return nil
 }
 
 // Cluster is one Aurora deployment: network, storage fleet, object store,
@@ -97,7 +149,10 @@ type Cluster struct {
 // NewCluster provisions a fresh cluster: 3 AZs, PGs×6 storage nodes, an
 // object store, and a formatted database with its writer in AZ 0.
 func NewCluster(opts Options) (*Cluster, error) {
-	if opts.PGs <= 0 {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.PGs == 0 {
 		opts.PGs = 4
 	}
 	if opts.Name == "" {
@@ -120,7 +175,8 @@ func NewCluster(opts Options) (*Cluster, error) {
 		dcfg = disk.NVMe()
 	}
 	fleet, err := volume.NewFleet(volume.FleetConfig{
-		Name: opts.Name, PGs: opts.PGs, Net: net, Disk: dcfg, Store: store,
+		Name: opts.Name, Geometry: core.UniformGeometry(opts.PGs),
+		Net: net, Disk: dcfg, Store: store,
 	})
 	if err != nil {
 		return nil, err
@@ -280,7 +336,8 @@ func (c *Cluster) RestoreAt(name string, asOf time.Time) (*Cluster, error) {
 		dcfg = disk.NVMe()
 	}
 	fleet, _, err := volume.RestoreFleet(volume.FleetConfig{
-		Name: c.opts.Name, PGs: c.opts.PGs, Net: net, Disk: dcfg, Store: c.store,
+		Name: c.opts.Name, Geometry: core.UniformGeometry(c.opts.PGs),
+		Net: net, Disk: dcfg, Store: c.store,
 	}, asOf)
 	if err != nil {
 		return nil, err
@@ -299,6 +356,41 @@ func (c *Cluster) RestoreAt(name string, asOf time.Time) (*Cluster, error) {
 	return &Cluster{
 		opts: opts, net: net, fleet: fleet, store: c.store, db: db,
 		proxy: zdp.NewProxy(db),
+	}, nil
+}
+
+// GrowthReport summarises one GrowVolume call.
+type GrowthReport struct {
+	AddedPGs     []int // protection-group IDs appended to the volume
+	FromEpoch    uint64
+	ToEpoch      uint64
+	StripesMoved int
+	PagesCopied  uint64
+	Duration     time.Duration
+}
+
+// GrowVolume appends n protection groups to the storage volume and
+// rebalances page stripes onto them while the workload continues (§3:
+// Aurora volumes grow by appending protection groups on demand). Writes
+// framed during a stripe's brief cutover window queue behind the geometry
+// fence — they never fail — and reads keep flowing throughout, routed by
+// read point. A second call while one is rebalancing returns an error.
+func (c *Cluster) GrowVolume(n int) (*GrowthReport, error) {
+	rep, err := c.db.Volume().Grow(n)
+	if err != nil {
+		return nil, err
+	}
+	added := make([]int, len(rep.AddedPGs))
+	for i, pg := range rep.AddedPGs {
+		added[i] = int(pg)
+	}
+	return &GrowthReport{
+		AddedPGs:     added,
+		FromEpoch:    rep.FromEpoch,
+		ToEpoch:      rep.ToEpoch,
+		StripesMoved: rep.StripesMoved,
+		PagesCopied:  rep.PagesCopied,
+		Duration:     rep.Duration,
 	}, nil
 }
 
@@ -385,6 +477,14 @@ type Stats struct {
 	AutoRepairs   uint64
 	RespDrops     uint64
 
+	// Volume geometry & growth (§3): the routing-table epoch, the current
+	// PG count, and the rebalancer's progress counters.
+	GeometryEpoch         uint64
+	PGs                   int
+	RebalanceStripesMoved uint64
+	RebalancePagesCopied  uint64
+	GeometryReadRetries   uint64
+
 	// TracesSampled counts finished causal traces (0 with sampling off).
 	TracesSampled uint64
 }
@@ -397,8 +497,8 @@ func (c *Cluster) Stats() Stats {
 		Commits: es.Commits, Aborts: es.Aborts, VDL: uint64(es.Volume.VDL),
 		CacheHits: es.Cache.Hits, CacheMisses: es.Cache.Misses,
 		NetworkMessages: ns.Messages, NetworkBytes: ns.Bytes,
-		ReplicaCount: len(c.replicas),
-		FramingOps:   es.Pipeline.Frames,
+		ReplicaCount:  len(c.replicas),
+		FramingOps:    es.Pipeline.Frames,
 		MeanGroupSize: es.Pipeline.MeanGroupSize,
 		MaxGroupSize:  es.Pipeline.MaxGroupSize,
 		CommitP50:     es.Pipeline.CommitP50,
@@ -412,6 +512,12 @@ func (c *Cluster) Stats() Stats {
 		AutoRepairs:   es.Volume.AutoRepairs,
 		RespDrops:     es.Volume.RespDrops,
 		TracesSampled: es.Trace.Finished,
+
+		GeometryEpoch:         es.Volume.GeometryEpoch,
+		PGs:                   es.Volume.PGs,
+		RebalanceStripesMoved: es.Volume.RebalanceStripesMoved,
+		RebalancePagesCopied:  es.Volume.RebalancePagesCopied,
+		GeometryReadRetries:   es.Volume.GeomRetries,
 	}
 	if c.store != nil {
 		s.BackupObjects = c.store.Count()

@@ -1,9 +1,14 @@
 package aurora
 
 import (
+	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
+
+	"aurora/internal/core"
 )
 
 func newCluster(t *testing.T, opts Options) *Cluster {
@@ -180,6 +185,123 @@ func TestReplicaLimit(t *testing.T) {
 	if _, err := c.AddReplica("overflow", 0); err == nil {
 		t.Fatal("16th replica accepted")
 	}
+}
+
+func TestOptionsValidate(t *testing.T) {
+	if err := (Options{}).Validate(); err != nil {
+		t.Fatalf("zero options rejected: %v", err)
+	}
+	bad := []Options{
+		{PGs: -1},
+		{CachePages: -2},
+		{LockTimeout: -time.Second},
+		{TraceEvery: -3},
+		{Network: NetworkProfile(99)},
+	}
+	for _, o := range bad {
+		err := o.Validate()
+		if err == nil {
+			t.Fatalf("options %+v accepted", o)
+		}
+		if !errors.Is(err, ErrInvalidOptions) {
+			t.Fatalf("error %v does not match ErrInvalidOptions", err)
+		}
+		var oe *OptionError
+		if !errors.As(err, &oe) || oe.Field == "" {
+			t.Fatalf("error %v is not a field-typed OptionError", err)
+		}
+	}
+	// NewCluster rejects invalid options before provisioning anything.
+	if _, err := NewCluster(Options{PGs: -1}); !errors.Is(err, ErrInvalidOptions) {
+		t.Fatalf("NewCluster with bad options: %v", err)
+	}
+}
+
+// TestGrowVolumeLive grows the volume while a write workload runs: zero
+// failed commits, the geometry epoch advances, and the appended PGs serve
+// reads after the rebalance.
+func TestGrowVolumeLive(t *testing.T) {
+	// The tiny cache plus a dataset spanning many pages forces post-grow
+	// reads through to the storage fleet so the per-PG read counters
+	// observe them.
+	c := newCluster(t, Options{PGs: 2, CachePages: 16})
+	pad := make([]byte, 256)
+	for i := 0; i < 600; i++ {
+		if err := c.Put([]byte(fmt.Sprintf("seed%04d", i)), pad); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var (
+		stop    atomic.Bool
+		wErrVal atomic.Value
+		wg      sync.WaitGroup
+	)
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; !stop.Load(); i++ {
+				k := []byte(fmt.Sprintf("live-%d-%04d", w, i))
+				if err := c.Put(k, []byte("x")); err != nil {
+					wErrVal.CompareAndSwap(nil, fmt.Errorf("writer %d: %w", w, err))
+					return
+				}
+			}
+		}(w)
+	}
+
+	time.Sleep(3 * time.Millisecond)
+	rep, err := c.GrowVolume(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(3 * time.Millisecond)
+	stop.Store(true)
+	wg.Wait()
+
+	if e := wErrVal.Load(); e != nil {
+		t.Fatalf("write failed during grow: %v", e)
+	}
+	if len(rep.AddedPGs) != 2 || rep.ToEpoch <= rep.FromEpoch {
+		t.Fatalf("growth report %+v", rep)
+	}
+	s := c.Stats()
+	if s.WriteFailures != 0 {
+		t.Fatalf("%d failed commits during grow", s.WriteFailures)
+	}
+	if s.PGs != 4 || s.GeometryEpoch != rep.ToEpoch {
+		t.Fatalf("stats after grow: PGs=%d epoch=%d, report %+v", s.PGs, s.GeometryEpoch, rep)
+	}
+	if rep.StripesMoved == 0 {
+		t.Fatalf("no stripes rebalanced: %+v", rep)
+	}
+	if s.RebalanceStripesMoved == 0 || s.RebalancePagesCopied == 0 {
+		t.Fatalf("rebalance counters empty: %+v", s)
+	}
+
+	// All data remains readable and the new PGs serve part of it.
+	before := clusterNewPGReads(c)
+	for i := 0; i < 600; i++ {
+		v, ok, err := c.Get([]byte(fmt.Sprintf("seed%04d", i)))
+		if err != nil || !ok || len(v) != len(pad) {
+			t.Fatalf("seed%04d after grow: %d bytes, %v %v", i, len(v), ok, err)
+		}
+	}
+	if clusterNewPGReads(c)-before == 0 {
+		t.Fatal("appended PGs served no reads after rebalance")
+	}
+}
+
+// clusterNewPGReads sums the segment read counters on PGs 2+.
+func clusterNewPGReads(c *Cluster) uint64 {
+	var total uint64
+	for pg := 2; pg < c.fleet.PGs(); pg++ {
+		for _, n := range c.fleet.Replicas(core.PGID(pg)) {
+			total += n.Reads()
+		}
+	}
+	return total
 }
 
 func TestClusterPITR(t *testing.T) {

@@ -31,7 +31,7 @@ func main() {
 	flag.Parse()
 
 	net := netsim.New(netsim.Datacenter())
-	fleet, err := volume.NewFleet(volume.FleetConfig{Name: "chaos", PGs: 4, Net: net, Disk: disk.FastLocal()})
+	fleet, err := volume.NewFleet(volume.FleetConfig{Name: "chaos", Geometry: core.UniformGeometry(4), Net: net, Disk: disk.FastLocal()})
 	if err != nil {
 		log.Fatal(err)
 	}

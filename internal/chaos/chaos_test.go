@@ -14,7 +14,7 @@ import (
 func stack(t *testing.T) (*netsim.Network, *volume.Fleet, *engine.DB) {
 	t.Helper()
 	net := netsim.New(netsim.FastLocal())
-	f, err := volume.NewFleet(volume.FleetConfig{Name: "c", PGs: 2, Net: net, Disk: disk.FastLocal()})
+	f, err := volume.NewFleet(volume.FleetConfig{Name: "c", Geometry: core.UniformGeometry(2), Net: net, Disk: disk.FastLocal()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +104,7 @@ func TestCorruptionHealedByScrub(t *testing.T) {
 // reads, auto repair — must actually engage.
 func TestGrayRegimeMachineryEngages(t *testing.T) {
 	net := netsim.New(netsim.Datacenter())
-	f, err := volume.NewFleet(volume.FleetConfig{Name: "gray", PGs: 4, Net: net, Disk: disk.FastLocal()})
+	f, err := volume.NewFleet(volume.FleetConfig{Name: "gray", Geometry: core.UniformGeometry(4), Net: net, Disk: disk.FastLocal()})
 	if err != nil {
 		t.Fatal(err)
 	}

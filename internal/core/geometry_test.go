@@ -1,0 +1,150 @@
+package core
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestUniformGeometryStriping(t *testing.T) {
+	g := UniformGeometry(4)
+	if g.Epoch() != 1 {
+		t.Fatalf("initial epoch %d, want 1", g.Epoch())
+	}
+	if g.PGs() != 4 {
+		t.Fatalf("pgs %d", g.PGs())
+	}
+	if g.Stripes()%4 != 0 {
+		t.Fatalf("stripes %d not a multiple of pgs", g.Stripes())
+	}
+	// With pgs dividing the stripe count, uniform striping must equal the
+	// classic page-mod-PGs placement.
+	for i := 0; i < 1000; i++ {
+		if got, want := g.PG(PageID(i)), PGID(i%4); got != want {
+			t.Fatalf("page %d -> pg %d, want %d", i, got, want)
+		}
+	}
+	// Small volumes still get the stripe floor so they can grow severalfold.
+	if g1 := UniformGeometry(1); g1.Stripes() < minStripes {
+		t.Fatalf("1-pg volume has %d stripes", g1.Stripes())
+	}
+	if UniformGeometry(0) != nil {
+		t.Fatal("0-pg geometry accepted")
+	}
+}
+
+func TestGeometryMoveStripe(t *testing.T) {
+	g := UniformGeometry(2)
+	ng, err := g.WithPGs(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ng.Epoch() != 2 || ng.PGs() != 3 {
+		t.Fatalf("WithPGs: epoch %d pgs %d", ng.Epoch(), ng.PGs())
+	}
+	if _, err := g.WithPGs(1); !errors.Is(err, ErrShrinkVolume) {
+		t.Fatalf("shrink: %v", err)
+	}
+	moved, err := ng.MoveStripe(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved.Epoch() != 3 {
+		t.Fatalf("MoveStripe epoch %d", moved.Epoch())
+	}
+	if moved.StripePG(0) != 2 {
+		t.Fatalf("stripe 0 -> pg %d", moved.StripePG(0))
+	}
+	// Source geometry is immutable.
+	if ng.StripePG(0) == 2 {
+		t.Fatal("MoveStripe mutated its receiver")
+	}
+	if _, err := ng.MoveStripe(-1, 0); !errors.Is(err, ErrStripeRange) {
+		t.Fatalf("bad stripe: %v", err)
+	}
+	if _, err := ng.MoveStripe(0, 99); !errors.Is(err, ErrPGRange) {
+		t.Fatalf("bad pg: %v", err)
+	}
+}
+
+func TestGrowthPlanEvensDistribution(t *testing.T) {
+	g, err := UniformGeometry(2).WithPGs(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := g.GrowthPlan()
+	if len(plan) == 0 {
+		t.Fatal("no moves planned for a grown volume")
+	}
+	cur := g
+	for _, mv := range plan {
+		if cur.StripePG(mv.Stripe) != mv.From {
+			t.Fatalf("stripe %d: plan says from %d, geometry says %d",
+				mv.Stripe, mv.From, cur.StripePG(mv.Stripe))
+		}
+		next, err := cur.MoveStripe(mv.Stripe, mv.To)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cur = next
+	}
+	counts := make([]int, cur.PGs())
+	for s := 0; s < cur.Stripes(); s++ {
+		counts[cur.StripePG(s)]++
+	}
+	base := cur.Stripes() / cur.PGs()
+	for pg, n := range counts {
+		if n < base || n > base+1 {
+			t.Fatalf("pg %d holds %d stripes, want %d..%d (counts %v)", pg, n, base, base+1, counts)
+		}
+	}
+	// A balanced geometry plans nothing.
+	if again := cur.GrowthPlan(); len(again) != 0 {
+		t.Fatalf("balanced geometry planned %d moves", len(again))
+	}
+}
+
+func TestGeometryEncodeDecode(t *testing.T) {
+	g, err := UniformGeometry(3).WithPGs(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err = g.MoveStripe(7, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := DecodeGeometry(g.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Epoch() != g.Epoch() || rt.PGs() != g.PGs() || rt.Stripes() != g.Stripes() {
+		t.Fatalf("roundtrip %v != %v", rt, g)
+	}
+	for s := 0; s < g.Stripes(); s++ {
+		if rt.StripePG(s) != g.StripePG(s) {
+			t.Fatalf("stripe %d: %d != %d", s, rt.StripePG(s), g.StripePG(s))
+		}
+	}
+	for _, bad := range [][]byte{nil, {1, 2, 3}, g.Encode()[:10]} {
+		if _, err := DecodeGeometry(bad); err == nil {
+			t.Fatalf("decoded malformed input %v", bad)
+		}
+	}
+	// Corrupt the magic.
+	enc := g.Encode()
+	enc[0] ^= 0xFF
+	if _, err := DecodeGeometry(enc); !errors.Is(err, ErrBadGeometry) {
+		t.Fatalf("bad magic: %v", err)
+	}
+}
+
+func TestNewGeometryValidates(t *testing.T) {
+	if _, err := NewGeometry(0, 1, []PGID{0}); err == nil {
+		t.Fatal("epoch 0 accepted")
+	}
+	if _, err := NewGeometry(1, 0, nil); err == nil {
+		t.Fatal("empty geometry accepted")
+	}
+	if _, err := NewGeometry(1, 2, []PGID{0, 5}); err == nil {
+		t.Fatal("stripe mapping to out-of-range pg accepted")
+	}
+}

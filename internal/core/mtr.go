@@ -65,6 +65,25 @@ type Framer struct {
 	mu    sync.Mutex
 	alloc *Allocator
 	last  map[PGID]LSN // last LSN emitted per protection group
+
+	// Placement: route re-stamps each page record's PG inside the framing
+	// critical section, and epoch stamps the current geometry epoch onto
+	// every batch. Routing MUST happen at frame time, not when the MTR was
+	// built: an MTR can sit in the commit pipeline's queue across a
+	// geometry cutover, and a record shipped to the stripe's old PG after
+	// the flip would be a lost write. Records carrying FlagPlaced keep
+	// their producer-chosen PG (stripe-copy records of a pending cutover).
+	// nil route/epoch means fixed placement (pre-geometry callers, tests).
+	route func(PageID) PGID
+	epoch func() uint64
+}
+
+// SetPlacement installs the frame-time router and geometry-epoch source.
+func (f *Framer) SetPlacement(route func(PageID) PGID, epoch func() uint64) {
+	f.mu.Lock()
+	f.route = route
+	f.epoch = epoch
+	f.mu.Unlock()
 }
 
 // NewFramer returns a framer drawing LSNs from alloc. lastPerPG seeds the
@@ -120,6 +139,10 @@ func (f *Framer) FrameGroup(ms []*MTR) ([]Batch, []LSN, error) {
 		f.mu.Unlock()
 		return nil, nil, err
 	}
+	var epoch uint64
+	if f.epoch != nil {
+		epoch = f.epoch()
+	}
 	byPG := make(map[PGID]*Batch)
 	order := make([]PGID, 0, 2)
 	cpls := make([]LSN, len(ms))
@@ -128,6 +151,9 @@ func (f *Framer) FrameGroup(ms []*MTR) ([]Batch, []LSN, error) {
 		n := len(m.Records)
 		for i := range m.Records {
 			r := &m.Records[i]
+			if f.route != nil && r.PageRecord() && r.Flags&FlagPlaced == 0 {
+				r.PG = f.route(r.Page)
+			}
 			r.LSN = lsn
 			lsn++
 			r.PrevLSN = f.last[r.PG]
@@ -137,7 +163,7 @@ func (f *Framer) FrameGroup(ms []*MTR) ([]Batch, []LSN, error) {
 			}
 			b, ok := byPG[r.PG]
 			if !ok {
-				b = &Batch{PG: r.PG}
+				b = &Batch{PG: r.PG, Epoch: epoch}
 				byPG[r.PG] = b
 				order = append(order, r.PG)
 			}

@@ -59,6 +59,11 @@ const (
 	// FlagCPL marks the record as a consistency point (the final record of a
 	// mini-transaction). The VDL only ever advances to CPL-tagged LSNs.
 	FlagCPL uint8 = 1 << iota
+	// FlagPlaced marks a record whose PG was chosen deliberately by its
+	// producer (the rebalancer's stripe-copy records, addressed to the
+	// destination PG of a pending cutover). The framer's router leaves such
+	// records alone instead of re-routing them through the current geometry.
+	FlagPlaced
 )
 
 // Record is a single redo log record. Each record affects at most one page
@@ -196,26 +201,32 @@ func (r *Record) Clone() Record {
 
 // Batch is an ordered group of records destined for a single protection
 // group. The IO flow batches fully ordered log records by destination PG
-// and delivers each batch to all six replicas (§3.2).
+// and delivers each batch to all six replicas (§3.2). Epoch carries the
+// geometry epoch the batch was framed under; storage nodes reject batches
+// framed under a superseded geometry (Epoch 0 is unversioned and always
+// accepted, for pre-geometry callers and tests).
 type Batch struct {
 	PG      PGID
+	Epoch   uint64
 	Records []Record
 }
 
 // EncodedSize returns the wire size of the whole batch.
 func (b *Batch) EncodedSize() int {
-	n := 8 // u32 pg + u32 count
+	n := 16 // u32 pg + u32 count + u64 geometry epoch
 	for i := range b.Records {
 		n += b.Records[i].EncodedSize()
 	}
 	return n
 }
 
-// AppendEncode appends the batch encoding: u32 pg, u32 count, records.
+// AppendEncode appends the batch encoding: u32 pg, u32 count, u64 epoch,
+// records.
 func (b *Batch) AppendEncode(buf []byte) []byte {
-	var hdr [8]byte
+	var hdr [16]byte
 	binary.LittleEndian.PutUint32(hdr[:4], uint32(b.PG))
-	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(b.Records)))
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(b.Records)))
+	binary.LittleEndian.PutUint64(hdr[8:], b.Epoch)
 	buf = append(buf, hdr[:]...)
 	for i := range b.Records {
 		buf = b.Records[i].AppendEncode(buf)
@@ -226,12 +237,15 @@ func (b *Batch) AppendEncode(buf []byte) []byte {
 // DecodeBatch decodes a batch produced by AppendEncode. Record data aliases
 // buf.
 func DecodeBatch(buf []byte) (Batch, int, error) {
-	if len(buf) < 8 {
+	if len(buf) < 16 {
 		return Batch{}, 0, ErrShortBuffer
 	}
-	b := Batch{PG: PGID(binary.LittleEndian.Uint32(buf))}
+	b := Batch{
+		PG:    PGID(binary.LittleEndian.Uint32(buf)),
+		Epoch: binary.LittleEndian.Uint64(buf[8:]),
+	}
 	count := int(binary.LittleEndian.Uint32(buf[4:]))
-	off := 8
+	off := 16
 	b.Records = make([]Record, 0, count)
 	for i := 0; i < count; i++ {
 		r, n, err := DecodeRecord(buf[off:])

@@ -232,15 +232,15 @@ func (db *DB) Crash() {
 // framing critical sections ran, how large the framed groups were, and the
 // commit latency distribution, all collected lock-free on the hot path.
 type PipelineStats struct {
-	Frames          uint64  // framing ops (one per group; < Commits when grouping engages)
-	GroupedCommits  uint64  // commits that passed through the pipeline
-	MeanGroupSize   float64 // GroupedCommits / Frames
-	MaxGroupSize    uint64
-	CommitP50       time.Duration
-	CommitP95       time.Duration
-	CommitP99       time.Duration
-	CommitMean      time.Duration
-	QueuedCommits   int // commits currently waiting to be framed
+	Frames         uint64  // framing ops (one per group; < Commits when grouping engages)
+	GroupedCommits uint64  // commits that passed through the pipeline
+	MeanGroupSize  float64 // GroupedCommits / Frames
+	MaxGroupSize   uint64
+	CommitP50      time.Duration
+	CommitP95      time.Duration
+	CommitP99      time.Duration
+	CommitMean     time.Duration
+	QueuedCommits  int // commits currently waiting to be framed
 }
 
 // Stats is a snapshot of engine counters.

@@ -17,7 +17,7 @@ import (
 func testDB(t *testing.T, cfg Config) (*volume.Fleet, *DB) {
 	t.Helper()
 	net := netsim.New(netsim.FastLocal())
-	f, err := volume.NewFleet(volume.FleetConfig{Name: "e", PGs: 4, Net: net, Disk: disk.FastLocal()})
+	f, err := volume.NewFleet(volume.FleetConfig{Name: "e", Geometry: core.UniformGeometry(4), Net: net, Disk: disk.FastLocal()})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -17,7 +17,7 @@ import (
 func pipelineDB(t *testing.T, lal int64, cfg Config) (*netsim.Network, *volume.Fleet, *DB) {
 	t.Helper()
 	net := netsim.New(netsim.FastLocal())
-	f, err := volume.NewFleet(volume.FleetConfig{Name: "pl", PGs: 1, Net: net, Disk: disk.FastLocal()})
+	f, err := volume.NewFleet(volume.FleetConfig{Name: "pl", Geometry: core.UniformGeometry(1), Net: net, Disk: disk.FastLocal()})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"aurora/internal/core"
 	"aurora/internal/disk"
 	"aurora/internal/netsim"
 	"aurora/internal/trace"
@@ -17,7 +18,7 @@ import (
 func tracedDB(t *testing.T, cfg Config) *DB {
 	t.Helper()
 	net := netsim.New(netsim.Config{IntraAZ: 200 * time.Microsecond, CrossAZ: time.Millisecond})
-	f, err := volume.NewFleet(volume.FleetConfig{Name: "tr", PGs: 4, Net: net, Disk: disk.NVMe()})
+	f, err := volume.NewFleet(volume.FleetConfig{Name: "tr", Geometry: core.UniformGeometry(4), Net: net, Disk: disk.NVMe()})
 	if err != nil {
 		t.Fatal(err)
 	}

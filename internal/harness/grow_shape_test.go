@@ -1,0 +1,24 @@
+package harness_test
+
+import (
+	"testing"
+
+	"aurora/internal/harness"
+)
+
+func TestGrowShape(t *testing.T) {
+	r := harness.GrowExperiment(harness.Quick())
+	m := r.Metrics
+	if m["errors"] != 0 || m["write_failures"] != 0 {
+		t.Fatalf("workload errors during growth: %+v", m)
+	}
+	if m["stripes_moved"] == 0 || m["pages_copied"] == 0 {
+		t.Fatalf("no rebalance happened: %+v", m)
+	}
+	if m["new_pg_reads"] == 0 {
+		t.Fatalf("appended PGs served no reads: %+v", m)
+	}
+	if m["during_ratio"] < 0.2 {
+		t.Fatalf("throughput collapsed during growth: %+v", m)
+	}
+}

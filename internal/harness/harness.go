@@ -15,6 +15,7 @@ import (
 	"strings"
 	"time"
 
+	"aurora/internal/core"
 	"aurora/internal/disk"
 	"aurora/internal/engine"
 	"aurora/internal/mysql"
@@ -139,7 +140,7 @@ func NewAurora(cfg AuroraConfig) (*AuroraStack, error) {
 	net := netsim.New(cfg.Net)
 	store := objstore.New()
 	fleet, err := volume.NewFleet(volume.FleetConfig{
-		Name: cfg.Name, PGs: cfg.PGs, Net: net, Disk: cfg.Disk, Store: store,
+		Name: cfg.Name, Geometry: core.UniformGeometry(cfg.PGs), Net: net, Disk: cfg.Disk, Store: store,
 	})
 	if err != nil {
 		return nil, err
@@ -260,6 +261,7 @@ var Registry = map[string]func(Scale) *Result{
 	"ablation-full-pages":  AblationFullPages,
 	"ablation-materialize": AblationMaterialize,
 	"latency":              LatencyAttribution,
+	"grow":                 GrowExperiment,
 }
 
 // Order is the canonical experiment order for "run everything".
@@ -267,5 +269,5 @@ var Order = []string{
 	"table1", "fig6", "fig7", "table2", "table3", "table4", "table5",
 	"fig8", "fig9", "fig10", "fig11", "fig12", "recovery", "durability",
 	"ablation-sync-commit", "ablation-coalesce", "ablation-full-pages",
-	"ablation-materialize", "latency",
+	"ablation-materialize", "latency", "grow",
 }

@@ -36,7 +36,7 @@ func newStack(t *testing.T, seed int64) *stack {
 	net := netsim.New(cfg)
 	store := objstore.New()
 	fleet, err := volume.NewFleet(volume.FleetConfig{
-		Name: "soak", PGs: 4, Net: net, Disk: disk.FastLocal(), Store: store,
+		Name: "soak", Geometry: core.UniformGeometry(4), Net: net, Disk: disk.FastLocal(), Store: store,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -342,7 +342,7 @@ func TestMultiTenantSharedNetwork(t *testing.T) {
 	cfg.Seed = 3
 	net := netsim.New(cfg)
 	mk := func(name string) (*volume.Fleet, *engine.DB) {
-		f, err := volume.NewFleet(volume.FleetConfig{Name: name, PGs: 2, Net: net, Disk: disk.FastLocal()})
+		f, err := volume.NewFleet(volume.FleetConfig{Name: name, Geometry: core.UniformGeometry(2), Net: net, Disk: disk.FastLocal()})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -48,7 +48,10 @@ type Replica struct {
 	name   netsim.NodeID
 	reader *volume.Reader
 	cache  *bufcache.Cache
-	pgOf   func(core.PageID) core.PGID
+	// pgOfAt routes a page at a read point: across a live stripe cutover
+	// the replica's snapshot reads must keep going to the PG that holds the
+	// page's history as of that point (volume growth, §3).
+	pgOfAt func(core.PageID, core.LSN) core.PGID
 
 	mu      sync.RWMutex // excludes reads during atomic MTR application
 	vdl     core.LSN
@@ -75,7 +78,7 @@ func Attach(db *engine.DB, f *volume.Fleet, cfg Config) *Replica {
 	r := &Replica{
 		name:   cfg.Name,
 		reader: volume.NewReader(f, cfg.Name, cfg.AZ),
-		pgOf:   f.PGOf,
+		pgOfAt: f.PGOfAt,
 		tails:  make(map[core.PGID]core.LSN),
 		stop:   make(chan struct{}),
 		done:   make(chan struct{}),
@@ -184,7 +187,7 @@ func (s *replicaStore) Page(id core.PageID) (page.Page, error) {
 		s.r.cache.Unpin(id)
 		return p, nil
 	}
-	required := s.r.tails[s.r.pgOf(id)] // under RLock
+	required := s.r.tails[s.r.pgOfAt(id, s.readPoint)] // under RLock
 	p, err := s.r.reader.ReadPageAt(id, s.readPoint, required)
 	if err != nil {
 		return nil, err

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"aurora/internal/core"
 	"aurora/internal/disk"
 	"aurora/internal/engine"
 	"aurora/internal/netsim"
@@ -14,7 +15,7 @@ import (
 func testStack(t *testing.T) (*volume.Fleet, *engine.DB) {
 	t.Helper()
 	net := netsim.New(netsim.FastLocal())
-	f, err := volume.NewFleet(volume.FleetConfig{Name: "r", PGs: 2, Net: net, Disk: disk.FastLocal()})
+	f, err := volume.NewFleet(volume.FleetConfig{Name: "r", Geometry: core.UniformGeometry(2), Net: net, Disk: disk.FastLocal()})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -79,6 +79,7 @@ func (n *Node) snapshotLocked() []byte {
 	put64(n.trunc.Epoch)
 	put64(uint64(n.trunc.From))
 	put64(uint64(n.trunc.To))
+	put64(n.geomEpoch)
 	return buf
 }
 
@@ -209,6 +210,10 @@ func (n *Node) loadSnapshotLocked(buf []byte) error {
 	if err != nil {
 		return err
 	}
+	geomEpoch, err := get64()
+	if err != nil {
+		return err
+	}
 
 	// Rebuild the gap tracker: the retained log chains from the GC boundary
 	// (everything at or below gcTail lives only in materialized pages and
@@ -225,6 +230,7 @@ func (n *Node) loadSnapshotLocked(buf []byte) error {
 	n.pgmrpl = core.LSN(pgmrpl)
 	n.gcTail = core.LSN(gcTail)
 	n.trunc = core.TruncationRange{Epoch: epoch, From: core.LSN(from), To: core.LSN(to)}
+	n.geomEpoch = geomEpoch
 	n.gaps = gaps
 	n.wiped = false
 	return nil

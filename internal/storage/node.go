@@ -29,11 +29,12 @@ import (
 
 // Errors returned by node operations.
 var (
-	ErrNodeDown     = errors.New("storage: node down")
-	ErrIncomplete   = errors.New("storage: segment not complete at read point")
-	ErrNoSuchPage   = errors.New("storage: page never written")
-	ErrStaleEpoch   = errors.New("storage: truncation epoch stale")
-	ErrWipedSegment = errors.New("storage: segment wiped, needs repair")
+	ErrNodeDown      = errors.New("storage: node down")
+	ErrIncomplete    = errors.New("storage: segment not complete at read point")
+	ErrNoSuchPage    = errors.New("storage: page never written")
+	ErrStaleEpoch    = errors.New("storage: truncation epoch stale")
+	ErrWipedSegment  = errors.New("storage: segment wiped, needs repair")
+	ErrStaleGeometry = errors.New("storage: geometry epoch stale")
 )
 
 // Config configures one storage node (one segment replica).
@@ -123,6 +124,14 @@ type Node struct {
 	pgmrpl core.LSN
 	vdl    core.LSN // latest VDL learned from the writer (piggybacked)
 	wiped  bool
+
+	// geomEpoch is the highest geometry epoch the node has learned (from
+	// batch piggybacks or an explicit ObserveGeometry push at a cutover).
+	// Writes framed under an older geometry are rejected with
+	// ErrStaleGeometry so a record can never land on a PG that no longer
+	// owns its stripe; readers routing with an older table get the same
+	// rejection and refetch the geometry. Epoch 0 is unversioned.
+	geomEpoch uint64
 
 	peers []*Node
 
@@ -225,6 +234,10 @@ func (n *Node) ReceiveBatch(b *core.Batch, vdl, pgmrpl core.LSN) (Ack, error) {
 		n.mu.Unlock()
 		return Ack{}, fmt.Errorf("%s: %w", n.cfg.Node, ErrWipedSegment)
 	}
+	if err := n.observeGeometryLocked(b.Epoch); err != nil {
+		n.mu.Unlock()
+		return Ack{}, err
+	}
 	for i := range b.Records {
 		n.ingestLocked(&b.Records[i])
 	}
@@ -286,6 +299,14 @@ func (n *Node) ReceiveBatchesTraced(bs []*core.Batch, vdl, pgmrpl core.LSN, pare
 		return Ack{}, fmt.Errorf("%s: %w", n.cfg.Node, ErrWipedSegment)
 	}
 	for _, b := range bs {
+		if err := n.observeGeometryLocked(b.Epoch); err != nil {
+			n.mu.Unlock()
+			asp.End()
+			ingest.End()
+			return Ack{}, err
+		}
+	}
+	for _, b := range bs {
 		for i := range b.Records {
 			n.ingestLocked(&b.Records[i])
 		}
@@ -340,6 +361,41 @@ func (n *Node) ingestLocked(r *core.Record) bool {
 	}
 	n.gaps.Add(rec.PrevLSN, rec.LSN)
 	return true
+}
+
+// observeGeometryLocked folds a piggybacked geometry epoch into the node's
+// view and rejects epochs the node knows to be superseded. Epoch 0 batches
+// are unversioned and always accepted.
+func (n *Node) observeGeometryLocked(epoch uint64) error {
+	if epoch == 0 {
+		return nil
+	}
+	if epoch < n.geomEpoch {
+		return fmt.Errorf("%s: %w: have %d, got %d", n.cfg.Node, ErrStaleGeometry, n.geomEpoch, epoch)
+	}
+	n.geomEpoch = epoch
+	return nil
+}
+
+// ObserveGeometry pushes a new geometry epoch to the node (the explicit
+// notification at a cutover; batches also piggyback it). Down nodes miss
+// the push and learn the epoch from the next batch or read instead.
+func (n *Node) ObserveGeometry(epoch uint64) {
+	if n.down.Load() {
+		return
+	}
+	n.mu.Lock()
+	if epoch > n.geomEpoch {
+		n.geomEpoch = epoch
+	}
+	n.mu.Unlock()
+}
+
+// GeomEpoch returns the highest geometry epoch the node has learned.
+func (n *Node) GeomEpoch() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.geomEpoch
 }
 
 func (n *Node) observePointsLocked(vdl, pgmrpl core.LSN) {
@@ -406,11 +462,27 @@ func (n *Node) HighestCPLAtOrBelow(limit core.LSN) core.LSN {
 // SCL against it. The read point itself may exceed the SCL when the PG has
 // been idle while the volume's VDL advanced on other PGs.
 func (n *Node) ReadPage(id core.PageID, readPoint, required core.LSN) (page.Page, error) {
+	return n.ReadPageChecked(id, readPoint, required, 0)
+}
+
+// ReadPageChecked is ReadPage with a geometry-epoch check: a caller routing
+// with an older geometry than the node has learned is rejected with
+// ErrStaleGeometry and must refetch the table and re-route — a read must
+// never be answered by a node that silently lost the page's stripe to a
+// cutover (it would materialize an empty page, not fail). A caller with a
+// newer epoch teaches it to the node. Epoch 0 skips the check.
+func (n *Node) ReadPageChecked(id core.PageID, readPoint, required core.LSN, geomEpoch uint64) (page.Page, error) {
 	if n.down.Load() {
 		return nil, fmt.Errorf("%s: %w", n.cfg.Node, ErrNodeDown)
 	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	if geomEpoch != 0 {
+		if geomEpoch < n.geomEpoch {
+			return nil, fmt.Errorf("%s: %w: have %d, got %d", n.cfg.Node, ErrStaleGeometry, n.geomEpoch, geomEpoch)
+		}
+		n.geomEpoch = geomEpoch
+	}
 	if n.wiped {
 		return nil, fmt.Errorf("%s: %w", n.cfg.Node, ErrWipedSegment)
 	}
@@ -430,6 +502,38 @@ func (n *Node) ReadPage(id core.PageID, readPoint, required core.LSN) (page.Page
 	}
 	n.reads.Add(1)
 	return p, nil
+}
+
+// Reads returns the number of foreground page reads this node has served
+// (the per-PG IO counter growth tests assert rebalanced reads against).
+func (n *Node) Reads() uint64 { return n.reads.Load() }
+
+// StripePages enumerates the pages this segment holds that match the given
+// predicate (typically stripe membership), with each page's tail LSN: the
+// highest LSN reflected in its base image or delta chain. The rebalancer
+// uses it to drive the copy and to detect pages dirtied since the warm
+// copy (tail > copiedAt) that need re-copying inside the fence.
+func (n *Node) StripePages(match func(core.PageID) bool) map[core.PageID]core.LSN {
+	if n.down.Load() {
+		return nil
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make(map[core.PageID]core.LSN)
+	for id, ps := range n.pages {
+		if !match(id) {
+			continue
+		}
+		var tail core.LSN
+		if ps.base != nil {
+			tail = ps.base.LSN()
+		}
+		if k := len(ps.chain); k > 0 && ps.chain[k-1].LSN > tail {
+			tail = ps.chain[k-1].LSN
+		}
+		out[id] = tail
+	}
+	return out
 }
 
 // Truncate applies an epoch-versioned truncation range (§4.3), annulling

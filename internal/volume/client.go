@@ -45,7 +45,18 @@ type Client struct {
 	sclMu sync.RWMutex
 	scls  map[core.SegmentID]core.LSN // writer's runtime view of completeness
 
-	senders [][]*replicaSender // per-PG, per-replica delivery pipelines
+	// senders is the per-PG, per-replica delivery pipeline table. It is
+	// copy-on-write (Grow appends PGs while traffic continues) — load once
+	// per use, never cache across a blocking call.
+	senders    atomic.Pointer[[][]*replicaSender]
+	noCoalesce bool
+
+	// geomMu is the geometry fence. Framing takes it shared; the rebalancer
+	// takes it exclusively for the brief catch-up + cutover window of each
+	// stripe move, so no MTR can be framed (and routed) while the stripe's
+	// owner changes. Commits queue behind the fence; they never fail.
+	geomMu  sync.RWMutex
+	growing atomic.Bool
 
 	closed atomic.Bool
 
@@ -55,6 +66,11 @@ type Client struct {
 	readsServed atomic.Uint64
 	readRetries atomic.Uint64
 	writeFails  atomic.Uint64
+	geomRetries atomic.Uint64 // reads re-routed after ErrStaleGeometry
+
+	rebalTotal  atomic.Uint64 // stripes scheduled by Grow calls
+	rebalMoved  atomic.Uint64 // stripes cut over
+	rebalCopied atomic.Uint64 // pages copied by the rebalancer
 }
 
 // ClientConfig configures a writer session.
@@ -91,15 +107,42 @@ func newClient(f *Fleet, cfg ClientConfig, start core.LSN, tails map[core.PGID]c
 		scls:   make(map[core.SegmentID]core.LSN),
 	}
 	c.vdl.Advance(start)
-	c.senders = make([][]*replicaSender, f.PGs())
-	for g := range c.senders {
+	senders := make([][]*replicaSender, f.PGs())
+	for g := range senders {
 		replicas := f.Replicas(core.PGID(g))
-		c.senders[g] = make([]*replicaSender, len(replicas))
+		senders[g] = make([]*replicaSender, len(replicas))
 		for i, n := range replicas {
-			c.senders[g][i] = newReplicaSender(c, core.PGID(g), i, n, cfg.NoCoalesce)
+			senders[g][i] = newReplicaSender(c, core.PGID(g), i, n, cfg.NoCoalesce)
 		}
 	}
+	c.noCoalesce = cfg.NoCoalesce
+	c.senders.Store(&senders)
+	// Placement is resolved at frame time from the fleet's current geometry:
+	// an MTR built before a stripe cutover but framed after it must route to
+	// the stripe's new PG (see core.Framer).
+	c.framer.SetPlacement(f.PGOf, func() uint64 { return f.Geometry().Epoch() })
 	return c
+}
+
+// extendSenders appends delivery pipelines for protection groups added by
+// Grow. Called under the exclusive geometry fence.
+func (c *Client) extendSenders() {
+	cur := *c.senders.Load()
+	n := c.fleet.PGs()
+	if n <= len(cur) {
+		return
+	}
+	senders := make([][]*replicaSender, len(cur), n)
+	copy(senders, cur)
+	for g := len(cur); g < n; g++ {
+		replicas := c.fleet.Replicas(core.PGID(g))
+		row := make([]*replicaSender, len(replicas))
+		for i, node := range replicas {
+			row[i] = newReplicaSender(c, core.PGID(g), i, node, c.noCoalesce)
+		}
+		senders = append(senders, row)
+	}
+	c.senders.Store(&senders)
 }
 
 // VDL returns the current volume durable LSN.
@@ -126,8 +169,14 @@ func (c *Client) LAL() uint64 { return c.alloc.Limit() }
 // Fleet returns the underlying storage fleet.
 func (c *Client) Fleet() *Fleet { return c.fleet }
 
-// PGOf maps a page to its protection group.
+// PGOf maps a page to its protection group under the current geometry.
 func (c *Client) PGOf(id core.PageID) core.PGID { return c.fleet.PGOf(id) }
+
+// PGOfAt maps a page to the protection group holding its history as of
+// readPoint (see Fleet.PGOfAt).
+func (c *Client) PGOfAt(id core.PageID, readPoint core.LSN) core.PGID {
+	return c.fleet.PGOfAt(id, readPoint)
+}
 
 // DurableTail returns the highest record LSN of a protection group at or
 // below the VDL — the completeness a read of that PG requires (§4.2.3).
@@ -179,14 +228,17 @@ func (c *Client) FrameMTR(m *core.MTR) (*PendingWrite, error) {
 	if c.closed.Load() {
 		return nil, ErrClosed
 	}
+	c.geomMu.RLock()
 	batches, cpl, err := c.framer.Frame(m)
 	if err != nil {
+		c.geomMu.RUnlock()
 		return nil, err
 	}
 	c.win.addCPL(cpl)
 	for i := range batches {
 		c.tails.Add(&batches[i])
 	}
+	c.geomMu.RUnlock()
 	c.mtrs.Add(1)
 	c.frames.Add(1)
 	c.recsWritten.Add(uint64(len(m.Records)))
@@ -256,8 +308,10 @@ func (c *Client) FrameMTRs(ms []*core.MTR) (*GroupWrite, error) {
 	if c.closed.Load() {
 		return nil, ErrClosed
 	}
+	c.geomMu.RLock()
 	batches, cpls, err := c.framer.FrameGroup(ms)
 	if err != nil {
+		c.geomMu.RUnlock()
 		return nil, err
 	}
 	c.win.addCPLs(cpls)
@@ -266,6 +320,7 @@ func (c *Client) FrameMTRs(ms []*core.MTR) (*GroupWrite, error) {
 		c.tails.Add(&batches[i])
 		total += len(batches[i].Records)
 	}
+	c.geomMu.RUnlock()
 	c.mtrs.Add(uint64(len(ms)))
 	c.frames.Add(1)
 	c.recsWritten.Add(uint64(total))
@@ -379,8 +434,36 @@ func (c *Client) ReadPageAtTraced(id core.PageID, readPoint core.LSN, sp *trace.
 	return c.readAt(id, readPoint, sp)
 }
 
+// readAt routes and executes one logical page read, retrying when a storage
+// node rejects the attempt as framed under a superseded geometry: the client
+// reloads the routing table (lock-free — the fleet publishes it atomically)
+// and re-routes. Three rounds bound the loop; a volume never flips stripes
+// faster than a read can chase them.
 func (c *Client) readAt(id core.PageID, readPoint core.LSN, sp *trace.Span) (page.Page, error) {
-	pg := c.fleet.PGOf(id)
+	var lastErr error
+	for attempt := 0; attempt < 3; attempt++ {
+		p, err := c.readAtOnce(id, readPoint, sp)
+		if err == nil {
+			c.readsServed.Add(1)
+			return p, nil
+		}
+		lastErr = err
+		if !errors.Is(err, storage.ErrStaleGeometry) {
+			break
+		}
+		c.geomRetries.Add(1)
+	}
+	return nil, lastErr
+}
+
+func (c *Client) readAtOnce(id core.PageID, readPoint core.LSN, sp *trace.Span) (page.Page, error) {
+	// Route through the geometry in force at the read point: a snapshot read
+	// below a stripe cutover goes to the stripe's old PG, which retains every
+	// record at or below the cutover (GC is bounded by the MRPL). The epoch
+	// presented to the node is the client's current one — the check catches a
+	// client that has not yet learned of a flip, not a historical route.
+	curEpoch := c.fleet.Geometry().Epoch()
+	pg := c.fleet.PGOfAt(id, readPoint)
 	// required may exceed readPoint when the tail advanced concurrently;
 	// that only makes the completeness demand conservative, never wrong.
 	required := c.tails.DurableTail(pg)
@@ -420,7 +503,7 @@ func (c *Client) readAt(id core.PageID, readPoint core.LSN, sp *trace.Span) (pag
 			return nil, err
 		}
 		ssp := asp.Child("storage.read")
-		p, err := n.ReadPage(id, readPoint, required)
+		p, err := n.ReadPageChecked(id, readPoint, required, curEpoch)
 		ssp.End()
 		if err != nil {
 			c.readRetries.Add(1)
@@ -443,7 +526,6 @@ func (c *Client) readAt(id core.PageID, readPoint core.LSN, sp *trace.Span) (pag
 	if err != nil {
 		return nil, fmt.Errorf("page %d at %d: %w", id, readPoint, err)
 	}
-	c.readsServed.Add(1)
 	return p, nil
 }
 
@@ -464,12 +546,27 @@ type Stats struct {
 	VDL            core.LSN
 	HighestLSN     core.LSN
 	Backlog        int
+
+	// Geometry & rebalancing (volume growth, §3).
+	GeometryEpoch         uint64 // current routing-table epoch
+	PGs                   int    // protection groups in the fleet
+	RebalanceStripesTotal uint64 // stripe moves scheduled by Grow
+	RebalanceStripesMoved uint64 // stripe moves cut over
+	RebalancePagesCopied  uint64 // pages copied onto new PGs
+	GeomRetries           uint64 // reads re-routed after a stale-geometry nack
 }
 
 // Stats returns a snapshot of client counters.
 func (c *Client) Stats() Stats {
 	hs := c.fleet.health.Stats()
 	return Stats{
+		GeometryEpoch:         c.fleet.Geometry().Epoch(),
+		PGs:                   c.fleet.PGs(),
+		RebalanceStripesTotal: c.rebalTotal.Load(),
+		RebalanceStripesMoved: c.rebalMoved.Load(),
+		RebalancePagesCopied:  c.rebalCopied.Load(),
+		GeomRetries:           c.geomRetries.Load(),
+
 		MTRs:           c.mtrs.Load(),
 		Frames:         c.frames.Load(),
 		RecordsWritten: c.recsWritten.Load(),
@@ -494,7 +591,7 @@ func (c *Client) Crash() {
 	if c.closed.Swap(true) {
 		return
 	}
-	for _, pg := range c.senders {
+	for _, pg := range *c.senders.Load() {
 		for _, s := range pg {
 			s.stop()
 		}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"aurora/internal/core"
@@ -14,15 +15,22 @@ import (
 	"aurora/internal/storage"
 )
 
+// GeometryManifestKey is the object-store key the fleet publishes its
+// geometry under. Point-in-time restore reads the manifest as of the
+// restore point so a grown volume routes pages the way it did then.
+const GeometryManifestKey = "manifest/geometry"
+
 // FleetConfig describes the storage fleet backing one volume.
 type FleetConfig struct {
 	// Name prefixes every storage node's network identity so several
 	// volumes can share one simulated network (multi-tenancy, §7.1).
 	Name string
-	// PGs is the number of protection groups. The volume's page space is
-	// striped across them: pg(page) = page mod PGs — the "high entropy"
-	// placement of §3.3.
-	PGs int
+	// Geometry is the volume's initial page→PG routing table — the single
+	// source of truth for placement. core.UniformGeometry(pgs) gives the
+	// classic uniform striping over pgs protection groups; the fleet
+	// provisions Geometry.PGs() groups and Grow appends more, publishing
+	// new geometry epochs as stripes cut over.
+	Geometry *core.Geometry
 	// Quorum is the replication scheme; zero value selects quorum.Aurora().
 	Quorum quorum.Config
 	Net    *netsim.Network
@@ -39,15 +47,33 @@ type FleetConfig struct {
 	Health HealthConfig
 }
 
-// Fleet owns the storage nodes of one volume: PGs protection groups of V
+// geomVersion is one entry of the fleet's geometry history: the table plus
+// the first read point it routes. Reads at a point below a cutover must
+// route with the geometry that was current then — the stripe's old PG
+// retains every record at or below the cutover (GC is bounded by the
+// MRPL), while the new PG only has state from the copy onward.
+type geomVersion struct {
+	geom  *core.Geometry
+	since core.LSN
+}
+
+// Fleet owns the storage nodes of one volume: protection groups of V
 // segment replicas each, placed two per AZ across three AZs (for the
-// default quorum).
+// default quorum), plus the epoch-versioned geometry that maps pages onto
+// them. Grow appends protection groups at runtime; the hot-path accessors
+// (Replicas, PGOf) are lock-free over copy-on-write state.
 type Fleet struct {
 	cfg    FleetConfig
 	q      quorum.Config
-	pgs    [][]*storage.Node
+	pgs    atomic.Pointer[[][]*storage.Node]
 	gen    int // migration generation counter for unique node names
 	health *HealthTracker
+
+	geomMu  sync.Mutex // serialises growth and geometry publication
+	geom    atomic.Pointer[core.Geometry]
+	histMu  sync.RWMutex
+	history []geomVersion
+	started atomic.Bool
 
 	monMu   sync.Mutex
 	monStop chan struct{}
@@ -56,8 +82,8 @@ type Fleet struct {
 
 // NewFleet provisions the storage nodes and wires each PG's peers.
 func NewFleet(cfg FleetConfig) (*Fleet, error) {
-	if cfg.PGs <= 0 {
-		return nil, errors.New("volume: PGs must be positive")
+	if cfg.Geometry == nil || cfg.Geometry.PGs() <= 0 {
+		return nil, errors.New("volume: geometry required (core.UniformGeometry)")
 	}
 	if cfg.Net == nil {
 		return nil, errors.New("volume: network required")
@@ -73,30 +99,46 @@ func NewFleet(cfg FleetConfig) (*Fleet, error) {
 		cfg.Name = "vol"
 	}
 	f := &Fleet{cfg: cfg, q: q}
-	f.pgs = make([][]*storage.Node, cfg.PGs)
-	for g := 0; g < cfg.PGs; g++ {
-		replicas := make([]*storage.Node, q.V)
-		for r := 0; r < q.V; r++ {
-			replicas[r] = storage.NewNode(storage.Config{
-				Seg:              core.SegmentID{PG: core.PGID(g), Replica: uint8(r)},
-				Node:             f.nodeName(g, r, 0),
-				AZ:               netsim.AZ(q.ReplicaAZ(r)),
-				Net:              cfg.Net,
-				Disk:             cfg.Disk,
-				Store:            cfg.Store,
-				GossipInterval:   cfg.GossipInterval,
-				CoalesceInterval: cfg.CoalesceInterval,
-				BackupInterval:   cfg.BackupInterval,
-				ScrubInterval:    cfg.ScrubInterval,
-			})
-		}
-		for _, n := range replicas {
-			n.SetPeers(replicas)
-		}
-		f.pgs[g] = replicas
+	npgs := cfg.Geometry.PGs()
+	pgs := make([][]*storage.Node, npgs)
+	for g := 0; g < npgs; g++ {
+		pgs[g] = f.provisionPG(g)
 	}
-	f.health = newHealthTracker(cfg.Health, cfg.PGs, q.V)
+	f.pgs.Store(&pgs)
+	f.health = newHealthTracker(cfg.Health, npgs, q.V)
+	f.geom.Store(cfg.Geometry)
+	f.history = []geomVersion{{geom: cfg.Geometry, since: core.ZeroLSN}}
+	// The manifest is only persisted when the geometry changes (Grow,
+	// stripe cutovers): a restored fleet shares the source's object store,
+	// and writing at provision time would pollute the source's manifest
+	// lineage. A never-grown volume has no manifest; restore falls back to
+	// the caller-supplied geometry, which is exactly the initial one.
+	f.broadcastGeometry(cfg.Geometry)
 	return f, nil
+}
+
+// provisionPG builds the V replicas of one protection group and wires
+// their peers.
+func (f *Fleet) provisionPG(g int) []*storage.Node {
+	replicas := make([]*storage.Node, f.q.V)
+	for r := 0; r < f.q.V; r++ {
+		replicas[r] = storage.NewNode(storage.Config{
+			Seg:              core.SegmentID{PG: core.PGID(g), Replica: uint8(r)},
+			Node:             f.nodeName(g, r, 0),
+			AZ:               netsim.AZ(f.q.ReplicaAZ(r)),
+			Net:              f.cfg.Net,
+			Disk:             f.cfg.Disk,
+			Store:            f.cfg.Store,
+			GossipInterval:   f.cfg.GossipInterval,
+			CoalesceInterval: f.cfg.CoalesceInterval,
+			BackupInterval:   f.cfg.BackupInterval,
+			ScrubInterval:    f.cfg.ScrubInterval,
+		})
+	}
+	for _, n := range replicas {
+		n.SetPeers(replicas)
+	}
+	return replicas
 }
 
 // Health exposes the fleet's gray-failure tracker.
@@ -113,27 +155,145 @@ func (f *Fleet) nodeName(pg, replica, gen int) netsim.NodeID {
 func (f *Fleet) Quorum() quorum.Config { return f.q }
 
 // PGs returns the number of protection groups.
-func (f *Fleet) PGs() int { return len(f.pgs) }
+func (f *Fleet) PGs() int { return len(*f.pgs.Load()) }
 
-// PGOf maps a page onto its protection group.
+// Geometry returns the current page→PG routing table.
+func (f *Fleet) Geometry() *core.Geometry { return f.geom.Load() }
+
+// GeometryAt returns the geometry that routes reads at the given read
+// point: the newest table whose cutover point is at or below it.
+func (f *Fleet) GeometryAt(readPoint core.LSN) *core.Geometry {
+	f.histMu.RLock()
+	defer f.histMu.RUnlock()
+	for i := len(f.history) - 1; i > 0; i-- {
+		if f.history[i].since <= readPoint {
+			return f.history[i].geom
+		}
+	}
+	return f.history[0].geom
+}
+
+// PGOf maps a page onto its protection group under the current geometry.
 func (f *Fleet) PGOf(id core.PageID) core.PGID {
-	return core.PGID(uint64(id) % uint64(len(f.pgs)))
+	return f.geom.Load().PG(id)
+}
+
+// PGOfAt maps a page onto the protection group that holds its history as
+// of readPoint — reads below a stripe cutover go to the stripe's old PG.
+func (f *Fleet) PGOfAt(id core.PageID, readPoint core.LSN) core.PGID {
+	return f.GeometryAt(readPoint).PG(id)
 }
 
 // Replicas returns the current replicas of a protection group.
 func (f *Fleet) Replicas(pg core.PGID) []*storage.Node {
-	return f.pgs[int(pg)%len(f.pgs)]
+	pgs := *f.pgs.Load()
+	return pgs[int(pg)%len(pgs)]
 }
 
 // Node returns one replica.
 func (f *Fleet) Node(pg core.PGID, replica int) *storage.Node {
-	return f.pgs[int(pg)%len(f.pgs)][replica]
+	return f.Replicas(pg)[replica]
+}
+
+// PublishGeometry installs a new geometry as the current routing table:
+// the history gains an entry effective from the given cutover LSN, the
+// manifest is persisted to the object store, and every storage node is
+// taught the new epoch (nodes also learn it from batch piggybacks). The
+// epoch must advance; the cutover point must be monotone.
+func (f *Fleet) PublishGeometry(g *core.Geometry, since core.LSN) error {
+	f.geomMu.Lock()
+	defer f.geomMu.Unlock()
+	return f.publishLocked(g, since)
+}
+
+func (f *Fleet) publishLocked(g *core.Geometry, since core.LSN) error {
+	cur := f.geom.Load()
+	if g.Epoch() <= cur.Epoch() {
+		return fmt.Errorf("volume: geometry epoch %d not newer than %d", g.Epoch(), cur.Epoch())
+	}
+	if g.PGs() > f.PGs() {
+		return fmt.Errorf("volume: geometry routes %d PGs, fleet has %d", g.PGs(), f.PGs())
+	}
+	f.histMu.Lock()
+	if last := f.history[len(f.history)-1].since; since < last {
+		since = last
+	}
+	f.history = append(f.history, geomVersion{geom: g, since: since})
+	f.histMu.Unlock()
+	f.geom.Store(g)
+	f.persistGeometry(g)
+	f.broadcastGeometry(g)
+	return nil
+}
+
+func (f *Fleet) persistGeometry(g *core.Geometry) {
+	if f.cfg.Store != nil {
+		f.cfg.Store.Put(GeometryManifestKey, g.Encode())
+	}
+}
+
+func (f *Fleet) broadcastGeometry(g *core.Geometry) {
+	for _, pg := range *f.pgs.Load() {
+		for _, n := range pg {
+			n.ObserveGeometry(g.Epoch())
+		}
+	}
+}
+
+// Grow appends n protection groups of V segment replicas across the three
+// AZs and publishes a new geometry epoch covering them (§3: the volume
+// grows by appending protection groups on demand). The new PGs hold no
+// stripes yet — the caller (Client.Grow) runs the rebalancer that moves
+// stripes onto them via copy + catch-up + cutover while traffic continues.
+// It returns the IDs of the appended PGs.
+func (f *Fleet) Grow(n int) ([]core.PGID, error) {
+	if n <= 0 {
+		return nil, errors.New("volume: Grow needs a positive PG count")
+	}
+	f.geomMu.Lock()
+	defer f.geomMu.Unlock()
+	old := f.PGs()
+	ng, err := f.Geometry().WithPGs(old + n)
+	if err != nil {
+		return nil, err
+	}
+	cur := *f.pgs.Load()
+	pgs := make([][]*storage.Node, old, old+n)
+	copy(pgs, cur)
+	added := make([]core.PGID, 0, n)
+	for g := old; g < old+n; g++ {
+		replicas := f.provisionPG(g)
+		pgs = append(pgs, replicas)
+		added = append(added, core.PGID(g))
+	}
+	f.pgs.Store(&pgs)
+	f.health.Grow(old+n, f.q.V)
+	for _, pg := range added {
+		for _, node := range f.Replicas(pg) {
+			if f.started.Load() {
+				node.Start()
+			}
+			// Stage an initial (empty) backup immediately so a restore to a
+			// point just after growth finds a snapshot for every segment.
+			node.BackupNow()
+		}
+	}
+	// The stripe table is unchanged, so the new epoch routes identically;
+	// it takes effect from the same point its predecessor did.
+	f.histMu.RLock()
+	since := f.history[len(f.history)-1].since
+	f.histMu.RUnlock()
+	if err := f.publishLocked(ng, since); err != nil {
+		return nil, err
+	}
+	return added, nil
 }
 
 // Start launches background loops on every storage node plus the fleet's
 // self-driven repair monitor.
 func (f *Fleet) Start() {
-	for _, pg := range f.pgs {
+	f.started.Store(true)
+	for _, pg := range *f.pgs.Load() {
 		for _, n := range pg {
 			n.Start()
 		}
@@ -163,6 +323,7 @@ func (f *Fleet) Start() {
 
 // Stop terminates all background loops.
 func (f *Fleet) Stop() {
+	f.started.Store(false)
 	f.monMu.Lock()
 	stop := f.monStop
 	f.monStop = nil
@@ -171,7 +332,7 @@ func (f *Fleet) Stop() {
 		close(stop)
 		f.monDone.Wait()
 	}
-	for _, pg := range f.pgs {
+	for _, pg := range *f.pgs.Load() {
 		for _, n := range pg {
 			n.Stop()
 		}
@@ -186,7 +347,7 @@ func (f *Fleet) Stop() {
 // failures and shrinks the window in which a second fault could pair with
 // them.
 func (f *Fleet) healthMonitorOnce() {
-	for g, replicas := range f.pgs {
+	for g, replicas := range *f.pgs.Load() {
 		pg := core.PGID(g)
 		for i, n := range replicas {
 			if f.health.State(pg, i) != Suspect {

@@ -62,9 +62,9 @@ type HealthConfig struct {
 	// latency, clamped to [HedgeMin, HedgeMax] (defaults 3x, 250µs, 50ms).
 	// When an attempt exceeds it a hedge is launched to the next-best
 	// replica (§4.2.3's tail-avoidance without quorum reads).
-	HedgeMult        float64
-	HedgeMin         time.Duration
-	HedgeMax         time.Duration
+	HedgeMult float64
+	HedgeMin  time.Duration
+	HedgeMax  time.Duration
 	// MonitorInterval paces the fleet's self-driven repair loop
 	// (default 5ms at simulation scale).
 	MonitorInterval time.Duration
@@ -133,11 +133,12 @@ type HealthStats struct {
 }
 
 // HealthTracker maintains per-(PG, replica) health for one fleet. All
-// methods are safe for concurrent use.
+// methods are safe for concurrent use; the per-PG tables are copy-on-write
+// so Grow can append protection groups without a lock on the hot paths.
 type HealthTracker struct {
 	cfg  HealthConfig
-	reps [][]*replicaHealth
-	lat  []*pgLatency
+	reps atomic.Pointer[[][]*replicaHealth]
+	lat  atomic.Pointer[[]*pgLatency]
 
 	retries     metrics.Counter
 	hedges      metrics.Counter
@@ -148,20 +149,49 @@ type HealthTracker struct {
 
 func newHealthTracker(cfg HealthConfig, pgs, replicas int) *HealthTracker {
 	h := &HealthTracker{cfg: cfg.withDefaults()}
-	h.reps = make([][]*replicaHealth, pgs)
-	h.lat = make([]*pgLatency, pgs)
-	for g := range h.reps {
-		h.reps[g] = make([]*replicaHealth, replicas)
-		for i := range h.reps[g] {
-			h.reps[g][i] = &replicaHealth{}
-		}
-		h.lat[g] = &pgLatency{hist: metrics.NewHistogram(512)}
+	reps := make([][]*replicaHealth, pgs)
+	lat := make([]*pgLatency, pgs)
+	for g := range reps {
+		reps[g] = newPGHealth(replicas)
+		lat[g] = &pgLatency{hist: metrics.NewHistogram(512)}
 	}
+	h.reps.Store(&reps)
+	h.lat.Store(&lat)
 	return h
 }
 
+func newPGHealth(replicas int) []*replicaHealth {
+	out := make([]*replicaHealth, replicas)
+	for i := range out {
+		out[i] = &replicaHealth{}
+	}
+	return out
+}
+
+// Grow extends the tracker to cover newPGs protection groups (no-op if it
+// already does). Callers serialise growth; concurrent readers see either
+// the old or the new table, both valid.
+func (h *HealthTracker) Grow(newPGs, replicas int) {
+	reps := *h.reps.Load()
+	if newPGs <= len(reps) {
+		return
+	}
+	nr := make([][]*replicaHealth, len(reps), newPGs)
+	copy(nr, reps)
+	lat := *h.lat.Load()
+	nl := make([]*pgLatency, len(lat), newPGs)
+	copy(nl, lat)
+	for g := len(reps); g < newPGs; g++ {
+		nr = append(nr, newPGHealth(replicas))
+		nl = append(nl, &pgLatency{hist: metrics.NewHistogram(512)})
+	}
+	h.reps.Store(&nr)
+	h.lat.Store(&nl)
+}
+
 func (h *HealthTracker) rep(pg core.PGID, idx int) *replicaHealth {
-	return h.reps[int(pg)%len(h.reps)][idx]
+	reps := *h.reps.Load()
+	return reps[int(pg)%len(reps)][idx]
 }
 
 // ObserveOK records a successful exchange with the replica and its latency.
@@ -204,7 +234,8 @@ type repSnap struct {
 }
 
 func (h *HealthTracker) snapshot(pg core.PGID) []repSnap {
-	reps := h.reps[int(pg)%len(h.reps)]
+	all := *h.reps.Load()
+	reps := all[int(pg)%len(all)]
 	out := make([]repSnap, len(reps))
 	for i, r := range reps {
 		r.mu.Lock()
@@ -312,7 +343,8 @@ func candLess(a, b readCand) bool {
 // observeReadLatency feeds the per-PG deadline estimator with one
 // successful read attempt.
 func (h *HealthTracker) observeReadLatency(pg core.PGID, d time.Duration) {
-	l := h.lat[int(pg)%len(h.lat)]
+	lat := *h.lat.Load()
+	l := lat[int(pg)%len(lat)]
 	l.hist.Record(d)
 	if l.n.Add(1)%deadlineEvery != 0 {
 		return
@@ -330,7 +362,8 @@ func (h *HealthTracker) observeReadLatency(pg core.PGID, d time.Duration) {
 // ReadDeadline returns the per-attempt deadline for reads of a PG, derived
 // from the observed latency percentiles (HedgeMult x p95, clamped).
 func (h *HealthTracker) ReadDeadline(pg core.PGID) time.Duration {
-	if d := h.lat[int(pg)%len(h.lat)].deadline.Load(); d > 0 {
+	lat := *h.lat.Load()
+	if d := lat[int(pg)%len(lat)].deadline.Load(); d > 0 {
 		return time.Duration(d)
 	}
 	return h.cfg.HedgeMin

@@ -65,7 +65,7 @@ func TestHealthStateTransitions(t *testing.T) {
 // tentpole).
 func TestWritesRideOutPacketLoss(t *testing.T) {
 	net := netsim.New(netsim.FastLocal())
-	f, err := NewFleet(FleetConfig{Name: "fl", PGs: 2, Net: net, Disk: disk.FastLocal()})
+	f, err := NewFleet(FleetConfig{Name: "fl", Geometry: core.UniformGeometry(2), Net: net, Disk: disk.FastLocal()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +114,7 @@ func TestWritesRideOutPacketLoss(t *testing.T) {
 // next candidate.
 func TestRespDropCountedDistinctly(t *testing.T) {
 	net := netsim.New(netsim.FastLocal())
-	f, err := NewFleet(FleetConfig{Name: "rd", PGs: 1, Net: net, Disk: disk.FastLocal()})
+	f, err := NewFleet(FleetConfig{Name: "rd", Geometry: core.UniformGeometry(1), Net: net, Disk: disk.FastLocal()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,7 +151,7 @@ func TestRespDropCountedDistinctly(t *testing.T) {
 // small absolute floor for simulation jitter).
 func TestHedgedReadBoundsTailLatency(t *testing.T) {
 	net := netsim.New(netsim.Datacenter())
-	f, err := NewFleet(FleetConfig{Name: "hg", PGs: 1, Net: net, Disk: disk.FastLocal()})
+	f, err := NewFleet(FleetConfig{Name: "hg", Geometry: core.UniformGeometry(1), Net: net, Disk: disk.FastLocal()})
 	if err != nil {
 		t.Fatal(err)
 	}

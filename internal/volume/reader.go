@@ -30,7 +30,11 @@ func NewReader(f *Fleet, node netsim.NodeID, az netsim.AZ) *Reader {
 // read path (§4.2.3). A response lost after a successful segment read is
 // counted distinctly (RespDrops) — the page was served, the network ate it.
 func (r *Reader) ReadPageAt(id core.PageID, readPoint, required core.LSN) (page.Page, error) {
-	pg := r.fleet.PGOf(id)
+	// Route through the geometry in force at the read point: across a live
+	// stripe cutover a replica's snapshot reads keep going to the PG that
+	// holds the page's history (see Fleet.PGOfAt).
+	curEpoch := r.fleet.Geometry().Epoch()
+	pg := r.fleet.PGOfAt(id, readPoint)
 	replicas := r.fleet.Replicas(pg)
 	myAZ, _ := r.fleet.cfg.Net.NodeAZ(r.node)
 	cands := r.fleet.health.Order(pg, replicas, myAZ)
@@ -39,7 +43,7 @@ func (r *Reader) ReadPageAt(id core.PageID, readPoint, required core.LSN) (page.
 		if err := r.fleet.cfg.Net.Send(r.node, n.NodeID(), reqSize); err != nil {
 			return nil, err
 		}
-		p, err := n.ReadPage(id, readPoint, required)
+		p, err := n.ReadPageChecked(id, readPoint, required, curEpoch)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,237 @@
+package volume
+
+// Live volume growth (§3): Aurora volumes grow by appending protection
+// groups on demand. Grow allocates the new PGs, then rebalances stripes of
+// the page→PG routing table onto them with a copy + catch-up + cutover
+// protocol, while reads and writes continue:
+//
+//	warm copy   un-fenced: read every page of the stripe at the current
+//	            VDL and frame full-image records addressed to the new PG
+//	            (FlagPlaced keeps the framer's router from re-routing them
+//	            through the still-old geometry).
+//	fence       take the geometry fence exclusively: no MTR can frame, so
+//	            no new record can route to the stripe. Commits queue behind
+//	            the fence; they never fail. Wait until the VDL covers every
+//	            allocated LSN — all old-epoch batches are now durable.
+//	catch-up    re-copy the pages whose old-PG tail moved past the warm
+//	            copy (writes that raced it), and pages born after the
+//	            enumeration; wait for the copies to be durable.
+//	cutover     publish a new geometry epoch with the stripe re-pointed,
+//	            effective from the current VDL. Storage nodes learn the
+//	            epoch and nack stale-epoch traffic; clients re-route.
+//	unfence     queued commits frame under the new geometry.
+//
+// Reads below the cutover LSN still route to the stripe's old PG, which
+// keeps the page history (GC is bounded by the MRPL), so snapshot reads
+// never observe a half-copied page on the new PG.
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"aurora/internal/core"
+)
+
+// ErrGrowthInProgress is returned when Grow is called while a previous
+// growth is still rebalancing.
+var ErrGrowthInProgress = errors.New("volume: growth already in progress")
+
+// GrowthReport summarises one completed Grow call.
+type GrowthReport struct {
+	AddedPGs     []core.PGID
+	FromEpoch    uint64
+	ToEpoch      uint64
+	StripesMoved int
+	PagesCopied  uint64
+	Duration     time.Duration
+}
+
+// Grow appends n protection groups to the volume and rebalances stripes
+// onto them while the workload continues. Writes framed during a stripe's
+// brief cutover window queue behind the geometry fence (they never fail);
+// reads keep flowing throughout, routed by read point. Growth calls are
+// serialised: a second Grow while one is rebalancing returns
+// ErrGrowthInProgress.
+func (c *Client) Grow(n int) (*GrowthReport, error) {
+	if c.closed.Load() {
+		return nil, ErrClosed
+	}
+	if !c.growing.CompareAndSwap(false, true) {
+		return nil, ErrGrowthInProgress
+	}
+	defer c.growing.Store(false)
+
+	start := time.Now()
+	fromEpoch := c.fleet.Geometry().Epoch()
+
+	// Allocate the PGs and publish the allocation epoch under the fence,
+	// with the pipe drained first: nodes nack batches framed under an older
+	// epoch, so every outstanding batch must be durable before any node
+	// learns the new one. The stripe table is unchanged by this step.
+	c.geomMu.Lock()
+	c.vdl.Wait(c.alloc.HighestAllocated())
+	added, err := c.fleet.Grow(n)
+	if err != nil {
+		c.geomMu.Unlock()
+		return nil, err
+	}
+	c.extendSenders()
+	c.geomMu.Unlock()
+
+	plan := c.fleet.Geometry().GrowthPlan()
+	c.rebalTotal.Add(uint64(len(plan)))
+	rep := &GrowthReport{AddedPGs: added, FromEpoch: fromEpoch}
+	for _, mv := range plan {
+		copied, err := c.migrateStripe(mv)
+		rep.PagesCopied += copied
+		if err != nil {
+			rep.ToEpoch = c.fleet.Geometry().Epoch()
+			rep.Duration = time.Since(start)
+			return rep, fmt.Errorf("volume: migrate stripe %d to pg %d: %w", mv.Stripe, mv.To, err)
+		}
+		rep.StripesMoved++
+		c.rebalMoved.Add(1)
+	}
+	rep.ToEpoch = c.fleet.Geometry().Epoch()
+	rep.Duration = time.Since(start)
+	return rep, nil
+}
+
+// migrateStripe moves one stripe of the routing table onto its new PG.
+// It returns the number of pages copied (warm + catch-up).
+func (c *Client) migrateStripe(mv core.StripeMove) (uint64, error) {
+	g := c.fleet.Geometry()
+	inStripe := func(id core.PageID) bool { return g.StripeOf(id) == mv.Stripe }
+
+	// Warm copy, un-fenced: traffic continues, racing writes are caught up
+	// below. copiedAt records the read point each page was copied at.
+	copiedAt := make(map[core.PageID]core.LSN)
+	var copied uint64
+	for id := range c.stripePages(mv.From, inStripe) {
+		at, err := c.copyStripePage(id, mv.To)
+		if err != nil {
+			return copied, err
+		}
+		copiedAt[id] = at
+		copied++
+	}
+
+	// Fence: no MTR can frame while held, so the stripe's record stream is
+	// frozen. Drain the allocation pipe — once the VDL covers every
+	// allocated LSN, every batch framed under the current epoch is durable.
+	c.geomMu.Lock()
+	defer c.geomMu.Unlock()
+	c.vdl.Wait(c.alloc.HighestAllocated())
+
+	// Catch-up: re-copy pages whose old-PG tail outran their warm copy, and
+	// pages born after the warm enumeration.
+	var maxCPL core.LSN
+	for id, tail := range c.stripePages(mv.From, inStripe) {
+		if at, ok := copiedAt[id]; ok && tail <= at {
+			continue
+		}
+		_, cpl, err := c.copyStripePageFenced(id, mv.To)
+		if err != nil {
+			return copied, err
+		}
+		if cpl > maxCPL {
+			maxCPL = cpl
+		}
+		copied++
+	}
+	if maxCPL > core.ZeroLSN {
+		c.vdl.Wait(maxCPL)
+	}
+
+	// Cutover: re-point the stripe, effective from the current VDL. Reads
+	// below it keep routing to the old PG and its retained history. Derive
+	// from the *current* geometry — earlier moves of this plan already
+	// advanced the epoch past the snapshot taken for StripeOf above.
+	ng, err := c.fleet.Geometry().MoveStripe(mv.Stripe, mv.To)
+	if err != nil {
+		return copied, err
+	}
+	if err := c.fleet.PublishGeometry(ng, c.vdl.VDL()); err != nil {
+		return copied, err
+	}
+	return copied, nil
+}
+
+// stripePages enumerates the stripe's pages across the old PG's replicas
+// (union, keeping the highest per-page tail seen). After the drain inside
+// the fence every durable record is on a write quorum, so the union over
+// non-down replicas covers at least the durable tail of every page.
+func (c *Client) stripePages(from core.PGID, match func(core.PageID) bool) map[core.PageID]core.LSN {
+	out := make(map[core.PageID]core.LSN)
+	for _, n := range c.fleet.Replicas(from) {
+		for id, tail := range n.StripePages(match) {
+			if tail > out[id] {
+				out[id] = tail
+			}
+		}
+	}
+	return out
+}
+
+// copyStripePage reads one page at the current VDL and writes its full
+// image to the destination PG. The record carries FlagPlaced so the
+// framer's router leaves its deliberate destination alone. Returns the
+// read point the copy reflects.
+func (c *Client) copyStripePage(id core.PageID, to core.PGID) (core.LSN, error) {
+	at, _, err := c.copyStripePageFenced(id, to)
+	return at, err
+}
+
+// copyStripePageFenced is the copy primitive; it does not take the
+// geometry fence itself, so it is safe both un-fenced (warm copy) and
+// while the rebalancer holds the fence exclusively (catch-up). Returns the
+// read point and the copy record's CPL.
+func (c *Client) copyStripePageFenced(id core.PageID, to core.PGID) (core.LSN, core.LSN, error) {
+	readPoint := c.vdl.VDL()
+	release := c.reads.register(readPoint)
+	defer release()
+	p, err := c.readAt(id, readPoint, nil)
+	if err != nil {
+		return core.ZeroLSN, core.ZeroLSN, err
+	}
+	m := &core.MTR{}
+	m.Records = append(m.Records, core.Record{
+		Type:  core.RecPageInit,
+		PG:    to,
+		Page:  id,
+		Flags: core.FlagPlaced,
+		Data:  append([]byte(nil), p.Payload()...),
+	})
+	pw, err := c.frameUnfenced(m)
+	if err != nil {
+		return core.ZeroLSN, core.ZeroLSN, err
+	}
+	if err := pw.Ship(); err != nil {
+		return core.ZeroLSN, core.ZeroLSN, err
+	}
+	c.rebalCopied.Add(1)
+	return readPoint, pw.cpl, nil
+}
+
+// frameUnfenced is FrameMTR without the geometry fence, for the
+// rebalancer's own records (explicitly placed, so a concurrent cutover
+// cannot mis-route them — and the catch-up path runs with the fence
+// already held exclusively).
+func (c *Client) frameUnfenced(m *core.MTR) (*PendingWrite, error) {
+	if c.closed.Load() {
+		return nil, ErrClosed
+	}
+	batches, cpl, err := c.framer.Frame(m)
+	if err != nil {
+		return nil, err
+	}
+	c.win.addCPL(cpl)
+	for i := range batches {
+		c.tails.Add(&batches[i])
+	}
+	c.mtrs.Add(1)
+	c.frames.Add(1)
+	c.recsWritten.Add(uint64(len(m.Records)))
+	return &PendingWrite{c: c, batches: batches, cpl: cpl}, nil
+}

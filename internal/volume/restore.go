@@ -15,11 +15,13 @@ var ErrNoBackup = errors.New("volume: no backup available for restore point")
 
 // RestoreReport describes a point-in-time restore.
 type RestoreReport struct {
-	AsOf     time.Time
-	Segments int // segments loaded from the object store
-	VDL      core.LSN
-	Epoch    uint64
-	Duration time.Duration
+	AsOf          time.Time
+	Segments      int // segments loaded from the object store
+	VDL           core.LSN
+	Epoch         uint64
+	GeometryEpoch uint64 // routing-table epoch recovered from the manifest
+	PGs           int    // protection groups of the restored volume
+	Duration      time.Duration
 }
 
 // RestoreFleet provisions a brand-new fleet whose state is the newest
@@ -39,11 +41,23 @@ func RestoreFleet(cfg FleetConfig, asOf time.Time) (*Fleet, *RestoreReport, erro
 		return nil, nil, errors.New("volume: restore requires an object store")
 	}
 	start := time.Now()
+	// A grown volume routes pages differently than the day it was created:
+	// recover the geometry that was in force at the restore point from the
+	// manifest, so the restored fleet provisions the right number of PGs and
+	// routes reads the way the backups were written. A volume from before
+	// geometry manifests falls back to the caller-supplied geometry.
+	if enc, _, err := cfg.Store.GetAsOf(GeometryManifestKey, asOf); err == nil {
+		g, err := core.DecodeGeometry(enc)
+		if err != nil {
+			return nil, nil, fmt.Errorf("volume: geometry manifest: %w", err)
+		}
+		cfg.Geometry = g
+	}
 	f, err := NewFleet(cfg)
 	if err != nil {
 		return nil, nil, err
 	}
-	rep := &RestoreReport{AsOf: asOf}
+	rep := &RestoreReport{AsOf: asOf, GeometryEpoch: f.Geometry().Epoch(), PGs: f.PGs()}
 	for g := 0; g < f.PGs(); g++ {
 		pg := core.PGID(g)
 		loaded := 0

@@ -19,7 +19,7 @@ func pitrStack(t *testing.T) (*Fleet, *Client, *objstore.Store, func(time.Time))
 	store := objstore.New()
 	now := time.Unix(1000, 0)
 	store.SetClock(func() time.Time { return now })
-	f, err := NewFleet(FleetConfig{Name: "pitr", PGs: 2, Net: net, Disk: disk.FastLocal(), Store: store})
+	f, err := NewFleet(FleetConfig{Name: "pitr", Geometry: core.UniformGeometry(2), Net: net, Disk: disk.FastLocal(), Store: store})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +59,7 @@ func TestPointInTimeRestore(t *testing.T) {
 	// Restore as of t=2500: must see v1, not v2.
 	net2 := netsim.New(netsim.FastLocal())
 	restored, rep, err := RestoreFleet(FleetConfig{
-		Name: "pitr", PGs: 2, Net: net2, Disk: disk.FastLocal(), Store: store,
+		Name: "pitr", Geometry: core.UniformGeometry(2), Net: net2, Disk: disk.FastLocal(), Store: store,
 	}, time.Unix(2500, 0))
 	if err != nil {
 		t.Fatal(err)
@@ -107,7 +107,7 @@ func TestRestoreAtLatestSeesNewest(t *testing.T) {
 
 	net2 := netsim.New(netsim.FastLocal())
 	restored, _, err := RestoreFleet(FleetConfig{
-		Name: "pitr", PGs: 2, Net: net2, Disk: disk.FastLocal(), Store: store,
+		Name: "pitr", Geometry: core.UniformGeometry(2), Net: net2, Disk: disk.FastLocal(), Store: store,
 	}, time.Unix(9999, 0))
 	if err != nil {
 		t.Fatal(err)
@@ -134,7 +134,7 @@ func TestRestoreBeforeAnyBackupFails(t *testing.T) {
 
 	net2 := netsim.New(netsim.FastLocal())
 	_, _, err := RestoreFleet(FleetConfig{
-		Name: "pitr", PGs: 2, Net: net2, Disk: disk.FastLocal(), Store: store,
+		Name: "pitr", Geometry: core.UniformGeometry(2), Net: net2, Disk: disk.FastLocal(), Store: store,
 	}, time.Unix(500, 0))
 	if !errors.Is(err, ErrNoBackup) {
 		t.Fatalf("restore before first backup: %v", err)
@@ -158,7 +158,7 @@ func TestRestoreRepairsMissingReplicas(t *testing.T) {
 	}
 	net2 := netsim.New(netsim.FastLocal())
 	restored, rep, err := RestoreFleet(FleetConfig{
-		Name: "pitr", PGs: 2, Net: net2, Disk: disk.FastLocal(), Store: store,
+		Name: "pitr", Geometry: core.UniformGeometry(2), Net: net2, Disk: disk.FastLocal(), Store: store,
 	}, time.Unix(2500, 0))
 	if err != nil {
 		t.Fatal(err)
@@ -190,7 +190,7 @@ func TestRestoreRepairsMissingReplicas(t *testing.T) {
 
 func TestRestoreRequiresStore(t *testing.T) {
 	net := netsim.New(netsim.FastLocal())
-	if _, _, err := RestoreFleet(FleetConfig{Name: "x", PGs: 1, Net: net}, time.Now()); err == nil {
+	if _, _, err := RestoreFleet(FleetConfig{Name: "x", Geometry: core.UniformGeometry(1), Net: net}, time.Now()); err == nil {
 		t.Fatal("restore without store accepted")
 	}
 }

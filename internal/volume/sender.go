@@ -211,7 +211,8 @@ func (s *replicaSender) resolvedAll(flight []shipment) bool {
 // batch.ship child carrying the per-replica flights, and a quorum.wait
 // child covering the time blocked on the 4/6 tracker.
 func (c *Client) shipBatch(b *core.Batch, sp *trace.Span) error {
-	senders := c.senders[int(b.PG)%len(c.senders)]
+	all := *c.senders.Load()
+	senders := all[int(b.PG)%len(all)]
 	tr := quorum.NewTracker(c.q)
 	bsp := sp.Child("batch.ship")
 	bsp.Annotate("pg", b.PG)

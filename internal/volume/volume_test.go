@@ -15,7 +15,7 @@ import (
 func testVolume(t *testing.T, pgs int) (*Fleet, *Client) {
 	t.Helper()
 	net := netsim.New(netsim.FastLocal())
-	f, err := NewFleet(FleetConfig{Name: "t", PGs: pgs, Net: net, Disk: disk.FastLocal()})
+	f, err := NewFleet(FleetConfig{Name: "t", Geometry: core.UniformGeometry(pgs), Net: net, Disk: disk.FastLocal()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -185,7 +185,7 @@ func TestSlowNodeAbsorbedByQuorum(t *testing.T) {
 
 func TestLALBackpressure(t *testing.T) {
 	net := netsim.New(netsim.FastLocal())
-	f, err := NewFleet(FleetConfig{Name: "bp", PGs: 1, Net: net, Disk: disk.FastLocal()})
+	f, err := NewFleet(FleetConfig{Name: "bp", Geometry: core.UniformGeometry(1), Net: net, Disk: disk.FastLocal()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -471,13 +471,13 @@ func TestPGStriping(t *testing.T) {
 
 func TestFleetValidation(t *testing.T) {
 	net := netsim.New(netsim.FastLocal())
-	if _, err := NewFleet(FleetConfig{PGs: 0, Net: net}); err == nil {
+	if _, err := NewFleet(FleetConfig{Geometry: core.UniformGeometry(0), Net: net}); err == nil {
 		t.Fatal("zero PGs accepted")
 	}
-	if _, err := NewFleet(FleetConfig{PGs: 1}); err == nil {
+	if _, err := NewFleet(FleetConfig{Geometry: core.UniformGeometry(1)}); err == nil {
 		t.Fatal("nil network accepted")
 	}
-	if _, err := NewFleet(FleetConfig{PGs: 1, Net: net, Quorum: quorum.Config{V: 3, Vw: 1, Vr: 1}}); err == nil {
+	if _, err := NewFleet(FleetConfig{Geometry: core.UniformGeometry(1), Net: net, Quorum: quorum.Config{V: 3, Vw: 1, Vr: 1}}); err == nil {
 		t.Fatal("invalid quorum accepted")
 	}
 }

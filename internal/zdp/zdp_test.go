@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"aurora/internal/core"
 	"aurora/internal/disk"
 	"aurora/internal/engine"
 	"aurora/internal/netsim"
@@ -16,7 +17,7 @@ import (
 func stack(t *testing.T) (*volume.Fleet, *engine.DB) {
 	t.Helper()
 	net := netsim.New(netsim.FastLocal())
-	f, err := volume.NewFleet(volume.FleetConfig{Name: "z", PGs: 2, Net: net, Disk: disk.FastLocal()})
+	f, err := volume.NewFleet(volume.FleetConfig{Name: "z", Geometry: core.UniformGeometry(2), Net: net, Disk: disk.FastLocal()})
 	if err != nil {
 		t.Fatal(err)
 	}
