@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race chaos-smoke chaos-grow examples-smoke bench ci
+.PHONY: all build vet lint test race chaos-smoke chaos-grow chaos-deadline examples-smoke bench ci
 
 all: build
 
@@ -10,8 +10,20 @@ build:
 vet:
 	$(GO) vet ./...
 
+# Guardrails for the deadline/cancellation refactor: no context.TODO()
+# anywhere, no resurrected *Traced duplicate APIs (spans ride in ctx now),
+# and no bare sleeps in non-test engine/volume/storage code — every wait on
+# those paths must select on a context.
+lint:
+	@if grep -rn 'context\.TODO()' --include='*.go' . ; then \
+		echo 'lint: context.TODO() is forbidden — plumb a real context'; exit 1; fi
+	@if grep -rn 'Traced(' internal --include='*.go' | grep -v _test ; then \
+		echo 'lint: *Traced( API resurrected — carry the span in the context'; exit 1; fi
+	@if grep -rn 'time\.Sleep' internal/engine internal/volume internal/storage --include='*.go' | grep -v _test ; then \
+		echo 'lint: time.Sleep in engine/volume/storage — waits must select on a ctx'; exit 1; fi
+
 # Tier-1: the suite that must stay green on every change.
-test: build vet
+test: build vet lint
 	$(GO) test ./...
 
 # Race-detector pass over the concurrency-heavy packages.
@@ -31,6 +43,13 @@ chaos-grow:
 	$(GO) test -race -count=1 -run 'TestGrow' ./internal/volume/
 	$(GO) test -race -count=1 -run 'TestGrowVolumeLive' .
 
+# Deadline-vs-durability drill under a gray-slow node, with the race
+# detector: a detached commit still becomes durable, VDL stays monotone,
+# winning hedges cancel their losers, Close leaks no goroutines.
+chaos-deadline:
+	$(GO) test -race -count=1 -run 'TestCommitDeadlineUnderGraySlowNode' ./internal/chaos/
+	$(GO) test -race -count=1 -run 'TestNoGoroutineLeaks' ./internal/integration/
+
 # The runnable examples must keep working as the public API evolves.
 examples-smoke:
 	$(GO) run ./examples/quickstart
@@ -41,4 +60,4 @@ examples-smoke:
 bench:
 	$(GO) run ./cmd/aurora-bench -quick -exp table1,table3 -json BENCH_2.json
 
-ci: test race chaos-smoke chaos-grow examples-smoke
+ci: test race chaos-smoke chaos-grow chaos-deadline examples-smoke

@@ -24,6 +24,7 @@
 package aurora
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -221,15 +222,36 @@ func (c *Cluster) Close() {
 // Begin starts a read-committed writer transaction.
 func (c *Cluster) Begin() *Tx { return &Tx{inner: c.db.Begin()} }
 
+// BeginCtx starts a writer transaction whose reads are bounded by ctx;
+// pair with Tx.CommitCtx for an end-to-end deadline.
+func (c *Cluster) BeginCtx(ctx context.Context) *Tx { return &Tx{inner: c.db.BeginCtx(ctx)} }
+
 // BeginSnapshot starts a read-only transaction at a frozen view (the
 // current volume durable LSN).
 func (c *Cluster) BeginSnapshot() *Tx { return &Tx{inner: c.db.BeginSnapshot()} }
+
+// BeginSnapshotCtx is BeginSnapshot with reads bounded by ctx.
+func (c *Cluster) BeginSnapshotCtx(ctx context.Context) *Tx {
+	return &Tx{inner: c.db.BeginSnapshotCtx(ctx)}
+}
+
+// ErrDeadlineExceeded is returned by ctx-bounded operations whose deadline
+// fired first. For CommitCtx specifically, the commit is not withdrawn:
+// it may still become durable after the caller has given up — the caller
+// must treat the outcome as unknown (see DESIGN.md, "Deadlines &
+// cancellation").
+var ErrDeadlineExceeded = engine.ErrDeadlineExceeded
 
 // Put writes one row in its own transaction, returning once durable.
 func (c *Cluster) Put(key, val []byte) error { return c.db.Put(key, val) }
 
 // Get reads one row (read committed).
 func (c *Cluster) Get(key []byte) ([]byte, bool, error) { return c.db.Get(key) }
+
+// GetCtx reads one row (read committed) with the read bounded by ctx.
+func (c *Cluster) GetCtx(ctx context.Context, key []byte) ([]byte, bool, error) {
+	return c.db.GetCtx(ctx, key)
+}
 
 // Delete removes one row in its own transaction.
 func (c *Cluster) Delete(key []byte) error { return c.db.Delete(key) }
@@ -254,6 +276,7 @@ func (c *Cluster) AddReplica(name string, az int) (*Replica, error) {
 		Name:       netsim.NodeID(fmt.Sprintf("%s-replica-%s", c.opts.Name, name)),
 		AZ:         netsim.AZ(az % 3),
 		CachePages: c.opts.CachePages,
+		Tracer:     c.db.Tracer(),
 	})
 	rep := &Replica{inner: r}
 	c.replicas = append(c.replicas, rep)
@@ -269,7 +292,7 @@ func (c *Cluster) CrashWriter() { c.db.Crash() }
 // caller (their stream died with the writer).
 func (c *Cluster) Failover() (*RecoveryReport, error) {
 	c.writerGen++
-	db, rep, err := engine.Recover(c.fleet, volume.ClientConfig{
+	db, rep, err := engine.Recover(context.Background(), c.fleet, volume.ClientConfig{
 		WriterNode: netsim.NodeID(fmt.Sprintf("%s-writer-g%d", c.opts.Name, c.writerGen)),
 		WriterAZ:   netsim.AZ(c.writerGen % 3),
 	}, engine.Config{CachePages: c.opts.CachePages, LockTimeout: c.opts.LockTimeout})
@@ -342,7 +365,7 @@ func (c *Cluster) RestoreAt(name string, asOf time.Time) (*Cluster, error) {
 	if err != nil {
 		return nil, err
 	}
-	db, _, err := engine.Recover(fleet, volume.ClientConfig{
+	db, _, err := engine.Recover(context.Background(), fleet, volume.ClientConfig{
 		WriterNode: netsim.NodeID(name + "-writer"), WriterAZ: 0,
 	}, engine.Config{CachePages: c.opts.CachePages, LockTimeout: c.opts.LockTimeout})
 	if err != nil {
@@ -421,7 +444,7 @@ func (c *Cluster) Patch(timeout time.Duration) (sessions int, pause time.Duratio
 	rep, err := c.proxy.Patch(func(old *engine.DB) (*engine.DB, error) {
 		old.Crash()
 		c.writerGen++
-		db, _, err := engine.Recover(c.fleet, volume.ClientConfig{
+		db, _, err := engine.Recover(context.Background(), c.fleet, volume.ClientConfig{
 			WriterNode: netsim.NodeID(fmt.Sprintf("%s-writer-g%d", c.opts.Name, c.writerGen)),
 			WriterAZ:   0,
 		}, engine.Config{CachePages: c.opts.CachePages, LockTimeout: c.opts.LockTimeout})
@@ -474,8 +497,13 @@ type Stats struct {
 	WriteFailures uint64
 	Hedges        uint64
 	HedgeWins     uint64
+	HedgeCancels  uint64 // losing hedge attempts actively canceled by a winner
 	AutoRepairs   uint64
 	RespDrops     uint64
+
+	// Abandons counts network waits given up because a deadline fired
+	// (netsim-level: the message may still be delivered).
+	Abandons uint64
 
 	// Volume geometry & growth (§3): the routing-table epoch, the current
 	// PG count, and the rebalancer's progress counters.
@@ -509,7 +537,9 @@ func (c *Cluster) Stats() Stats {
 		WriteFailures: es.Volume.WriteFailures,
 		Hedges:        es.Volume.Hedges,
 		HedgeWins:     es.Volume.HedgeWins,
+		HedgeCancels:  es.Volume.HedgeCancels,
 		AutoRepairs:   es.Volume.AutoRepairs,
+		Abandons:      ns.Abandons,
 		RespDrops:     es.Volume.RespDrops,
 		TracesSampled: es.Trace.Finished,
 
@@ -546,6 +576,12 @@ func (t *Tx) Scan(from, to []byte, fn func(k, v []byte) bool) error {
 // LSN has passed the commit record (asynchronous commit, §4.2.2).
 func (t *Tx) Commit() error { return t.inner.Commit() }
 
+// CommitCtx is Commit with the acknowledgement wait bounded by ctx. When
+// the deadline fires after the write set is applied, the commit still
+// frames, ships and becomes durable; only this waiter detaches with an
+// error wrapping ErrDeadlineExceeded.
+func (t *Tx) CommitCtx(ctx context.Context) error { return t.inner.CommitCtx(ctx) }
+
 // Abort discards the transaction; nothing ever reached the log.
 func (t *Tx) Abort() { t.inner.Abort() }
 
@@ -554,6 +590,11 @@ type Replica struct{ inner *replica.Replica }
 
 // Get reads a row at the replica's current durable view.
 func (r *Replica) Get(key []byte) ([]byte, bool, error) { return r.inner.Get(key) }
+
+// GetCtx is Get with cold-page fetches bounded by ctx.
+func (r *Replica) GetCtx(ctx context.Context, key []byte) ([]byte, bool, error) {
+	return r.inner.GetCtx(ctx, key)
+}
 
 // Scan visits rows in range at the replica's current view.
 func (r *Replica) Scan(from, to []byte, fn func(k, v []byte) bool) error {

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"context"
 	"errors"
+	"fmt"
 	"sync"
 )
 
@@ -41,18 +43,31 @@ func NewAllocator(start LSN, lal int64) *Allocator {
 
 // Alloc reserves n consecutive LSNs and returns the first. It blocks while
 // the allocation would exceed VDL + LAL, resuming when AdvanceVDL frees
-// headroom. n must be >= 1.
-func (a *Allocator) Alloc(n int) (LSN, error) {
+// headroom, the allocator closes, or ctx is canceled. n must be >= 1.
+func (a *Allocator) Alloc(ctx context.Context, n int) (LSN, error) {
 	if n < 1 {
 		panic("core: Alloc of non-positive count")
 	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	for !a.closed && uint64(a.next)+uint64(n)-1 > uint64(a.vdl)+a.lal {
-		a.cond.Wait()
+	if !a.closed && uint64(a.next)+uint64(n)-1 > uint64(a.vdl)+a.lal {
+		// Back-pressure wait: a context firing must wake the cond, so hook
+		// a broadcast onto cancellation for the duration of the wait.
+		stop := context.AfterFunc(ctx, func() {
+			a.mu.Lock()
+			a.cond.Broadcast()
+			a.mu.Unlock()
+		})
+		defer stop()
+		for !a.closed && ctx.Err() == nil && uint64(a.next)+uint64(n)-1 > uint64(a.vdl)+a.lal {
+			a.cond.Wait()
+		}
 	}
 	if a.closed {
 		return ZeroLSN, ErrAllocatorClosed
+	}
+	if err := ctx.Err(); err != nil {
+		return ZeroLSN, fmt.Errorf("core: Alloc canceled: %w", err)
 	}
 	first := a.next
 	a.next += LSN(n)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sync"
 	"testing"
 	"time"
@@ -8,11 +9,11 @@ import (
 
 func TestAllocatorSequential(t *testing.T) {
 	a := NewAllocator(ZeroLSN, 1000)
-	first, err := a.Alloc(1)
+	first, err := a.Alloc(context.Background(), 1)
 	if err != nil || first != 1 {
 		t.Fatalf("first alloc: %v %v", first, err)
 	}
-	second, err := a.Alloc(5)
+	second, err := a.Alloc(context.Background(), 5)
 	if err != nil || second != 2 {
 		t.Fatalf("second alloc: %v %v", second, err)
 	}
@@ -26,7 +27,7 @@ func TestAllocatorSequential(t *testing.T) {
 
 func TestAllocatorLALBackpressure(t *testing.T) {
 	a := NewAllocator(ZeroLSN, 10)
-	if _, err := a.Alloc(10); err != nil {
+	if _, err := a.Alloc(context.Background(), 10); err != nil {
 		t.Fatal(err)
 	}
 	// Window full: a blocking alloc must stall until VDL advances.
@@ -35,7 +36,7 @@ func TestAllocatorLALBackpressure(t *testing.T) {
 	}
 	done := make(chan LSN)
 	go func() {
-		lsn, err := a.Alloc(3)
+		lsn, err := a.Alloc(context.Background(), 3)
 		if err != nil {
 			t.Error(err)
 		}
@@ -68,12 +69,12 @@ func TestAllocatorVDLRegressionIgnored(t *testing.T) {
 
 func TestAllocatorClose(t *testing.T) {
 	a := NewAllocator(ZeroLSN, 1)
-	if _, err := a.Alloc(1); err != nil {
+	if _, err := a.Alloc(context.Background(), 1); err != nil {
 		t.Fatal(err)
 	}
 	errs := make(chan error)
 	go func() {
-		_, err := a.Alloc(5)
+		_, err := a.Alloc(context.Background(), 5)
 		errs <- err
 	}()
 	time.Sleep(10 * time.Millisecond)
@@ -81,7 +82,7 @@ func TestAllocatorClose(t *testing.T) {
 	if err := <-errs; err != ErrAllocatorClosed {
 		t.Fatalf("got %v, want ErrAllocatorClosed", err)
 	}
-	if _, err := a.Alloc(1); err != ErrAllocatorClosed {
+	if _, err := a.Alloc(context.Background(), 1); err != ErrAllocatorClosed {
 		t.Fatalf("alloc after close: %v", err)
 	}
 }
@@ -97,7 +98,7 @@ func TestAllocatorConcurrentUnique(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < per; i++ {
-				lsn, err := a.Alloc(2)
+				lsn, err := a.Alloc(context.Background(), 2)
 				if err != nil {
 					t.Error(err)
 					return
@@ -126,5 +127,5 @@ func TestAllocatorPanicsOnBadCount(t *testing.T) {
 			t.Fatal("Alloc(0) did not panic")
 		}
 	}()
-	NewAllocator(ZeroLSN, 0).Alloc(0)
+	NewAllocator(ZeroLSN, 0).Alloc(context.Background(), 0)
 }

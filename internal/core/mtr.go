@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"sync"
 )
@@ -100,9 +101,9 @@ func NewFramer(alloc *Allocator, lastPerPG map[PGID]LSN) *Framer {
 // Frame assigns LSNs and backlinks to the MTR's records in place, marks the
 // last record as a CPL, and returns the records sharded into per-PG batches
 // together with the MTR's CPL. Frame blocks if the LSN allocator is at its
-// allocation limit.
-func (f *Framer) Frame(m *MTR) ([]Batch, LSN, error) {
-	batches, cpls, err := f.FrameGroup([]*MTR{m})
+// allocation limit, until ctx cancels the wait.
+func (f *Framer) Frame(ctx context.Context, m *MTR) ([]Batch, LSN, error) {
+	batches, cpls, err := f.FrameGroup(ctx, []*MTR{m})
 	if err != nil {
 		return nil, ZeroLSN, err
 	}
@@ -119,7 +120,7 @@ func (f *Framer) Frame(m *MTR) ([]Batch, LSN, error) {
 // order. This is the group-commit primitive: N concurrent committers pay
 // one framing critical section instead of N (§4.2.2's "no synchronous
 // points" taken one step further).
-func (f *Framer) FrameGroup(ms []*MTR) ([]Batch, []LSN, error) {
+func (f *Framer) FrameGroup(ctx context.Context, ms []*MTR) ([]Batch, []LSN, error) {
 	total := 0
 	for _, m := range ms {
 		if m.Empty() {
@@ -134,7 +135,7 @@ func (f *Framer) FrameGroup(ms []*MTR) ([]Batch, []LSN, error) {
 	// under one lock — but that lock is held once per *group*, and only the
 	// dedicated framer stage ever blocks here on LAL back-pressure.
 	f.mu.Lock()
-	first, err := f.alloc.Alloc(total)
+	first, err := f.alloc.Alloc(ctx, total)
 	if err != nil {
 		f.mu.Unlock()
 		return nil, nil, err

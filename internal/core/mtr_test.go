@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sync"
 	"testing"
 )
@@ -11,7 +12,7 @@ func TestFramerSingleMTR(t *testing.T) {
 	m.AddDelta(0, 1, 0, []byte("a"))
 	m.AddDelta(0, 2, 4, []byte("b"))
 	m.AddDelta(1, 100, 8, []byte("c"))
-	batches, cpl, err := f.Frame(m)
+	batches, cpl, err := f.Frame(context.Background(), m)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,12 +48,12 @@ func TestFramerChainsAcrossMTRs(t *testing.T) {
 	f := NewFramer(NewAllocator(ZeroLSN, 0), nil)
 	m1 := &MTR{Txn: 1}
 	m1.AddDelta(5, 1, 0, []byte("x"))
-	if _, _, err := f.Frame(m1); err != nil {
+	if _, _, err := f.Frame(context.Background(), m1); err != nil {
 		t.Fatal(err)
 	}
 	m2 := &MTR{Txn: 2}
 	m2.AddDelta(5, 2, 0, []byte("y"))
-	batches, _, err := f.Frame(m2)
+	batches, _, err := f.Frame(context.Background(), m2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,7 +72,7 @@ func TestFramerSeededChains(t *testing.T) {
 	f := NewFramer(NewAllocator(500, 0), map[PGID]LSN{3: 480})
 	m := &MTR{Txn: 9}
 	m.AddDelta(3, 7, 0, []byte("z"))
-	batches, cpl, err := f.Frame(m)
+	batches, cpl, err := f.Frame(context.Background(), m)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +86,7 @@ func TestFramerSeededChains(t *testing.T) {
 
 func TestFramerEmptyMTR(t *testing.T) {
 	f := NewFramer(NewAllocator(ZeroLSN, 0), nil)
-	if _, _, err := f.Frame(&MTR{}); err != ErrEmptyMTR {
+	if _, _, err := f.Frame(context.Background(), &MTR{}); err != ErrEmptyMTR {
 		t.Fatalf("got %v, want ErrEmptyMTR", err)
 	}
 }
@@ -106,7 +107,7 @@ func TestFramerConcurrentChainConsistency(t *testing.T) {
 				m := &MTR{Txn: txn}
 				m.AddDelta(PGID(i%3), PageID(i), 0, []byte{byte(i)})
 				m.AddDelta(PGID((i+1)%3), PageID(i), 0, []byte{byte(i)})
-				batches, _, err := f.Frame(m)
+				batches, _, err := f.Frame(context.Background(), m)
 				if err != nil {
 					t.Error(err)
 					return

@@ -2,6 +2,7 @@ package core
 
 import (
 	"container/heap"
+	"context"
 	"sync"
 	"sync/atomic"
 )
@@ -85,6 +86,17 @@ func (t *VDLTracker) WaitChan(target LSN) <-chan struct{} {
 
 // Wait blocks until the VDL reaches target or the tracker is closed.
 func (t *VDLTracker) Wait(target LSN) { <-t.WaitChan(target) }
+
+// WaitCtx blocks until the VDL reaches target, the tracker is closed (nil
+// error in both cases — callers re-check durability), or ctx fires.
+func (t *VDLTracker) WaitCtx(ctx context.Context, target LSN) error {
+	select {
+	case <-t.WaitChan(target):
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
 
 // PendingWaiters returns the number of registered waiters (observability).
 func (t *VDLTracker) PendingWaiters() int {

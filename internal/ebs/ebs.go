@@ -9,6 +9,7 @@
 package ebs
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 
@@ -51,21 +52,21 @@ func NewVolume(net *netsim.Network, name string, instance netsim.NodeID, az nets
 // Write performs one synchronous block write of size bytes: instance →
 // EBS server (disk write) → AZ-local mirror (disk write), acknowledged when
 // both copies are durable (Figure 2 steps 1–2).
-func (v *Volume) Write(size int) error {
-	if err := v.net.Send(v.instance, v.server, size); err != nil {
+func (v *Volume) Write(ctx context.Context, size int) error {
+	if err := v.net.Send(ctx, v.instance, v.server, size); err != nil {
 		return fmt.Errorf("ebs %s: %w", v.server, err)
 	}
 	if err := v.ssd.Write(size); err != nil {
 		return fmt.Errorf("ebs %s: %w", v.server, err)
 	}
-	if err := v.net.Send(v.server, v.mirror, size); err != nil {
+	if err := v.net.Send(ctx, v.server, v.mirror, size); err != nil {
 		return fmt.Errorf("ebs %s mirror: %w", v.server, err)
 	}
 	if err := v.mirrSSD.Write(size); err != nil {
 		return fmt.Errorf("ebs %s mirror: %w", v.server, err)
 	}
 	// Acknowledgement back to the instance.
-	if err := v.net.Send(v.server, v.instance, ackSize); err != nil {
+	if err := v.net.Send(ctx, v.server, v.instance, ackSize); err != nil {
 		return fmt.Errorf("ebs %s ack: %w", v.server, err)
 	}
 	v.writes.Add(1)
@@ -75,14 +76,14 @@ func (v *Volume) Write(size int) error {
 
 // Read performs one synchronous block read of size bytes from the EBS
 // server.
-func (v *Volume) Read(size int) error {
-	if err := v.net.Send(v.instance, v.server, reqSize); err != nil {
+func (v *Volume) Read(ctx context.Context, size int) error {
+	if err := v.net.Send(ctx, v.instance, v.server, reqSize); err != nil {
 		return fmt.Errorf("ebs %s read: %w", v.server, err)
 	}
 	if err := v.ssd.Read(size); err != nil {
 		return fmt.Errorf("ebs %s read: %w", v.server, err)
 	}
-	if err := v.net.Send(v.server, v.instance, size); err != nil {
+	if err := v.net.Send(ctx, v.server, v.instance, size); err != nil {
 		return fmt.Errorf("ebs %s read: %w", v.server, err)
 	}
 	v.reads.Add(1)
@@ -136,18 +137,18 @@ func NewMirrored(net *netsim.Network, name string, primInst, stbyInst netsim.Nod
 //
 // Steps 1, 3 and 5 are sequential; latency is additive and jitter is
 // amplified because every step waits for its slowest participant (§3.1).
-func (m *Mirrored) Write(size int) error {
-	if err := m.primary.Write(size); err != nil {
+func (m *Mirrored) Write(ctx context.Context, size int) error {
+	if err := m.primary.Write(ctx, size); err != nil {
 		return err
 	}
-	if err := m.net.Send(m.primInst, m.stbyInst, size); err != nil {
+	if err := m.net.Send(ctx, m.primInst, m.stbyInst, size); err != nil {
 		return fmt.Errorf("mirror stage: %w", err)
 	}
-	if err := m.standby.Write(size); err != nil {
+	if err := m.standby.Write(ctx, size); err != nil {
 		return err
 	}
 	// Standby acknowledges the staged write back to the primary.
-	if err := m.net.Send(m.stbyInst, m.primInst, ackSize); err != nil {
+	if err := m.net.Send(ctx, m.stbyInst, m.primInst, ackSize); err != nil {
 		return fmt.Errorf("mirror ack: %w", err)
 	}
 	m.writes.Add(1)
@@ -155,7 +156,7 @@ func (m *Mirrored) Write(size int) error {
 }
 
 // Read reads from the primary volume only.
-func (m *Mirrored) Read(size int) error { return m.primary.Read(size) }
+func (m *Mirrored) Read(ctx context.Context, size int) error { return m.primary.Read(ctx, size) }
 
 // Primary exposes the primary volume (fault injection, stats).
 func (m *Mirrored) Primary() *Volume { return m.primary }

@@ -1,6 +1,7 @@
 package ebs
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -18,7 +19,7 @@ func testNet() *netsim.Network {
 func TestVolumeWriteChain(t *testing.T) {
 	net := testNet()
 	v := NewVolume(net, "vol", "db1", 0, disk.FastLocal())
-	if err := v.Write(4096); err != nil {
+	if err := v.Write(context.Background(), 4096); err != nil {
 		t.Fatal(err)
 	}
 	w, r, b := v.Stats()
@@ -38,7 +39,7 @@ func TestVolumeWriteChain(t *testing.T) {
 func TestVolumeRead(t *testing.T) {
 	net := testNet()
 	v := NewVolume(net, "vol", "db1", 0, disk.FastLocal())
-	if err := v.Read(4096); err != nil {
+	if err := v.Read(context.Background(), 4096); err != nil {
 		t.Fatal(err)
 	}
 	_, r, _ := v.Stats()
@@ -54,7 +55,7 @@ func TestVolumeFailedDisk(t *testing.T) {
 	net := testNet()
 	v := NewVolume(net, "vol", "db1", 0, disk.FastLocal())
 	v.Disk().Fail(true)
-	if err := v.Write(1); err == nil {
+	if err := v.Write(context.Background(), 1); err == nil {
 		t.Fatal("write to failed volume succeeded")
 	}
 }
@@ -67,7 +68,7 @@ func TestMirroredWriteIsSequentialChain(t *testing.T) {
 	net.AddNode("db1", 0)
 	net.AddNode("db2", 1)
 	m := NewMirrored(net, "data", "db1", "db2", 0, 1, disk.FastLocal())
-	if err := m.Write(4096); err != nil {
+	if err := m.Write(context.Background(), 4096); err != nil {
 		t.Fatal(err)
 	}
 	if m.Writes() != 1 {
@@ -89,7 +90,7 @@ func TestMirroredSurfacesStandbyFailure(t *testing.T) {
 	net := testNet()
 	m := NewMirrored(net, "data", "db1", "db2", 0, 1, disk.FastLocal())
 	m.Standby().Disk().Fail(true)
-	if err := m.Write(1); err == nil {
+	if err := m.Write(context.Background(), 1); err == nil {
 		t.Fatal("mirrored write succeeded with failed standby — 4/4 quorum should block")
 	}
 	// This is the availability weakness of the 4/4 model (§3.1): a single
@@ -100,11 +101,11 @@ func TestMirroredAZFailureBlocksWrites(t *testing.T) {
 	net := testNet()
 	m := NewMirrored(net, "data", "db1", "db2", 0, 1, disk.FastLocal())
 	net.SetAZDown(1, true)
-	if err := m.Write(1); err == nil {
+	if err := m.Write(context.Background(), 1); err == nil {
 		t.Fatal("mirrored write survived standby AZ failure")
 	}
 	net.SetAZDown(1, false)
-	if err := m.Write(1); err != nil {
+	if err := m.Write(context.Background(), 1); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -112,7 +113,7 @@ func TestMirroredAZFailureBlocksWrites(t *testing.T) {
 func TestMirroredRead(t *testing.T) {
 	net := testNet()
 	m := NewMirrored(net, "data", "db1", "db2", 0, 1, disk.FastLocal())
-	if err := m.Read(4096); err != nil {
+	if err := m.Read(context.Background(), 4096); err != nil {
 		t.Fatal(err)
 	}
 	_, r, _ := m.Primary().Stats()

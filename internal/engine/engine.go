@@ -11,6 +11,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -33,6 +34,12 @@ var (
 	ErrReadOnlyTx = errors.New("engine: write on read-only transaction")
 	ErrDegraded   = errors.New("engine: storage quorum lost; writes suspended")
 	ErrClosed     = errors.New("engine: database closed")
+	// ErrDeadlineExceeded is returned by CommitCtx (and ctx-bounded reads)
+	// when the caller's deadline fires before the commit acknowledgement.
+	// The commit itself is NOT rolled back: once applied and enqueued it
+	// still frames, ships and becomes durable — only the waiter detaches
+	// (see DESIGN.md, "Deadlines & cancellation").
+	ErrDeadlineExceeded = errors.New("engine: deadline exceeded")
 )
 
 // Config tunes a database instance.
@@ -93,6 +100,12 @@ type DB struct {
 	pipeline *commitPipeline
 	tracer   *trace.Collector
 
+	// rootCtx bounds the instance's own IO (background framing, group
+	// shipping, default read paths). Close cancels it only after the commit
+	// pipeline drains; Crash cancels it immediately.
+	rootCtx    context.Context
+	rootCancel context.CancelFunc
+
 	degraded atomic.Bool
 
 	begins  atomic.Uint64
@@ -108,15 +121,8 @@ type DB struct {
 // Create formats a brand-new database on an empty volume.
 func Create(vol *volume.Client, cfg Config) (*DB, error) {
 	cfg = cfg.withDefaults()
-	db := &DB{
-		cfg:    cfg,
-		vol:    vol,
-		cache:  bufcache.New(cfg.CachePages, vol.VDL),
-		locks:  txn.NewLockTable(cfg.LockTimeout),
-		feed:   newFeed(),
-		tracer: newTracer(cfg),
-	}
-	ws := &writeStore{db: db}
+	db := newDB(vol, cfg)
+	ws := &writeStore{db: db, ctx: db.rootCtx}
 	rec := btree.NewRecorder()
 	if _, err := btree.Create(ws, rec); err != nil {
 		ws.done()
@@ -127,7 +133,7 @@ func Create(vol *volume.Client, cfg Config) (*DB, error) {
 		ws.done()
 		return nil, err
 	}
-	pending, err := vol.FrameMTR(m)
+	pending, err := vol.FrameMTR(db.rootCtx, m)
 	if err != nil {
 		ws.done()
 		return nil, err
@@ -135,7 +141,7 @@ func Create(vol *volume.Client, cfg Config) (*DB, error) {
 	rec.StampLSNs(pending.LastLSNFor)
 	db.feed.publish(Event{Records: cloneRecords(m.Records), VDL: vol.VDL()})
 	ws.done()
-	if err := pending.Ship(); err != nil {
+	if err := pending.Ship(db.rootCtx); err != nil {
 		return nil, fmt.Errorf("engine: formatting volume: %w", err)
 	}
 	vol.WaitDurable(pending.CPL())
@@ -150,26 +156,34 @@ func Create(vol *volume.Client, cfg Config) (*DB, error) {
 // startup").
 func Open(vol *volume.Client, cfg Config) (*DB, error) {
 	cfg = cfg.withDefaults()
-	db := &DB{
-		cfg:    cfg,
-		vol:    vol,
-		cache:  bufcache.New(cfg.CachePages, vol.VDL),
-		locks:  txn.NewLockTable(cfg.LockTimeout),
-		feed:   newFeed(),
-		tracer: newTracer(cfg),
-	}
-	if _, err := btree.Open(&readStore{db: db}); err != nil {
+	db := newDB(vol, cfg)
+	if _, err := btree.Open(&readStore{db: db, ctx: db.rootCtx}); err != nil {
 		return nil, err
 	}
 	db.pipeline = newCommitPipeline(db)
 	return db, nil
 }
 
+func newDB(vol *volume.Client, cfg Config) *DB {
+	rootCtx, rootCancel := context.WithCancel(context.Background())
+	return &DB{
+		cfg:        cfg,
+		vol:        vol,
+		cache:      bufcache.New(cfg.CachePages, vol.VDL),
+		locks:      txn.NewLockTable(cfg.LockTimeout),
+		feed:       newFeed(),
+		tracer:     newTracer(cfg),
+		rootCtx:    rootCtx,
+		rootCancel: rootCancel,
+	}
+}
+
 // Recover performs volume recovery against the fleet and opens the
 // database on the recovered volume. The returned report carries the
 // recovery's durable points and timing.
-func Recover(f *volume.Fleet, vcfg volume.ClientConfig, cfg Config) (*DB, *volume.RecoveryReport, error) {
-	vol, rep, err := volume.Recover(f, vcfg)
+// ctx bounds the recovery conversation with the storage fleet.
+func Recover(ctx context.Context, f *volume.Fleet, vcfg volume.ClientConfig, cfg Config) (*DB, *volume.RecoveryReport, error) {
+	vol, rep, err := volume.Recover(ctx, f, vcfg)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -213,6 +227,9 @@ func (db *DB) Close() {
 	db.pipeline.stop()
 	db.vol.Close()
 	db.pipeline.wait()
+	// Cancel the root only after the drain: in-flight groups must ship
+	// gracefully, not be abandoned mid-quorum.
+	db.rootCancel()
 	db.feed.close()
 }
 
@@ -220,6 +237,7 @@ func (db *DB) Close() {
 // feeds, the commit pipeline) is lost; the storage fleet keeps everything
 // durable.
 func (db *DB) Crash() {
+	db.rootCancel()
 	db.locks.Close()
 	db.pipeline.stop()
 	db.cache.Invalidate()
@@ -304,7 +322,10 @@ func (db *DB) Rows() (uint64, error) {
 // Pages are not pinned: readers hold the tree latch, which excludes all
 // mutation, so a page reference stays valid for the whole operation even
 // if the cache evicts the entry.
-type readStore struct{ db *DB }
+type readStore struct {
+	db  *DB
+	ctx context.Context
+}
 
 func (s *readStore) Page(id core.PageID) (page.Page, error) {
 	if p, ok := s.db.cache.Get(id); ok {
@@ -313,7 +334,7 @@ func (s *readStore) Page(id core.PageID) (page.Page, error) {
 	}
 	sp := s.db.tracer.Start("read.page")
 	sp.Annotate("page", id)
-	p, _, err := s.db.vol.ReadPageTraced(id, sp)
+	p, _, err := s.db.vol.ReadPage(trace.NewContext(s.ctx, sp), id)
 	sp.End()
 	if err != nil {
 		return nil, err
@@ -333,6 +354,7 @@ func (s *readStore) FreshPage(core.PageID) (page.Page, error) {
 // before the new LSN is stamped.
 type writeStore struct {
 	db   *DB
+	ctx  context.Context
 	pins []core.PageID
 }
 
@@ -341,7 +363,7 @@ func (s *writeStore) Page(id core.PageID) (page.Page, error) {
 		s.pins = append(s.pins, id)
 		return p, nil
 	}
-	p, _, err := s.db.vol.ReadPage(id)
+	p, _, err := s.db.vol.ReadPage(s.ctx, id)
 	if err != nil {
 		return nil, err
 	}
@@ -370,6 +392,7 @@ func (s *writeStore) done() {
 // consistent snapshot transactions.
 type snapStore struct {
 	db        *DB
+	ctx       context.Context
 	readPoint core.LSN
 }
 
@@ -377,7 +400,7 @@ func (s *snapStore) Page(id core.PageID) (page.Page, error) {
 	sp := s.db.tracer.Start("read.page")
 	sp.Annotate("page", id)
 	sp.Annotate("snapshot", s.readPoint)
-	p, err := s.db.vol.ReadPageAtTraced(id, s.readPoint, sp)
+	p, err := s.db.vol.ReadPageAt(trace.NewContext(s.ctx, sp), id, s.readPoint)
 	sp.End()
 	if err != nil {
 		return nil, err

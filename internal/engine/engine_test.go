@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -305,7 +306,7 @@ func TestCrashRecoveryKeepsCommittedOnly(t *testing.T) {
 	}
 	db.Crash()
 
-	db2, rep, err := Recover(f, volume.ClientConfig{WriterNode: "writer2", WriterAZ: 0}, Config{})
+	db2, rep, err := Recover(context.Background(), f, volume.ClientConfig{WriterNode: "writer2", WriterAZ: 0}, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -74,7 +75,7 @@ func TestFullPageWritesSurviveRecovery(t *testing.T) {
 		}
 	}
 	db.Crash()
-	db2, _, err := Recover(f, volume.ClientConfig{WriterNode: "w2", WriterAZ: 0}, Config{FullPageWrites: true})
+	db2, _, err := Recover(context.Background(), f, volume.ClientConfig{WriterNode: "w2", WriterAZ: 0}, Config{FullPageWrites: true})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"context"
+	"fmt"
 	"sync"
 
 	"aurora/internal/core"
@@ -109,15 +111,25 @@ func newCommitPipeline(db *DB) *commitPipeline {
 // reserve blocks until the pipeline has room for one more commit (the
 // back-pressure point: when the framer is stalled on the LAL the queue
 // fills and new committers wait HERE, holding no latch). It returns
-// ErrClosed once the pipeline shuts down.
-func (p *commitPipeline) reserve() error {
+// ErrClosed once the pipeline shuts down, and a deadline error when ctx
+// fires first — nothing has been applied yet, so this is a clean abort.
+func (p *commitPipeline) reserve(ctx context.Context) error {
+	stop := context.AfterFunc(ctx, func() {
+		p.mu.Lock()
+		p.cond.Broadcast()
+		p.mu.Unlock()
+	})
+	defer stop()
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	for !p.closed && len(p.queue)+p.reserved >= p.depth {
+	for !p.closed && ctx.Err() == nil && len(p.queue)+p.reserved >= p.depth {
 		p.cond.Wait()
 	}
 	if p.closed {
 		return ErrClosed
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("%w: %w", ErrDeadlineExceeded, err)
 	}
 	p.reserved++
 	return nil
@@ -236,7 +248,7 @@ func (p *commitPipeline) frameGroup(group []*commitReq) {
 	}
 	fsp := gsp.Child("group.frame")
 	fsp.Annotate("mtrs", len(group))
-	gw, err := db.vol.FrameMTRs(ms)
+	gw, err := db.vol.FrameMTRs(db.rootCtx, ms)
 	if err != nil {
 		fsp.End()
 		db.degraded.Store(true)
@@ -286,8 +298,10 @@ func (p *commitPipeline) completeGroup(group []*commitReq, gw *volume.GroupWrite
 		p.mu.Unlock()
 	}()
 	db := p.db
+	// Group shipping runs under the instance root, never a commit deadline:
+	// a detached committer must not stop the group from becoming durable.
 	shipSp := gsp.Child("group.ship")
-	if err := gw.ShipTraced(shipSp); err != nil {
+	if err := gw.Ship(trace.NewContext(db.rootCtx, shipSp)); err != nil {
 		shipSp.Annotate("err", err)
 		shipSp.End()
 		db.degraded.Store(true)

@@ -2,12 +2,14 @@ package engine
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"sort"
 	"time"
 
 	"aurora/internal/btree"
 	"aurora/internal/core"
+	"aurora/internal/trace"
 )
 
 // Tx is a transaction. Writer transactions buffer their writes privately
@@ -18,6 +20,7 @@ import (
 // from the storage service (§4.2.3).
 type Tx struct {
 	db       *DB
+	ctx      context.Context // bounds this transaction's reads
 	id       uint64
 	writes   map[string]writeOp
 	order    []string
@@ -33,19 +36,26 @@ type writeOp struct {
 }
 
 // Begin starts a read-committed writer transaction.
-func (db *DB) Begin() *Tx {
+func (db *DB) Begin() *Tx { return db.BeginCtx(context.Background()) }
+
+// BeginCtx starts a writer transaction whose reads are bounded by ctx.
+// The commit acknowledgement wait takes its own ctx (CommitCtx).
+func (db *DB) BeginCtx(ctx context.Context) *Tx {
 	db.begins.Add(1)
-	return &Tx{db: db, id: db.ids.Next(), writes: make(map[string]writeOp)}
+	return &Tx{db: db, ctx: ctx, id: db.ids.Next(), writes: make(map[string]writeOp)}
 }
 
 // BeginSnapshot starts a read-only transaction pinned to the current VDL.
 // Its read point holds the volume's low-water mark down until the
 // transaction finishes, keeping the page versions it needs alive on the
 // storage nodes.
-func (db *DB) BeginSnapshot() *Tx {
+func (db *DB) BeginSnapshot() *Tx { return db.BeginSnapshotCtx(context.Background()) }
+
+// BeginSnapshotCtx is BeginSnapshot with the reads bounded by ctx.
+func (db *DB) BeginSnapshotCtx(ctx context.Context) *Tx {
 	db.begins.Add(1)
 	point, release := db.vol.RegisterReadPoint()
-	return &Tx{db: db, id: db.ids.Next(), snapshot: true, point: point, release: release}
+	return &Tx{db: db, ctx: ctx, id: db.ids.Next(), snapshot: true, point: point, release: release}
 }
 
 // ReadPoint returns the snapshot's read point (ZeroLSN for writer txs).
@@ -57,7 +67,7 @@ func (tx *Tx) Get(key []byte) ([]byte, bool, error) {
 		return nil, false, ErrTxDone
 	}
 	if tx.snapshot {
-		t := btree.View(&snapStore{db: tx.db, readPoint: tx.point})
+		t := btree.View(&snapStore{db: tx.db, ctx: tx.ctx, readPoint: tx.point})
 		return t.Get(key)
 	}
 	if w, ok := tx.writes[string(key)]; ok {
@@ -68,7 +78,7 @@ func (tx *Tx) Get(key []byte) ([]byte, bool, error) {
 	}
 	tx.db.latch.RLock()
 	defer tx.db.latch.RUnlock()
-	t := btree.View(&readStore{db: tx.db})
+	t := btree.View(&readStore{db: tx.db, ctx: tx.ctx})
 	return t.Get(key)
 }
 
@@ -140,7 +150,7 @@ func (tx *Tx) Scan(from, to []byte, fn func(key, val []byte) bool) error {
 		return ErrTxDone
 	}
 	if tx.snapshot {
-		t := btree.View(&snapStore{db: tx.db, readPoint: tx.point})
+		t := btree.View(&snapStore{db: tx.db, ctx: tx.ctx, readPoint: tx.point})
 		return t.Scan(from, to, fn)
 	}
 
@@ -174,7 +184,7 @@ func (tx *Tx) Scan(from, to []byte, fn func(key, val []byte) bool) error {
 	}
 
 	tx.db.latch.RLock()
-	t := btree.View(&readStore{db: tx.db})
+	t := btree.View(&readStore{db: tx.db, ctx: tx.ctx})
 	err := t.Scan(from, to, func(k, v []byte) bool {
 		if !emitPending(k) {
 			stopped = true
@@ -216,13 +226,27 @@ func (tx *Tx) Scan(from, to []byte, fn func(key, val []byte) bool) error {
 // no engine thread or latch is held while waiting, and no latch is held
 // across framing or LAL throttling either: the exclusive latch covers only
 // the btree apply (§4.2.2, see the pipeline stages in pipeline.go).
-func (tx *Tx) Commit() error {
+func (tx *Tx) Commit() error { return tx.CommitCtx(context.Background()) }
+
+// CommitCtx is Commit with the acknowledgement wait bounded by ctx. When
+// the deadline fires after the write set is applied and enqueued, the
+// commit is NOT withdrawn — it still frames, ships, and becomes durable;
+// only this waiter detaches, returning an error wrapping
+// ErrDeadlineExceeded. A caller seeing that error must treat the
+// transaction's outcome as unknown-but-probably-committed (§DESIGN.md,
+// "Deadlines & cancellation"). A deadline that fires before the apply is a
+// clean abort.
+func (tx *Tx) CommitCtx(ctx context.Context) error {
 	if tx.done {
 		return ErrTxDone
 	}
 	if tx.snapshot || len(tx.writes) == 0 {
 		tx.finish(true)
 		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		tx.finish(false)
+		return fmt.Errorf("txn %d: %w: %w", tx.id, ErrDeadlineExceeded, err)
 	}
 	if tx.db.Degraded() {
 		tx.finish(false)
@@ -231,7 +255,7 @@ func (tx *Tx) Commit() error {
 	if tx.db.cfg.SyncCommit {
 		return tx.commitSync()
 	}
-	return tx.commitPipelined()
+	return tx.commitPipelined(ctx)
 }
 
 // apply materializes the write set into the tree under the exclusive
@@ -271,13 +295,13 @@ func (tx *Tx) apply(ws *writeStore, rec *btree.Recorder) (*core.MTR, error) {
 // covers only the apply and a pointer enqueue; framing, shipping and
 // durability happen in the pipeline's own stages while this goroutine
 // waits on its completion channel.
-func (tx *Tx) commitPipelined() error {
+func (tx *Tx) commitPipelined(ctx context.Context) error {
 	start := time.Now()
 	p := tx.db.pipeline
 	root := tx.db.tracer.Start("commit")
 	root.Annotate("txn", tx.id)
 	rsp := root.Child("commit.reserve")
-	if err := p.reserve(); err != nil {
+	if err := p.reserve(ctx); err != nil {
 		rsp.End()
 		root.End()
 		tx.finish(false)
@@ -287,7 +311,7 @@ func (tx *Tx) commitPipelined() error {
 	lsp := root.Child("commit.latch")
 	tx.db.latch.Lock()
 	lsp.End()
-	ws := &writeStore{db: tx.db}
+	ws := &writeStore{db: tx.db, ctx: tx.db.rootCtx}
 	rec := btree.NewRecorder()
 	asp := root.Child("commit.apply")
 	m, err := tx.apply(ws, rec)
@@ -307,11 +331,27 @@ func (tx *Tx) commitPipelined() error {
 	p.enqueue(req)
 	tx.db.latch.Unlock()
 
-	if err := <-req.errc; err != nil {
-		root.Annotate("err", err)
-		root.End()
-		tx.finish(false)
-		return fmt.Errorf("txn %d: %w (%v)", tx.id, ErrDegraded, err)
+	select {
+	case err := <-req.errc:
+		if err != nil {
+			root.Annotate("err", err)
+			root.End()
+			tx.finish(false)
+			return fmt.Errorf("txn %d: %w (%v)", tx.id, ErrDegraded, err)
+		}
+	case <-ctx.Done():
+		// Applied and enqueued: the commit cannot be withdrawn. The group
+		// still frames and ships; only this waiter detaches. A detached
+		// goroutine drains the completion channel and ends the root span —
+		// safe because the pipeline ends every child span before the errc
+		// send, and span mutation is serialized on the owning trace.
+		root.Annotate("deadline", ctx.Err())
+		go func() {
+			<-req.errc
+			root.End()
+		}()
+		tx.finish(true)
+		return fmt.Errorf("txn %d: %w: %w", tx.id, ErrDeadlineExceeded, ctx.Err())
 	}
 	root.End()
 	tx.db.commitLat.ObserveDuration(time.Since(start))
@@ -332,7 +372,7 @@ func (tx *Tx) commitSync() error {
 	lsp := root.Child("commit.latch")
 	tx.db.latch.Lock()
 	lsp.End()
-	ws := &writeStore{db: tx.db}
+	ws := &writeStore{db: tx.db, ctx: tx.db.rootCtx}
 	rec := btree.NewRecorder()
 	asp := root.Child("commit.apply")
 	m, err := tx.apply(ws, rec)
@@ -343,8 +383,11 @@ func (tx *Tx) commitSync() error {
 		tx.finish(false)
 		return err
 	}
+	// The sync ablation holds the latch throughout, so it is deliberately
+	// deadline-oblivious past this point: abandoning mid-ship would leave
+	// applied-but-unframed tree state. It runs under the instance root.
 	fsp := root.Child("group.frame")
-	pending, err := tx.db.vol.FrameMTR(m)
+	pending, err := tx.db.vol.FrameMTR(tx.db.rootCtx, m)
 	fsp.End()
 	if err != nil {
 		rec.Rollback()
@@ -360,7 +403,7 @@ func (tx *Tx) commitSync() error {
 	ssp.End()
 	tx.db.groupSizes.Observe(1)
 	shipSp := root.Child("group.ship")
-	err = pending.ShipTraced(shipSp)
+	err = pending.Ship(trace.NewContext(tx.db.rootCtx, shipSp))
 	shipSp.End()
 	if err == nil {
 		vsp := root.Child("vdl.wait")
@@ -418,7 +461,12 @@ func (db *DB) Put(key, val []byte) error {
 
 // Get reads one row (read committed).
 func (db *DB) Get(key []byte) ([]byte, bool, error) {
-	tx := db.Begin()
+	return db.GetCtx(context.Background(), key)
+}
+
+// GetCtx reads one row (read committed) with the read bounded by ctx.
+func (db *DB) GetCtx(ctx context.Context, key []byte) ([]byte, bool, error) {
+	tx := db.BeginCtx(ctx)
 	defer tx.Abort()
 	return tx.Get(key)
 }

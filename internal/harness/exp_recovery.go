@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -37,7 +38,7 @@ func RecoveryExperiment(s Scale) *Result {
 		}
 		au.DB.Crash()
 		start := time.Now()
-		db2, _, err := engine.Recover(au.Fleet, volume.ClientConfig{WriterNode: "au-writer2", WriterAZ: 0}, engine.Config{})
+		db2, _, err := engine.Recover(context.Background(), au.Fleet, volume.ClientConfig{WriterNode: "au-writer2", WriterAZ: 0}, engine.Config{})
 		if err != nil {
 			panic(err)
 		}

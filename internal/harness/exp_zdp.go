@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -66,7 +67,7 @@ func Figure12(s Scale) *Result {
 	rep, err := proxy.Patch(func(old *engine.DB) (*engine.DB, error) {
 		old.Crash()
 		gen++
-		db, _, err := engine.Recover(au.Fleet, volume.ClientConfig{
+		db, _, err := engine.Recover(context.Background(), au.Fleet, volume.ClientConfig{
 			WriterNode: netsim.NodeID(fmt.Sprintf("au-writer-g%d", gen)), WriterAZ: 0,
 		}, engine.Config{CachePages: 2048})
 		return db, err

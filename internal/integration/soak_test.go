@@ -6,6 +6,7 @@
 package integration
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -58,7 +59,7 @@ func newStack(t *testing.T, seed int64) *stack {
 func (s *stack) failover(t *testing.T) {
 	t.Helper()
 	s.gen++
-	db, rep, err := engine.Recover(s.fleet, volume.ClientConfig{
+	db, rep, err := engine.Recover(context.Background(), s.fleet, volume.ClientConfig{
 		WriterNode: netsim.NodeID(fmt.Sprintf("soak-writer-g%d", s.gen)), WriterAZ: 0,
 	}, engine.Config{CachePages: 512})
 	if err != nil {

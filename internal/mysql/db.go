@@ -13,6 +13,7 @@
 package mysql
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -33,8 +34,8 @@ import (
 // BlockDev is the block-storage interface both plain EBS volumes and
 // cross-AZ mirrored pairs satisfy.
 type BlockDev interface {
-	Write(size int) error
-	Read(size int) error
+	Write(ctx context.Context, size int) error
+	Read(ctx context.Context, size int) error
 }
 
 // Errors returned by the engine.
@@ -102,6 +103,11 @@ type Stats struct {
 type DB struct {
 	cfg Config
 
+	// rootCtx bounds the instance's block IO. The baseline has no
+	// per-statement deadline story — it exists for architectural
+	// comparison — so every volume exchange runs under this root.
+	rootCtx context.Context
+
 	logVol    BlockDev
 	dataVol   BlockDev
 	binlogVol BlockDev
@@ -149,10 +155,11 @@ func New(cfg Config) (*DB, error) {
 	}
 	cfg.Net.AddNode(cfg.Instance, cfg.AZ)
 	db := &DB{
-		cfg:    cfg,
-		locks:  txn.NewLockTable(cfg.LockTimeout),
-		stable: make(map[core.PageID]page.Page),
-		dirty:  make(map[core.PageID]bool),
+		cfg:     cfg,
+		rootCtx: context.Background(),
+		locks:   txn.NewLockTable(cfg.LockTimeout),
+		stable:  make(map[core.PageID]page.Page),
+		dirty:   make(map[core.PageID]bool),
 	}
 	db.cache = bufcache.New(cfg.CachePages, func() core.LSN { return core.LSN(1) << 62 })
 	name := string(cfg.Instance)
@@ -231,7 +238,7 @@ func (db *DB) flushWAL(records []core.Record) error {
 	}
 	db.flushMu.Lock()
 	defer db.flushMu.Unlock()
-	if err := db.logVol.Write(size); err != nil {
+	if err := db.logVol.Write(db.rootCtx, size); err != nil {
 		return err
 	}
 	db.mu.Lock()
@@ -247,7 +254,7 @@ func (db *DB) flushWAL(records []core.Record) error {
 
 // writeBinlog archives the statement log for point-in-time restore.
 func (db *DB) writeBinlog(bytes int) error {
-	if err := db.binlogVol.Write(bytes); err != nil {
+	if err := db.binlogVol.Write(db.rootCtx, bytes); err != nil {
 		return err
 	}
 	db.binlogBytes.Add(uint64(bytes))
@@ -281,7 +288,7 @@ func (s *mysqlStore) Page(id core.PageID) (page.Page, error) {
 	if err := s.db.maybeFlushForEviction(); err != nil {
 		return nil, err
 	}
-	if err := s.db.dataVol.Read(page.Size); err != nil {
+	if err := s.db.dataVol.Read(s.db.rootCtx, page.Size); err != nil {
 		return nil, err
 	}
 	cached := s.db.cache.Put(id, cp)
@@ -331,10 +338,10 @@ func (db *DB) maybeFlushForEviction() error {
 // must hold the tree latch (shared or exclusive) so the page image cannot
 // be mutated mid-clone.
 func (db *DB) flushPage(id core.PageID) error {
-	if err := db.dataVol.Write(page.Size); err != nil { // double-write buffer
+	if err := db.dataVol.Write(db.rootCtx, page.Size); err != nil { // double-write buffer
 		return err
 	}
-	if err := db.dataVol.Write(page.Size); err != nil { // page in place
+	if err := db.dataVol.Write(db.rootCtx, page.Size); err != nil { // page in place
 		return err
 	}
 	db.mu.Lock()
@@ -392,7 +399,7 @@ func (db *DB) Checkpoint() error {
 	seq := db.binlogSeq
 	db.binlogSeq++
 	db.mu.Unlock()
-	if err := db.logVol.Write(64); err != nil { // checkpoint record
+	if err := db.logVol.Write(db.rootCtx, 64); err != nil { // checkpoint record
 		return err
 	}
 	if db.cfg.BinlogArchive != nil {

@@ -51,7 +51,7 @@ func (db *DB) CrashAndRecover() (*RecoveryReport, error) {
 		walBytes += redo[i].EncodedSize()
 	}
 	if walBytes > 0 {
-		if err := db.logVol.Read(walBytes); err != nil {
+		if err := db.logVol.Read(db.rootCtx, walBytes); err != nil {
 			return nil, err
 		}
 	}
@@ -71,7 +71,7 @@ func (db *DB) CrashAndRecover() (*RecoveryReport, error) {
 				p = page.New(r.Page)
 			}
 			db.mu.Unlock()
-			if err := db.dataVol.Read(page.Size); err != nil {
+			if err := db.dataVol.Read(db.rootCtx, page.Size); err != nil {
 				return nil, err
 			}
 			loaded[r.Page] = p
@@ -84,7 +84,7 @@ func (db *DB) CrashAndRecover() (*RecoveryReport, error) {
 	}
 	// Write recovered pages back.
 	for id, p := range loaded {
-		if err := db.dataVol.Write(page.Size); err != nil {
+		if err := db.dataVol.Write(db.rootCtx, page.Size); err != nil {
 			return nil, err
 		}
 		db.mu.Lock()

@@ -9,6 +9,7 @@
 package netsim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -16,8 +17,6 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
-
-	"aurora/internal/trace"
 )
 
 // AZ identifies an availability zone (0..2 in the standard topology).
@@ -34,6 +33,11 @@ var (
 	ErrAZDown      = errors.New("netsim: availability zone down")
 	ErrPartitioned = errors.New("netsim: link partitioned")
 	ErrDropped     = errors.New("netsim: message silently dropped")
+	// ErrAbandoned is returned when the caller's context is canceled while
+	// the message is in flight: the sender stopped waiting for the reply.
+	// The wrapped error includes ctx.Err(), so errors.Is also matches
+	// context.Canceled / context.DeadlineExceeded.
+	ErrAbandoned = errors.New("netsim: send abandoned")
 )
 
 // Config sets the latency model.
@@ -84,6 +88,7 @@ type Stats struct {
 	Bytes    uint64
 	Drops    uint64
 	Rejects  uint64 // sends refused due to down nodes/partitions
+	Abandons uint64 // sends whose caller gave up (context canceled) mid-flight
 }
 
 type node struct {
@@ -117,8 +122,9 @@ type Network struct {
 	bytes    atomic.Uint64
 	drops    atomic.Uint64
 	rejects  atomic.Uint64
+	abandons atomic.Uint64
 
-	sleep func(time.Duration)
+	sleep func(time.Duration) // test override; nil means real timers
 }
 
 // New builds a network with the given latency model.
@@ -133,7 +139,6 @@ func New(cfg Config) *Network {
 		partitions: make(map[[2]NodeID]bool),
 		linkDrops:  make(map[[2]NodeID]float64),
 		rng:        rand.New(rand.NewSource(seed)),
-		sleep:      time.Sleep,
 	}
 }
 
@@ -273,10 +278,16 @@ func (n *Network) Partition(a, b NodeID, blocked bool) {
 }
 
 // Send transports size bytes from one node to another, blocking for the
-// modelled latency. It returns ErrDropped for silent loss (the message must
-// not be delivered), and a reachability error when either endpoint is down
-// or the link is partitioned.
-func (n *Network) Send(from, to NodeID, size int) error {
+// modelled latency or until ctx is canceled, whichever comes first. It
+// returns ErrDropped for silent loss (the message must not be delivered), a
+// reachability error when either endpoint is down or the link is
+// partitioned, and ErrAbandoned (wrapping ctx.Err()) when the caller's
+// context fires mid-flight — the sender stopped waiting for the reply.
+func (n *Network) Send(ctx context.Context, from, to NodeID, size int) error {
+	if err := ctx.Err(); err != nil {
+		n.abandons.Add(1)
+		return fmt.Errorf("%w: %w", ErrAbandoned, err)
+	}
 	n.mu.RLock()
 	src, okSrc := n.nodes[from]
 	dst, okDst := n.nodes[to]
@@ -331,7 +342,26 @@ func (n *Network) Send(from, to NodeID, size int) error {
 	}
 	lat, dropped := n.sample(src, dst, size, dropP)
 	if lat > 0 {
-		n.sleep(lat)
+		if n.sleep != nil {
+			// Test-provided sleeper: run it, then honor a context that
+			// fired while it slept.
+			n.sleep(lat)
+			if err := ctx.Err(); err != nil {
+				n.abandons.Add(1)
+				return fmt.Errorf("%w: %w", ErrAbandoned, err)
+			}
+		} else if done := ctx.Done(); done != nil {
+			t := time.NewTimer(lat)
+			select {
+			case <-t.C:
+			case <-done:
+				t.Stop()
+				n.abandons.Add(1)
+				return fmt.Errorf("%w: %w", ErrAbandoned, ctx.Err())
+			}
+		} else {
+			time.Sleep(lat)
+		}
 	}
 	n.messages.Add(1)
 	n.bytes.Add(uint64(size))
@@ -344,25 +374,6 @@ func (n *Network) Send(from, to NodeID, size int) error {
 	dst.recv.Add(1)
 	dst.recvB.Add(uint64(size))
 	return nil
-}
-
-// SendTraced is Send wrapped in a child span (named name, e.g. "net.req" or
-// "net.ack") under parent, annotated with the endpoints and payload size.
-// With a nil parent — the unsampled common case — it is exactly Send.
-func (n *Network) SendTraced(from, to NodeID, size int, parent *trace.Span, name string) error {
-	if parent == nil {
-		return n.Send(from, to, size)
-	}
-	sp := parent.Child(name)
-	sp.Annotate("from", from)
-	sp.Annotate("to", to)
-	sp.Annotate("bytes", size)
-	err := n.Send(from, to, size)
-	if err != nil {
-		sp.Annotate("err", err)
-	}
-	sp.End()
-	return err
 }
 
 // sample computes latency and loss for one message.
@@ -407,6 +418,7 @@ func (n *Network) Stats() Stats {
 		Bytes:    n.bytes.Load(),
 		Drops:    n.drops.Load(),
 		Rejects:  n.rejects.Load(),
+		Abandons: n.abandons.Load(),
 	}
 }
 
@@ -427,6 +439,7 @@ func (n *Network) ResetStats() {
 	n.bytes.Store(0)
 	n.drops.Store(0)
 	n.rejects.Store(0)
+	n.abandons.Store(0)
 	n.mu.RLock()
 	for _, nd := range n.nodes {
 		nd.sent.Store(0)

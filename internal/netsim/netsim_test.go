@@ -1,6 +1,7 @@
 package netsim
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"testing"
@@ -18,7 +19,7 @@ func twoNodeNet(cfg Config) *Network {
 func TestSendCountsTraffic(t *testing.T) {
 	n := twoNodeNet(FastLocal())
 	for i := 0; i < 5; i++ {
-		if err := n.Send("a", "b", 100); err != nil {
+		if err := n.Send(context.Background(), "a", "b", 100); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -42,16 +43,16 @@ func TestSendCountsTraffic(t *testing.T) {
 
 func TestSendUnknownAndDownNodes(t *testing.T) {
 	n := twoNodeNet(FastLocal())
-	if err := n.Send("a", "zz", 1); !errors.Is(err, ErrUnknownNode) {
+	if err := n.Send(context.Background(), "a", "zz", 1); !errors.Is(err, ErrUnknownNode) {
 		t.Fatalf("unknown dest: %v", err)
 	}
-	if err := n.Send("zz", "a", 1); !errors.Is(err, ErrUnknownNode) {
+	if err := n.Send(context.Background(), "zz", "a", 1); !errors.Is(err, ErrUnknownNode) {
 		t.Fatalf("unknown src: %v", err)
 	}
 	if err := n.SetNodeDown("b", true); err != nil {
 		t.Fatal(err)
 	}
-	if err := n.Send("a", "b", 1); !errors.Is(err, ErrNodeDown) {
+	if err := n.Send(context.Background(), "a", "b", 1); !errors.Is(err, ErrNodeDown) {
 		t.Fatalf("down dest: %v", err)
 	}
 	if !n.NodeDown("b") {
@@ -60,7 +61,7 @@ func TestSendUnknownAndDownNodes(t *testing.T) {
 	if err := n.SetNodeDown("b", false); err != nil {
 		t.Fatal(err)
 	}
-	if err := n.Send("a", "b", 1); err != nil {
+	if err := n.Send(context.Background(), "a", "b", 1); err != nil {
 		t.Fatalf("restored node: %v", err)
 	}
 	if n.Stats().Rejects != 1 {
@@ -72,14 +73,14 @@ func TestAZFailureIsCorrelated(t *testing.T) {
 	n := twoNodeNet(FastLocal())
 	n.SetAZDown(0, true)
 	// Both a and c live in AZ 0: everything touching them fails.
-	if err := n.Send("a", "b", 1); !errors.Is(err, ErrAZDown) {
+	if err := n.Send(context.Background(), "a", "b", 1); !errors.Is(err, ErrAZDown) {
 		t.Fatalf("a->b: %v", err)
 	}
-	if err := n.Send("b", "c", 1); !errors.Is(err, ErrAZDown) {
+	if err := n.Send(context.Background(), "b", "c", 1); !errors.Is(err, ErrAZDown) {
 		t.Fatalf("b->c: %v", err)
 	}
 	n.SetAZDown(0, false)
-	if err := n.Send("a", "b", 1); err != nil {
+	if err := n.Send(context.Background(), "a", "b", 1); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -87,15 +88,15 @@ func TestAZFailureIsCorrelated(t *testing.T) {
 func TestPartition(t *testing.T) {
 	n := twoNodeNet(FastLocal())
 	n.Partition("b", "a", true)
-	if err := n.Send("a", "b", 1); !errors.Is(err, ErrPartitioned) {
+	if err := n.Send(context.Background(), "a", "b", 1); !errors.Is(err, ErrPartitioned) {
 		t.Fatalf("partitioned: %v", err)
 	}
 	// Order-insensitive and other links unaffected.
-	if err := n.Send("a", "c", 1); err != nil {
+	if err := n.Send(context.Background(), "a", "c", 1); err != nil {
 		t.Fatal(err)
 	}
 	n.Partition("a", "b", false)
-	if err := n.Send("a", "b", 1); err != nil {
+	if err := n.Send(context.Background(), "a", "b", 1); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -106,10 +107,10 @@ func TestLatencyModel(t *testing.T) {
 	var slept []time.Duration
 	var mu sync.Mutex
 	n.SetSleeper(func(d time.Duration) { mu.Lock(); slept = append(slept, d); mu.Unlock() })
-	if err := n.Send("a", "c", 0); err != nil { // same AZ
+	if err := n.Send(context.Background(), "a", "c", 0); err != nil { // same AZ
 		t.Fatal(err)
 	}
-	if err := n.Send("a", "b", 0); err != nil { // cross AZ
+	if err := n.Send(context.Background(), "a", "b", 0); err != nil { // cross AZ
 		t.Fatal(err)
 	}
 	if len(slept) != 2 || slept[0] != time.Millisecond || slept[1] != 5*time.Millisecond {
@@ -122,7 +123,7 @@ func TestBandwidthSerializationDelay(t *testing.T) {
 	n := twoNodeNet(cfg)
 	var slept time.Duration
 	n.SetSleeper(func(d time.Duration) { slept += d })
-	if err := n.Send("a", "c", 500); err != nil {
+	if err := n.Send(context.Background(), "a", "c", 500); err != nil {
 		t.Fatal(err)
 	}
 	if slept != 500*time.Millisecond {
@@ -138,7 +139,7 @@ func TestSlowNodeMultiplier(t *testing.T) {
 	if err := n.SetSlowNode("c", 8); err != nil {
 		t.Fatal(err)
 	}
-	if err := n.Send("a", "c", 0); err != nil {
+	if err := n.Send(context.Background(), "a", "c", 0); err != nil {
 		t.Fatal(err)
 	}
 	if slept != 8*time.Millisecond {
@@ -147,7 +148,7 @@ func TestSlowNodeMultiplier(t *testing.T) {
 	if err := n.SetSlowNode("c", 1); err != nil {
 		t.Fatal(err)
 	}
-	if err := n.Send("a", "c", 0); err != nil {
+	if err := n.Send(context.Background(), "a", "c", 0); err != nil {
 		t.Fatal(err)
 	}
 	if slept != time.Millisecond {
@@ -164,7 +165,7 @@ func TestDropProbability(t *testing.T) {
 	drops := 0
 	const total = 2000
 	for i := 0; i < total; i++ {
-		err := n.Send("a", "b", 10)
+		err := n.Send(context.Background(), "a", "b", 10)
 		if errors.Is(err, ErrDropped) {
 			drops++
 		} else if err != nil {
@@ -208,7 +209,7 @@ func TestConcurrentSends(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < 500; i++ {
-				err := n.Send("a", "b", 64)
+				err := n.Send(context.Background(), "a", "b", 64)
 				if err != nil && !errors.Is(err, ErrDropped) {
 					t.Error(err)
 					return
@@ -231,7 +232,7 @@ func TestNodeDelayGraySlow(t *testing.T) {
 	if err := n.SetNodeDelay("b", 3*time.Millisecond); err != nil {
 		t.Fatal(err)
 	}
-	if err := n.Send("a", "b", 10); err != nil {
+	if err := n.Send(context.Background(), "a", "b", 10); err != nil {
 		t.Fatal(err)
 	}
 	if slept < 3*time.Millisecond {
@@ -242,7 +243,7 @@ func TestNodeDelayGraySlow(t *testing.T) {
 		t.Fatal(err)
 	}
 	slept = 0
-	if err := n.Send("a", "b", 10); err != nil {
+	if err := n.Send(context.Background(), "a", "b", 10); err != nil {
 		t.Fatal(err)
 	}
 	if slept != 0 {
@@ -258,11 +259,11 @@ func TestRuntimeDropProbOverride(t *testing.T) {
 	n.AddNode("a", 0)
 	n.AddNode("b", 1)
 	n.SetDropProb(1)
-	if err := n.Send("a", "b", 8); !errors.Is(err, ErrDropped) {
+	if err := n.Send(context.Background(), "a", "b", 8); !errors.Is(err, ErrDropped) {
 		t.Fatalf("send with p=1: %v", err)
 	}
 	n.SetDropProb(0)
-	if err := n.Send("a", "b", 8); err != nil {
+	if err := n.Send(context.Background(), "a", "b", 8); err != nil {
 		t.Fatalf("send after clearing drop prob: %v", err)
 	}
 }
@@ -272,14 +273,14 @@ func TestLinkDropIsDirectional(t *testing.T) {
 	n.AddNode("a", 0)
 	n.AddNode("b", 0)
 	n.SetLinkDropProb("b", "a", 1)
-	if err := n.Send("a", "b", 8); err != nil {
+	if err := n.Send(context.Background(), "a", "b", 8); err != nil {
 		t.Fatalf("forward path: %v", err)
 	}
-	if err := n.Send("b", "a", 8); !errors.Is(err, ErrDropped) {
+	if err := n.Send(context.Background(), "b", "a", 8); !errors.Is(err, ErrDropped) {
 		t.Fatalf("reverse path: %v", err)
 	}
 	n.SetLinkDropProb("b", "a", 0)
-	if err := n.Send("b", "a", 8); err != nil {
+	if err := n.Send(context.Background(), "b", "a", 8); err != nil {
 		t.Fatalf("reverse path after clear: %v", err)
 	}
 }

@@ -9,6 +9,7 @@
 package replica
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"sync/atomic"
@@ -19,6 +20,7 @@ import (
 	"aurora/internal/engine"
 	"aurora/internal/netsim"
 	"aurora/internal/page"
+	"aurora/internal/trace"
 	"aurora/internal/volume"
 )
 
@@ -30,6 +32,10 @@ type Config struct {
 	Name       netsim.NodeID
 	AZ         netsim.AZ
 	CachePages int
+	// Tracer, when non-nil, samples replica apply batches and cache-miss
+	// reads into the same collector as the writer's commit spans, so
+	// replica lag decomposes stage-by-stage the way commits do.
+	Tracer *trace.Collector
 }
 
 // Stats is a snapshot of replica counters.
@@ -48,6 +54,11 @@ type Replica struct {
 	name   netsim.NodeID
 	reader *volume.Reader
 	cache  *bufcache.Cache
+	tracer *trace.Collector
+	// ctx bounds the replica's own storage reads; Close cancels it so
+	// in-flight hedged fetches unwind before the reader detaches.
+	ctx       context.Context
+	ctxCancel context.CancelFunc
 	// pgOfAt routes a page at a read point: across a live stripe cutover
 	// the replica's snapshot reads must keep going to the PG that holds the
 	// page's history as of that point (volume growth, §3).
@@ -75,13 +86,17 @@ func Attach(db *engine.DB, f *volume.Fleet, cfg Config) *Replica {
 	if cfg.CachePages <= 0 {
 		cfg.CachePages = 4096
 	}
+	ctx, ctxCancel := context.WithCancel(context.Background())
 	r := &Replica{
-		name:   cfg.Name,
-		reader: volume.NewReader(f, cfg.Name, cfg.AZ),
-		pgOfAt: f.PGOfAt,
-		tails:  make(map[core.PGID]core.LSN),
-		stop:   make(chan struct{}),
-		done:   make(chan struct{}),
+		name:      cfg.Name,
+		reader:    volume.NewReader(f, cfg.Name, cfg.AZ),
+		tracer:    cfg.Tracer,
+		ctx:       ctx,
+		ctxCancel: ctxCancel,
+		pgOfAt:    f.PGOfAt,
+		tails:     make(map[core.PGID]core.LSN),
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
 	}
 	// The replica's cache eviction fence is its own applied VDL.
 	r.cache = bufcache.New(cfg.CachePages, r.VDL)
@@ -93,6 +108,10 @@ func Attach(db *engine.DB, f *volume.Fleet, cfg Config) *Replica {
 	vol := db.Volume()
 	r.vdl = vol.VDL()
 	r.vdlA.Store(uint64(r.vdl))
+	// Pin the starting view: storage GC must keep every version this
+	// replica could still read (the writer folds reader pins into its
+	// MRPL). The pin advances with the applied VDL in ingest.
+	r.reader.PinReadPoint(r.vdl)
 	for g := 0; g < f.PGs(); g++ {
 		if tail := vol.DurableTail(core.PGID(g)); tail > 0 {
 			r.tails[core.PGID(g)] = tail
@@ -121,9 +140,14 @@ func (r *Replica) loop(events <-chan engine.Event) {
 // ingest buffers the event's records and applies everything at or below
 // the new VDL atomically.
 func (r *Replica) ingest(ev engine.Event) {
+	sp := r.traceStart("replica.apply")
+	sp.Annotate("records", len(ev.Records))
+	sp.Annotate("stream_vdl", ev.VDL)
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	bsp := sp.Child("replica.buffer")
 	r.pending = append(r.pending, ev.Records...)
+	bsp.End()
 	newVDL := r.vdl
 	if ev.VDL > newVDL {
 		newVDL = ev.VDL
@@ -132,6 +156,7 @@ func (r *Replica) ingest(ev engine.Event) {
 	// always a CPL, so this prefix is a whole number of MTRs; holding the
 	// exclusive lock for the whole prefix makes the application atomic
 	// with respect to replica reads.
+	asp := sp.Child("replica.advance")
 	cut := 0
 	for cut < len(r.pending) && r.pending[cut].LSN <= newVDL {
 		rec := &r.pending[cut]
@@ -141,10 +166,26 @@ func (r *Replica) ingest(ev engine.Event) {
 	if cut > 0 {
 		r.pending = append([]core.Record(nil), r.pending[cut:]...)
 	}
+	asp.Annotate("applied", cut)
+	asp.Annotate("lag_records", len(r.pending))
+	asp.End()
 	if newVDL > r.vdl {
 		r.vdl = newVDL
 		r.vdlA.Store(uint64(newVDL))
+		// Advance the GC pin with the applied view (monotone).
+		r.reader.PinReadPoint(newVDL)
 	}
+	sp.Annotate("vdl", r.vdl)
+	sp.End()
+}
+
+// traceStart samples a replica-side root span; nil when no tracer is
+// attached or this event loses the sampling lottery.
+func (r *Replica) traceStart(name string) *trace.Span {
+	if r.tracer == nil {
+		return nil
+	}
+	return r.tracer.Start(name)
 }
 
 func (r *Replica) applyLocked(rec *core.Record) {
@@ -179,6 +220,7 @@ func (r *Replica) VDL() core.LSN { return core.LSN(r.vdlA.Load()) }
 // tree operation, so the apply loop cannot interleave.
 type replicaStore struct {
 	r         *Replica
+	ctx       context.Context
 	readPoint core.LSN
 }
 
@@ -187,8 +229,12 @@ func (s *replicaStore) Page(id core.PageID) (page.Page, error) {
 		s.r.cache.Unpin(id)
 		return p, nil
 	}
+	sp := s.r.traceStart("replica.read")
+	sp.Annotate("page", id)
+	sp.Annotate("read_point", s.readPoint)
 	required := s.r.tails[s.r.pgOfAt(id, s.readPoint)] // under RLock
-	p, err := s.r.reader.ReadPageAt(id, s.readPoint, required)
+	p, err := s.r.reader.ReadPageAt(trace.NewContext(s.ctx, sp), id, s.readPoint, required)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -203,24 +249,43 @@ func (s *replicaStore) FreshPage(core.PageID) (page.Page, error) {
 
 // Get reads a row at the replica's current view.
 func (r *Replica) Get(key []byte) ([]byte, bool, error) {
+	return r.GetCtx(context.Background(), key)
+}
+
+// GetCtx is Get with cold-page fetches bounded by ctx.
+func (r *Replica) GetCtx(ctx context.Context, key []byte) ([]byte, bool, error) {
 	if r.closed.Load() {
 		return nil, false, ErrClosed
 	}
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	t := btree.View(&replicaStore{r: r, readPoint: r.vdl})
+	t := btree.View(&replicaStore{r: r, ctx: r.joinCtx(ctx), readPoint: r.vdl})
 	return t.Get(key)
 }
 
 // Scan visits rows in range at the replica's current view.
 func (r *Replica) Scan(from, to []byte, fn func(k, v []byte) bool) error {
+	return r.ScanCtx(context.Background(), from, to, fn)
+}
+
+// ScanCtx is Scan with cold-page fetches bounded by ctx.
+func (r *Replica) ScanCtx(ctx context.Context, from, to []byte, fn func(k, v []byte) bool) error {
 	if r.closed.Load() {
 		return ErrClosed
 	}
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	t := btree.View(&replicaStore{r: r, readPoint: r.vdl})
+	t := btree.View(&replicaStore{r: r, ctx: r.joinCtx(ctx), readPoint: r.vdl})
 	return t.Scan(from, to, fn)
+}
+
+// joinCtx returns the replica's root ctx unless the caller brought a
+// cancelable one — the common Background case costs nothing.
+func (r *Replica) joinCtx(ctx context.Context) context.Context {
+	if ctx == context.Background() {
+		return r.ctx
+	}
+	return ctx
 }
 
 // WarmUp pre-loads the pages holding the given key range into the cache so
@@ -251,7 +316,10 @@ func (r *Replica) Close() {
 		return
 	}
 	r.cancel()
+	r.ctxCancel()
 	close(r.stop)
 	<-r.done
+	// Reader.Close drains in-flight hedged fetches and releases this
+	// replica's read-point pin before leaving the network.
 	r.reader.Close()
 }

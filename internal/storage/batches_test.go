@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -15,14 +16,14 @@ func TestReceiveBatchesCoalesced(t *testing.T) {
 	for i := 0; i < 5; i++ {
 		m := &core.MTR{Txn: uint64(i)}
 		m.AddDelta(0, core.PageID(i), 0, []byte{byte(i)})
-		bs, _, err := f.Frame(m)
+		bs, _, err := f.Frame(context.Background(), m)
 		if err != nil {
 			t.Fatal(err)
 		}
 		b := bs[0]
 		flight = append(flight, &b)
 	}
-	ack, err := n.ReceiveBatches(flight, 0, 0)
+	ack, err := n.ReceiveBatches(context.Background(), flight, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,12 +47,12 @@ func TestReceiveBatchesDownAndWiped(t *testing.T) {
 		LSN: 1, Type: core.RecPageDelta, PG: 0, Page: 1, Data: []byte("x"),
 	}}}
 	n.Crash()
-	if _, err := n.ReceiveBatches([]*core.Batch{b}, 0, 0); !errors.Is(err, ErrNodeDown) {
+	if _, err := n.ReceiveBatches(context.Background(), []*core.Batch{b}, 0, 0); !errors.Is(err, ErrNodeDown) {
 		t.Fatalf("crashed: %v", err)
 	}
 	n.Restart()
 	n.Wipe()
-	if _, err := n.ReceiveBatches([]*core.Batch{b}, 0, 0); !errors.Is(err, ErrWipedSegment) {
+	if _, err := n.ReceiveBatches(context.Background(), []*core.Batch{b}, 0, 0); !errors.Is(err, ErrWipedSegment) {
 		t.Fatalf("wiped: %v", err)
 	}
 }
@@ -63,7 +64,7 @@ func TestReceiveBatchesFailedDisk(t *testing.T) {
 	b := &core.Batch{PG: 0, Records: []core.Record{{
 		LSN: 1, Type: core.RecPageDelta, PG: 0, Page: 1, Data: []byte("x"),
 	}}}
-	if _, err := n.ReceiveBatches([]*core.Batch{b}, 0, 0); err == nil {
+	if _, err := n.ReceiveBatches(context.Background(), []*core.Batch{b}, 0, 0); err == nil {
 		t.Fatal("write to failed disk succeeded")
 	}
 }
@@ -75,8 +76,8 @@ func TestGCTailAndIngestBelowTail(t *testing.T) {
 	for i := 0; i < 6; i++ {
 		m := &core.MTR{Txn: uint64(i)}
 		m.AddDelta(0, 1, uint32(i), []byte{byte(i)})
-		bs, _, _ := f.Frame(m)
-		if _, err := n.ReceiveBatch(&bs[0], 6, 6); err != nil {
+		bs, _, _ := f.Frame(context.Background(), m)
+		if _, err := n.ReceiveBatch(context.Background(), &bs[0], 6, 6); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -88,14 +89,14 @@ func TestGCTailAndIngestBelowTail(t *testing.T) {
 	dup := core.Batch{PG: 0, Records: []core.Record{{
 		LSN: 3, PrevLSN: 2, Type: core.RecPageDelta, PG: 0, Page: 1, Data: []byte("z"),
 	}}}
-	if _, err := n.ReceiveBatch(&dup, 6, 6); err != nil {
+	if _, err := n.ReceiveBatch(context.Background(), &dup, 6, 6); err != nil {
 		t.Fatal(err)
 	}
 	if s := n.Stats(); s.RecordsHeld != 0 {
 		t.Fatalf("GCed record resurrected: held %d", s.RecordsHeld)
 	}
 	// Reads at the GC floor still serve from the materialized base.
-	p, err := n.ReadPage(1, 6, 6)
+	p, err := n.ReadPage(context.Background(), 1, 6, 6)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,19 +117,19 @@ func TestReceiveBatchesRedeliveryIdempotent(t *testing.T) {
 	for i := 0; i < 5; i++ {
 		m := &core.MTR{Txn: uint64(i)}
 		m.AddDelta(0, core.PageID(i), 0, []byte{byte(i)})
-		bs, _, err := f.Frame(m)
+		bs, _, err := f.Frame(context.Background(), m)
 		if err != nil {
 			t.Fatal(err)
 		}
 		b := bs[0]
 		flight = append(flight, &b)
 	}
-	ack1, err := n.ReceiveBatches(flight, 0, 0)
+	ack1, err := n.ReceiveBatches(context.Background(), flight, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	held := n.Stats().RecordsHeld
-	ack2, err := n.ReceiveBatches(flight, 0, 0)
+	ack2, err := n.ReceiveBatches(context.Background(), flight, 0, 0)
 	if err != nil {
 		t.Fatalf("redelivery rejected: %v", err)
 	}

@@ -25,11 +25,17 @@ func (n *Node) GossipOnce() int {
 	if n.down.Load() {
 		return 0
 	}
+	// Gossip runs under the node's root context: a stopping node abandons
+	// its in-flight pulls instead of finishing the round.
+	ctx := n.runContext()
 	total := 0
 	n.mu.Lock()
 	peers := append([]*Node(nil), n.peers...)
 	n.mu.Unlock()
 	for _, peer := range peers {
+		if ctx.Err() != nil {
+			break
+		}
 		if peer.down.Load() {
 			continue
 		}
@@ -39,7 +45,7 @@ func (n *Node) GossipOnce() int {
 		if peer.SCL() <= myscl && !n.HasGaps() {
 			continue
 		}
-		if err := n.cfg.Net.Send(n.cfg.Node, peer.cfg.Node, gossipRequestSize); err != nil {
+		if err := n.cfg.Net.Send(ctx, n.cfg.Node, peer.cfg.Node, gossipRequestSize); err != nil {
 			continue
 		}
 		recs, vdl, pgmrpl := peer.recordsAfter(myscl, gossipBatchLimit)
@@ -50,7 +56,7 @@ func (n *Node) GossipOnce() int {
 		for _, r := range recs {
 			size += r.EncodedSize()
 		}
-		if err := n.cfg.Net.Send(peer.cfg.Node, n.cfg.Node, size); err != nil {
+		if err := n.cfg.Net.Send(ctx, peer.cfg.Node, n.cfg.Node, size); err != nil {
 			continue
 		}
 		if err := n.ssd.Write(size); err != nil {

@@ -12,6 +12,7 @@
 package storage
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -137,9 +138,13 @@ type Node struct {
 
 	down atomic.Bool
 
-	stopMu  sync.Mutex
-	stopCh  chan struct{}
-	stopped sync.WaitGroup
+	// Background loops run under a root context created by Start and
+	// canceled by Stop; every network send they issue observes it, so a
+	// stopping node abandons in-flight gossip/repair waits immediately.
+	runMu     sync.Mutex
+	runCtx    context.Context
+	runCancel context.CancelFunc
+	stopped   sync.WaitGroup
 
 	batches   atomic.Uint64
 	records   atomic.Uint64
@@ -215,8 +220,13 @@ func (n *Node) Wipe() {
 // ReceiveBatch is the foreground write path: steps (1) and (2) of Figure 4.
 // The records are queued, persisted to the hot log on local SSD, and
 // acknowledged. Everything else happens in the background. VDL and PGMRPL
-// are piggybacked from the writer on every batch.
-func (n *Node) ReceiveBatch(b *core.Batch, vdl, pgmrpl core.LSN) (Ack, error) {
+// are piggybacked from the writer on every batch. A canceled ctx is
+// honored only before persistence begins: once the hot-log write starts the
+// batch is durable and the ack is returned regardless.
+func (n *Node) ReceiveBatch(ctx context.Context, b *core.Batch, vdl, pgmrpl core.LSN) (Ack, error) {
+	if err := ctx.Err(); err != nil {
+		return Ack{}, err
+	}
 	if n.down.Load() {
 		return Ack{}, fmt.Errorf("%s: %w", n.cfg.Node, ErrNodeDown)
 	}
@@ -255,14 +265,16 @@ func (n *Node) ReceiveBatch(b *core.Batch, vdl, pgmrpl core.LSN) (Ack, error) {
 // was in the air) arrive as one network message and are persisted with one
 // hot-log write and one sync. This is what drives IOs per transaction below
 // one at high concurrency (Table 1).
-func (n *Node) ReceiveBatches(bs []*core.Batch, vdl, pgmrpl core.LSN) (Ack, error) {
-	return n.ReceiveBatchesTraced(bs, vdl, pgmrpl, nil)
-}
-
-// ReceiveBatchesTraced is ReceiveBatches with a storage.ingest span under
-// parent, decomposed into disk.write, disk.sync and storage.apply children —
-// the last hops of a commit's critical path. A nil parent costs nothing.
-func (n *Node) ReceiveBatchesTraced(bs []*core.Batch, vdl, pgmrpl core.LSN, parent *trace.Span) (Ack, error) {
+//
+// When ctx carries a sampled span (trace.FromContext), the ingest is
+// recorded as a storage.ingest span decomposed into disk.write, disk.sync
+// and storage.apply children — the last hops of a commit's critical path.
+// Like ReceiveBatch, cancellation is honored only before persistence.
+func (n *Node) ReceiveBatches(ctx context.Context, bs []*core.Batch, vdl, pgmrpl core.LSN) (Ack, error) {
+	if err := ctx.Err(); err != nil {
+		return Ack{}, err
+	}
+	parent := trace.FromContext(ctx)
 	if n.down.Load() {
 		return Ack{}, fmt.Errorf("%s: %w", n.cfg.Node, ErrNodeDown)
 	}
@@ -461,8 +473,8 @@ func (n *Node) HighestCPLAtOrBelow(limit core.LSN) core.LSN {
 // segment is capable of satisfying a read"), and the node re-verifies its
 // SCL against it. The read point itself may exceed the SCL when the PG has
 // been idle while the volume's VDL advanced on other PGs.
-func (n *Node) ReadPage(id core.PageID, readPoint, required core.LSN) (page.Page, error) {
-	return n.ReadPageChecked(id, readPoint, required, 0)
+func (n *Node) ReadPage(ctx context.Context, id core.PageID, readPoint, required core.LSN) (page.Page, error) {
+	return n.ReadPageChecked(ctx, id, readPoint, required, 0)
 }
 
 // ReadPageChecked is ReadPage with a geometry-epoch check: a caller routing
@@ -471,7 +483,10 @@ func (n *Node) ReadPage(id core.PageID, readPoint, required core.LSN) (page.Page
 // never be answered by a node that silently lost the page's stripe to a
 // cutover (it would materialize an empty page, not fail). A caller with a
 // newer epoch teaches it to the node. Epoch 0 skips the check.
-func (n *Node) ReadPageChecked(id core.PageID, readPoint, required core.LSN, geomEpoch uint64) (page.Page, error) {
+func (n *Node) ReadPageChecked(ctx context.Context, id core.PageID, readPoint, required core.LSN, geomEpoch uint64) (page.Page, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if n.down.Load() {
 		return nil, fmt.Errorf("%s: %w", n.cfg.Node, ErrNodeDown)
 	}
@@ -630,17 +645,17 @@ func (n *Node) Stats() Stats {
 	}
 }
 
-// Start launches the background loops: gossip, coalesce/GC, backup, scrub.
-// Stop terminates them. Tests can instead drive GossipOnce/CoalesceOnce/
-// BackupNow/ScrubOnce deterministically.
+// Start launches the background loops — gossip, coalesce/GC, backup, scrub
+// — under a root context that Stop cancels. Tests can instead drive
+// GossipOnce/CoalesceOnce/BackupNow/ScrubOnce deterministically.
 func (n *Node) Start() {
-	n.stopMu.Lock()
-	defer n.stopMu.Unlock()
-	if n.stopCh != nil {
+	n.runMu.Lock()
+	defer n.runMu.Unlock()
+	if n.runCancel != nil {
 		return
 	}
-	n.stopCh = make(chan struct{})
-	stop := n.stopCh
+	ctx, cancel := context.WithCancel(context.Background())
+	n.runCtx, n.runCancel = ctx, cancel
 	run := func(interval time.Duration, f func()) {
 		n.stopped.Add(1)
 		go func() {
@@ -649,7 +664,7 @@ func (n *Node) Start() {
 			defer t.Stop()
 			for {
 				select {
-				case <-stop:
+				case <-ctx.Done():
 					return
 				case <-t.C:
 					if !n.down.Load() {
@@ -667,14 +682,28 @@ func (n *Node) Start() {
 	run(n.cfg.ScrubInterval, func() { n.ScrubOnce() })
 }
 
-// Stop terminates the background loops started by Start.
+// Stop cancels the root context and waits for the background loops started
+// by Start to exit; any gossip or repair send they were blocked in is
+// abandoned immediately.
 func (n *Node) Stop() {
-	n.stopMu.Lock()
-	ch := n.stopCh
-	n.stopCh = nil
-	n.stopMu.Unlock()
-	if ch != nil {
-		close(ch)
+	n.runMu.Lock()
+	cancel := n.runCancel
+	n.runCtx, n.runCancel = nil, nil
+	n.runMu.Unlock()
+	if cancel != nil {
+		cancel()
 		n.stopped.Wait()
 	}
+}
+
+// runContext returns the root context the background loops run under, or
+// context.Background when they are not running (tests driving the
+// background steps directly).
+func (n *Node) runContext() context.Context {
+	n.runMu.Lock()
+	defer n.runMu.Unlock()
+	if n.runCtx != nil {
+		return n.runCtx
+	}
+	return context.Background()
 }

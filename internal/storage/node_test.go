@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"context"
 	"errors"
 	"testing"
 	"time"
@@ -40,13 +41,13 @@ func writeMTRs(t *testing.T, nodes []*Node, count int, to func(i int) []*Node) *
 	for i := 0; i < count; i++ {
 		m := &core.MTR{Txn: uint64(i)}
 		m.AddDelta(0, core.PageID(i%3), uint32(4*i%128), []byte{byte(i), byte(i + 1)})
-		batches, _, err := f.Frame(m)
+		batches, _, err := f.Frame(context.Background(), m)
 		if err != nil {
 			t.Fatal(err)
 		}
 		for _, n := range to(i) {
 			for bi := range batches {
-				if _, err := n.ReceiveBatch(&batches[bi], core.ZeroLSN, core.ZeroLSN); err != nil {
+				if _, err := n.ReceiveBatch(context.Background(), &batches[bi], core.ZeroLSN, core.ZeroLSN); err != nil {
 					t.Fatal(err)
 				}
 			}
@@ -84,9 +85,9 @@ func TestReceiveBatchDuplicatesIgnored(t *testing.T) {
 	f := core.NewFramer(core.NewAllocator(core.ZeroLSN, 0), nil)
 	m := &core.MTR{Txn: 1}
 	m.AddDelta(0, 1, 0, []byte("x"))
-	batches, _, _ := f.Frame(m)
+	batches, _, _ := f.Frame(context.Background(), m)
 	for i := 0; i < 3; i++ {
-		if _, err := nodes[0].ReceiveBatch(&batches[0], 0, 0); err != nil {
+		if _, err := nodes[0].ReceiveBatch(context.Background(), &batches[0], 0, 0); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -102,14 +103,14 @@ func TestCrashedNodeRejects(t *testing.T) {
 		t.Fatal("Down not reported")
 	}
 	b := &core.Batch{PG: 0}
-	if _, err := nodes[0].ReceiveBatch(b, 0, 0); !errors.Is(err, ErrNodeDown) {
+	if _, err := nodes[0].ReceiveBatch(context.Background(), b, 0, 0); !errors.Is(err, ErrNodeDown) {
 		t.Fatalf("receive on crashed node: %v", err)
 	}
-	if _, err := nodes[0].ReadPage(1, 0, 0); !errors.Is(err, ErrNodeDown) {
+	if _, err := nodes[0].ReadPage(context.Background(), 1, 0, 0); !errors.Is(err, ErrNodeDown) {
 		t.Fatalf("read on crashed node: %v", err)
 	}
 	nodes[0].Restart()
-	if _, err := nodes[0].ReceiveBatch(b, 0, 0); err != nil {
+	if _, err := nodes[0].ReceiveBatch(context.Background(), b, 0, 0); err != nil {
 		t.Fatalf("receive after restart: %v", err)
 	}
 }
@@ -188,31 +189,31 @@ func TestReadPageMaterializesAtReadPoint(t *testing.T) {
 	for i, s := range []string{"aa", "bb", "cc"} {
 		m := &core.MTR{Txn: uint64(i)}
 		m.AddDelta(0, 7, 0, []byte(s))
-		batches, _, _ := f.Frame(m)
+		batches, _, _ := f.Frame(context.Background(), m)
 		for _, n := range nodes {
-			if _, err := n.ReceiveBatch(&batches[0], 0, 0); err != nil {
+			if _, err := n.ReceiveBatch(context.Background(), &batches[0], 0, 0); err != nil {
 				t.Fatal(err)
 			}
 		}
 	}
-	p, err := nodes[2].ReadPage(7, 2, 0)
+	p, err := nodes[2].ReadPage(context.Background(), 7, 2, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if got := string(p.Payload()[:2]); got != "bb" {
 		t.Fatalf("read point 2 payload %q, want bb", got)
 	}
-	p, err = nodes[2].ReadPage(7, 3, 0)
+	p, err = nodes[2].ReadPage(context.Background(), 7, 3, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if got := string(p.Payload()[:2]); got != "cc" {
 		t.Fatalf("read point 3 payload %q, want cc", got)
 	}
-	if _, err := nodes[2].ReadPage(7, 9, 9); !errors.Is(err, ErrIncomplete) {
+	if _, err := nodes[2].ReadPage(context.Background(), 7, 9, 9); !errors.Is(err, ErrIncomplete) {
 		t.Fatalf("read beyond SCL: %v", err)
 	}
-	if _, err := nodes[2].ReadPage(999, 1, 0); !errors.Is(err, ErrNoSuchPage) {
+	if _, err := nodes[2].ReadPage(context.Background(), 999, 1, 0); !errors.Is(err, ErrNoSuchPage) {
 		t.Fatalf("unknown page: %v", err)
 	}
 }
@@ -241,12 +242,12 @@ func TestTruncateAnnulsTail(t *testing.T) {
 	f := core.NewFramer(core.NewAllocator(core.ZeroLSN, 0), nil)
 	m := &core.MTR{Txn: 99}
 	m.AddDelta(0, 1, 0, []byte("zz"))
-	batches, _, _ := f.Frame(m) // LSN 1... already held; craft manual record inside range
+	batches, _, _ := f.Frame(context.Background(), m) // LSN 1... already held; craft manual record inside range
 	_ = batches
 	manual := core.Batch{PG: 0, Records: []core.Record{{
 		LSN: 8, PrevLSN: 6, Type: core.RecPageDelta, PG: 0, Page: 1, Data: []byte("np"),
 	}}}
-	if _, err := n.ReceiveBatch(&manual, 0, 0); err != nil {
+	if _, err := n.ReceiveBatch(context.Background(), &manual, 0, 0); err != nil {
 		t.Fatal(err)
 	}
 	if s := n.Stats(); s.RecordsHeld != 6 {
@@ -262,15 +263,15 @@ func TestHighestCPLAtOrBelow(t *testing.T) {
 	m1.AddDelta(0, 1, 0, []byte("a"))
 	m1.AddDelta(0, 2, 0, []byte("b"))
 	m1.AddDelta(0, 3, 0, []byte("c"))
-	b1, _, _ := f.Frame(m1)
+	b1, _, _ := f.Frame(context.Background(), m1)
 	m2 := &core.MTR{Txn: 2}
 	m2.AddDelta(0, 1, 4, []byte("d"))
 	m2.AddDelta(0, 2, 4, []byte("e"))
-	b2, _, _ := f.Frame(m2)
+	b2, _, _ := f.Frame(context.Background(), m2)
 	n := nodes[0]
 	for _, b := range append(b1, b2...) {
 		bb := b
-		if _, err := n.ReceiveBatch(&bb, 0, 0); err != nil {
+		if _, err := n.ReceiveBatch(context.Background(), &bb, 0, 0); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -292,13 +293,13 @@ func TestCoalesceAdvancesBaseAndGCs(t *testing.T) {
 	for i := 0; i < 8; i++ {
 		m := &core.MTR{Txn: uint64(i)}
 		m.AddDelta(0, 1, uint32(i), []byte{byte('a' + i)})
-		batches, _, _ := f.Frame(m)
+		batches, _, _ := f.Frame(context.Background(), m)
 		// Piggyback VDL=8, PGMRPL=5 on the last batch.
 		vdl, mrpl := core.ZeroLSN, core.ZeroLSN
 		if i == 7 {
 			vdl, mrpl = 8, 5
 		}
-		if _, err := n.ReceiveBatch(&batches[0], vdl, mrpl); err != nil {
+		if _, err := n.ReceiveBatch(context.Background(), &batches[0], vdl, mrpl); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -315,14 +316,14 @@ func TestCoalesceAdvancesBaseAndGCs(t *testing.T) {
 		t.Fatalf("gc stats %+v", s)
 	}
 	// Reads at/above the PGMRPL still work and see the right data.
-	p, err := n.ReadPage(1, 8, 0)
+	p, err := n.ReadPage(context.Background(), 1, 8, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if got := string(p.Payload()[:8]); got != "abcdefgh" {
 		t.Fatalf("payload %q", got)
 	}
-	p, err = n.ReadPage(1, 5, 0)
+	p, err = n.ReadPage(context.Background(), 1, 5, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -350,12 +351,12 @@ func TestBackupRestoreRoundTrip(t *testing.T) {
 	if v := n.BackupNow(); v != 1 {
 		t.Fatalf("backup version %d", v)
 	}
-	before, err := n.ReadPage(1, 12, 0)
+	before, err := n.ReadPage(context.Background(), 1, 12, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	n.Wipe()
-	if _, err := n.ReadPage(1, 12, 0); !errors.Is(err, ErrWipedSegment) {
+	if _, err := n.ReadPage(context.Background(), 1, 12, 0); !errors.Is(err, ErrWipedSegment) {
 		t.Fatalf("read on wiped segment: %v", err)
 	}
 	if err := n.RestoreFromBackup(); err != nil {
@@ -364,7 +365,7 @@ func TestBackupRestoreRoundTrip(t *testing.T) {
 	if n.SCL() != 12 {
 		t.Fatalf("SCL after restore %d, want 12", n.SCL())
 	}
-	after, err := n.ReadPage(1, 12, 0)
+	after, err := n.ReadPage(context.Background(), 1, 12, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -380,8 +381,8 @@ func TestSnapshotAfterCoalesce(t *testing.T) {
 	for i := 0; i < 6; i++ {
 		m := &core.MTR{Txn: uint64(i)}
 		m.AddDelta(0, 2, uint32(i), []byte{byte('A' + i)})
-		batches, _, _ := f.Frame(m)
-		if _, err := n.ReceiveBatch(&batches[0], 6, 4); err != nil {
+		batches, _, _ := f.Frame(context.Background(), m)
+		if _, err := n.ReceiveBatch(context.Background(), &batches[0], 6, 4); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -394,7 +395,7 @@ func TestSnapshotAfterCoalesce(t *testing.T) {
 	if n2.SCL() != 6 {
 		t.Fatalf("restored SCL %d, want 6", n2.SCL())
 	}
-	p, err := n2.ReadPage(2, 6, 0)
+	p, err := n2.ReadPage(context.Background(), 2, 6, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -419,9 +420,9 @@ func TestScrubDetectsAndRepairsCorruption(t *testing.T) {
 	for i := 0; i < 4; i++ {
 		m := &core.MTR{Txn: uint64(i)}
 		m.AddDelta(0, 3, uint32(i), []byte{byte('a' + i)})
-		batches, _, _ := f.Frame(m)
+		batches, _, _ := f.Frame(context.Background(), m)
 		for _, n := range nodes {
-			if _, err := n.ReceiveBatch(&batches[0], 4, 4); err != nil {
+			if _, err := n.ReceiveBatch(context.Background(), &batches[0], 4, 4); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -439,7 +440,7 @@ func TestScrubDetectsAndRepairsCorruption(t *testing.T) {
 	if s := n.Stats(); s.ScrubsRepaired != 1 {
 		t.Fatalf("repairs %d", s.ScrubsRepaired)
 	}
-	p, err := n.ReadPage(3, 4, 0)
+	p, err := n.ReadPage(context.Background(), 3, 4, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -501,7 +502,7 @@ func TestReadCostsDiskIO(t *testing.T) {
 	writeMTRs(t, nodes, 3, all(nodes))
 	n := nodes[0]
 	n.Disk().ResetStats()
-	if _, err := n.ReadPage(1, 3, 0); err != nil {
+	if _, err := n.ReadPage(context.Background(), 1, 3, 0); err != nil {
 		t.Fatal(err)
 	}
 	if n.Disk().Stats().Reads != 1 {

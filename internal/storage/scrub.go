@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"context"
 	"fmt"
 
 	"aurora/internal/core"
@@ -29,8 +30,9 @@ func (n *Node) ScrubOnce() int {
 	peers := append([]*Node(nil), n.peers...)
 	n.mu.Unlock()
 
+	ctx := n.runContext()
 	for _, id := range bad {
-		if n.repairPageFromPeers(id, peers) {
+		if n.repairPageFromPeers(ctx, id, peers) {
 			n.scrubFix.Add(1)
 		}
 	}
@@ -40,12 +42,12 @@ func (n *Node) ScrubOnce() int {
 // repairPageFromPeers replaces a corrupt base page with a verified copy
 // from the first peer that has one, merging the peer's delta chain so no
 // record is lost.
-func (n *Node) repairPageFromPeers(id core.PageID, peers []*Node) bool {
+func (n *Node) repairPageFromPeers(ctx context.Context, id core.PageID, peers []*Node) bool {
 	for _, peer := range peers {
-		if peer.down.Load() {
+		if peer.down.Load() || ctx.Err() != nil {
 			continue
 		}
-		if err := n.cfg.Net.Send(n.cfg.Node, peer.cfg.Node, gossipRequestSize); err != nil {
+		if err := n.cfg.Net.Send(ctx, n.cfg.Node, peer.cfg.Node, gossipRequestSize); err != nil {
 			continue
 		}
 		base, chain, ok := peer.pageCopy(id)
@@ -56,7 +58,7 @@ func (n *Node) repairPageFromPeers(id core.PageID, peers []*Node) bool {
 		for _, r := range chain {
 			size += r.EncodedSize()
 		}
-		if err := n.cfg.Net.Send(peer.cfg.Node, n.cfg.Node, size); err != nil {
+		if err := n.cfg.Net.Send(ctx, peer.cfg.Node, n.cfg.Node, size); err != nil {
 			continue
 		}
 		if base != nil {
@@ -155,11 +157,12 @@ func (n *Node) RepairFrom(peer *Node) error {
 	if peer.down.Load() {
 		return fmt.Errorf("repair source %s: %w", peer.cfg.Node, ErrNodeDown)
 	}
-	if err := n.cfg.Net.Send(n.cfg.Node, peer.cfg.Node, gossipRequestSize); err != nil {
+	ctx := n.runContext()
+	if err := n.cfg.Net.Send(ctx, n.cfg.Node, peer.cfg.Node, gossipRequestSize); err != nil {
 		return err
 	}
 	snap := peer.Snapshot()
-	if err := n.cfg.Net.Send(peer.cfg.Node, n.cfg.Node, len(snap)); err != nil {
+	if err := n.cfg.Net.Send(ctx, peer.cfg.Node, n.cfg.Node, len(snap)); err != nil {
 		return err
 	}
 	if err := n.ssd.Write(len(snap)); err != nil {

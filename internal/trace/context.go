@@ -1,0 +1,25 @@
+package trace
+
+import "context"
+
+// spanKey is the context key under which the active span travels. Spans are
+// carried in a context.Context rather than threaded as explicit parameters,
+// so one signature serves both the sampled and unsampled paths (the former
+// *Traced API fork).
+type spanKey struct{}
+
+// NewContext returns a context carrying sp. A nil span — the unsampled
+// common case — returns ctx unchanged, so the hot path allocates nothing.
+func NewContext(ctx context.Context, sp *Span) context.Context {
+	if sp == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanKey{}, sp)
+}
+
+// FromContext returns the span carried by ctx, or nil when there is none.
+// The returned span is safe to use directly: all Span methods are nil-safe.
+func FromContext(ctx context.Context) *Span {
+	sp, _ := ctx.Value(spanKey{}).(*Span)
+	return sp
+}

@@ -1,6 +1,7 @@
 package volume
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -41,6 +42,20 @@ type Client struct {
 	tails  *PGTailTracker
 	reads  *readRegistry
 	epoch  uint64
+
+	// rootCtx bounds the client's lifecycle: sender pipelines, retry
+	// backoffs and rebalancer waits all select on it. Close cancels it after
+	// draining; Crash cancels it immediately.
+	rootCtx    context.Context
+	rootCancel context.CancelFunc
+
+	// inflight tracks quorum-resolution watchers (the goroutines that
+	// advance the VDL when a batch's quorum resolves, even if the committing
+	// waiter detached on deadline). Close waits for them so the VDL is final
+	// before the trackers are torn down.
+	infMu    sync.Mutex
+	draining bool
+	inflight sync.WaitGroup
 
 	sclMu sync.RWMutex
 	scls  map[core.SegmentID]core.LSN // writer's runtime view of completeness
@@ -93,18 +108,21 @@ func Bootstrap(f *Fleet, cfg ClientConfig) *Client {
 func newClient(f *Fleet, cfg ClientConfig, start core.LSN, tails map[core.PGID]core.LSN, epoch uint64) *Client {
 	f.cfg.Net.AddNode(cfg.WriterNode, cfg.WriterAZ)
 	alloc := core.NewAllocator(start, cfg.LAL)
+	rootCtx, rootCancel := context.WithCancel(context.Background())
 	c := &Client{
-		fleet:  f,
-		node:   cfg.WriterNode,
-		q:      f.q,
-		alloc:  alloc,
-		framer: core.NewFramer(alloc, tails),
-		vdl:    core.NewVDLTracker(start),
-		win:    newAckWindow(start),
-		tails:  NewPGTailTracker(tails),
-		reads:  newReadRegistry(start),
-		epoch:  epoch,
-		scls:   make(map[core.SegmentID]core.LSN),
+		rootCtx:    rootCtx,
+		rootCancel: rootCancel,
+		fleet:      f,
+		node:       cfg.WriterNode,
+		q:          f.q,
+		alloc:      alloc,
+		framer:     core.NewFramer(alloc, tails),
+		vdl:        core.NewVDLTracker(start),
+		win:        newAckWindow(start),
+		tails:      NewPGTailTracker(tails),
+		reads:      newReadRegistry(start),
+		epoch:      epoch,
+		scls:       make(map[core.SegmentID]core.LSN),
 	}
 	c.vdl.Advance(start)
 	senders := make([][]*replicaSender, f.PGs())
@@ -182,8 +200,18 @@ func (c *Client) PGOfAt(id core.PageID, readPoint core.LSN) core.PGID {
 // below the VDL — the completeness a read of that PG requires (§4.2.3).
 func (c *Client) DurableTail(pg core.PGID) core.LSN { return c.tails.DurableTail(pg) }
 
-// LowWaterMark returns the current MRPL (see readRegistry).
-func (c *Client) LowWaterMark() core.LSN { return c.reads.lowWaterMark(c.vdl.VDL()) }
+// LowWaterMark returns the current MRPL (see readRegistry), folded with the
+// read points pinned by attached read replicas — storage GC must respect
+// the oldest view any instance on the volume can still request (§4.2.3).
+func (c *Client) LowWaterMark() core.LSN { return c.mrpl(c.vdl.VDL()) }
+
+func (c *Client) mrpl(vdl core.LSN) core.LSN {
+	m := c.reads.lowWaterMark(vdl)
+	if floor, ok := c.fleet.readerFloor(); ok && floor < m {
+		m = floor
+	}
+	return m
+}
 
 // RegisterReadPoint establishes a read view at the current VDL, holding
 // the volume's low-water mark down until released. The engine uses it for
@@ -223,13 +251,14 @@ func (p *PendingWrite) LastLSNFor(id core.PageID) core.LSN {
 
 // FrameMTR assigns LSNs and backlinks to the MTR and registers its
 // consistency point, without performing any IO. The write is on the wire
-// once Ship is called; until then it occupies the allocation window.
-func (c *Client) FrameMTR(m *core.MTR) (*PendingWrite, error) {
+// once Ship is called; until then it occupies the allocation window. The
+// LAL back-pressure wait inside framing selects on ctx.
+func (c *Client) FrameMTR(ctx context.Context, m *core.MTR) (*PendingWrite, error) {
 	if c.closed.Load() {
 		return nil, ErrClosed
 	}
 	c.geomMu.RLock()
-	batches, cpl, err := c.framer.Frame(m)
+	batches, cpl, err := c.framer.Frame(ctx, m)
 	if err != nil {
 		c.geomMu.RUnlock()
 		return nil, err
@@ -246,26 +275,26 @@ func (c *Client) FrameMTR(m *core.MTR) (*PendingWrite, error) {
 }
 
 // Ship delivers the framed batches to the storage fleet and returns once
-// every batch has reached its write quorum. Durability of the MTR
-// (VDL >= CPL) may still lag and is awaited separately — worker threads
-// never stall on commit (§4.2.2). Ship must be called exactly once.
-func (p *PendingWrite) Ship() error { return p.ShipTraced(nil) }
-
-// ShipTraced is Ship with the batches' quorum flights recorded as children
-// of sp (nil sp means no tracing — identical to Ship).
-func (p *PendingWrite) ShipTraced(sp *trace.Span) error {
+// every batch has reached its write quorum or ctx fires. Durability of the
+// MTR (VDL >= CPL) may still lag and is awaited separately — worker threads
+// never stall on commit (§4.2.2). A ctx deadline detaches only the waiter:
+// the batches stay in the sender pipelines and the VDL still advances when
+// their quorums resolve. When ctx carries a sampled span, the quorum
+// flights are recorded as its children. Ship must be called exactly once.
+func (p *PendingWrite) Ship(ctx context.Context) error {
 	if p.shipped {
 		return errors.New("volume: pending write shipped twice")
 	}
 	p.shipped = true
 	c := p.c
+	sp := trace.FromContext(ctx)
 	var wg sync.WaitGroup
 	errs := make([]error, len(p.batches))
 	for i := range p.batches {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			errs[i] = c.shipBatch(&p.batches[i], sp)
+			errs[i] = c.shipBatch(ctx, &p.batches[i], sp)
 		}(i)
 	}
 	wg.Wait()
@@ -304,12 +333,12 @@ func (g *GroupWrite) MaxCPL() core.LSN { return g.cpls[len(g.cpls)-1] }
 // FrameMTR it performs no IO; the group is on the wire once Ship is
 // called. The MTRs' own records are stamped with their LSNs in place, so
 // callers can compute per-page stamp LSNs from each MTR directly.
-func (c *Client) FrameMTRs(ms []*core.MTR) (*GroupWrite, error) {
+func (c *Client) FrameMTRs(ctx context.Context, ms []*core.MTR) (*GroupWrite, error) {
 	if c.closed.Load() {
 		return nil, ErrClosed
 	}
 	c.geomMu.RLock()
-	batches, cpls, err := c.framer.FrameGroup(ms)
+	batches, cpls, err := c.framer.FrameGroup(ctx, ms)
 	if err != nil {
 		c.geomMu.RUnlock()
 		return nil, err
@@ -328,26 +357,26 @@ func (c *Client) FrameMTRs(ms []*core.MTR) (*GroupWrite, error) {
 }
 
 // Ship delivers the group's merged batches to the storage fleet and
-// returns once every batch has reached its write quorum. As with
-// PendingWrite.Ship, durability (VDL >= CPL) may still lag and is awaited
-// separately. Ship must be called exactly once.
-func (g *GroupWrite) Ship() error { return g.ShipTraced(nil) }
-
-// ShipTraced is Ship with each batch's per-replica flights and quorum wait
-// recorded as children of sp (nil sp means no tracing — identical to Ship).
-func (g *GroupWrite) ShipTraced(sp *trace.Span) error {
+// returns once every batch has reached its write quorum or ctx fires. As
+// with PendingWrite.Ship, durability (VDL >= CPL) may still lag and is
+// awaited separately, a ctx deadline detaches only the waiter (the batches
+// still ship and the VDL still advances), and a sampled span carried in ctx
+// gets the per-replica flights and quorum waits as children. Ship must be
+// called exactly once.
+func (g *GroupWrite) Ship(ctx context.Context) error {
 	if g.shipped {
 		return errors.New("volume: group write shipped twice")
 	}
 	g.shipped = true
 	c := g.c
+	sp := trace.FromContext(ctx)
 	var wg sync.WaitGroup
 	errs := make([]error, len(g.batches))
 	for i := range g.batches {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			errs[i] = c.shipBatch(&g.batches[i], sp)
+			errs[i] = c.shipBatch(ctx, &g.batches[i], sp)
 		}(i)
 	}
 	wg.Wait()
@@ -363,12 +392,12 @@ func (g *GroupWrite) ShipTraced(sp *trace.Span) error {
 // WriteMTR frames a mini-transaction into the log and ships it to the
 // storage fleet, returning once every batch has reached its 4/6 write
 // quorum. The returned LSN is the MTR's consistency point.
-func (c *Client) WriteMTR(m *core.MTR) (core.LSN, error) {
-	p, err := c.FrameMTR(m)
+func (c *Client) WriteMTR(ctx context.Context, m *core.MTR) (core.LSN, error) {
+	p, err := c.FrameMTR(ctx, m)
 	if err != nil {
 		return core.ZeroLSN, err
 	}
-	return p.cpl, p.Ship()
+	return p.cpl, p.Ship(ctx)
 }
 
 // noteSCL folds a piggybacked segment completeness point into the writer's
@@ -392,46 +421,26 @@ func (c *Client) trackedSCL(seg core.SegmentID) core.LSN {
 // read point (the current VDL), computes the completeness the owning PG
 // requires, and asks a single segment known to be complete — quorum reads
 // are never needed in the normal path (§4.1, §4.2.3). It returns the page
-// and the read point it reflects.
-func (c *Client) ReadPage(id core.PageID) (page.Page, core.LSN, error) {
+// and the read point it reflects. A sampled span carried in ctx gets each
+// hedged attempt as a child; ctx cancellation abandons the read.
+func (c *Client) ReadPage(ctx context.Context, id core.PageID) (page.Page, core.LSN, error) {
 	if c.closed.Load() {
 		return nil, core.ZeroLSN, ErrClosed
 	}
 	readPoint := c.vdl.VDL()
 	release := c.reads.register(readPoint)
 	defer release()
-	p, err := c.readAt(id, readPoint, nil)
-	return p, readPoint, err
-}
-
-// ReadPageTraced is ReadPage with each hedged attempt recorded as a child
-// span of sp (nil sp means no tracing).
-func (c *Client) ReadPageTraced(id core.PageID, sp *trace.Span) (page.Page, core.LSN, error) {
-	if c.closed.Load() {
-		return nil, core.ZeroLSN, ErrClosed
-	}
-	readPoint := c.vdl.VDL()
-	release := c.reads.register(readPoint)
-	defer release()
-	p, err := c.readAt(id, readPoint, sp)
+	p, err := c.readAt(ctx, id, readPoint)
 	return p, readPoint, err
 }
 
 // ReadPageAt reads a page at a caller-held read point (a transaction
 // snapshot previously registered with RegisterReadPoint).
-func (c *Client) ReadPageAt(id core.PageID, readPoint core.LSN) (page.Page, error) {
+func (c *Client) ReadPageAt(ctx context.Context, id core.PageID, readPoint core.LSN) (page.Page, error) {
 	if c.closed.Load() {
 		return nil, ErrClosed
 	}
-	return c.readAt(id, readPoint, nil)
-}
-
-// ReadPageAtTraced is ReadPageAt with per-attempt child spans under sp.
-func (c *Client) ReadPageAtTraced(id core.PageID, readPoint core.LSN, sp *trace.Span) (page.Page, error) {
-	if c.closed.Load() {
-		return nil, ErrClosed
-	}
-	return c.readAt(id, readPoint, sp)
+	return c.readAt(ctx, id, readPoint)
 }
 
 // readAt routes and executes one logical page read, retrying when a storage
@@ -439,16 +448,16 @@ func (c *Client) ReadPageAtTraced(id core.PageID, readPoint core.LSN, sp *trace.
 // reloads the routing table (lock-free — the fleet publishes it atomically)
 // and re-routes. Three rounds bound the loop; a volume never flips stripes
 // faster than a read can chase them.
-func (c *Client) readAt(id core.PageID, readPoint core.LSN, sp *trace.Span) (page.Page, error) {
+func (c *Client) readAt(ctx context.Context, id core.PageID, readPoint core.LSN) (page.Page, error) {
 	var lastErr error
 	for attempt := 0; attempt < 3; attempt++ {
-		p, err := c.readAtOnce(id, readPoint, sp)
+		p, err := c.readAtOnce(ctx, id, readPoint)
 		if err == nil {
 			c.readsServed.Add(1)
 			return p, nil
 		}
 		lastErr = err
-		if !errors.Is(err, storage.ErrStaleGeometry) {
+		if !errors.Is(err, storage.ErrStaleGeometry) || ctx.Err() != nil {
 			break
 		}
 		c.geomRetries.Add(1)
@@ -456,7 +465,8 @@ func (c *Client) readAt(id core.PageID, readPoint core.LSN, sp *trace.Span) (pag
 	return nil, lastErr
 }
 
-func (c *Client) readAtOnce(id core.PageID, readPoint core.LSN, sp *trace.Span) (page.Page, error) {
+func (c *Client) readAtOnce(ctx context.Context, id core.PageID, readPoint core.LSN) (page.Page, error) {
+	sp := trace.FromContext(ctx)
 	// Route through the geometry in force at the read point: a snapshot read
 	// below a stripe cutover goes to the stripe's old PG, which retains every
 	// record at or below the cutover (GC is bounded by the MRPL). The epoch
@@ -488,8 +498,9 @@ func (c *Client) readAtOnce(id core.PageID, readPoint core.LSN, sp *trace.Span) 
 
 	// Hedged read: one attempt at a time, with a deadline derived from the
 	// PG's observed latency percentiles; an attempt that overruns it races
-	// a hedge to the next-best replica (§4.2.3 without quorum reads).
-	p, err := c.fleet.health.runHedged(pg, cands, func(i int, hedged bool) (page.Page, error) {
+	// a hedge to the next-best replica (§4.2.3 without quorum reads). When
+	// a winner lands, the losing attempts are actively canceled.
+	p, err := c.fleet.health.runHedged(ctx, pg, cands, func(actx context.Context, i int, hedged bool) (page.Page, error) {
 		n := replicas[i]
 		asp := sp.Child("read.attempt")
 		asp.Annotate("replica", i)
@@ -497,13 +508,13 @@ func (c *Client) readAtOnce(id core.PageID, readPoint core.LSN, sp *trace.Span) 
 		if hedged {
 			asp.Annotate("hedge", true)
 		}
-		if err := c.fleet.cfg.Net.SendTraced(c.node, n.NodeID(), reqSize, asp, "net.req"); err != nil {
+		if err := sendHop(actx, c.fleet.cfg.Net, asp, "net.req", c.node, n.NodeID(), reqSize); err != nil {
 			asp.Annotate("err", err)
 			asp.End()
 			return nil, err
 		}
 		ssp := asp.Child("storage.read")
-		p, err := n.ReadPageChecked(id, readPoint, required, curEpoch)
+		p, err := n.ReadPageChecked(actx, id, readPoint, required, curEpoch)
 		ssp.End()
 		if err != nil {
 			c.readRetries.Add(1)
@@ -511,10 +522,13 @@ func (c *Client) readAtOnce(id core.PageID, readPoint core.LSN, sp *trace.Span) 
 			asp.End()
 			return nil, err
 		}
-		if err := c.fleet.cfg.Net.SendTraced(n.NodeID(), c.node, page.Size, asp, "net.resp"); err != nil {
+		if err := sendHop(actx, c.fleet.cfg.Net, asp, "net.resp", n.NodeID(), c.node, page.Size); err != nil {
 			// The segment served the page but the response never arrived —
-			// a distinct gray signature, counted apart from read errors.
-			c.fleet.health.respDrops.Inc()
+			// a distinct gray signature, counted apart from read errors
+			// (unless this loser was canceled because a peer already won).
+			if !errors.Is(err, context.Canceled) {
+				c.fleet.health.respDrops.Inc()
+			}
 			asp.Annotate("err", err)
 			asp.End()
 			return nil, err
@@ -541,6 +555,7 @@ type Stats struct {
 	WriteFailures  uint64
 	Hedges         uint64 // hedged read attempts launched
 	HedgeWins      uint64 // hedges that returned first
+	HedgeCancels   uint64 // losing attempts actively canceled after a win
 	AutoRepairs    uint64 // suspect replicas repaired by the fleet monitor
 	RespDrops      uint64 // responses lost after a successful segment read
 	VDL            core.LSN
@@ -576,6 +591,7 @@ func (c *Client) Stats() Stats {
 		WriteFailures:  c.writeFails.Load(),
 		Hedges:         hs.Hedges,
 		HedgeWins:      hs.HedgeWins,
+		HedgeCancels:   hs.HedgeCancels,
 		AutoRepairs:    hs.AutoRepairs,
 		RespDrops:      hs.RespDrops,
 		VDL:            c.vdl.VDL(),
@@ -584,22 +600,64 @@ func (c *Client) Stats() Stats {
 	}
 }
 
-// Crash tears the writer down abruptly: in-flight waiters are released (to
-// re-check durability themselves) and no further operations are accepted.
-// The storage fleet is untouched — its durable state is what Recover reads.
+// Crash tears the writer down abruptly: the root context is canceled (any
+// in-flight send or backoff is abandoned), pending shipments are nacked,
+// and in-flight waiters are released to re-check durability themselves. The
+// storage fleet is untouched — its durable state is what Recover reads.
 func (c *Client) Crash() {
 	if c.closed.Swap(true) {
 		return
 	}
+	c.rootCancel()
 	for _, pg := range *c.senders.Load() {
 		for _, s := range pg {
 			s.stop()
 		}
 	}
+	c.stopInflight()
 	c.alloc.Close()
 	c.vdl.Close()
 	c.fleet.cfg.Net.RemoveNode(c.node)
 }
 
-// Close is a graceful Crash (identical effect in the simulation).
-func (c *Client) Close() { c.Crash() }
+// Close shuts the writer down gracefully: no new operations are accepted,
+// the sender pipelines drain their queued flights (delivering, not
+// nacking), the quorum watchers finish advancing the VDL, and only then is
+// the root context canceled and the allocator torn down.
+func (c *Client) Close() {
+	if c.closed.Swap(true) {
+		return
+	}
+	for _, pg := range *c.senders.Load() {
+		for _, s := range pg {
+			s.drain()
+		}
+	}
+	c.stopInflight()
+	c.rootCancel()
+	c.alloc.Close()
+	c.vdl.Close()
+	c.fleet.cfg.Net.RemoveNode(c.node)
+}
+
+// stopInflight waits for the in-flight quorum watchers and rejects new
+// tracked registrations (late shipments still resolve, untracked).
+func (c *Client) stopInflight() {
+	c.infMu.Lock()
+	c.draining = true
+	c.infMu.Unlock()
+	c.inflight.Wait()
+}
+
+// trackInflight registers one quorum watcher with the client's drain
+// barrier. After Close/Crash began draining it reports false and the
+// watcher runs untracked — everything it would advance is being torn down.
+func (c *Client) trackInflight() (func(), bool) {
+	c.infMu.Lock()
+	defer c.infMu.Unlock()
+	if c.draining {
+		return func() {}, false
+	}
+	c.inflight.Add(1)
+	return func() { c.inflight.Done() }, true
+}

@@ -1,6 +1,7 @@
 package volume
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -55,7 +56,7 @@ func TestGrowRoutesToNewPGs(t *testing.T) {
 	// Every page still reads back its payload, and the new PGs serve reads.
 	before := newPGReads(f)
 	for i := 0; i < pages; i++ {
-		p, _, err := c.ReadPage(core.PageID(i))
+		p, _, err := c.ReadPage(context.Background(), core.PageID(i))
 		if err != nil {
 			t.Fatalf("page %d after grow: %v", i, err)
 		}
@@ -128,7 +129,7 @@ func TestGrowUnderChaos(t *testing.T) {
 			v := writes.Add(1)
 			m := &core.MTR{Txn: uint64(w + 1)}
 			m.AddDelta(c.PGOf(id), id, 0, []byte(fmt.Sprintf("%012d", v)))
-			if _, err := c.WriteMTR(m); err != nil {
+			if _, err := c.WriteMTR(context.Background(), m); err != nil {
 				writeErr.Store(err)
 				return
 			}
@@ -141,7 +142,7 @@ func TestGrowUnderChaos(t *testing.T) {
 				}
 			}
 			if i%7 == 0 {
-				if _, _, err := c.ReadPage(id); err != nil {
+				if _, _, err := c.ReadPage(context.Background(), id); err != nil {
 					writeErr.Store(fmt.Errorf("read during grow: %w", err))
 					return
 				}
@@ -199,7 +200,7 @@ func TestGrowUnderChaos(t *testing.T) {
 		if want == 0 {
 			continue
 		}
-		p, _, err := c.ReadPage(core.PageID(id))
+		p, _, err := c.ReadPage(context.Background(), core.PageID(id))
 		if err != nil {
 			t.Fatalf("page %d after chaos grow: %v", id, err)
 		}
@@ -267,13 +268,13 @@ func TestGrowPersistsGeometryForRestore(t *testing.T) {
 	if rrep.GeometryEpoch != f.Geometry().Epoch() {
 		t.Fatalf("restored geometry epoch %d, source %d", rrep.GeometryEpoch, f.Geometry().Epoch())
 	}
-	c2, _, err := Recover(restored, ClientConfig{WriterNode: "rw", WriterAZ: 0})
+	c2, _, err := Recover(context.Background(), restored, ClientConfig{WriterNode: "rw", WriterAZ: 0})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer c2.Close()
 	for i := 0; i < pages; i++ {
-		p, _, err := c2.ReadPage(core.PageID(i))
+		p, _, err := c2.ReadPage(context.Background(), core.PageID(i))
 		if err != nil {
 			t.Fatalf("restored page %d: %v", i, err)
 		}
@@ -295,12 +296,12 @@ func TestGrowPersistsGeometryForRestore(t *testing.T) {
 	if old.PGs() != 2 || orep.PGs != 2 {
 		t.Fatalf("pre-grow restore has %d PGs, want 2", old.PGs())
 	}
-	c3, _, err := Recover(old, ClientConfig{WriterNode: "ow", WriterAZ: 0})
+	c3, _, err := Recover(context.Background(), old, ClientConfig{WriterNode: "ow", WriterAZ: 0})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer c3.Close()
-	p, _, err := c3.ReadPage(5)
+	p, _, err := c3.ReadPage(context.Background(), 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -327,7 +328,7 @@ func TestGrowSnapshotReadsRouteOldPG(t *testing.T) {
 		t.Fatalf("snapshot read of page 3 routed to pg %d", pg)
 	}
 	// ...and still sees the old content.
-	p, err := c.ReadPageAt(3, snap)
+	p, err := c.ReadPageAt(context.Background(), 3, snap)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -335,7 +336,7 @@ func TestGrowSnapshotReadsRouteOldPG(t *testing.T) {
 		t.Fatalf("snapshot read after cutover: %q", got)
 	}
 	// A fresh read sees the new write, wherever the stripe lives now.
-	p, _, err = c.ReadPage(3)
+	p, _, err = c.ReadPage(context.Background(), 3)
 	if err != nil {
 		t.Fatal(err)
 	}

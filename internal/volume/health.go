@@ -1,6 +1,8 @@
 package volume
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -104,11 +106,12 @@ func (c HealthConfig) withDefaults() HealthConfig {
 // replicaHealth scores one (PG, replica) pair from delivery acks and read
 // attempts: a latency EWMA plus a consecutive-failure streak.
 type replicaHealth struct {
-	mu    sync.Mutex
-	ewma  float64 // seconds; 0 until the first successful observation
-	fails int     // consecutive failures since the last success
-	oks   uint64
-	errs  uint64
+	mu       sync.Mutex
+	ewma     float64 // seconds; 0 until the first successful observation
+	fails    int     // consecutive failures since the last success
+	outlived int     // consecutive attempts canceled because a sibling won
+	oks      uint64
+	errs     uint64
 }
 
 // pgLatency derives the hedge deadline for one protection group from a
@@ -125,11 +128,12 @@ const deadlineEvery = 32
 
 // HealthStats is a snapshot of the gray-failure counters.
 type HealthStats struct {
-	Retries     uint64 // write-path redeliveries after a failed flight
-	Hedges      uint64 // hedged read attempts launched on deadline
-	HedgeWins   uint64 // reads won by a hedge rather than the primary
-	AutoRepairs uint64 // monitor-triggered repairs/catch-ups of suspects
-	RespDrops   uint64 // successful page reads whose response never arrived
+	Retries      uint64 // write-path redeliveries after a failed flight
+	Hedges       uint64 // hedged read attempts launched on deadline
+	HedgeWins    uint64 // reads won by a hedge rather than the primary
+	HedgeCancels uint64 // losing attempts actively canceled after a win
+	AutoRepairs  uint64 // monitor-triggered repairs/catch-ups of suspects
+	RespDrops    uint64 // successful page reads whose response never arrived
 }
 
 // HealthTracker maintains per-(PG, replica) health for one fleet. All
@@ -140,11 +144,12 @@ type HealthTracker struct {
 	reps atomic.Pointer[[][]*replicaHealth]
 	lat  atomic.Pointer[[]*pgLatency]
 
-	retries     metrics.Counter
-	hedges      metrics.Counter
-	hedgeWins   metrics.Counter
-	autoRepairs metrics.Counter
-	respDrops   metrics.Counter
+	retries      metrics.Counter
+	hedges       metrics.Counter
+	hedgeWins    metrics.Counter
+	hedgeCancels metrics.Counter
+	autoRepairs  metrics.Counter
+	respDrops    metrics.Counter
 }
 
 func newHealthTracker(cfg HealthConfig, pgs, replicas int) *HealthTracker {
@@ -205,7 +210,28 @@ func (h *HealthTracker) ObserveOK(pg core.PGID, idx int, d time.Duration) {
 		r.ewma += h.cfg.EWMAAlpha * (s - r.ewma)
 	}
 	r.fails = 0
+	r.outlived = 0
 	r.oks++
+	r.mu.Unlock()
+}
+
+// ObserveOutlived records an attempt canceled because a later-launched
+// sibling won the race: the elapsed time is a lower bound on the replica's
+// true latency, so it only ever pushes the EWMA up. Gray evidence, not a
+// failure — the replica answered nothing wrong, it was just too slow to
+// wait for.
+func (h *HealthTracker) ObserveOutlived(pg core.PGID, idx int, d time.Duration) {
+	r := h.rep(pg, idx)
+	r.mu.Lock()
+	s := d.Seconds()
+	if s > r.ewma {
+		if r.ewma == 0 {
+			r.ewma = s
+		} else {
+			r.ewma += h.cfg.EWMAAlpha * (s - r.ewma)
+		}
+	}
+	r.outlived++
 	r.mu.Unlock()
 }
 
@@ -229,8 +255,9 @@ func (h *HealthTracker) Reset(pg core.PGID, idx int) {
 }
 
 type repSnap struct {
-	ewma  float64
-	fails int
+	ewma     float64
+	fails    int
+	outlived int
 }
 
 func (h *HealthTracker) snapshot(pg core.PGID) []repSnap {
@@ -239,7 +266,7 @@ func (h *HealthTracker) snapshot(pg core.PGID) []repSnap {
 	out := make([]repSnap, len(reps))
 	for i, r := range reps {
 		r.mu.Lock()
-		out[i] = repSnap{ewma: r.ewma, fails: r.fails}
+		out[i] = repSnap{ewma: r.ewma, fails: r.fails, outlived: r.outlived}
 		r.mu.Unlock()
 	}
 	return out
@@ -252,6 +279,12 @@ func (h *HealthTracker) stateOf(snaps []repSnap, i int) HealthState {
 		return Suspect
 	}
 	if s.fails >= h.cfg.DegradedFails {
+		return Degraded
+	}
+	// A replica repeatedly outlived by later-launched hedges is gray-slow
+	// even though no exchange ever failed: its true latency is censored by
+	// the cancellation, so the streak — not the EWMA — carries the signal.
+	if s.outlived >= h.cfg.DegradedFails {
 		return Degraded
 	}
 	// Latency comparison against the fastest peer with data: a replica
@@ -372,11 +405,12 @@ func (h *HealthTracker) ReadDeadline(pg core.PGID) time.Duration {
 // Stats returns a snapshot of the gray-failure counters.
 func (h *HealthTracker) Stats() HealthStats {
 	return HealthStats{
-		Retries:     h.retries.Load(),
-		Hedges:      h.hedges.Load(),
-		HedgeWins:   h.hedgeWins.Load(),
-		AutoRepairs: h.autoRepairs.Load(),
-		RespDrops:   h.respDrops.Load(),
+		Retries:      h.retries.Load(),
+		Hedges:       h.hedges.Load(),
+		HedgeWins:    h.hedgeWins.Load(),
+		HedgeCancels: h.hedgeCancels.Load(),
+		AutoRepairs:  h.autoRepairs.Load(),
+		RespDrops:    h.respDrops.Load(),
 	}
 }
 
@@ -384,11 +418,14 @@ func (h *HealthTracker) Stats() HealthStats {
 // The first candidate is tried immediately; whenever the newest attempt
 // exceeds the PG's read deadline, a hedge is launched to the next candidate.
 // A failed attempt advances to the next candidate at once. The first success
-// wins; late results from losing attempts are discarded ("cancelled" — the
-// simulated network has no interruptible sends, so cancellation is exactly
-// the discard). Health observations are fed for every attempt, so a slow
-// loser still raises its replica's EWMA and sinks in future orderings.
-func (h *HealthTracker) runHedged(pg core.PGID, cands []int, attempt func(idx int, hedged bool) (page.Page, error)) (page.Page, error) {
+// wins and the losing attempts still in flight are actively canceled — each
+// attempt runs under its own child of ctx, so a loser parked in a simulated
+// network hop unwinds immediately instead of running to completion
+// (HedgeCancels counts them). Health observations are fed for every attempt
+// that ran to its own verdict, so a slow loser still raises its replica's
+// EWMA and sinks in future orderings; a loser that merely got canceled is
+// not blamed. Cancellation of ctx itself abandons the read.
+func (h *HealthTracker) runHedged(ctx context.Context, pg core.PGID, cands []int, attempt func(ctx context.Context, idx int, hedged bool) (page.Page, error)) (page.Page, error) {
 	if len(cands) == 0 {
 		return nil, ErrReadUnavailable
 	}
@@ -398,17 +435,32 @@ func (h *HealthTracker) runHedged(pg core.PGID, cands []int, attempt func(idx in
 		hedge bool
 	}
 	ch := make(chan result, len(cands)) // buffered: losers never block
+	cancels := make([]context.CancelFunc, 0, len(cands))
+	defer func() {
+		for _, cancel := range cancels {
+			cancel()
+		}
+	}()
 	next := 0
 	launch := func(hedge bool) {
 		idx := cands[next]
 		next++
+		actx, cancel := context.WithCancel(ctx)
+		cancels = append(cancels, cancel)
 		go func() {
 			start := time.Now()
-			v, err := attempt(idx, hedge)
+			v, err := attempt(actx, idx, hedge)
 			if err == nil {
 				lat := time.Since(start)
 				h.ObserveOK(pg, idx, lat)
 				h.observeReadLatency(pg, lat)
+			} else if errors.Is(err, context.Canceled) {
+				// Canceled because a sibling won: the time it was
+				// outlived by still counts against its latency EWMA (a
+				// caller abandon — ctx itself done — is not evidence).
+				if ctx.Err() == nil {
+					h.ObserveOutlived(pg, idx, time.Since(start))
+				}
 			} else {
 				h.ObserveFailure(pg, idx)
 			}
@@ -436,10 +488,16 @@ func (h *HealthTracker) runHedged(pg core.PGID, cands []int, attempt func(idx in
 				if r.hedge {
 					h.hedgeWins.Inc()
 				}
+				if inflight > 0 {
+					// The deferred cancels abort the losers; count them.
+					h.hedgeCancels.Add(uint64(inflight))
+				}
 				return r.val, nil
 			}
-			lastErr = r.err
-			if inflight == 0 && next < len(cands) {
+			if !errors.Is(r.err, context.Canceled) {
+				lastErr = r.err
+			}
+			if inflight == 0 && next < len(cands) && ctx.Err() == nil {
 				launch(false)
 				inflight++
 			}
@@ -447,7 +505,15 @@ func (h *HealthTracker) runHedged(pg core.PGID, cands []int, attempt func(idx in
 			h.hedges.Inc()
 			launch(true)
 			inflight++
+		case <-ctx.Done():
+			if timer != nil {
+				timer.Stop()
+			}
+			return nil, ctx.Err()
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	return nil, lastErr
 }

@@ -1,6 +1,7 @@
 package volume
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"testing"
@@ -96,7 +97,7 @@ func TestWritesRideOutPacketLoss(t *testing.T) {
 	}
 	// Every page must read back as its final committed version.
 	for i := 0; i < 8; i++ {
-		p, _, err := c.ReadPage(core.PageID(i))
+		p, _, err := c.ReadPage(context.Background(), core.PageID(i))
 		if err != nil {
 			t.Fatalf("page %d: %v", i, err)
 		}
@@ -132,7 +133,7 @@ func TestRespDropCountedDistinctly(t *testing.T) {
 	net.SetLinkDropProb(f.Node(0, 0).NodeID(), "replica-reader", 1.0)
 	net.SetLinkDropProb(f.Node(0, 1).NodeID(), "replica-reader", 1.0)
 
-	p, err := r.ReadPageAt(3, c.VDL(), c.VDL())
+	p, err := r.ReadPageAt(context.Background(), 3, c.VDL(), c.VDL())
 	if err != nil {
 		t.Fatalf("read: %v", err)
 	}
@@ -165,7 +166,7 @@ func TestHedgedReadBoundsTailLatency(t *testing.T) {
 		lats := make([]time.Duration, 0, n)
 		for i := 0; i < n; i++ {
 			start := time.Now()
-			if _, _, err := c.ReadPage(core.PageID(i % 8)); err != nil {
+			if _, _, err := c.ReadPage(context.Background(), core.PageID(i%8)); err != nil {
 				t.Fatalf("read %d: %v", i, err)
 			}
 			lats = append(lats, time.Since(start))

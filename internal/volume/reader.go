@@ -1,12 +1,19 @@
 package volume
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"sync"
 
 	"aurora/internal/core"
 	"aurora/internal/netsim"
 	"aurora/internal/page"
+	"aurora/internal/trace"
 )
+
+// ErrReaderClosed is returned by reads on a closed Reader.
+var ErrReaderClosed = errors.New("volume: reader closed")
 
 // Reader is a read-only attachment to a fleet, used by read replicas. A
 // replica learns the per-PG durable tails from the writer's log stream, so
@@ -14,12 +21,29 @@ import (
 type Reader struct {
 	fleet *Fleet
 	node  netsim.NodeID
+
+	// ctx bounds the reader's lifetime: Close cancels it, which unwinds
+	// every in-flight hedged attempt before the node leaves the network.
+	ctx    context.Context
+	cancel context.CancelFunc
+	mu     sync.Mutex
+	wg     sync.WaitGroup
+	closed bool
 }
 
 // NewReader registers a read-only consumer of the volume on the network.
 func NewReader(f *Fleet, node netsim.NodeID, az netsim.AZ) *Reader {
 	f.cfg.Net.AddNode(node, az)
-	return &Reader{fleet: f, node: node}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Reader{fleet: f, node: node, ctx: ctx, cancel: cancel}
+}
+
+// PinReadPoint registers the oldest view this reader may still serve with
+// the fleet. The writer folds the minimum over all readers into its MRPL,
+// so storage GC never collects a version a replica could request (§4.2.3).
+// Pins are monotone: the reader advances its pin as its applied view moves.
+func (r *Reader) PinReadPoint(lsn core.LSN) {
+	r.fleet.setReaderPoint(r.node, lsn)
 }
 
 // ReadPageAt fetches the version of a page as of readPoint from a single
@@ -29,7 +53,25 @@ func NewReader(f *Fleet, node netsim.NodeID, az netsim.AZ) *Reader {
 // raced against it — a slow-but-alive segment must not stall the replica's
 // read path (§4.2.3). A response lost after a successful segment read is
 // counted distinctly (RespDrops) — the page was served, the network ate it.
-func (r *Reader) ReadPageAt(id core.PageID, readPoint, required core.LSN) (page.Page, error) {
+// ctx cancellation abandons the read; a sampled span carried in ctx gets
+// each hedged attempt as a child.
+func (r *Reader) ReadPageAt(ctx context.Context, id core.PageID, readPoint, required core.LSN) (page.Page, error) {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil, ErrReaderClosed
+	}
+	r.wg.Add(1)
+	r.mu.Unlock()
+	defer r.wg.Done()
+	// Join the caller's deadline with the reader's lifetime: either one
+	// canceling unwinds the hedged attempts below.
+	rctx, rcancel := context.WithCancel(ctx)
+	defer rcancel()
+	stop := context.AfterFunc(r.ctx, rcancel)
+	defer stop()
+
+	sp := trace.FromContext(ctx)
 	// Route through the geometry in force at the read point: across a live
 	// stripe cutover a replica's snapshot reads keep going to the PG that
 	// holds the page's history (see Fleet.PGOfAt).
@@ -38,19 +80,36 @@ func (r *Reader) ReadPageAt(id core.PageID, readPoint, required core.LSN) (page.
 	replicas := r.fleet.Replicas(pg)
 	myAZ, _ := r.fleet.cfg.Net.NodeAZ(r.node)
 	cands := r.fleet.health.Order(pg, replicas, myAZ)
-	p, err := r.fleet.health.runHedged(pg, cands, func(i int, _ bool) (page.Page, error) {
+	p, err := r.fleet.health.runHedged(rctx, pg, cands, func(actx context.Context, i int, hedged bool) (page.Page, error) {
 		n := replicas[i]
-		if err := r.fleet.cfg.Net.Send(r.node, n.NodeID(), reqSize); err != nil {
+		asp := sp.Child("read.attempt")
+		asp.Annotate("replica", i)
+		asp.Annotate("node", n.NodeID())
+		if hedged {
+			asp.Annotate("hedge", true)
+		}
+		if err := sendHop(actx, r.fleet.cfg.Net, asp, "net.req", r.node, n.NodeID(), reqSize); err != nil {
+			asp.Annotate("err", err)
+			asp.End()
 			return nil, err
 		}
-		p, err := n.ReadPageChecked(id, readPoint, required, curEpoch)
+		ssp := asp.Child("storage.read")
+		p, err := n.ReadPageChecked(actx, id, readPoint, required, curEpoch)
+		ssp.End()
 		if err != nil {
+			asp.Annotate("err", err)
+			asp.End()
 			return nil, err
 		}
-		if err := r.fleet.cfg.Net.Send(n.NodeID(), r.node, page.Size); err != nil {
-			r.fleet.health.respDrops.Inc()
+		if err := sendHop(actx, r.fleet.cfg.Net, asp, "net.resp", n.NodeID(), r.node, page.Size); err != nil {
+			if !errors.Is(err, context.Canceled) {
+				r.fleet.health.respDrops.Inc()
+			}
+			asp.Annotate("err", err)
+			asp.End()
 			return nil, err
 		}
+		asp.End()
 		return p, nil
 	})
 	if err != nil {
@@ -59,5 +118,20 @@ func (r *Reader) ReadPageAt(id core.PageID, readPoint, required core.LSN) (page.
 	return p, nil
 }
 
-// Close removes the reader from the network.
-func (r *Reader) Close() { r.fleet.cfg.Net.RemoveNode(r.node) }
+// Close detaches the reader: new reads are refused, in-flight hedged
+// attempts are canceled and drained, the read-point pin is released (so the
+// writer's GC floor can advance past this replica's view), and only then
+// does the node leave the network.
+func (r *Reader) Close() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.closed = true
+	r.mu.Unlock()
+	r.cancel()
+	r.wg.Wait()
+	r.fleet.unregisterReader(r.node)
+	r.fleet.cfg.Net.RemoveNode(r.node)
+}

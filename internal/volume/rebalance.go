@@ -70,7 +70,10 @@ func (c *Client) Grow(n int) (*GrowthReport, error) {
 	// epoch, so every outstanding batch must be durable before any node
 	// learns the new one. The stripe table is unchanged by this step.
 	c.geomMu.Lock()
-	c.vdl.Wait(c.alloc.HighestAllocated())
+	if err := c.vdl.WaitCtx(c.rootCtx, c.alloc.HighestAllocated()); err != nil {
+		c.geomMu.Unlock()
+		return nil, fmt.Errorf("volume: grow drain: %w", err)
+	}
 	added, err := c.fleet.Grow(n)
 	if err != nil {
 		c.geomMu.Unlock()
@@ -122,7 +125,9 @@ func (c *Client) migrateStripe(mv core.StripeMove) (uint64, error) {
 	// allocated LSN, every batch framed under the current epoch is durable.
 	c.geomMu.Lock()
 	defer c.geomMu.Unlock()
-	c.vdl.Wait(c.alloc.HighestAllocated())
+	if err := c.vdl.WaitCtx(c.rootCtx, c.alloc.HighestAllocated()); err != nil {
+		return copied, fmt.Errorf("volume: fence drain: %w", err)
+	}
 
 	// Catch-up: re-copy pages whose old-PG tail outran their warm copy, and
 	// pages born after the warm enumeration.
@@ -141,7 +146,9 @@ func (c *Client) migrateStripe(mv core.StripeMove) (uint64, error) {
 		copied++
 	}
 	if maxCPL > core.ZeroLSN {
-		c.vdl.Wait(maxCPL)
+		if err := c.vdl.WaitCtx(c.rootCtx, maxCPL); err != nil {
+			return copied, fmt.Errorf("volume: catch-up drain: %w", err)
+		}
 	}
 
 	// Cutover: re-point the stripe, effective from the current VDL. Reads
@@ -188,10 +195,13 @@ func (c *Client) copyStripePage(id core.PageID, to core.PGID) (core.LSN, error) 
 // while the rebalancer holds the fence exclusively (catch-up). Returns the
 // read point and the copy record's CPL.
 func (c *Client) copyStripePageFenced(id core.PageID, to core.PGID) (core.LSN, core.LSN, error) {
+	// Rebalancer IO runs under the client's root context: bounded by the
+	// client's lifetime, not by any commit's deadline.
+	ctx := c.rootCtx
 	readPoint := c.vdl.VDL()
 	release := c.reads.register(readPoint)
 	defer release()
-	p, err := c.readAt(id, readPoint, nil)
+	p, err := c.readAt(ctx, id, readPoint)
 	if err != nil {
 		return core.ZeroLSN, core.ZeroLSN, err
 	}
@@ -207,7 +217,7 @@ func (c *Client) copyStripePageFenced(id core.PageID, to core.PGID) (core.LSN, c
 	if err != nil {
 		return core.ZeroLSN, core.ZeroLSN, err
 	}
-	if err := pw.Ship(); err != nil {
+	if err := pw.Ship(ctx); err != nil {
 		return core.ZeroLSN, core.ZeroLSN, err
 	}
 	c.rebalCopied.Add(1)
@@ -222,7 +232,7 @@ func (c *Client) frameUnfenced(m *core.MTR) (*PendingWrite, error) {
 	if c.closed.Load() {
 		return nil, ErrClosed
 	}
-	batches, cpl, err := c.framer.Frame(m)
+	batches, cpl, err := c.framer.Frame(c.rootCtx, m)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package volume
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -34,8 +35,9 @@ type RecoveryReport struct {
 // epoch-versioned truncation range that annuls every record above the VDL
 // up to the provable allocation bound, and seeds a fresh client whose LSN
 // space begins above that bound so annulled LSNs are never reused (§4.1,
-// §4.3).
-func Recover(f *Fleet, cfg ClientConfig) (*Client, *RecoveryReport, error) {
+// §4.3). ctx bounds the whole recovery conversation — probes, truncation
+// sends — so a caller can abandon a recovery stuck on a slow fleet.
+func Recover(ctx context.Context, f *Fleet, cfg ClientConfig) (*Client, *RecoveryReport, error) {
 	start := time.Now()
 	lal := cfg.LAL
 	if lal <= 0 {
@@ -63,7 +65,10 @@ func Recover(f *Fleet, cfg ClientConfig) (*Client, *RecoveryReport, error) {
 				continue
 			}
 			// A recovery probe must actually cross the network.
-			if err := f.cfg.Net.Send(cfg.WriterNode, n.NodeID(), reqSize); err != nil {
+			if err := f.cfg.Net.Send(ctx, cfg.WriterNode, n.NodeID(), reqSize); err != nil {
+				if ctx.Err() != nil {
+					return nil, nil, fmt.Errorf("volume: recovery abandoned: %w", ctx.Err())
+				}
 				continue
 			}
 			reachable = append(reachable, n)
@@ -129,7 +134,10 @@ func Recover(f *Fleet, cfg ClientConfig) (*Client, *RecoveryReport, error) {
 	tr := core.TruncationRange{Epoch: rep.Epoch, From: vdl, To: upper}
 	for g := range states {
 		for _, n := range states[g].reachable {
-			if err := f.cfg.Net.Send(cfg.WriterNode, n.NodeID(), reqSize); err != nil {
+			if err := f.cfg.Net.Send(ctx, cfg.WriterNode, n.NodeID(), reqSize); err != nil {
+				if ctx.Err() != nil {
+					return nil, nil, fmt.Errorf("volume: recovery abandoned: %w", ctx.Err())
+				}
 				continue
 			}
 			if err := n.Truncate(tr); err != nil {

@@ -1,6 +1,7 @@
 package volume
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"testing"
@@ -67,7 +68,7 @@ func TestPointInTimeRestore(t *testing.T) {
 	if rep.Segments != 12 {
 		t.Fatalf("restored %d segments, want 12", rep.Segments)
 	}
-	c2, rrep, err := Recover(restored, ClientConfig{WriterNode: "restored-writer", WriterAZ: 0})
+	c2, rrep, err := Recover(context.Background(), restored, ClientConfig{WriterNode: "restored-writer", WriterAZ: 0})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,7 +77,7 @@ func TestPointInTimeRestore(t *testing.T) {
 		t.Fatal("restored volume has no durable point")
 	}
 	for i := 0; i < 10; i++ {
-		p, _, err := c2.ReadPage(core.PageID(i))
+		p, _, err := c2.ReadPage(context.Background(), core.PageID(i))
 		if err != nil {
 			t.Fatalf("page %d: %v", i, err)
 		}
@@ -87,7 +88,7 @@ func TestPointInTimeRestore(t *testing.T) {
 	}
 	// The restored volume is writable and independent of the source.
 	writePage(t, c2, 0, "post-restore")
-	p, _, err := c.ReadPage(0)
+	p, _, err := c.ReadPage(context.Background(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,12 +113,12 @@ func TestRestoreAtLatestSeesNewest(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c2, _, err := Recover(restored, ClientConfig{WriterNode: "w2", WriterAZ: 0})
+	c2, _, err := Recover(context.Background(), restored, ClientConfig{WriterNode: "w2", WriterAZ: 0})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer c2.Close()
-	p, _, err := c2.ReadPage(0)
+	p, _, err := c2.ReadPage(context.Background(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,12 +175,12 @@ func TestRestoreRepairsMissingReplicas(t *testing.T) {
 			}
 		}
 	}
-	c2, _, err := Recover(restored, ClientConfig{WriterNode: "w2", WriterAZ: 0})
+	c2, _, err := Recover(context.Background(), restored, ClientConfig{WriterNode: "w2", WriterAZ: 0})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer c2.Close()
-	p, _, err := c2.ReadPage(3)
+	p, _, err := c2.ReadPage(context.Background(), 3)
 	if err != nil {
 		t.Fatal(err)
 	}

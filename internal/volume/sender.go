@@ -1,14 +1,33 @@
 package volume
 
 import (
+	"context"
+	"fmt"
 	"sync"
 	"time"
 
 	"aurora/internal/core"
+	"aurora/internal/netsim"
 	"aurora/internal/quorum"
 	"aurora/internal/storage"
 	"aurora/internal/trace"
 )
+
+// sendHop wraps one network send in a named child span of parent ("net.req",
+// "net.ack", "net.resp"...), annotated with the endpoints and payload size.
+// With a nil parent — the unsampled common case — only the send happens.
+func sendHop(ctx context.Context, net *netsim.Network, parent *trace.Span, name string, from, to netsim.NodeID, size int) error {
+	sp := parent.Child(name)
+	sp.Annotate("from", from)
+	sp.Annotate("to", to)
+	sp.Annotate("bytes", size)
+	err := net.Send(ctx, from, to, size)
+	if err != nil {
+		sp.Annotate("err", err)
+	}
+	sp.End()
+	return err
+}
 
 // shipment is one batch awaiting delivery to one segment replica, with the
 // quorum tracker that resolves its MTR.
@@ -33,7 +52,8 @@ type replicaSender struct {
 	mu         sync.Mutex
 	cond       *sync.Cond
 	queue      []shipment
-	stopped    bool
+	stopped    bool // terminal: loop exited, enqueue nacks
+	draining   bool // graceful: loop delivers the queue, then stops
 	noCoalesce bool
 }
 
@@ -47,7 +67,7 @@ func newReplicaSender(c *Client, pg core.PGID, idx int, node *storage.Node, noCo
 // enqueue adds a shipment to the pipeline.
 func (s *replicaSender) enqueue(sh shipment) {
 	s.mu.Lock()
-	if s.stopped {
+	if s.stopped || s.draining {
 		s.mu.Unlock()
 		sh.tr.Nack(s.idx)
 		return
@@ -57,25 +77,42 @@ func (s *replicaSender) enqueue(sh shipment) {
 	s.mu.Unlock()
 }
 
+// stop tears the pipeline down abruptly: queued shipments are nacked.
 func (s *replicaSender) stop() {
 	s.mu.Lock()
 	s.stopped = true
 	pending := s.queue
 	s.queue = nil
-	s.cond.Signal()
+	s.cond.Broadcast()
 	s.mu.Unlock()
 	for _, sh := range pending {
 		sh.tr.Nack(s.idx)
 	}
 }
 
+// drain stops the pipeline gracefully: queued shipments are delivered (the
+// write path's retry budget still applies), then the loop exits. It blocks
+// until the pipeline has fully stopped.
+func (s *replicaSender) drain() {
+	s.mu.Lock()
+	s.draining = true
+	s.cond.Broadcast()
+	for !s.stopped {
+		s.cond.Wait()
+	}
+	s.mu.Unlock()
+}
+
 func (s *replicaSender) loop() {
 	for {
 		s.mu.Lock()
-		for len(s.queue) == 0 && !s.stopped {
+		for len(s.queue) == 0 && !s.stopped && !s.draining {
 			s.cond.Wait()
 		}
-		if s.stopped {
+		if s.stopped || len(s.queue) == 0 {
+			// Abrupt stop, or graceful drain with nothing left to deliver.
+			s.stopped = true
+			s.cond.Broadcast()
 			s.mu.Unlock()
 			return
 		}
@@ -103,6 +140,12 @@ func (s *replicaSender) loop() {
 // idempotent, so a redelivery racing a flight that did land is harmless.
 func (s *replicaSender) deliver(flight []shipment) {
 	c := s.c
+	// Delivery runs under the client's root context: a Crash abandons the
+	// in-flight exchange and its backoff immediately. Per-commit deadlines
+	// deliberately do NOT reach here — a committer detaching must not stop
+	// its batch from shipping (durability is decided by the quorum, not the
+	// waiter).
+	ctx := c.rootCtx
 	size := 0
 	batches := make([]*core.Batch, len(flight))
 	for i, sh := range flight {
@@ -135,7 +178,7 @@ func (s *replicaSender) deliver(flight []shipment) {
 			flightSpans = append(flightSpans, fsp)
 		}
 		start := time.Now()
-		ack, err := s.attempt(batches, size, lead)
+		ack, err := s.attempt(ctx, batches, size, lead)
 		for _, fsp := range flightSpans {
 			if err != nil {
 				fsp.Annotate("err", err)
@@ -154,6 +197,9 @@ func (s *replicaSender) deliver(flight []shipment) {
 			}
 			return
 		}
+		if ctx.Err() != nil {
+			break // client torn down mid-flight; nack, don't blame health
+		}
 		c.fleet.health.ObserveFailure(s.pg, s.idx)
 		if try+1 >= deliverAttempts {
 			break
@@ -161,11 +207,18 @@ func (s *replicaSender) deliver(flight []shipment) {
 		if s.resolvedAll(flight) {
 			return // settled without us; gossip will catch this replica up
 		}
-		time.Sleep(backoffFor(try))
+		// Backoff selects on the root context so a crashing client never
+		// waits out a retry schedule.
+		bt := time.NewTimer(backoffFor(try))
+		select {
+		case <-bt.C:
+		case <-ctx.Done():
+			bt.Stop()
+		}
 		s.mu.Lock()
 		stopped := s.stopped
 		s.mu.Unlock()
-		if stopped {
+		if stopped || ctx.Err() != nil {
 			break
 		}
 		c.fleet.health.retries.Inc()
@@ -178,18 +231,18 @@ func (s *replicaSender) deliver(flight []shipment) {
 // attempt performs one delivery exchange: request send, persist+ack on the
 // storage node, ack send back. sp (the lead flight span, nil when the
 // flight carries no sampled commit) parents the hop and ingest spans.
-func (s *replicaSender) attempt(batches []*core.Batch, size int, sp *trace.Span) (storage.Ack, error) {
+func (s *replicaSender) attempt(ctx context.Context, batches []*core.Batch, size int, sp *trace.Span) (storage.Ack, error) {
 	c := s.c
-	if err := c.fleet.cfg.Net.SendTraced(c.node, s.node.NodeID(), size, sp, "net.req"); err != nil {
+	if err := sendHop(ctx, c.fleet.cfg.Net, sp, "net.req", c.node, s.node.NodeID(), size); err != nil {
 		return storage.Ack{}, err
 	}
 	vdlNow := c.vdl.VDL()
-	mrpl := c.reads.lowWaterMark(vdlNow)
-	ack, err := s.node.ReceiveBatchesTraced(batches, vdlNow, mrpl, sp)
+	mrpl := c.mrpl(vdlNow)
+	ack, err := s.node.ReceiveBatches(trace.NewContext(ctx, sp), batches, vdlNow, mrpl)
 	if err != nil {
 		return storage.Ack{}, err
 	}
-	if err := c.fleet.cfg.Net.SendTraced(s.node.NodeID(), c.node, ackSize, sp, "net.ack"); err != nil {
+	if err := sendHop(ctx, c.fleet.cfg.Net, sp, "net.ack", s.node.NodeID(), c.node, ackSize); err != nil {
 		return storage.Ack{}, err
 	}
 	return ack, nil
@@ -207,10 +260,17 @@ func (s *replicaSender) resolvedAll(flight []shipment) bool {
 }
 
 // shipBatch hands one batch to every replica's sender pipeline and waits
-// for the write quorum. A non-nil sp (a sampled commit's ship span) gets a
-// batch.ship child carrying the per-replica flights, and a quorum.wait
-// child covering the time blocked on the 4/6 tracker.
-func (c *Client) shipBatch(b *core.Batch, sp *trace.Span) error {
+// for the write quorum, or until ctx fires. A non-nil sp (a sampled
+// commit's ship span) gets a batch.ship child carrying the per-replica
+// flights, and a quorum.wait child covering the time blocked on the 4/6
+// tracker.
+//
+// VDL advancement is decoupled from the wait: a dedicated watcher advances
+// the durable point when the quorum resolves, so a caller that detaches on
+// deadline does not stall durability — the batch still ships, the VDL still
+// moves, and only the waiter returns early (the deadline-vs-durability
+// contract in DESIGN.md).
+func (c *Client) shipBatch(ctx context.Context, b *core.Batch, sp *trace.Span) error {
 	all := *c.senders.Load()
 	senders := all[int(b.PG)%len(all)]
 	tr := quorum.NewTracker(c.q)
@@ -221,23 +281,42 @@ func (c *Client) shipBatch(b *core.Batch, sp *trace.Span) error {
 	for _, s := range senders {
 		s.enqueue(sh)
 	}
+	done, _ := c.trackInflight()
+	advanced := make(chan struct{})
+	go func() {
+		defer done()
+		defer close(advanced)
+		<-tr.Done()
+		if tr.Err() != nil {
+			return
+		}
+		first := b.Records[0].LSN
+		last := b.Records[len(b.Records)-1].LSN
+		newVDL := c.win.markAcked(first, last)
+		if c.vdl.Advance(newVDL) {
+			c.alloc.AdvanceVDL(newVDL)
+			c.tails.Advance(newVDL)
+		}
+	}()
 	qsp := bsp.Child("quorum.wait")
-	<-tr.Done()
+	select {
+	case <-tr.Done():
+	case <-ctx.Done():
+		qsp.Annotate("abandoned", true)
+		qsp.End()
+		bsp.Annotate("err", ctx.Err())
+		bsp.End()
+		return fmt.Errorf("volume: quorum wait abandoned: %w", ctx.Err())
+	}
 	qsp.End()
+	// The quorum resolved while we were still attached: wait for the
+	// watcher's VDL advance so a successful Ship keeps its pre-deadline
+	// contract — on return, the batch's records count toward the VDL.
+	<-advanced
 	err := tr.Err()
 	if err != nil {
 		bsp.Annotate("err", err)
 	}
 	bsp.End()
-	if err != nil {
-		return err
-	}
-	first := b.Records[0].LSN
-	last := b.Records[len(b.Records)-1].LSN
-	newVDL := c.win.markAcked(first, last)
-	if c.vdl.Advance(newVDL) {
-		c.alloc.AdvanceVDL(newVDL)
-		c.tails.Advance(newVDL)
-	}
-	return nil
+	return err
 }

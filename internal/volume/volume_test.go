@@ -1,6 +1,7 @@
 package volume
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"testing"
@@ -29,7 +30,7 @@ func writePage(t *testing.T, c *Client, id core.PageID, data string) core.LSN {
 	t.Helper()
 	m := &core.MTR{Txn: 1}
 	m.AddDelta(c.PGOf(id), id, 0, []byte(data))
-	cpl, err := c.WriteMTR(m)
+	cpl, err := c.WriteMTR(context.Background(), m)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,7 +77,7 @@ func TestReadPageLatestAndRouting(t *testing.T) {
 	f, c := testVolume(t, 1)
 	writePage(t, c, 7, "aaaa")
 	writePage(t, c, 7, "bbbb")
-	p, rp, err := c.ReadPage(7)
+	p, rp, err := c.ReadPage(context.Background(), 7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,14 +102,14 @@ func TestReadAtOlderReadPoint(t *testing.T) {
 	snap, release := c.RegisterReadPoint()
 	defer release()
 	writePage(t, c, 3, "new!")
-	p, err := c.ReadPageAt(3, snap)
+	p, err := c.ReadPageAt(context.Background(), 3, snap)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if got := string(p.Payload()[:4]); got != "old!" {
 		t.Fatalf("snapshot read %q, want old!", got)
 	}
-	p, _, err = c.ReadPage(3)
+	p, _, err = c.ReadPage(context.Background(), 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,7 +127,7 @@ func TestWritesSurviveAZFailure(t *testing.T) {
 	for i := 0; i < 5; i++ {
 		writePage(t, c, core.PageID(i), fmt.Sprintf("az%d", i))
 	}
-	p, _, err := c.ReadPage(1)
+	p, _, err := c.ReadPage(context.Background(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,14 +144,14 @@ func TestWritesFailOnAZPlusOne(t *testing.T) {
 	f.Node(0, 0).Crash()
 	m := &core.MTR{Txn: 9}
 	m.AddDelta(0, 0, 0, []byte("xx"))
-	if _, err := c.WriteMTR(m); !errors.Is(err, quorum.ErrQuorumImpossible) {
+	if _, err := c.WriteMTR(context.Background(), m); !errors.Is(err, quorum.ErrQuorumImpossible) {
 		t.Fatalf("AZ+1 write: %v", err)
 	}
 	if c.Stats().WriteFailures != 1 {
 		t.Fatal("write failure not counted")
 	}
 	// Reads survive AZ+1: three healthy replicas remain and hold the data.
-	p, _, err := c.ReadPage(0)
+	p, _, err := c.ReadPage(context.Background(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -199,7 +200,7 @@ func TestLALBackpressure(t *testing.T) {
 	for i := 0; i < 8; i++ {
 		m := &core.MTR{Txn: 1}
 		m.AddDelta(0, 0, 0, []byte("x"))
-		if _, err := c.WriteMTR(m); err == nil {
+		if _, err := c.WriteMTR(context.Background(), m); err == nil {
 			t.Fatal("write succeeded with fleet down")
 		}
 	}
@@ -207,7 +208,7 @@ func TestLALBackpressure(t *testing.T) {
 	go func() {
 		m := &core.MTR{Txn: 2}
 		m.AddDelta(0, 0, 0, []byte("y"))
-		c.WriteMTR(m) //nolint:errcheck — released by Close below
+		c.WriteMTR(context.Background(), m) //nolint:errcheck — released by Close below
 		close(blocked)
 	}()
 	select {
@@ -251,7 +252,7 @@ func TestRecoveryCleanShutdown(t *testing.T) {
 		last = writePage(t, c, core.PageID(i%5), fmt.Sprintf("r%02d", i))
 	}
 	c.Crash()
-	c2, rep, err := Recover(f, ClientConfig{WriterNode: "writer2", WriterAZ: 0})
+	c2, rep, err := Recover(context.Background(), f, ClientConfig{WriterNode: "writer2", WriterAZ: 0})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -267,7 +268,7 @@ func TestRecoveryCleanShutdown(t *testing.T) {
 	}
 	// All data readable through the new writer.
 	for i := 0; i < 5; i++ {
-		p, _, err := c2.ReadPage(core.PageID(i))
+		p, _, err := c2.ReadPage(context.Background(), core.PageID(i))
 		if err != nil {
 			t.Fatalf("page %d: %v", i, err)
 		}
@@ -294,7 +295,7 @@ func TestRecoveryAdmitsUnackedButRecoverableTail(t *testing.T) {
 	f.Node(0, 5).Crash()
 	m := &core.MTR{Txn: 5}
 	m.AddDelta(0, 0, 0, []byte("maybe"))
-	if _, err := c.WriteMTR(m); err == nil {
+	if _, err := c.WriteMTR(context.Background(), m); err == nil {
 		t.Fatal("write should have failed quorum")
 	}
 	// The quorum failure resolves as soon as three crashed replicas nack;
@@ -313,7 +314,7 @@ func TestRecoveryAdmitsUnackedButRecoverableTail(t *testing.T) {
 	f.Node(0, 3).Restart()
 	f.Node(0, 4).Restart()
 	f.Node(0, 5).Restart()
-	c2, rep, err := Recover(f, ClientConfig{WriterNode: "writer2", WriterAZ: 0})
+	c2, rep, err := Recover(context.Background(), f, ClientConfig{WriterNode: "writer2", WriterAZ: 0})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -321,7 +322,7 @@ func TestRecoveryAdmitsUnackedButRecoverableTail(t *testing.T) {
 	if rep.VDL != 2 {
 		t.Fatalf("recovered VDL %d, want 2 (unacked but recoverable)", rep.VDL)
 	}
-	p, _, err := c2.ReadPage(0)
+	p, _, err := c2.ReadPage(context.Background(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -340,10 +341,10 @@ func TestRecoveryTruncatesDanglingTail(t *testing.T) {
 		LSN: 5, PrevLSN: 3, Type: core.RecPageDelta, PG: 0, Page: 0,
 		Flags: core.FlagCPL, Data: []byte("orphan"),
 	}}}
-	if _, err := f.Node(0, 0).ReceiveBatch(&orphan, 0, 0); err != nil {
+	if _, err := f.Node(0, 0).ReceiveBatch(context.Background(), &orphan, 0, 0); err != nil {
 		t.Fatal(err)
 	}
-	c2, rep, err := Recover(f, ClientConfig{WriterNode: "writer2", WriterAZ: 0})
+	c2, rep, err := Recover(context.Background(), f, ClientConfig{WriterNode: "writer2", WriterAZ: 0})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -358,7 +359,7 @@ func TestRecoveryTruncatesDanglingTail(t *testing.T) {
 	if got := f.Node(0, 0).HighestLSN(); got > last {
 		t.Fatalf("orphan survived truncation: highest %d", got)
 	}
-	p, _, err := c2.ReadPage(0)
+	p, _, err := c2.ReadPage(context.Background(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -374,7 +375,7 @@ func TestRecoveryFailsWithoutReadQuorum(t *testing.T) {
 	for i := 0; i < 4; i++ {
 		f.Node(0, i).Crash()
 	}
-	if _, _, err := Recover(f, ClientConfig{WriterNode: "w2", WriterAZ: 0}); !errors.Is(err, ErrQuorumLost) {
+	if _, _, err := Recover(context.Background(), f, ClientConfig{WriterNode: "w2", WriterAZ: 0}); !errors.Is(err, ErrQuorumLost) {
 		t.Fatalf("recovery with 2/6 reachable: %v", err)
 	}
 }
@@ -383,13 +384,13 @@ func TestRecoveryEpochsIncrease(t *testing.T) {
 	f, c := testVolume(t, 1)
 	writePage(t, c, 0, "a")
 	c.Crash()
-	c2, rep2, err := Recover(f, ClientConfig{WriterNode: "w2", WriterAZ: 0})
+	c2, rep2, err := Recover(context.Background(), f, ClientConfig{WriterNode: "w2", WriterAZ: 0})
 	if err != nil {
 		t.Fatal(err)
 	}
 	writePage(t, c2, 0, "b")
 	c2.Crash()
-	c3, rep3, err := Recover(f, ClientConfig{WriterNode: "w3", WriterAZ: 0})
+	c3, rep3, err := Recover(context.Background(), f, ClientConfig{WriterNode: "w3", WriterAZ: 0})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -397,7 +398,7 @@ func TestRecoveryEpochsIncrease(t *testing.T) {
 	if rep3.Epoch <= rep2.Epoch {
 		t.Fatalf("epochs %d then %d, want increasing", rep2.Epoch, rep3.Epoch)
 	}
-	p, _, err := c3.ReadPage(0)
+	p, _, err := c3.ReadPage(context.Background(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -423,7 +424,7 @@ func TestMigrateSegmentKeepsDataReadable(t *testing.T) {
 	}
 	// Writes and reads continue across the migration.
 	writePage(t, c, 0, "post-migrate")
-	p, _, err := c.ReadPage(0)
+	p, _, err := c.ReadPage(context.Background(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -488,10 +489,10 @@ func TestClosedClientRejectsOps(t *testing.T) {
 	c.Close()
 	m := &core.MTR{Txn: 1}
 	m.AddDelta(0, 0, 0, []byte("y"))
-	if _, err := c.WriteMTR(m); !errors.Is(err, ErrClosed) {
+	if _, err := c.WriteMTR(context.Background(), m); !errors.Is(err, ErrClosed) {
 		t.Fatalf("write on closed client: %v", err)
 	}
-	if _, _, err := c.ReadPage(0); !errors.Is(err, ErrClosed) {
+	if _, _, err := c.ReadPage(context.Background(), 0); !errors.Is(err, ErrClosed) {
 		t.Fatalf("read on closed client: %v", err)
 	}
 	c.Close() // idempotent

@@ -1,6 +1,7 @@
 package zdp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -35,7 +36,7 @@ func rebuild(f *volume.Fleet, gen *int) func(old *engine.DB) (*engine.DB, error)
 	return func(old *engine.DB) (*engine.DB, error) {
 		old.Crash()
 		*gen++
-		db, _, err := engine.Recover(f, volume.ClientConfig{
+		db, _, err := engine.Recover(context.Background(), f, volume.ClientConfig{
 			WriterNode: netsim.NodeID(fmt.Sprintf("writer-g%d", *gen)), WriterAZ: 0,
 		}, engine.Config{})
 		return db, err
