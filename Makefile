@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race chaos-smoke chaos-grow chaos-deadline examples-smoke bench ci
+.PHONY: all build vet lint test race chaos-smoke chaos-grow chaos-deadline chaos-matrix-smoke chaos-matrix examples-smoke bench ci
 
 all: build
 
@@ -29,8 +29,8 @@ test: build vet lint
 # Race-detector pass over the concurrency-heavy packages.
 race:
 	$(GO) test -race ./internal/trace/ ./internal/volume/ ./internal/chaos/ \
-		./internal/storage/ ./internal/netsim/ ./internal/metrics/ \
-		./internal/quorum/ ./internal/engine/
+		./internal/chaos/matrix/ ./internal/storage/ ./internal/netsim/ \
+		./internal/metrics/ ./internal/quorum/ ./internal/engine/
 
 # Short gray-failure drill: fails unless zero data errors, >=99% write
 # success, and the retry / hedge / auto-repair machinery all engaged.
@@ -50,6 +50,17 @@ chaos-deadline:
 	$(GO) test -race -count=1 -run 'TestCommitDeadlineUnderGraySlowNode' ./internal/chaos/
 	$(GO) test -race -count=1 -run 'TestNoGoroutineLeaks' ./internal/integration/
 
+# Seeded integrity scenario matrix (faults × stressors), CI tier: 12
+# scenarios under the race detector, zero checksum mismatches / lost acked
+# commits / VDL regressions / goroutine leaks required. Failures print a
+# one-line replay command carrying the seed.
+chaos-matrix-smoke:
+	$(GO) run -race ./cmd/aurora-chaos -matrix -tier smoke -seed 1
+
+# Nightly tier: three full sweeps of the matrix (96 scenarios).
+chaos-matrix:
+	$(GO) run -race ./cmd/aurora-chaos -matrix -tier full -seed 1
+
 # The runnable examples must keep working as the public API evolves.
 examples-smoke:
 	$(GO) run ./examples/quickstart
@@ -60,4 +71,4 @@ examples-smoke:
 bench:
 	$(GO) run ./cmd/aurora-bench -quick -exp table1,table3 -json BENCH_2.json
 
-ci: test race chaos-smoke chaos-grow chaos-deadline examples-smoke
+ci: test race chaos-smoke chaos-grow chaos-deadline chaos-matrix-smoke examples-smoke

@@ -5,9 +5,15 @@
 // committed data is never lost or wrong (§2's operational claims) and that
 // the gray-failure machinery (write retry, hedged reads, self-driven
 // repair) actually engaged.
+//
+// With -matrix it instead runs the seeded integrity scenario matrix
+// (internal/chaos/matrix): faults × stressors, each scenario on its own
+// cluster with a checksumming workload, ending in a pass/fail/flaky
+// cross-tab. Failures print a one-line replay command carrying the seed.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -16,6 +22,7 @@ import (
 	"time"
 
 	"aurora/internal/chaos"
+	"aurora/internal/chaos/matrix"
 	"aurora/internal/core"
 	"aurora/internal/disk"
 	"aurora/internal/engine"
@@ -28,7 +35,17 @@ func main() {
 	seed := flag.Int64("seed", 7, "rng seed")
 	probes := flag.Int("probes", 40, "probe rounds per active fault (deterministic pacing)")
 	gray := flag.Bool("gray", true, "include the gray regime: packet loss, gray-slow replicas, self-healed wipe")
+	matrixMode := flag.Bool("matrix", false, "run the integrity scenario matrix instead of the drill")
+	tier := flag.String("tier", "smoke", "matrix tier: smoke (12 scenarios) or full (96)")
+	count := flag.Int("count", 0, "matrix scenario count override (0 = tier default)")
+	only := flag.String("only", "", "matrix filter: run only scenarios whose fault/stressor name contains this")
+	md := flag.String("md", "", "write the matrix results table to this markdown file")
 	flag.Parse()
+
+	if *matrixMode {
+		runMatrix(*seed, *tier, *count, *only, *md)
+		return
+	}
 
 	net := netsim.New(netsim.Datacenter())
 	fleet, err := volume.NewFleet(volume.FleetConfig{Name: "chaos", Geometry: core.UniformGeometry(4), Net: net, Disk: disk.FastLocal()})
@@ -53,7 +70,7 @@ func main() {
 		regime := []chaos.Fault{chaos.PacketLoss(net, 0.10)}
 		for pg := 0; pg < fleet.PGs(); pg++ {
 			slow := fleet.Node(core.PGID(pg), pg%2)
-			regime = append(regime, chaos.GraySlowNode(net, slow.NodeID(), 2*time.Millisecond))
+			regime = append(regime, chaos.GraySlowNode(net, slow.NodeID(), chaos.GraySlowDelay()))
 		}
 		faults = append(faults, chaos.Compose("gray regime: 10% loss + slow replicas", regime...))
 		// One wipe healed only by the fleet's own repair monitor. PG0 holds
@@ -86,9 +103,9 @@ func main() {
 	// Give the self-driven repair monitor a bounded window to finish any
 	// in-flight catch-up before reading the counters.
 	if *gray {
-		deadline := time.Now().Add(2 * time.Second)
+		deadline := time.Now().Add(chaos.SettleTimeout())
 		for fleet.Health().Stats().AutoRepairs == 0 && time.Now().Before(deadline) {
-			time.Sleep(5 * time.Millisecond)
+			time.Sleep(chaos.PollInterval())
 		}
 	}
 	hs := fleet.Health().Stats()
@@ -132,4 +149,32 @@ func main() {
 		return
 	}
 	fmt.Println("PASS: no committed data lost under chaos")
+}
+
+// runMatrix executes the scenario matrix and renders its verdict: the
+// cross-tab, the summary with replay commands, and optionally a markdown
+// file for EXPERIMENTS.md.
+func runMatrix(seed int64, tier string, count int, only, md string) {
+	cfg := matrix.Config{Seed: seed, Tier: tier, Count: count, Only: only, Out: os.Stdout}
+	fmt.Printf("integrity matrix: tier=%s seed=%d\n", tier, seed)
+	res, err := matrix.Run(context.Background(), cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%s\n%s", res.Table(), res.Summary())
+	if md != "" {
+		out := fmt.Sprintf("Tier %s, seed %d, %d scenarios.\n\n%s\n", res.Tier, res.Seed, len(res.Scenarios), res.Table())
+		if err := os.WriteFile(md, []byte(out), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if !res.Passed() {
+		fmt.Println("FAIL: integrity violations above; replay commands included")
+		os.Exit(1)
+	}
+	if res.Flaky() {
+		fmt.Println("PASS (with flaky scenarios — see table)")
+		return
+	}
+	fmt.Println("PASS: all scenarios held every integrity invariant")
 }

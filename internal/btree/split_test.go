@@ -1,0 +1,56 @@
+package btree
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestSplitMixedEntrySizes reproduces a crash the chaos matrix found: a
+// leaf holding a skewed mix of tiny and near-MaxValue entries used to split
+// at the entry-count midpoint, which can assign one half more bytes than a
+// page holds and write out of bounds during the rewrite. Splits must
+// balance bytes, not counts.
+func TestSplitMixedEntrySizes(t *testing.T) {
+	tr, _ := newTree(t)
+	rec := NewRecorder()
+	rng := rand.New(rand.NewSource(42))
+	want := map[string][]byte{}
+	// Interleave tiny and huge values under keys that collate into the same
+	// leaves, across enough inserts to force many leaf and internal splits.
+	for i := 0; i < 400; i++ {
+		key := fmt.Sprintf("k%03d-%02d", rng.Intn(100), i%7)
+		size := 8
+		if i%2 == 0 {
+			size = MaxValue - rng.Intn(64)
+		}
+		val := make([]byte, size)
+		rng.Read(val)
+		if err := tr.Put(rec, []byte(key), val); err != nil {
+			t.Fatalf("put %s (%dB): %v", key, size, err)
+		}
+		want[key] = val
+	}
+	for key, val := range want {
+		got, ok, err := tr.Get([]byte(key))
+		if err != nil || !ok {
+			t.Fatalf("get %s: ok=%v err=%v", key, ok, err)
+		}
+		if string(got) != string(val) {
+			t.Fatalf("key %s: %d bytes differ from the %d written", key, len(got), len(val))
+		}
+	}
+	// Skewed internal keys: long keys adjacent to short ones exercise the
+	// byte-balanced internal split as separators accumulate.
+	long := make([]byte, MaxKey)
+	for i := 0; i < 200; i++ {
+		copy(long, fmt.Sprintf("L%03d", i))
+		key := append([]byte(nil), long[:16+rng.Intn(MaxKey-16)]...)
+		if err := tr.Put(rec, key, []byte("x")); err != nil {
+			t.Fatalf("long key %d: %v", i, err)
+		}
+		if _, ok, err := tr.Get(key); err != nil || !ok {
+			t.Fatalf("long key %d readback: ok=%v err=%v", i, ok, err)
+		}
+	}
+}

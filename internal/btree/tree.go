@@ -250,7 +250,27 @@ func (t *Tree) splitLeafAndInsert(rec *Recorder, path []core.PageID, leftID core
 	}
 	ents[pos] = kv{k: append([]byte(nil), key...), v: append([]byte(nil), val...)}
 
-	mid := len(ents) / 2
+	// Split by bytes, not entry count: with mixed entry sizes a count-based
+	// midpoint can hand one half more bytes than a page holds, and
+	// rewriteLeaf would write out of bounds. The greedy cut keeps each half
+	// within half the total plus one entry, which always fits: the total is
+	// at most a full page plus the new entry, and one entry is bounded by
+	// MaxKey+MaxValue.
+	total := 0
+	for _, e := range ents {
+		total += leafEntrySize(len(e.k), len(e.v))
+	}
+	mid, acc := 0, 0
+	for mid < len(ents)-1 {
+		acc += leafEntrySize(len(ents[mid].k), len(ents[mid].v))
+		mid++
+		if acc*2 >= total {
+			break
+		}
+	}
+	if mid == 0 {
+		mid = 1
+	}
 	rightID, rp, err := t.allocPage(rec)
 	if err != nil {
 		return err
@@ -305,8 +325,19 @@ func (t *Tree) insertSeparator(rec *Recorder, path []core.PageID, sep []byte, ri
 		return nil
 	}
 
-	// Split the internal node: middle separator moves up.
-	mid := len(cp) / 2
+	// Split the internal node: a byte-balanced separator moves up (same
+	// count-vs-bytes trap as the leaf split when key sizes are skewed).
+	mid, acc := 0, 0
+	for mid < len(cp)-1 {
+		acc += branchSize(len(cp[mid].key))
+		mid++
+		if acc*2 >= total {
+			break
+		}
+	}
+	if mid == 0 {
+		mid = 1
+	}
 	upKey := cp[mid].key
 	rightID, rp, err := t.allocPage(rec)
 	if err != nil {

@@ -5,9 +5,16 @@
 // node, disk and network path failures" of §2.1, together with invariant
 // checkers that verify the cluster's availability claims while faults are
 // active.
+//
+// Faults are context-aware: both injection and healing observe a
+// context.Context, so a drill under a deadline can abort its schedule
+// cleanly (the matrix harness in chaos/matrix relies on this). Timed
+// compositions are expressed with Timeline, which injects and heals faults
+// at deterministic tick offsets while a workload runs between ticks.
 package chaos
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -18,13 +25,15 @@ import (
 	"aurora/internal/volume"
 )
 
-// Fault is one injectable failure with its undo. Heal reports whether the
+// Fault is one injectable failure with its undo. Both halves observe ctx:
+// a heal that needs fleet cooperation (e.g. re-replication) gives up when
+// the context fires rather than hanging the drill. Heal reports whether the
 // undo itself succeeded; a fleet healthy enough to probe may still be too
 // degraded to repair, and that is a result, not a panic.
 type Fault struct {
 	Name   string
-	Inject func()
-	Heal   func() error
+	Inject func(ctx context.Context)
+	Heal   func(ctx context.Context) error
 }
 
 // CrashNode crashes one storage node.
@@ -32,8 +41,8 @@ func CrashNode(f *volume.Fleet, pg core.PGID, replica int) Fault {
 	n := f.Node(pg, replica)
 	return Fault{
 		Name:   fmt.Sprintf("crash %s", n.NodeID()),
-		Inject: n.Crash,
-		Heal: func() error {
+		Inject: func(context.Context) { n.Crash() },
+		Heal: func(context.Context) error {
 			n.Restart()
 			n.GossipOnce()
 			return nil
@@ -48,8 +57,11 @@ func WipeAndRepairNode(f *volume.Fleet, pg core.PGID, replica int) Fault {
 	n := f.Node(pg, replica)
 	return Fault{
 		Name:   fmt.Sprintf("wipe %s", n.NodeID()),
-		Inject: n.Wipe,
-		Heal: func() error {
+		Inject: func(context.Context) { n.Wipe() },
+		Heal: func(ctx context.Context) error {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("repair %s: %w", n.NodeID(), err)
+			}
 			if err := f.RepairSegment(pg, replica); err != nil {
 				return fmt.Errorf("repair %s: %w", n.NodeID(), err)
 			}
@@ -66,8 +78,8 @@ func WipeNode(f *volume.Fleet, pg core.PGID, replica int) Fault {
 	n := f.Node(pg, replica)
 	return Fault{
 		Name:   fmt.Sprintf("wipe %s (self-heal)", n.NodeID()),
-		Inject: n.Wipe,
-		Heal:   func() error { return nil },
+		Inject: func(context.Context) { n.Wipe() },
+		Heal:   func(context.Context) error { return nil },
 	}
 }
 
@@ -75,8 +87,8 @@ func WipeNode(f *volume.Fleet, pg core.PGID, replica int) Fault {
 func AZOutage(net *netsim.Network, az netsim.AZ) Fault {
 	return Fault{
 		Name:   fmt.Sprintf("AZ %d outage", az),
-		Inject: func() { net.SetAZDown(az, true) },
-		Heal:   func() error { net.SetAZDown(az, false); return nil },
+		Inject: func(context.Context) { net.SetAZDown(az, true) },
+		Heal:   func(context.Context) error { net.SetAZDown(az, false); return nil },
 	}
 }
 
@@ -85,8 +97,8 @@ func SlowDisk(f *volume.Fleet, pg core.PGID, replica int) Fault {
 	d := f.Node(pg, replica).Disk()
 	return Fault{
 		Name:   fmt.Sprintf("slow disk pg%d/%d", pg, replica),
-		Inject: func() { d.SetSlow(20) },
-		Heal:   func() error { d.SetSlow(0); return nil },
+		Inject: func(context.Context) { d.SetSlow(20) },
+		Heal:   func(context.Context) error { d.SetSlow(0); return nil },
 	}
 }
 
@@ -96,8 +108,8 @@ func SlowDisk(f *volume.Fleet, pg core.PGID, replica int) Fault {
 func PacketLoss(net *netsim.Network, prob float64) Fault {
 	return Fault{
 		Name:   fmt.Sprintf("packet loss %.0f%%", prob*100),
-		Inject: func() { net.SetDropProb(prob) },
-		Heal:   func() error { net.SetDropProb(0); return nil },
+		Inject: func(context.Context) { net.SetDropProb(prob) },
+		Heal:   func(context.Context) error { net.SetDropProb(0); return nil },
 	}
 }
 
@@ -108,18 +120,20 @@ func PacketLoss(net *netsim.Network, prob float64) Fault {
 func GraySlowNode(net *netsim.Network, id netsim.NodeID, delay time.Duration) Fault {
 	return Fault{
 		Name:   fmt.Sprintf("gray-slow %s (+%v)", id, delay),
-		Inject: func() { _ = net.SetNodeDelay(id, delay) },
-		Heal:   func() error { return net.SetNodeDelay(id, 0) },
+		Inject: func(context.Context) { _ = net.SetNodeDelay(id, delay) },
+		Heal:   func(context.Context) error { return net.SetNodeDelay(id, 0) },
 	}
 }
 
-// CorruptPage flips bits in a materialized page; the scrubber heals it.
+// CorruptPage flips bits in a materialized page; the scrubber heals it. The
+// read path refuses to serve a base image whose CRC fails (hedging to a
+// peer instead), so the corruption window is invisible to readers.
 func CorruptPage(f *volume.Fleet, pg core.PGID, replica int, page core.PageID) Fault {
 	n := f.Node(pg, replica)
 	return Fault{
 		Name:   fmt.Sprintf("corrupt pg%d/%d page %d", pg, replica, page),
-		Inject: func() { n.CorruptPage(page) },
-		Heal:   func() error { n.ScrubOnce(); return nil },
+		Inject: func(context.Context) { n.CorruptPage(page) },
+		Heal:   func(context.Context) error { n.ScrubOnce(); return nil },
 	}
 }
 
@@ -129,15 +143,15 @@ func CorruptPage(f *volume.Fleet, pg core.PGID, replica int, page core.PageID) F
 func Compose(name string, faults ...Fault) Fault {
 	return Fault{
 		Name: name,
-		Inject: func() {
+		Inject: func(ctx context.Context) {
 			for _, f := range faults {
-				f.Inject()
+				f.Inject(ctx)
 			}
 		},
-		Heal: func() error {
+		Heal: func(ctx context.Context) error {
 			var firstErr error
 			for _, f := range faults {
-				if err := f.Heal(); err != nil && firstErr == nil {
+				if err := f.Heal(ctx); err != nil && firstErr == nil {
 					firstErr = err
 				}
 			}
@@ -146,7 +160,89 @@ func Compose(name string, faults ...Fault) Fault {
 	}
 }
 
-// Report summarises a chaos run.
+// Step schedules one fault on a Timeline: the fault injects when the
+// timeline reaches tick Start and heals Duration ticks later (a Duration of
+// 0 heals on the next tick). Overlapping steps compose failures; repeating
+// the same fault in back-to-back windows models rapid kill/restore cycles.
+type Step struct {
+	Start    int
+	Duration int
+	Fault    Fault
+}
+
+// Timeline drives a set of timed fault steps from a deterministic tick
+// counter. The caller owns the clock: it calls Tick once per workload round
+// (the same probe-count pacing Runner uses), so schedules replay exactly
+// under any machine load. Heal failures accumulate; HealAll force-heals
+// whatever is still active — including steps whose start never arrived,
+// which are skipped, not injected.
+type Timeline struct {
+	Steps []Step
+
+	active []bool
+	done   []bool
+	errs   []error
+}
+
+// Tick fires every step due at tick t: steps whose window opens inject,
+// steps whose window closed heal. Injection order follows Steps order.
+func (tl *Timeline) Tick(ctx context.Context, t int) {
+	tl.ensure()
+	for i := range tl.Steps {
+		s := &tl.Steps[i]
+		if !tl.active[i] && !tl.done[i] && t >= s.Start {
+			s.Fault.Inject(ctx)
+			tl.active[i] = true
+		}
+		if tl.active[i] && t >= s.Start+s.Duration+1 {
+			tl.healStep(ctx, i)
+		}
+	}
+}
+
+// HealAll heals every still-active step (in Steps order) and marks pending
+// steps done without injecting them. It returns the accumulated heal
+// errors, including those from earlier Ticks.
+func (tl *Timeline) HealAll(ctx context.Context) []error {
+	tl.ensure()
+	for i := range tl.Steps {
+		if tl.active[i] {
+			tl.healStep(ctx, i)
+		}
+		tl.done[i] = true
+	}
+	return tl.errs
+}
+
+// End returns the first tick at which every step has injected and healed.
+func (tl *Timeline) End() int {
+	end := 0
+	for _, s := range tl.Steps {
+		if e := s.Start + s.Duration + 1; e > end {
+			end = e
+		}
+	}
+	return end
+}
+
+func (tl *Timeline) healStep(ctx context.Context, i int) {
+	if err := tl.Steps[i].Fault.Heal(ctx); err != nil {
+		tl.errs = append(tl.errs, fmt.Errorf("%s: %w", tl.Steps[i].Fault.Name, err))
+	}
+	tl.active[i] = false
+	tl.done[i] = true
+}
+
+func (tl *Timeline) ensure() {
+	if tl.active == nil {
+		tl.active = make([]bool, len(tl.Steps))
+		tl.done = make([]bool, len(tl.Steps))
+	}
+}
+
+// Report summarises a chaos run. Everything a caller needs to judge the
+// run — including an abort and the heals that failed — is carried here, so
+// a scenario driver can render one verdict without out-of-band state.
 type Report struct {
 	FaultsInjected  int
 	WritesAttempted int
@@ -155,6 +251,13 @@ type Report struct {
 	ReadsOK         int
 	DataErrors      int     // reads that returned wrong data: must be zero
 	HealErrors      []error // fault undos that failed (e.g. repair without peers)
+
+	// Aborted is set when the run's context fired before the schedule
+	// completed; Err carries the context's error. Faults already active are
+	// still healed on the way out (under a detached context), so an aborted
+	// drill does not leak injected faults into the next one.
+	Aborted bool
+	Err     error
 }
 
 // Runner drives a workload while injecting faults from a schedule.
@@ -175,7 +278,12 @@ type Runner struct {
 // Run injects each fault in turn while writing and reading a set of probe
 // rows, verifying that every successful read returns the value most
 // recently committed for that key.
-func (r *Runner) Run() Report {
+func (r *Runner) Run() Report { return r.RunCtx(context.Background()) }
+
+// RunCtx is Run bounded by ctx: when the context fires mid-schedule the
+// runner heals the active fault, marks the report aborted and returns —
+// remaining faults are never injected.
+func (r *Runner) RunCtx(ctx context.Context) Report {
 	if r.ProbesPerFault <= 0 {
 		r.ProbesPerFault = 40
 	}
@@ -229,18 +337,40 @@ func (r *Runner) Run() Report {
 			check(k, got, ok)
 		}
 	}
+	abort := func(f *Fault) Report {
+		rep.Aborted = true
+		rep.Err = ctx.Err()
+		if f != nil {
+			// Heal under a detached context: the deadline that aborted the
+			// drill must not also strand the fault injected.
+			if err := f.Heal(context.WithoutCancel(ctx)); err != nil {
+				rep.HealErrors = append(rep.HealErrors, fmt.Errorf("%s: %w", f.Name, err))
+			}
+		}
+		return rep
+	}
 
-	for _, f := range r.Faults {
-		f.Inject()
+	for fi := range r.Faults {
+		f := &r.Faults[fi]
+		if ctx.Err() != nil {
+			return abort(nil)
+		}
+		f.Inject(ctx)
 		rep.FaultsInjected++
 		for i := 0; i < r.ProbesPerFault; i++ {
+			if ctx.Err() != nil {
+				return abort(f)
+			}
 			probe()
 		}
-		if err := f.Heal(); err != nil {
+		if err := f.Heal(ctx); err != nil {
 			rep.HealErrors = append(rep.HealErrors, fmt.Errorf("%s: %w", f.Name, err))
 		}
 		// And probe again healthy.
 		for i := 0; i < r.HealedProbes; i++ {
+			if ctx.Err() != nil {
+				return abort(nil)
+			}
 			probe()
 		}
 	}

@@ -1,0 +1,55 @@
+package chaos
+
+import (
+	"os"
+	"strconv"
+	"time"
+)
+
+// The chaos drills pace fault schedules by deterministic probe counts, not
+// wall-clock windows, so a loaded CI runner exercises exactly the same
+// schedule as an idle machine. The residual places where wall-clock time is
+// unavoidable — waiting for background monitors to settle, poll intervals,
+// gray-slow injection delays, VDL sampling — all derive from the single
+// scale factor here, so one knob stretches every chaos timer together
+// instead of each test pinning its own magic sleep.
+//
+// AURORA_CHAOS_TIMESCALE multiplies every scaled duration; set it to 2 or 4
+// on runners where the race detector or shared tenancy makes the defaults
+// too tight. Values below 1 are clamped: shrinking the windows can only
+// manufacture flakes.
+var timeScale = func() float64 {
+	s := os.Getenv("AURORA_CHAOS_TIMESCALE")
+	if s == "" {
+		return 1
+	}
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil || f < 1 {
+		return 1
+	}
+	return f
+}()
+
+// Scaled stretches a base duration by the chaos time scale.
+func Scaled(d time.Duration) time.Duration {
+	if timeScale == 1 {
+		return d
+	}
+	return time.Duration(float64(d) * timeScale)
+}
+
+// SettleTimeout bounds waits for background machinery (repair monitors,
+// scrub loops, recovery convergence) to finish after the last fault heals.
+func SettleTimeout() time.Duration { return Scaled(2 * time.Second) }
+
+// PollInterval paces polls inside a SettleTimeout window.
+func PollInterval() time.Duration { return Scaled(5 * time.Millisecond) }
+
+// SampleInterval paces high-frequency invariant samplers (the VDL
+// monotonicity watcher).
+func SampleInterval() time.Duration { return Scaled(50 * time.Microsecond) }
+
+// GraySlowDelay is the canonical per-message delay injected by gray-slow
+// faults in drills: large against the simulated network's RTT, small
+// against the test's wall-clock budget.
+func GraySlowDelay() time.Duration { return Scaled(2 * time.Millisecond) }

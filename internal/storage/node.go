@@ -36,6 +36,11 @@ var (
 	ErrStaleEpoch    = errors.New("storage: truncation epoch stale")
 	ErrWipedSegment  = errors.New("storage: segment wiped, needs repair")
 	ErrStaleGeometry = errors.New("storage: geometry epoch stale")
+	// ErrCorruptPage is returned when a read finds the base image's CRC
+	// invalid: the node refuses to serve bytes it cannot vouch for, the
+	// client hedges to a peer replica, and the scrubber repairs the image
+	// in the background — corruption is never observable, only slow.
+	ErrCorruptPage = errors.New("storage: page checksum mismatch")
 )
 
 // Config configures one storage node (one segment replica).
@@ -100,6 +105,7 @@ type Stats struct {
 	ScrubsClean     uint64
 	ScrubsRepaired  uint64
 	Reads           uint64
+	CorruptReads    uint64 // foreground reads refused on a base-image CRC mismatch
 }
 
 // Ack is the acknowledgement a node returns for a persisted batch. The
@@ -153,9 +159,10 @@ type Node struct {
 	coalesces atomic.Uint64
 	gced      atomic.Uint64
 	backups   atomic.Uint64
-	scrubOK   atomic.Uint64
-	scrubFix  atomic.Uint64
-	reads     atomic.Uint64
+	scrubOK      atomic.Uint64
+	scrubFix     atomic.Uint64
+	reads        atomic.Uint64
+	corruptReads atomic.Uint64
 }
 
 // NewNode creates a storage node and registers it on the network.
@@ -511,6 +518,17 @@ func (n *Node) ReadPageChecked(ctx context.Context, id core.PageID, readPoint, r
 	if err := n.ssd.Read(page.Size); err != nil {
 		return nil, err
 	}
+	// Gate the read on the base image's CRC (Figure 4 step 8 moved into the
+	// foreground path): a corrupt base must never be materialized into a
+	// response. The refusal makes the corruption look like a failed replica
+	// — the client's hedged read falls through to a peer — while the
+	// background scrubber repairs this copy.
+	if ps.base != nil {
+		if err := ps.base.VerifyChecksum(); err != nil {
+			n.corruptReads.Add(1)
+			return nil, fmt.Errorf("%s page %d: %w: %v", n.cfg.Node, id, ErrCorruptPage, err)
+		}
+	}
 	p, err := page.Materialize(id, ps.base, ps.chain, readPoint)
 	if err != nil {
 		return nil, err
@@ -642,6 +660,7 @@ func (n *Node) Stats() Stats {
 		ScrubsClean:     n.scrubOK.Load(),
 		ScrubsRepaired:  n.scrubFix.Load(),
 		Reads:           n.reads.Load(),
+		CorruptReads:    n.corruptReads.Load(),
 	}
 }
 

@@ -1,0 +1,111 @@
+package storage
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+
+	"aurora/internal/core"
+)
+
+// scrubPG builds a 6-replica PG with coalesced base images on every node:
+// 8 deltas to page 1, PGMRPL piggybacked so CoalesceOnce materializes a
+// base at LSN 5 with a 3-record chain on top.
+func scrubPG(t *testing.T) []*Node {
+	t.Helper()
+	_, nodes := testPG(t, nil)
+	f := core.NewFramer(core.NewAllocator(core.ZeroLSN, 0), nil)
+	for i := 0; i < 8; i++ {
+		m := &core.MTR{Txn: uint64(i)}
+		m.AddDelta(0, 1, uint32(i), []byte{byte('a' + i)})
+		batches, _, _ := f.Frame(context.Background(), m)
+		vdl, mrpl := core.ZeroLSN, core.ZeroLSN
+		if i == 7 {
+			vdl, mrpl = 8, 5
+		}
+		for _, n := range nodes {
+			if _, err := n.ReceiveBatch(context.Background(), &batches[0], vdl, mrpl); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for _, n := range nodes {
+		if adv := n.CoalesceOnce(); adv != 1 {
+			t.Fatalf("%s coalesced %d pages, want 1", n.NodeID(), adv)
+		}
+	}
+	return nodes
+}
+
+// TestCorruptionInvisibleToReaders is the end-to-end contract the CorruptPage
+// fault depends on: after a base image is corrupted, (1) the corrupt replica
+// refuses the read with ErrCorruptPage instead of serving bad bytes, (2) the
+// scrubber detects the corruption and repairs the image from a peer, and
+// (3) the repaired replica serves bytes identical to a healthy peer's.
+// Nothing in the window between corruption and repair can hand a reader a
+// page whose checksum does not verify.
+func TestCorruptionInvisibleToReaders(t *testing.T) {
+	nodes := scrubPG(t)
+	victim, peer := nodes[0], nodes[1]
+
+	healthy, err := peer.ReadPage(context.Background(), 1, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !victim.CorruptPage(1) {
+		t.Fatal("no base image to corrupt")
+	}
+
+	// (1) The read path must refuse, not serve, the corrupt base.
+	_, err = victim.ReadPage(context.Background(), 1, 8, 0)
+	if !errors.Is(err, ErrCorruptPage) {
+		t.Fatalf("read of corrupt page: err=%v, want ErrCorruptPage", err)
+	}
+	if got := victim.Stats().CorruptReads; got != 1 {
+		t.Fatalf("CorruptReads = %d, want 1", got)
+	}
+
+	// (2) One scrub pass detects and repairs from a peer.
+	if bad := victim.ScrubOnce(); bad != 1 {
+		t.Fatalf("scrub found %d corrupt pages, want 1", bad)
+	}
+	s := victim.Stats()
+	if s.ScrubsRepaired != 1 {
+		t.Fatalf("ScrubsRepaired = %d, want 1", s.ScrubsRepaired)
+	}
+
+	// (3) The repaired image serves bytes identical to the healthy peer.
+	repaired, err := victim.ReadPage(context.Background(), 1, 8, 0)
+	if err != nil {
+		t.Fatalf("read after scrub: %v", err)
+	}
+	if !bytes.Equal(repaired, healthy) {
+		t.Fatal("repaired page differs from healthy peer's copy")
+	}
+}
+
+// TestScrubSkipsCorruptPeerCopy: a repair must verify the peer's image
+// before installing it — with the nearest peer corrupt too, the scrubber
+// keeps walking until it finds a clean copy.
+func TestScrubSkipsCorruptPeerCopy(t *testing.T) {
+	nodes := scrubPG(t)
+	victim := nodes[0]
+	if !victim.CorruptPage(1) || !nodes[1].CorruptPage(1) {
+		t.Fatal("no base image to corrupt")
+	}
+	if bad := victim.ScrubOnce(); bad != 1 {
+		t.Fatalf("scrub found %d corrupt pages, want 1", bad)
+	}
+	if victim.Stats().ScrubsRepaired != 1 {
+		t.Fatal("victim not repaired despite four clean peers")
+	}
+	p, err := victim.ReadPage(context.Background(), 1, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := string(p.Payload()[:8]); got != "abcdefgh" {
+		t.Fatalf("payload after repair: %q", got)
+	}
+}
