@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race chaos-smoke chaos-grow chaos-deadline chaos-matrix-smoke chaos-matrix examples-smoke bench ci
+.PHONY: all build vet lint test race chaos-smoke chaos-grow chaos-deadline chaos-matrix-smoke chaos-matrix examples-smoke bench bench-logsplit ci
 
 all: build
 
@@ -53,9 +53,13 @@ chaos-deadline:
 # Seeded integrity scenario matrix (faults × stressors), CI tier: 12
 # scenarios under the race detector, zero checksum mismatches / lost acked
 # commits / VDL regressions / goroutine leaks required. Failures print a
-# one-line replay command carrying the seed.
+# one-line replay command carrying the seed. The second run pins the
+# pagestore-lag fault (log/page role split: feed paused + lagging page
+# replica crashed) across all four stressors — the smoke draw does not
+# always include it.
 chaos-matrix-smoke:
 	$(GO) run -race ./cmd/aurora-chaos -matrix -tier smoke -seed 1
+	$(GO) run -race ./cmd/aurora-chaos -matrix -tier smoke -seed 1 -count 36 -only pagestore-lag
 
 # Nightly tier: three full sweeps of the matrix (96 scenarios).
 chaos-matrix:
@@ -70,5 +74,10 @@ examples-smoke:
 # sensitive to the commit pipeline, written as JSON for comparison.
 bench:
 	$(GO) run ./cmd/aurora-bench -quick -exp table1,table3 -json BENCH_2.json
+
+# Log/page role split vs the classic 4/6 quorum at 160 connections on the
+# NVMe disk model: sync bytes per commit, commit p50/p95, throughput.
+bench-logsplit:
+	$(GO) run ./cmd/aurora-bench -exp logsplit
 
 ci: test race chaos-smoke chaos-grow chaos-deadline chaos-matrix-smoke examples-smoke

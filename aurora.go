@@ -34,6 +34,7 @@ import (
 	"aurora/internal/engine"
 	"aurora/internal/netsim"
 	"aurora/internal/objstore"
+	"aurora/internal/quorum"
 	"aurora/internal/replica"
 	"aurora/internal/trace"
 	"aurora/internal/volume"
@@ -69,6 +70,12 @@ type Options struct {
 	Network NetworkProfile
 	// RealisticDisks enables NVMe-like latencies on storage node SSDs.
 	RealisticDisks bool
+	// LogSplit re-roles each protection group into a 3-replica synchronous
+	// log tier and a 3-replica asynchronous page tier (quorum.TaurusMix()).
+	// Commits wait only on a 2/3 log-tier quorum; page replicas pull the
+	// redo stream in the background and serve all page reads. Off by
+	// default: the zero value keeps the paper's 4/6 scheme.
+	LogSplit bool
 	// DisableBackup turns off continuous backup to the object store.
 	DisableBackup bool
 	// DisableBackground skips launching the storage nodes' gossip/coalesce/
@@ -175,9 +182,13 @@ func NewCluster(opts Options) (*Cluster, error) {
 	if opts.RealisticDisks {
 		dcfg = disk.NVMe()
 	}
+	var q quorum.Config
+	if opts.LogSplit {
+		q = quorum.TaurusMix()
+	}
 	fleet, err := volume.NewFleet(volume.FleetConfig{
 		Name: opts.Name, Geometry: core.UniformGeometry(opts.PGs),
-		Net: net, Disk: dcfg, Store: store,
+		Net: net, Disk: dcfg, Store: store, Quorum: q,
 	})
 	if err != nil {
 		return nil, err
@@ -329,7 +340,7 @@ func (c *Cluster) BackupNow() int {
 	}
 	n := 0
 	for g := 0; g < c.fleet.PGs(); g++ {
-		for r := 0; r < 6; r++ {
+		for r := 0; r < c.fleet.Quorum().V; r++ {
 			if v := c.fleet.Node(core.PGID(g), r).BackupNow(); v > 0 {
 				n++
 			}
@@ -358,9 +369,13 @@ func (c *Cluster) RestoreAt(name string, asOf time.Time) (*Cluster, error) {
 	if c.opts.RealisticDisks {
 		dcfg = disk.NVMe()
 	}
+	var q quorum.Config
+	if c.opts.LogSplit {
+		q = quorum.TaurusMix()
+	}
 	fleet, _, err := volume.RestoreFleet(volume.FleetConfig{
 		Name: c.opts.Name, Geometry: core.UniformGeometry(c.opts.PGs),
-		Net: net, Disk: dcfg, Store: c.store,
+		Net: net, Disk: dcfg, Store: c.store, Quorum: q,
 	}, asOf)
 	if err != nil {
 		return nil, err
@@ -423,7 +438,7 @@ func (c *Cluster) FailAZ(az int, down bool) { c.net.SetAZDown(netsim.AZ(az%3), d
 
 // CrashStorageNode crashes (or restarts) one segment replica.
 func (c *Cluster) CrashStorageNode(pg, replicaIdx int, down bool) {
-	n := c.fleet.Node(core.PGID(pg), replicaIdx%6)
+	n := c.fleet.Node(core.PGID(pg), replicaIdx%c.fleet.Quorum().V)
 	if down {
 		n.Crash()
 	} else {
@@ -434,7 +449,7 @@ func (c *Cluster) CrashStorageNode(pg, replicaIdx int, down bool) {
 
 // RepairStorageNode re-replicates a segment from its peers after a wipe.
 func (c *Cluster) RepairStorageNode(pg, replicaIdx int) error {
-	return c.fleet.RepairSegment(core.PGID(pg), replicaIdx%6)
+	return c.fleet.RepairSegment(core.PGID(pg), replicaIdx%c.fleet.Quorum().V)
 }
 
 // Patch performs a zero-downtime patch (§7.4): it waits for a quiet
@@ -505,6 +520,14 @@ type Stats struct {
 	// (netsim-level: the message may still be delivered).
 	Abandons uint64
 
+	// Role-split byte accounting (Options.LogSplit). LogBytes is redo
+	// shipped synchronously on the commit path; PageFeedBytes is redo the
+	// page tier pulled asynchronously. With the split on, LogBytes per
+	// commit shrinks (3 copies instead of 6) while PageFeedBytes absorbs
+	// the deferred fan-out.
+	LogBytes      uint64
+	PageFeedBytes uint64
+
 	// Volume geometry & growth (§3): the routing-table epoch, the current
 	// PG count, and the rebalancer's progress counters.
 	GeometryEpoch         uint64
@@ -540,6 +563,8 @@ func (c *Cluster) Stats() Stats {
 		HedgeCancels:  es.Volume.HedgeCancels,
 		AutoRepairs:   es.Volume.AutoRepairs,
 		Abandons:      ns.Abandons,
+		LogBytes:      es.Volume.LogBytes,
+		PageFeedBytes: es.Volume.PageFeedBytes,
 		RespDrops:     es.Volume.RespDrops,
 		TracesSampled: es.Trace.Finished,
 

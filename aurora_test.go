@@ -304,6 +304,56 @@ func clusterNewPGReads(c *Cluster) uint64 {
 	return total
 }
 
+func TestClusterLogSplit(t *testing.T) {
+	c := newCluster(t, Options{PGs: 2, LogSplit: true, CachePages: 8})
+	for i := 0; i < 30; i++ {
+		if err := c.Put([]byte(fmt.Sprintf("k%02d", i)), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Snapshot reads bypass the writer's cache and hit the storage fleet,
+	// so they exercise the page tier's read-time catch-up end to end.
+	verify := func(ctx string) {
+		tx := c.BeginSnapshot()
+		defer tx.Abort()
+		for i := 1; i < 30; i++ {
+			v, ok, err := tx.Get([]byte(fmt.Sprintf("k%02d", i)))
+			if err != nil || !ok || string(v) != fmt.Sprintf("v%d", i) {
+				t.Fatalf("%s: k%02d = %q %v %v", ctx, i, v, ok, err)
+			}
+		}
+	}
+	verify("initial")
+
+	// Every page replica of both PGs down: commits must still resolve on
+	// the log tier alone.
+	for pg := 0; pg < 2; pg++ {
+		for r := 3; r < 6; r++ {
+			c.CrashStorageNode(pg, r, true)
+		}
+	}
+	if err := c.Put([]byte("k00"), []byte("v0-bis")); err != nil {
+		t.Fatalf("commit with page tier down: %v", err)
+	}
+	for pg := 0; pg < 2; pg++ {
+		for r := 3; r < 6; r++ {
+			c.CrashStorageNode(pg, r, false)
+		}
+	}
+	if v, ok, err := c.Get([]byte("k00")); err != nil || !ok || string(v) != "v0-bis" {
+		t.Fatalf("k00 = %q %v %v", v, ok, err)
+	}
+	verify("after page-tier outage")
+
+	s := c.Stats()
+	if s.LogBytes == 0 {
+		t.Fatalf("stats: LogBytes = 0 with commits shipped: %+v", s)
+	}
+	if s.PageFeedBytes == 0 {
+		t.Fatalf("stats: PageFeedBytes = 0 after snapshot reads forced catch-up: %+v", s)
+	}
+}
+
 func TestClusterPITR(t *testing.T) {
 	c := newCluster(t, Options{PGs: 2})
 	if err := c.Put([]byte("doc"), []byte("v1")); err != nil {

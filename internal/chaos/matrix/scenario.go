@@ -13,6 +13,8 @@ import (
 	"aurora/internal/engine"
 	"aurora/internal/netsim"
 	"aurora/internal/objstore"
+	"aurora/internal/quorum"
+	"aurora/internal/storage"
 	"aurora/internal/volume"
 )
 
@@ -20,14 +22,15 @@ import (
 type FaultKind string
 
 const (
-	FaultCrash       FaultKind = "crash"       // storage node crash + restart
-	FaultWipeRepair  FaultKind = "wipe-repair" // segment disk destroyed, re-replicated on heal
-	FaultAZOutage    FaultKind = "az-down"     // whole availability zone dark
-	FaultPacketLoss  FaultKind = "loss"        // 10% of every message silently dropped
-	FaultGraySlow    FaultKind = "gray-slow"   // alive-but-stalling replica (gray failure)
-	FaultCorruptPage FaultKind = "corrupt"     // bit flips in a materialized base image
-	FaultGrow        FaultKind = "grow"        // live volume growth + rebalancing mid-traffic
-	FaultBackup      FaultKind = "backup"      // backup sweep mid-run, PITR verified after
+	FaultCrash       FaultKind = "crash"         // storage node crash + restart
+	FaultWipeRepair  FaultKind = "wipe-repair"   // segment disk destroyed, re-replicated on heal
+	FaultAZOutage    FaultKind = "az-down"       // whole availability zone dark
+	FaultPacketLoss  FaultKind = "loss"          // 10% of every message silently dropped
+	FaultGraySlow    FaultKind = "gray-slow"     // alive-but-stalling replica (gray failure)
+	FaultCorruptPage FaultKind = "corrupt"       // bit flips in a materialized base image
+	FaultGrow        FaultKind = "grow"          // live volume growth + rebalancing mid-traffic
+	FaultBackup      FaultKind = "backup"        // backup sweep mid-run, PITR verified after
+	FaultPageLag     FaultKind = "pagestore-lag" // log/page split: feed paused, lagging page replica crashed
 )
 
 // StressKind names the other axis: how the workload leans on the fault.
@@ -43,7 +46,7 @@ const (
 // Faults and Stressors enumerate the axes in matrix order.
 var (
 	Faults = []FaultKind{FaultCrash, FaultWipeRepair, FaultAZOutage, FaultPacketLoss,
-		FaultGraySlow, FaultCorruptPage, FaultGrow, FaultBackup}
+		FaultGraySlow, FaultCorruptPage, FaultGrow, FaultBackup, FaultPageLag}
 	Stressors = []StressKind{StressCycles, StressCommitters, StressBigTx, StressDeadline}
 )
 
@@ -113,6 +116,11 @@ func newStack(sc Scenario) (*stack, error) {
 		st.store = objstore.New()
 		cfg.Store = st.store
 		cfg.BackupInterval = time.Hour
+	}
+	if sc.Fault == FaultPageLag {
+		// The pagestore-lag fault only exists under the log/page role split:
+		// its cluster runs the 3+3 mix instead of the classic 4/6.
+		cfg.Quorum = quorum.TaurusMix()
 	}
 	f, err := volume.NewFleet(cfg)
 	if err != nil {
@@ -185,8 +193,49 @@ func makeFault(kind FaultKind, st *stack, led *Ledger, rng *rand.Rand, windows *
 		return growFault(st.vol)
 	case FaultBackup:
 		return backupFault(st, led, windows)
+	case FaultPageLag:
+		return pageLagFault(st, pg, rng)
 	}
 	panic("matrix: unknown fault kind " + string(kind))
+}
+
+// pageLagFault exercises the split's worst read-path case: the log→page
+// feed is paused on every page replica of the victim PG (so the whole page
+// tier goes stale while commits keep landing on the log tier), then one of
+// the lagging page replicas crashes outright. Reads must hedge to the
+// surviving page replicas, which replay the log at read time; acked commits
+// never depend on the page tier, so none may be lost. Heal restarts the
+// victim, resumes the feeds, and lets the background pull re-converge the
+// tier.
+func pageLagFault(st *stack, pg core.PGID, rng *rand.Rand) chaos.Fault {
+	q := st.fleet.Quorum()
+	victim := st.fleet.Node(pg, q.LogV+rng.Intn(q.PageV()))
+	pageNodes := func() []*storage.Node {
+		var out []*storage.Node
+		for _, n := range st.fleet.Replicas(pg) {
+			if n.Role() == core.RolePage {
+				out = append(out, n)
+			}
+		}
+		return out
+	}
+	return chaos.Fault{
+		Name: fmt.Sprintf("pagestore lag, crash %s", victim.NodeID()),
+		Inject: func(context.Context) {
+			for _, n := range pageNodes() {
+				n.PauseFeed(true)
+			}
+			victim.Crash()
+		},
+		Heal: func(context.Context) error {
+			victim.Restart()
+			for _, n := range pageNodes() {
+				n.PauseFeed(false)
+			}
+			storage.SyncGroup(st.fleet.Replicas(pg))
+			return nil
+		},
+	}
 }
 
 // corruptFault flips bits in whatever base image the victim has

@@ -1,0 +1,37 @@
+package core
+
+// ReplicaRole says what a segment replica does with the redo stream it
+// receives. Aurora's original design (§2–§4) makes every replica a full
+// one: it accepts synchronous writes, materializes pages, and serves
+// reads. The Taurus-style split (PAPERS.md) re-roles a protection group
+// into a small synchronous log tier and an asynchronously-fed page tier:
+// commit acknowledgment needs only the log tier, so the synchronous bytes
+// per commit shrink while durability is unchanged.
+type ReplicaRole uint8
+
+const (
+	// RoleFull is the classic Aurora replica: synchronous ingest, page
+	// materialization, coalescing, and reads. The zero value, so every
+	// pre-split configuration keeps its exact behavior.
+	RoleFull ReplicaRole = iota
+	// RoleLog is the synchronous log tier: append, CRC, fsync, ack. It
+	// never materializes pages and refuses page reads; its log prefix is
+	// garbage-collected only once every page peer has pulled it.
+	RoleLog
+	// RolePage is the asynchronous page tier: fed from the log tier's
+	// redo stream by pull (the gossip machinery), it materializes,
+	// coalesces, and serves reads — catching up to the read point on
+	// demand when its applied LSN trails it.
+	RolePage
+)
+
+func (r ReplicaRole) String() string {
+	switch r {
+	case RoleLog:
+		return "log"
+	case RolePage:
+		return "page"
+	default:
+		return "full"
+	}
+}

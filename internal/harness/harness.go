@@ -21,6 +21,7 @@ import (
 	"aurora/internal/mysql"
 	"aurora/internal/netsim"
 	"aurora/internal/objstore"
+	"aurora/internal/quorum"
 	"aurora/internal/volume"
 	"aurora/internal/workload"
 )
@@ -117,7 +118,8 @@ type AuroraConfig struct {
 	Disk       disk.Config
 	Engine     engine.Config
 	NoCoalesce bool
-	Background bool // start storage-node background loops
+	Background bool          // start storage-node background loops
+	Quorum     quorum.Config // zero value selects quorum.Aurora()
 }
 
 // AuroraStack is a complete Aurora deployment for one experiment.
@@ -141,6 +143,7 @@ func NewAurora(cfg AuroraConfig) (*AuroraStack, error) {
 	store := objstore.New()
 	fleet, err := volume.NewFleet(volume.FleetConfig{
 		Name: cfg.Name, Geometry: core.UniformGeometry(cfg.PGs), Net: net, Disk: cfg.Disk, Store: store,
+		Quorum: cfg.Quorum,
 	})
 	if err != nil {
 		return nil, err
@@ -262,6 +265,7 @@ var Registry = map[string]func(Scale) *Result{
 	"ablation-materialize": AblationMaterialize,
 	"latency":              LatencyAttribution,
 	"grow":                 GrowExperiment,
+	"logsplit":             LogSplitExperiment,
 }
 
 // Order is the canonical experiment order for "run everything".
@@ -269,5 +273,5 @@ var Order = []string{
 	"table1", "fig6", "fig7", "table2", "table3", "table4", "table5",
 	"fig8", "fig9", "fig10", "fig11", "fig12", "recovery", "durability",
 	"ablation-sync-commit", "ablation-coalesce", "ablation-full-pages",
-	"ablation-materialize", "latency", "grow",
+	"ablation-materialize", "latency", "grow", "logsplit",
 }

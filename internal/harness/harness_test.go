@@ -205,3 +205,24 @@ func TestAblationShapes(t *testing.T) {
 		t.Fatalf("hot page chain %v too short to be interesting", m["chain_before"])
 	}
 }
+
+func TestLogSplitShape(t *testing.T) {
+	m := metrics(t, LogSplitExperiment(Quick()))
+	if m["sync_bytes_ratio"] > 0.7 {
+		t.Fatalf("split sync bytes/commit %v of baseline, want <= 0.7 (3 log copies vs 6)",
+			m["sync_bytes_ratio"])
+	}
+	if m["p50_ratio"] >= 1 {
+		t.Fatalf("split commit p50 %vx baseline, want < 1 (acks free of page materialization)",
+			m["p50_ratio"])
+	}
+	if m["p95_ratio"] >= 1 {
+		t.Fatalf("split commit p95 %vx baseline, want < 1", m["p95_ratio"])
+	}
+	if m["writes_ratio"] < 1 {
+		t.Fatalf("split writes/sec %vx baseline, want >= 1", m["writes_ratio"])
+	}
+	if m["split_feed_bytes"] <= 0 {
+		t.Fatalf("page tier pulled no feed bytes; the async feed is not running")
+	}
+}

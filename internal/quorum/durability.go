@@ -5,6 +5,8 @@ import (
 	"math/rand"
 	"sort"
 	"time"
+
+	"aurora/internal/core"
 )
 
 // DurabilityParams drives the Monte-Carlo durability model of §2.2. The
@@ -21,6 +23,13 @@ type DurabilityParams struct {
 	Mission  time.Duration // observation window (e.g. one year)
 	Trials   int
 	Seed     int64
+	// LogMTTR is the reprotection time of one log-tier copy in a split
+	// scheme (Taurus, PAPERS.md): a log segment is a tiny append-only
+	// suffix, so when its node or AZ goes dark the writer re-places it on
+	// any healthy node in seconds rather than waiting out the outage.
+	// Zero falls back to NodeMTTR (no reprotection advantage). Ignored by
+	// non-split schemes.
+	LogMTTR time.Duration
 }
 
 // DurabilityResult summarises the trials.
@@ -83,6 +92,10 @@ func SimulateDurability(cfg Config, p DurabilityParams) DurabilityResult {
 	rng := rand.New(rand.NewSource(seed))
 	mission := p.Mission.Seconds()
 
+	if cfg.Split() {
+		return simulateSplitDurability(cfg, p, rng, mission)
+	}
+
 	var readLoss, writeLoss int
 	var unavailTotal float64
 
@@ -136,6 +149,110 @@ func SimulateDurability(cfg Config, p DurabilityParams) DurabilityResult {
 				lostRead = true
 			}
 			writeBlocked = !cfg.WriteAvailable(down)
+			if writeBlocked {
+				lostWrite = true
+			}
+		}
+		if lostRead {
+			readLoss++
+		}
+		if lostWrite {
+			writeLoss++
+		}
+		unavailTotal += unavail / mission
+	}
+
+	return DurabilityResult{
+		Trials:               p.Trials,
+		ReadQuorumLossProb:   float64(readLoss) / float64(p.Trials),
+		WriteQuorumLossProb:  float64(writeLoss) / float64(p.Trials),
+		WriteUnavailFraction: unavailTotal / float64(p.Trials),
+	}
+}
+
+// simulateSplitDurability runs the model for a role-split scheme, tracking
+// the two tiers separately. Loss rules:
+//
+//   - Durability (the read-loss proxy) is gone when the log tier drops
+//     below LogVr healthy copies — the acked suffix can no longer be
+//     proven — or when every page copy is down at once, because
+//     materialized bases below the log-GC floor exist nowhere else.
+//   - Write availability is gone when the log tier drops below LogVw.
+//
+// Log-tier outages are capped at LogMTTR regardless of cause: a log
+// segment is a tiny append-only suffix, so even an AZ outage only costs
+// the reprotection time of re-placing it on a healthy AZ (the Taurus
+// frugal-replication argument). Page copies wait out their full outages.
+func simulateSplitDurability(cfg Config, p DurabilityParams, rng *rand.Rand, mission float64) DurabilityResult {
+	logMTTR := p.LogMTTR.Seconds()
+	if logMTTR <= 0 {
+		logMTTR = p.NodeMTTR.Seconds()
+	}
+	pageV := cfg.PageV()
+
+	var readLoss, writeLoss int
+	var unavailTotal float64
+
+	for trial := 0; trial < p.Trials; trial++ {
+		azOutages := make([][]interval, cfg.AZs)
+		if p.AZMTTF > 0 {
+			for az := 0; az < cfg.AZs; az++ {
+				azOutages[az] = sampleOutages(rng, p.AZMTTF.Seconds(), p.AZMTTR.Seconds(), mission)
+			}
+		}
+		type event struct {
+			t     float64
+			delta int
+			log   bool
+		}
+		var events []event
+		add := func(ivs []interval, isLog bool, capTo float64) {
+			for _, iv := range ivs {
+				to := iv.to
+				if capTo > 0 && iv.from+capTo < to {
+					to = iv.from + capTo
+				}
+				events = append(events, event{iv.from, +1, isLog}, event{to, -1, isLog})
+			}
+		}
+		for i := 0; i < cfg.V; i++ {
+			isLog := cfg.Role(i) == core.RoleLog
+			if isLog {
+				add(sampleOutages(rng, p.NodeMTTF.Seconds(), logMTTR, mission), true, 0)
+			} else {
+				add(sampleOutages(rng, p.NodeMTTF.Seconds(), p.NodeMTTR.Seconds(), mission), false, 0)
+			}
+			if cfg.AZs > 0 {
+				if isLog {
+					add(azOutages[cfg.ReplicaAZ(i)], true, logMTTR)
+				} else {
+					add(azOutages[cfg.ReplicaAZ(i)], false, 0)
+				}
+			}
+		}
+		if len(events) == 0 {
+			continue
+		}
+		sort.Slice(events, func(a, b int) bool { return events[a].t < events[b].t })
+
+		downLog, downPage := 0, 0
+		lostRead, lostWrite := false, false
+		var unavail, prevT float64
+		writeBlocked := false
+		for _, e := range events {
+			if writeBlocked {
+				unavail += e.t - prevT
+			}
+			prevT = e.t
+			if e.log {
+				downLog += e.delta
+			} else {
+				downPage += e.delta
+			}
+			if cfg.LogV-downLog < cfg.LogVr || pageV-downPage < 1 {
+				lostRead = true
+			}
+			writeBlocked = cfg.LogV-downLog < cfg.LogVw
 			if writeBlocked {
 				lostWrite = true
 			}

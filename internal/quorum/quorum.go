@@ -11,15 +11,28 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+
+	"aurora/internal/core"
 )
 
 // Config describes a quorum scheme and its placement across AZs.
+//
+// When LogV > 0 the scheme is role-split (Taurus-style, PAPERS.md):
+// replicas 0..LogV-1 form a synchronous log tier and the remaining
+// V-LogV replicas form an asynchronously-fed page tier. Commit
+// acknowledgment then needs only LogVw log-tier acks; V/Vw/Vr keep
+// describing the whole group for placement and legacy availability
+// predicates.
 type Config struct {
 	V     int // total copies
 	Vw    int // write quorum
 	Vr    int // read quorum
 	AZs   int // number of availability zones copies are spread over
 	PerAZ int // copies per AZ (V == AZs*PerAZ for the symmetric schemes)
+
+	LogV  int // log-tier copies (0 = no split, all replicas are full)
+	LogVw int // log-tier write quorum for commit acknowledgment
+	LogVr int // log-tier read quorum (recovery must reach this many)
 }
 
 // Aurora returns the paper's design point: 6 copies, 2 per AZ across 3 AZs,
@@ -34,6 +47,49 @@ func TwoOfThree() Config { return Config{V: 3, Vw: 2, Vr: 2, AZs: 3, PerAZ: 1} }
 // (primary EBS + mirror, standby EBS + mirror, all synchronous): 4 copies
 // across 2 AZs where every write must reach all 4.
 func MirroredFourOfFour() Config { return Config{V: 4, Vw: 4, Vr: 1, AZs: 2, PerAZ: 2} }
+
+// TaurusMix returns the frugal replication mix (Taurus, PAPERS.md): the
+// same six copies across three AZs as Aurora, but re-roled into a 3-way
+// synchronous log tier (one log replica per AZ, 2/3 ack for commit) and
+// three asynchronously-fed page replicas (one per AZ) that serve reads.
+// Durability still rides on the log tier's majority; the page tier only
+// needs one survivor because any page replica can be rebuilt from the
+// retained log.
+func TaurusMix() Config {
+	return Config{V: 6, Vw: 4, Vr: 3, AZs: 3, PerAZ: 2, LogV: 3, LogVw: 2, LogVr: 2}
+}
+
+// Split reports whether the scheme separates a synchronous log tier from
+// an asynchronous page tier.
+func (c Config) Split() bool { return c.LogV > 0 }
+
+// PageV returns the number of page-tier copies of a split scheme (0 when
+// not split — every replica is full and page-capable).
+func (c Config) PageV() int {
+	if !c.Split() {
+		return 0
+	}
+	return c.V - c.LogV
+}
+
+// Role returns what replica i does under this scheme. Low indices are the
+// log tier so that write-tracker indices line up with sender indices.
+func (c Config) Role(i int) core.ReplicaRole {
+	if !c.Split() {
+		return core.RoleFull
+	}
+	if i < c.LogV {
+		return core.RoleLog
+	}
+	return core.RolePage
+}
+
+// LogTier returns the log tier viewed as a quorum scheme of its own — the
+// config a write tracker resolves against when the split is on: LogVw of
+// LogV acks commit, more than LogV-LogVw rejections make it impossible.
+func (c Config) LogTier() Config {
+	return Config{V: c.LogV, Vw: c.LogVw, Vr: c.LogVr, AZs: c.AZs, PerAZ: 1}
+}
 
 // Validate checks the two consistency rules from [6]: Vr + Vw > V (reads
 // see the newest write) and Vw > V/2 (no conflicting writes), plus
@@ -51,14 +107,44 @@ func (c Config) Validate() error {
 	if c.AZs > 0 && c.PerAZ > 0 && c.AZs*c.PerAZ != c.V {
 		return fmt.Errorf("quorum: AZs*PerAZ=%d != V=%d", c.AZs*c.PerAZ, c.V)
 	}
+	if c.Split() {
+		if c.LogV >= c.V {
+			return fmt.Errorf("quorum: split needs at least one page replica, LogV=%d of V=%d", c.LogV, c.V)
+		}
+		if c.LogVw <= 0 || c.LogVr <= 0 {
+			return errors.New("quorum: split needs positive LogVw and LogVr")
+		}
+		if c.LogVw > c.LogV || c.LogVr > c.LogV {
+			return fmt.Errorf("quorum: log quorums (Vw=%d, Vr=%d) cannot exceed LogV=%d", c.LogVw, c.LogVr, c.LogV)
+		}
+		// The log tier carries durability alone, so it must obey the same
+		// two consistency rules the whole group does.
+		if c.LogVr+c.LogVw <= c.LogV {
+			return fmt.Errorf("quorum: LogVr+LogVw=%d must exceed LogV=%d", c.LogVr+c.LogVw, c.LogV)
+		}
+		if 2*c.LogVw <= c.LogV {
+			return fmt.Errorf("quorum: 2*LogVw=%d must exceed LogV=%d", 2*c.LogVw, c.LogV)
+		}
+		if c.AZs > 0 && c.LogV > c.AZs {
+			return fmt.Errorf("quorum: LogV=%d log replicas cannot spread one-per-AZ over %d AZs", c.LogV, c.AZs)
+		}
+	}
 	return nil
 }
 
 // ReplicaAZ returns the AZ index hosting replica i under symmetric
-// placement (two consecutive replicas per AZ for the Aurora scheme).
+// placement (two consecutive replicas per AZ for the Aurora scheme). A
+// split scheme stripes each tier across the AZs instead, so that losing
+// one AZ costs at most one log replica and one page replica.
 func (c Config) ReplicaAZ(i int) int {
-	if c.PerAZ == 0 {
+	if c.PerAZ == 0 || c.AZs == 0 {
 		return 0
+	}
+	if c.Split() {
+		if i < c.LogV {
+			return i % c.AZs
+		}
+		return (i - c.LogV) % c.AZs
 	}
 	return (i / c.PerAZ) % c.AZs
 }

@@ -5,6 +5,8 @@ import (
 	"testing"
 	"testing/quick"
 	"time"
+
+	"aurora/internal/core"
 )
 
 func TestConfigValidation(t *testing.T) {
@@ -224,6 +226,132 @@ func TestSimulateDurabilityFastRepairShrinksRisk(t *testing.T) {
 	if rFast.WriteUnavailFraction >= rSlow.WriteUnavailFraction {
 		t.Fatalf("fast repair unavail %v should be below slow %v",
 			rFast.WriteUnavailFraction, rSlow.WriteUnavailFraction)
+	}
+}
+
+func TestTaurusMixValidationAndRoles(t *testing.T) {
+	c := TaurusMix()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Split() || Aurora().Split() {
+		t.Fatal("TaurusMix must be split, Aurora must not")
+	}
+	if c.PageV() != 3 {
+		t.Fatalf("page tier size %d, want 3", c.PageV())
+	}
+	for i := 0; i < 3; i++ {
+		if c.Role(i) != core.RoleLog {
+			t.Fatalf("replica %d role %v, want log", i, c.Role(i))
+		}
+	}
+	for i := 3; i < 6; i++ {
+		if c.Role(i) != core.RolePage {
+			t.Fatalf("replica %d role %v, want page", i, c.Role(i))
+		}
+	}
+	if Aurora().Role(0) != core.RoleFull {
+		t.Fatal("non-split replicas must be full")
+	}
+	// Each tier stripes one replica per AZ: losing an AZ costs at most one
+	// log and one page replica.
+	for i := 0; i < 3; i++ {
+		if c.ReplicaAZ(i) != i || c.ReplicaAZ(3+i) != i {
+			t.Fatalf("split placement wrong: log %d in AZ %d, page %d in AZ %d",
+				i, c.ReplicaAZ(i), 3+i, c.ReplicaAZ(3+i))
+		}
+	}
+	bad := []Config{
+		{V: 6, Vw: 4, Vr: 3, AZs: 3, PerAZ: 2, LogV: 6, LogVw: 4, LogVr: 3}, // no page replica
+		{V: 6, Vw: 4, Vr: 3, AZs: 3, PerAZ: 2, LogV: 3, LogVw: 1, LogVr: 1}, // 2*LogVw <= LogV
+		{V: 6, Vw: 4, Vr: 3, AZs: 3, PerAZ: 2, LogV: 3, LogVw: 2, LogVr: 1}, // LogVr+LogVw <= LogV
+		{V: 6, Vw: 4, Vr: 3, AZs: 3, PerAZ: 2, LogV: 3, LogVw: 0, LogVr: 2}, // zero LogVw
+		{V: 8, Vw: 5, Vr: 4, AZs: 2, PerAZ: 4, LogV: 4, LogVw: 3, LogVr: 2}, // LogV > AZs
+	}
+	for _, b := range bad {
+		if err := b.Validate(); err == nil {
+			t.Fatalf("%+v validated", b)
+		}
+	}
+}
+
+func TestLogTierTracker(t *testing.T) {
+	// With the split on, commit acknowledgment resolves against the log
+	// tier alone: 2 of 3 acks commit, 2 nacks make it impossible.
+	lt := TaurusMix().LogTier()
+	if lt.V != 3 || lt.Vw != 2 || lt.Vr != 2 {
+		t.Fatalf("log tier %+v", lt)
+	}
+	tr := NewTracker(lt)
+	tr.Ack(0)
+	select {
+	case <-tr.Done():
+		t.Fatal("resolved with 1 ack, need 2")
+	default:
+	}
+	tr.Ack(2)
+	select {
+	case <-tr.Done():
+	case <-time.After(time.Second):
+		t.Fatal("did not resolve at 2 log-tier acks")
+	}
+	if tr.Err() != nil {
+		t.Fatal(tr.Err())
+	}
+
+	tr = NewTracker(lt)
+	tr.Nack(1)
+	select {
+	case <-tr.Done():
+		t.Fatal("resolved with 1 nack; 2/3 still reachable")
+	default:
+	}
+	tr.Nack(2)
+	<-tr.Done()
+	if tr.Err() != ErrQuorumImpossible {
+		t.Fatalf("err %v", tr.Err())
+	}
+}
+
+func TestSimulateDurabilityTaurusMixNoWorse(t *testing.T) {
+	// The satellite claim: the frugal mix — 3 synchronous log copies with
+	// fast reprotection plus 3 async page copies — is no worse than the
+	// 4/6 scheme on durability, and strictly better on write availability
+	// (only 2 of 3 tiny log appends must land instead of 4 of 6 full
+	// replica writes).
+	p := DurabilityParams{
+		NodeMTTF: 500 * time.Hour,
+		NodeMTTR: 1 * time.Hour,
+		AZMTTF:   2000 * time.Hour,
+		AZMTTR:   12 * time.Hour,
+		Mission:  24 * 365 * time.Hour,
+		Trials:   400,
+		Seed:     42,
+		LogMTTR:  30 * time.Second, // tiny append-only suffix re-placed in seconds
+	}
+	aurora := SimulateDurability(Aurora(), p)
+	taurus := SimulateDurability(TaurusMix(), p)
+	if taurus.ReadQuorumLossProb > aurora.ReadQuorumLossProb {
+		t.Fatalf("TaurusMix read-loss %v must not exceed 4/6's %v",
+			taurus.ReadQuorumLossProb, aurora.ReadQuorumLossProb)
+	}
+	if taurus.WriteQuorumLossProb > aurora.WriteQuorumLossProb {
+		t.Fatalf("TaurusMix write-loss %v must not exceed 4/6's %v",
+			taurus.WriteQuorumLossProb, aurora.WriteQuorumLossProb)
+	}
+	if taurus.WriteUnavailFraction > aurora.WriteUnavailFraction {
+		t.Fatalf("TaurusMix write-unavail %v must not exceed 4/6's %v",
+			taurus.WriteUnavailFraction, aurora.WriteUnavailFraction)
+	}
+	// Without fast log reprotection the mix loses its edge: a 2-of-3
+	// synchronous tier waiting out full outages is the §2.1 argument
+	// against small quorums all over again.
+	slow := p
+	slow.LogMTTR = 0 // falls back to NodeMTTR, AZ outages ride full length
+	taurusSlow := SimulateDurability(TaurusMix(), slow)
+	if taurusSlow.ReadQuorumLossProb < taurus.ReadQuorumLossProb {
+		t.Fatalf("slow reprotection %v should not beat fast %v",
+			taurusSlow.ReadQuorumLossProb, taurus.ReadQuorumLossProb)
 	}
 }
 

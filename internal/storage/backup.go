@@ -57,14 +57,9 @@ func (n *Node) snapshotLocked() []byte {
 		}
 	}
 
-	// Records, sorted by LSN.
-	lsns := make([]core.LSN, 0, len(n.log))
-	for lsn := range n.log {
-		lsns = append(lsns, lsn)
-	}
-	sort.Slice(lsns, func(i, j int) bool { return lsns[i] < lsns[j] })
-	put32(uint32(len(lsns)))
-	for _, lsn := range lsns {
+	// Records, sorted by LSN (the key index is already in order).
+	put32(uint32(len(n.logIdx)))
+	for _, lsn := range n.logIdx {
 		buf = n.log[lsn].AppendEncode(buf)
 	}
 
@@ -219,12 +214,15 @@ func (n *Node) loadSnapshotLocked(buf []byte) error {
 	// (everything at or below gcTail lives only in materialized pages and
 	// was complete when coalesced).
 	gaps = core.NewGapTracker(core.LSN(gcTail))
+	idx := make([]core.LSN, 0, len(log))
 	for _, r := range sortedRecords(log) {
 		gaps.Add(r.PrevLSN, r.LSN)
+		idx = append(idx, r.LSN)
 	}
 
 	n.pages = pages
 	n.log = log
+	n.logIdx = idx
 	n.cpls = cpls
 	n.vdl = core.LSN(vdl)
 	n.pgmrpl = core.LSN(pgmrpl)

@@ -24,6 +24,9 @@ func (n *Node) CoalesceOnce() int {
 	if n.down.Load() {
 		return 0
 	}
+	if n.cfg.Role == core.RoleLog {
+		return n.logGCOnce()
+	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if n.wiped {
@@ -69,15 +72,17 @@ func (n *Node) CoalesceOnce() int {
 		w.ps.chain = append([]*core.Record(nil), w.ps.chain[w.cut:]...)
 	}
 	gced := uint64(0)
-	for lsn := range n.log {
-		if lsn <= safe {
-			delete(n.log, lsn)
-			if lsn > n.gcTail {
-				n.gcTail = lsn
-			}
-			gced++
+	for _, lsn := range n.logIdx {
+		if lsn > safe {
+			break
 		}
+		delete(n.log, lsn)
+		if lsn > n.gcTail {
+			n.gcTail = lsn
+		}
+		gced++
 	}
+	n.logIdxTrimLocked(safe)
 	n.gced.Add(gced)
 	n.coalesces.Add(uint64(len(work)))
 	for range work {
@@ -86,6 +91,72 @@ func (n *Node) CoalesceOnce() int {
 		}
 	}
 	return len(work)
+}
+
+// logGCOnce is the log tier's frugal stand-in for coalescing: no page is
+// ever materialized — a log replica's job ends at durable, complete,
+// pulled. The retained log prefix is GC'd only once this replica and
+// every peer are complete through it (page replicas pull the feed from
+// here, so dropping records a peer still needs would starve the feed)
+// and never above the PGMRPL. A wiped or freshly-repairing peer holds
+// the floor at its SCL, which safely stalls GC until it catches up.
+func (n *Node) logGCOnce() int {
+	// Peer SCLs are read without holding our own lock (same discipline as
+	// the gossip pull) to keep lock ordering single-level.
+	n.mu.Lock()
+	peers := append([]*Node(nil), n.peers...)
+	n.mu.Unlock()
+	floor := n.SCL()
+	for _, p := range peers {
+		if s := p.SCL(); s < floor {
+			floor = s
+		}
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.wiped {
+		return 0
+	}
+	if n.pgmrpl < floor {
+		floor = n.pgmrpl
+	}
+	if floor <= n.gcTail {
+		return 0
+	}
+	gced := uint64(0)
+	for _, lsn := range n.logIdx {
+		if lsn > floor {
+			break
+		}
+		delete(n.log, lsn)
+		if lsn > n.gcTail {
+			n.gcTail = lsn
+		}
+		gced++
+	}
+	if gced == 0 {
+		return 0
+	}
+	n.logIdxTrimLocked(floor)
+	// Trim delta chains below the floor: the history lives on in the page
+	// tier's materialized bases, not here. The chain bookkeeping exists
+	// only so StripePages can report page tails to the rebalancer.
+	for id, ps := range n.pages {
+		cut := 0
+		for cut < len(ps.chain) && ps.chain[cut].LSN <= floor {
+			cut++
+		}
+		if cut > 0 {
+			ps.chain = append([]*core.Record(nil), ps.chain[cut:]...)
+		}
+		if ps.base == nil && len(ps.chain) == 0 {
+			delete(n.pages, id)
+		}
+	}
+	n.gced.Add(gced)
+	// Persist the advanced GC boundary.
+	n.ssd.Write(64)
+	return 0
 }
 
 // GCTail returns the highest log LSN garbage collected so far — the point

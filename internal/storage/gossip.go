@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"context"
 	"sort"
 
 	"aurora/internal/core"
@@ -21,17 +22,58 @@ const gossipRequestSize = 64
 // The exchange is a pull: the requester advertises its SCL and the peer
 // returns records with larger LSNs. It returns the number of records
 // ingested this round.
+//
+// Under a role split this same pull IS the log→page feed: page replicas
+// receive no foreground batches and learn the redo stream exclusively by
+// pulling it from the log tier (or from page peers that are ahead).
+// PauseFeed idles this background round without touching the read-time
+// catch-up pull.
 func (n *Node) GossipOnce() int {
-	if n.down.Load() {
+	if n.down.Load() || n.feedPaused.Load() {
 		return 0
 	}
 	// Gossip runs under the node's root context: a stopping node abandons
 	// its in-flight pulls instead of finishing the round.
-	ctx := n.runContext()
+	total := n.pullRound(n.runContext())
+	n.gossips.Add(1)
+	return total
+}
+
+// catchUpTo pulls from peers until the node's SCL reaches target, a round
+// makes no progress, or the bounded round budget runs out. It ignores
+// PauseFeed — a paused background feed must not break the read path — and
+// runs under the caller's (read) context so a canceled hedge stops
+// pulling immediately. Reports whether target was reached.
+func (n *Node) catchUpTo(ctx context.Context, target core.LSN) bool {
+	const rounds = 32
+	for i := 0; i < rounds; i++ {
+		if ctx.Err() != nil || n.down.Load() {
+			return false
+		}
+		if n.SCL() >= target {
+			return true
+		}
+		if n.pullRound(ctx) == 0 {
+			return n.SCL() >= target
+		}
+	}
+	return n.SCL() >= target
+}
+
+// pullRound runs one pull pass over all reachable peers, returning the
+// number of fresh records ingested.
+func (n *Node) pullRound(ctx context.Context) int {
 	total := 0
 	n.mu.Lock()
 	peers := append([]*Node(nil), n.peers...)
 	n.mu.Unlock()
+	// Prefer same-AZ peers: every AZ holds a complete copy of the stream
+	// under both schemes (two full replicas classically, one log replica
+	// under a role split), so pulling locally first keeps the steady-state
+	// feed off the cross-AZ links and off their latency.
+	sort.SliceStable(peers, func(i, j int) bool {
+		return (peers[i].cfg.AZ == n.cfg.AZ) && (peers[j].cfg.AZ != n.cfg.AZ)
+	})
 	for _, peer := range peers {
 		if ctx.Err() != nil {
 			break
@@ -73,10 +115,10 @@ func (n *Node) GossipOnce() int {
 			n.observePointsLocked(vdl, pgmrpl)
 		}
 		n.mu.Unlock()
+		n.feedBytes.Add(uint64(size))
 		peer.gossiped.Add(uint64(fresh))
 		total += fresh
 	}
-	n.gossips.Add(1)
 	return total
 }
 
@@ -86,15 +128,21 @@ func (n *Node) GossipOnce() int {
 func (n *Node) recordsAfter(after core.LSN, limit int) ([]*core.Record, core.LSN, core.LSN) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	var out []*core.Record
-	for lsn, r := range n.log {
-		if lsn > after {
-			out = append(out, r)
-		}
+	// The sorted key index makes this a binary search plus a bounded copy —
+	// the pull runs every couple of milliseconds per page replica under a
+	// role split, and a full map scan here would hold the log node's lock
+	// on the commit ack path.
+	i := sort.Search(len(n.logIdx), func(i int) bool { return n.logIdx[i] > after })
+	m := len(n.logIdx) - i
+	if m > limit {
+		m = limit
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].LSN < out[j].LSN })
-	if len(out) > limit {
-		out = out[:limit]
+	if m <= 0 {
+		return nil, n.vdl, n.pgmrpl
+	}
+	out := make([]*core.Record, 0, m)
+	for _, lsn := range n.logIdx[i : i+m] {
+		out = append(out, n.log[lsn])
 	}
 	return out, n.vdl, n.pgmrpl
 }

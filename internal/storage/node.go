@@ -41,6 +41,10 @@ var (
 	// client hedges to a peer replica, and the scrubber repairs the image
 	// in the background — corruption is never observable, only slow.
 	ErrCorruptPage = errors.New("storage: page checksum mismatch")
+	// ErrWrongTier is returned when a page read reaches a log-tier replica
+	// (Taurus split): log replicas only append, CRC, fsync and ack — they
+	// never materialize pages, so the read must route to the page tier.
+	ErrWrongTier = errors.New("storage: log-tier replica cannot serve page reads")
 )
 
 // Config configures one storage node (one segment replica).
@@ -64,6 +68,14 @@ type Config struct {
 	// chain exceeds this many records even above the PGMRPL (the paper's
 	// observation that only pages with long chains need rematerialization).
 	CoalesceChainLen int
+	// Role selects what this replica does with the redo stream under a
+	// role-split quorum (Taurus, PAPERS.md). The zero value RoleFull keeps
+	// classic behavior: synchronous ingest, materialization, and reads.
+	// RoleLog appends and acks but never materializes or serves pages;
+	// its log is GC'd only once every peer has pulled it. RolePage is fed
+	// asynchronously by gossip pull and catches up to a read point on
+	// demand when its applied LSN trails it.
+	Role core.ReplicaRole
 }
 
 func (c *Config) fillDefaults() {
@@ -99,6 +111,7 @@ type Stats struct {
 	PagesHeld       int
 	GossipRounds    uint64
 	RecordsGossiped uint64
+	FeedBytes       uint64 // bytes pulled from peers (gossip + catch-up)
 	PagesCoalesced  uint64
 	RecordsGCed     uint64
 	Backups         uint64
@@ -123,6 +136,7 @@ type Node struct {
 
 	mu     sync.Mutex
 	log    map[core.LSN]*core.Record // retained records for gossip/materialize
+	logIdx []core.LSN                // sorted index over log's keys (see logIdxInsertLocked)
 	pages  map[core.PageID]*pageState
 	cpls   []core.LSN // sorted CPL LSNs at or below SCL retention
 	gaps   *core.GapTracker
@@ -143,6 +157,10 @@ type Node struct {
 	peers []*Node
 
 	down atomic.Bool
+	// feedPaused stops the *background* gossip pull (the log→page feed in
+	// a role split) without touching foreground traffic or the read-time
+	// catch-up path — the chaos knob behind the pagestore-lag fault.
+	feedPaused atomic.Bool
 
 	// Background loops run under a root context created by Start and
 	// canceled by Stop; every network send they issue observes it, so a
@@ -156,6 +174,7 @@ type Node struct {
 	records   atomic.Uint64
 	gossips   atomic.Uint64
 	gossiped  atomic.Uint64
+	feedBytes atomic.Uint64
 	coalesces atomic.Uint64
 	gced      atomic.Uint64
 	backups   atomic.Uint64
@@ -186,6 +205,21 @@ func (n *Node) NodeID() netsim.NodeID { return n.cfg.Node }
 
 // AZ returns the availability zone the node lives in.
 func (n *Node) AZ() netsim.AZ { return n.cfg.AZ }
+
+// Role returns the replica's tier under a role-split quorum (RoleFull
+// when the split is off).
+func (n *Node) Role() core.ReplicaRole { return n.cfg.Role }
+
+// PauseFeed pauses (or resumes) the node's background gossip pull — the
+// log→page feed when this is a page replica. Foreground traffic and the
+// read-time catch-up pull keep working; only the background loop idles,
+// so a paused page replica falls ever further behind the durable tail.
+func (n *Node) PauseFeed(paused bool) { n.feedPaused.Store(paused) }
+
+// FeedBytes returns the bytes this node has ingested by pulling from
+// peers (background gossip plus read-time catch-up). On a page replica
+// this is the asynchronous log→page feed volume.
+func (n *Node) FeedBytes() uint64 { return n.feedBytes.Load() }
 
 // Disk exposes the node's SSD for fault injection.
 func (n *Node) Disk() *disk.SSD { return n.ssd }
@@ -218,6 +252,7 @@ func (n *Node) Wipe() {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.log = make(map[core.LSN]*core.Record)
+	n.logIdx = nil
 	n.pages = make(map[core.PageID]*pageState)
 	n.cpls = nil
 	n.gaps = core.NewGapTracker(core.ZeroLSN)
@@ -341,6 +376,40 @@ func (n *Node) ReceiveBatches(ctx context.Context, bs []*core.Batch, vdl, pgmrpl
 	return Ack{Seg: n.cfg.Seg, SCL: scl}, nil
 }
 
+// logIdxInsertLocked records lsn in the sorted key index kept alongside the
+// log map. The index turns recordsAfter — the gossip pull that doubles as
+// the log→page feed under a role split — from a full map scan plus sort
+// into a binary search, and GC of a prefix into a slice trim. Records
+// almost always arrive in LSN order, so the common case is an append.
+func (n *Node) logIdxInsertLocked(lsn core.LSN) {
+	if ln := len(n.logIdx); ln == 0 || n.logIdx[ln-1] < lsn {
+		n.logIdx = append(n.logIdx, lsn)
+		return
+	}
+	i := sort.Search(len(n.logIdx), func(i int) bool { return n.logIdx[i] >= lsn })
+	n.logIdx = append(n.logIdx, 0)
+	copy(n.logIdx[i+1:], n.logIdx[i:])
+	n.logIdx[i] = lsn
+}
+
+// logIdxDeleteLocked removes lsn from the sorted key index.
+func (n *Node) logIdxDeleteLocked(lsn core.LSN) {
+	i := sort.Search(len(n.logIdx), func(i int) bool { return n.logIdx[i] >= lsn })
+	if i < len(n.logIdx) && n.logIdx[i] == lsn {
+		n.logIdx = append(n.logIdx[:i], n.logIdx[i+1:]...)
+	}
+}
+
+// logIdxTrimLocked drops every index entry at or below floor (a GC prefix),
+// copying the suffix so the backing array does not pin collected entries.
+func (n *Node) logIdxTrimLocked(floor core.LSN) {
+	i := sort.Search(len(n.logIdx), func(i int) bool { return n.logIdx[i] > floor })
+	if i == 0 {
+		return
+	}
+	n.logIdx = append([]core.LSN(nil), n.logIdx[i:]...)
+}
+
 // ingestLocked files one record into the log, page chains, CPL index and
 // gap tracker, reporting whether the record was new. Duplicates and
 // annulled records are ignored.
@@ -354,6 +423,7 @@ func (n *Node) ingestLocked(r *core.Record) bool {
 	cl := r.Clone()
 	rec := &cl
 	n.log[r.LSN] = rec
+	n.logIdxInsertLocked(r.LSN)
 	if rec.PageRecord() {
 		ps := n.pages[rec.Page]
 		if ps == nil {
@@ -450,10 +520,8 @@ func (n *Node) HighestLSN() core.LSN {
 	if scl := n.gaps.SCL(); scl > max {
 		max = scl
 	}
-	for lsn := range n.log {
-		if lsn > max {
-			max = lsn
-		}
+	if ln := len(n.logIdx); ln > 0 && n.logIdx[ln-1] > max {
+		max = n.logIdx[ln-1]
 	}
 	return max
 }
@@ -496,6 +564,16 @@ func (n *Node) ReadPageChecked(ctx context.Context, id core.PageID, readPoint, r
 	}
 	if n.down.Load() {
 		return nil, fmt.Errorf("%s: %w", n.cfg.Node, ErrNodeDown)
+	}
+	if n.cfg.Role == core.RoleLog {
+		return nil, fmt.Errorf("%s: %w", n.cfg.Node, ErrWrongTier)
+	}
+	// A page replica whose applied LSN trails the read point replays the
+	// missing log from its peers before answering — the split's read
+	// fallback. Bounded and ctx-scoped; if it cannot reach the read point
+	// the ErrIncomplete below stands and the client hedges to a peer.
+	if n.cfg.Role == core.RolePage && n.SCL() < required {
+		n.catchUpTo(ctx, required)
 	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -587,6 +665,7 @@ func (n *Node) Truncate(tr core.TruncationRange) error {
 			continue
 		}
 		delete(n.log, lsn)
+		n.logIdxDeleteLocked(lsn)
 		if rec.PageRecord() {
 			if ps := n.pages[rec.Page]; ps != nil {
 				ps.chain = removeRecord(ps.chain, lsn)
@@ -654,6 +733,7 @@ func (n *Node) Stats() Stats {
 		PagesHeld:       pages,
 		GossipRounds:    n.gossips.Load(),
 		RecordsGossiped: n.gossiped.Load(),
+		FeedBytes:       n.feedBytes.Load(),
 		PagesCoalesced:  n.coalesces.Load(),
 		RecordsGCed:     n.gced.Load(),
 		Backups:         n.backups.Load(),

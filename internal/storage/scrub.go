@@ -90,6 +90,7 @@ func (n *Node) repairPageFromPeers(ctx context.Context, id core.PageID, peers []
 					cl := r.Clone()
 					merged[cl.LSN] = &cl
 					n.log[cl.LSN] = &cl
+					n.logIdxInsertLocked(cl.LSN)
 				}
 			}
 		}

@@ -78,6 +78,7 @@ type Client struct {
 	mtrs        atomic.Uint64
 	frames      atomic.Uint64 // framing critical sections (groups count once)
 	recsWritten atomic.Uint64
+	logBytes    atomic.Uint64 // bytes delivered synchronously for commit ack
 	readsServed atomic.Uint64
 	readRetries atomic.Uint64
 	writeFails  atomic.Uint64
@@ -477,6 +478,15 @@ func (c *Client) readAtOnce(ctx context.Context, id core.PageID, readPoint core.
 	// required may exceed readPoint when the tail advanced concurrently;
 	// that only makes the completeness demand conservative, never wrong.
 	required := c.tails.DurableTail(pg)
+	if c.q.Split() && readPoint < required {
+		// Page replicas learn the redo stream asynchronously, so demanding
+		// completeness through the durable tail would put every read behind
+		// a catch-up pull. Completeness through the read point is the tight
+		// sufficient demand: the version served materializes only records
+		// with LSN <= readPoint, and SCL >= readPoint proves every one of
+		// this segment's records in that prefix is present.
+		required = readPoint
+	}
 	replicas := c.fleet.Replicas(pg)
 	myAZ, _ := c.fleet.cfg.Net.NodeAZ(c.node)
 
@@ -488,6 +498,13 @@ func (c *Client) readAtOnce(ctx context.Context, id core.PageID, readPoint core.
 	cands := make([]int, 0, len(order))
 	var behind []int
 	for _, i := range order {
+		// Log-tier replicas never serve pages (Taurus split): they hold
+		// the redo stream but no materialized state. Reads route to the
+		// page tier; a page replica whose applied LSN trails the read
+		// point replays the log from its peers before answering.
+		if replicas[i].Role() == core.RoleLog {
+			continue
+		}
 		if c.trackedSCL(replicas[i].Seg()) >= required {
 			cands = append(cands, i)
 		} else {
@@ -562,6 +579,14 @@ type Stats struct {
 	HighestLSN     core.LSN
 	Backlog        int
 
+	// Role-split byte accounting (Taurus, PAPERS.md). LogBytes counts
+	// bytes delivered synchronously on the commit path (all replicas when
+	// the split is off, log tier only when on); PageFeedBytes counts the
+	// asynchronous log→page feed. "Fewer synchronous bytes per commit" is
+	// LogBytes/commits shrinking while PageFeedBytes absorbs the rest.
+	LogBytes      uint64
+	PageFeedBytes uint64
+
 	// Geometry & rebalancing (volume growth, §3).
 	GeometryEpoch         uint64 // current routing-table epoch
 	PGs                   int    // protection groups in the fleet
@@ -597,6 +622,8 @@ func (c *Client) Stats() Stats {
 		VDL:            c.vdl.VDL(),
 		HighestLSN:     c.alloc.HighestAllocated(),
 		Backlog:        c.win.outstanding(),
+		LogBytes:       c.logBytes.Load(),
+		PageFeedBytes:  c.fleet.PageFeedBytes(),
 	}
 }
 

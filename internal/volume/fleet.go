@@ -129,6 +129,16 @@ func NewFleet(cfg FleetConfig) (*Fleet, error) {
 func (f *Fleet) provisionPG(g int) []*storage.Node {
 	replicas := make([]*storage.Node, f.q.V)
 	for r := 0; r < f.q.V; r++ {
+		role := f.q.Role(r)
+		gossip := f.cfg.GossipInterval
+		if role == core.RolePage && gossip <= 0 {
+			// A page replica's gossip pull IS its redo feed, not just hole
+			// repair: it sees no foreground batches, and its staleness is
+			// what read-time catch-up has to pay for. Pull on a much
+			// tighter cadence than the repair-oriented default; the no-op
+			// pre-check keeps idle rounds nearly free.
+			gossip = 5 * time.Millisecond
+		}
 		replicas[r] = storage.NewNode(storage.Config{
 			Seg:              core.SegmentID{PG: core.PGID(g), Replica: uint8(r)},
 			Node:             f.nodeName(g, r, 0),
@@ -136,10 +146,11 @@ func (f *Fleet) provisionPG(g int) []*storage.Node {
 			Net:              f.cfg.Net,
 			Disk:             f.cfg.Disk,
 			Store:            f.cfg.Store,
-			GossipInterval:   f.cfg.GossipInterval,
+			GossipInterval:   gossip,
 			CoalesceInterval: f.cfg.CoalesceInterval,
 			BackupInterval:   f.cfg.BackupInterval,
 			ScrubInterval:    f.cfg.ScrubInterval,
+			Role:             role,
 		})
 	}
 	for _, n := range replicas {
@@ -411,6 +422,21 @@ func (f *Fleet) readerFloor() (core.LSN, bool) {
 	return floor, found
 }
 
+// PageFeedBytes sums the asynchronous log→page feed traffic over the
+// fleet's page-tier replicas. Zero when the quorum is not role-split:
+// full replicas also gossip, but that is hole repair, not a feed.
+func (f *Fleet) PageFeedBytes() uint64 {
+	var total uint64
+	for _, pg := range *f.pgs.Load() {
+		for _, n := range pg {
+			if n.Role() == core.RolePage {
+				total += n.FeedBytes()
+			}
+		}
+	}
+	return total
+}
+
 // Net returns the underlying network.
 func (f *Fleet) Net() *netsim.Network { return f.cfg.Net }
 
@@ -422,21 +448,30 @@ var ErrNoHealthyPeer = errors.New("volume: no healthy peer to repair from")
 
 // RepairSegment re-replicates one segment from the first healthy peer in
 // its PG — the quorum repair that restores full replication after a
-// failure (§2.2).
+// failure (§2.2). Page-capable peers are preferred as the source: under a
+// role split a log replica's snapshot has no materialized bases and its
+// log prefix may already be GC'd, so it can only seed another log
+// replica, never rebuild page history.
 func (f *Fleet) RepairSegment(pg core.PGID, replica int) error {
 	replicas := f.Replicas(pg)
 	target := replicas[replica]
-	for i, peer := range replicas {
-		if i == replica || peer.Down() {
-			continue
+	try := func(logTier bool) bool {
+		for i, peer := range replicas {
+			if i == replica || peer.Down() || (peer.Role() == core.RoleLog) != logTier {
+				continue
+			}
+			if err := target.RepairFrom(peer); err == nil {
+				// One peer's snapshot may trail the quorum by a batch still in
+				// flight; gossip immediately to converge.
+				target.GossipOnce()
+				f.health.Reset(pg, replica)
+				return true
+			}
 		}
-		if err := target.RepairFrom(peer); err == nil {
-			// One peer's snapshot may trail the quorum by a batch still in
-			// flight; gossip immediately to converge.
-			target.GossipOnce()
-			f.health.Reset(pg, replica)
-			return nil
-		}
+		return false
+	}
+	if try(false) || try(true) {
+		return nil
 	}
 	return fmt.Errorf("pg %d replica %d: %w", pg, replica, ErrNoHealthyPeer)
 }
@@ -461,12 +496,23 @@ func (f *Fleet) MigrateSegment(pg core.PGID, replica int, az netsim.AZ) (*storag
 		CoalesceInterval: f.cfg.CoalesceInterval,
 		BackupInterval:   f.cfg.BackupInterval,
 		ScrubInterval:    f.cfg.ScrubInterval,
+		Role:             f.q.Role(replica),
 	})
+	// Prefer a page-capable source for the same reason RepairSegment does:
+	// a log peer cannot rebuild materialized history.
 	var src *storage.Node
 	for i, peer := range replicas {
-		if i != replica && !peer.Down() {
+		if i != replica && !peer.Down() && peer.Role() != core.RoleLog {
 			src = peer
 			break
+		}
+	}
+	if src == nil {
+		for i, peer := range replicas {
+			if i != replica && !peer.Down() {
+				src = peer
+				break
+			}
 		}
 	}
 	if src == nil {

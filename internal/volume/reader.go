@@ -77,9 +77,24 @@ func (r *Reader) ReadPageAt(ctx context.Context, id core.PageID, readPoint, requ
 	// holds the page's history (see Fleet.PGOfAt).
 	curEpoch := r.fleet.Geometry().Epoch()
 	pg := r.fleet.PGOfAt(id, readPoint)
+	if r.fleet.q.Split() && readPoint < required {
+		// Same relaxation as the writer's read path: under a role split the
+		// page tier trails the tail by design, and completeness through the
+		// read point is sufficient for a version materialized at it.
+		required = readPoint
+	}
 	replicas := r.fleet.Replicas(pg)
 	myAZ, _ := r.fleet.cfg.Net.NodeAZ(r.node)
-	cands := r.fleet.health.Order(pg, replicas, myAZ)
+	order := r.fleet.health.Order(pg, replicas, myAZ)
+	// Log-tier replicas hold redo, not pages (Taurus split): replica reads
+	// route to the page tier only, same as the writer's read path.
+	cands := make([]int, 0, len(order))
+	for _, i := range order {
+		if replicas[i].Role() == core.RoleLog {
+			continue
+		}
+		cands = append(cands, i)
+	}
 	p, err := r.fleet.health.runHedged(rctx, pg, cands, func(actx context.Context, i int, hedged bool) (page.Page, error) {
 		n := replicas[i]
 		asp := sp.Child("read.attempt")

@@ -73,7 +73,24 @@ func Recover(ctx context.Context, f *Fleet, cfg ClientConfig) (*Client, *Recover
 			}
 			reachable = append(reachable, n)
 		}
-		if len(reachable) < f.q.Vr {
+		if f.q.Split() {
+			// Role-split quorum: durability is proven by the log tier alone
+			// (acks wait only on LogVw of LogV), so recovery needs a log-tier
+			// read quorum — LogVr log replicas — plus at least one
+			// page-capable replica to serve materialized history afterwards.
+			logUp, pageUp := 0, 0
+			for _, n := range reachable {
+				if n.Role() == core.RoleLog {
+					logUp++
+				} else {
+					pageUp++
+				}
+			}
+			if logUp < f.q.LogVr || pageUp < 1 {
+				return nil, nil, fmt.Errorf("pg %d: %d/%d log replicas (need %d), %d page replicas (need 1): %w",
+					g, logUp, f.q.LogV, f.q.LogVr, pageUp, ErrQuorumLost)
+			}
+		} else if len(reachable) < f.q.Vr {
 			return nil, nil, fmt.Errorf("pg %d: %d of %d reachable, need %d: %w",
 				g, len(reachable), f.q.V, f.q.Vr, ErrQuorumLost)
 		}

@@ -187,6 +187,7 @@ func (s *replicaSender) deliver(flight []shipment) {
 		}
 		if err == nil {
 			c.fleet.health.ObserveOK(s.pg, s.idx, time.Since(start))
+			c.logBytes.Add(uint64(size))
 			// A late ack from a retried flight may arrive after the quorum
 			// already resolved; noteSCL is a monotonic max and Ack on a
 			// resolved tracker is a no-op, so stale acks still advance the
@@ -273,7 +274,17 @@ func (s *replicaSender) resolvedAll(flight []shipment) bool {
 func (c *Client) shipBatch(ctx context.Context, b *core.Batch, sp *trace.Span) error {
 	all := *c.senders.Load()
 	senders := all[int(b.PG)%len(all)]
-	tr := quorum.NewTracker(c.q)
+	trCfg := c.q
+	if c.q.Split() {
+		// Role-split quorum (Taurus): commit acknowledgment waits only on
+		// the synchronous log tier — the low replica indices, so sender
+		// and tracker indices keep lining up. Page replicas receive
+		// nothing in the foreground; they pull the redo stream from the
+		// log tier asynchronously via gossip.
+		trCfg = c.q.LogTier()
+		senders = senders[:c.q.LogV]
+	}
+	tr := quorum.NewTracker(trCfg)
 	bsp := sp.Child("batch.ship")
 	bsp.Annotate("pg", b.PG)
 	bsp.Annotate("records", len(b.Records))
