@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race chaos-smoke chaos-grow chaos-deadline chaos-matrix-smoke chaos-matrix examples-smoke bench bench-logsplit ci
+.PHONY: all build vet lint test race chaos-smoke chaos-grow chaos-deadline chaos-matrix-smoke chaos-matrix examples-smoke bench bench-logsplit bench-tenants tenants-smoke ci
 
 all: build
 
@@ -53,15 +53,16 @@ chaos-deadline:
 # Seeded integrity scenario matrix (faults × stressors), CI tier: 12
 # scenarios under the race detector, zero checksum mismatches / lost acked
 # commits / VDL regressions / goroutine leaks required. Failures print a
-# one-line replay command carrying the seed. The second run pins the
-# pagestore-lag fault (log/page role split: feed paused + lagging page
-# replica crashed) across all four stressors — the smoke draw does not
-# always include it.
+# one-line replay command carrying the seed. The pinned runs sweep one full
+# matrix (count 40) filtered to the pagestore-lag fault (log/page role
+# split) and the noisy-neighbor fault (co-tenant flood on a shared pool)
+# across all four stressors — the smoke draw does not always include them.
 chaos-matrix-smoke:
 	$(GO) run -race ./cmd/aurora-chaos -matrix -tier smoke -seed 1
-	$(GO) run -race ./cmd/aurora-chaos -matrix -tier smoke -seed 1 -count 36 -only pagestore-lag
+	$(GO) run -race ./cmd/aurora-chaos -matrix -tier smoke -seed 1 -count 40 -only pagestore-lag
+	$(GO) run -race ./cmd/aurora-chaos -matrix -tier smoke -seed 1 -count 40 -only noisy-neighbor
 
-# Nightly tier: three full sweeps of the matrix (96 scenarios).
+# Nightly tier: three full sweeps of the matrix (120 scenarios).
 chaos-matrix:
 	$(GO) run -race ./cmd/aurora-chaos -matrix -tier full -seed 1
 
@@ -80,4 +81,16 @@ bench:
 bench-logsplit:
 	$(GO) run ./cmd/aurora-bench -exp logsplit
 
-ci: test race chaos-smoke chaos-grow chaos-deadline chaos-matrix-smoke examples-smoke
+# Multi-tenant fleet benchmark: aggregate throughput scaling 1->4 tenants
+# on shared hosts, plus the noisy-neighbor QoS containment run, written as
+# JSON for comparison.
+bench-tenants:
+	$(GO) run ./cmd/aurora-bench -exp tenants -json BENCH_8.json
+
+# CI-sized multi-tenant checks: the -race isolation regression (two volumes
+# on one host fleet) plus a quick pass of the tenants experiment.
+tenants-smoke:
+	$(GO) test -race -count=1 -run 'TestTenant|TestPlacement|TestPooledFleet|TestWrongVolume' ./internal/volume/
+	$(GO) run ./cmd/aurora-bench -quick -exp tenants
+
+ci: test race chaos-smoke chaos-grow chaos-deadline chaos-matrix-smoke tenants-smoke examples-smoke

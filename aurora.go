@@ -230,6 +230,10 @@ func (c *Cluster) Close() {
 	c.fleet.Stop()
 }
 
+// VolumeID identifies the cluster's storage volume on a shared fleet
+// (0 for a dedicated cluster from NewCluster).
+func (c *Cluster) VolumeID() uint32 { return uint32(c.fleet.Vol()) }
+
 // Begin starts a read-committed writer transaction.
 func (c *Cluster) Begin() *Tx { return &Tx{inner: c.db.Begin()} }
 
@@ -374,8 +378,9 @@ func (c *Cluster) RestoreAt(name string, asOf time.Time) (*Cluster, error) {
 		q = quorum.TaurusMix()
 	}
 	fleet, _, err := volume.RestoreFleet(volume.FleetConfig{
-		Name: c.opts.Name, Geometry: core.UniformGeometry(c.opts.PGs),
-		Net: net, Disk: dcfg, Store: c.store, Quorum: q,
+		Name: c.opts.Name, Vol: c.fleet.Vol(),
+		Geometry: core.UniformGeometry(c.opts.PGs),
+		Net:      net, Disk: dcfg, Store: c.store, Quorum: q,
 	}, asOf)
 	if err != nil {
 		return nil, err

@@ -1,9 +1,13 @@
-package aurora
+// The benchmarks live in an external test package: the harness drives the
+// public aurora API (the tenants experiment opens volumes on a shared
+// fleet), so an in-package test file importing harness would be a cycle.
+package aurora_test
 
 import (
 	"fmt"
 	"testing"
 
+	"aurora"
 	"aurora/internal/harness"
 )
 
@@ -104,9 +108,9 @@ func BenchmarkAblationMaterialization(b *testing.B) {
 
 // Micro-benchmarks of the public API on a fast local cluster.
 
-func benchCluster(b *testing.B) *Cluster {
+func benchCluster(b *testing.B) *aurora.Cluster {
 	b.Helper()
-	c, err := NewCluster(Options{Name: "bench", DisableBackground: true})
+	c, err := aurora.NewCluster(aurora.Options{Name: "bench", DisableBackground: true})
 	if err != nil {
 		b.Fatal(err)
 	}

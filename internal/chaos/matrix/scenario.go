@@ -1,10 +1,12 @@
 package matrix
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
 	"math/rand"
+	"sync"
 	"time"
 
 	"aurora/internal/chaos"
@@ -22,15 +24,16 @@ import (
 type FaultKind string
 
 const (
-	FaultCrash       FaultKind = "crash"         // storage node crash + restart
-	FaultWipeRepair  FaultKind = "wipe-repair"   // segment disk destroyed, re-replicated on heal
-	FaultAZOutage    FaultKind = "az-down"       // whole availability zone dark
-	FaultPacketLoss  FaultKind = "loss"          // 10% of every message silently dropped
-	FaultGraySlow    FaultKind = "gray-slow"     // alive-but-stalling replica (gray failure)
-	FaultCorruptPage FaultKind = "corrupt"       // bit flips in a materialized base image
-	FaultGrow        FaultKind = "grow"          // live volume growth + rebalancing mid-traffic
-	FaultBackup      FaultKind = "backup"        // backup sweep mid-run, PITR verified after
-	FaultPageLag     FaultKind = "pagestore-lag" // log/page split: feed paused, lagging page replica crashed
+	FaultCrash         FaultKind = "crash"          // storage node crash + restart
+	FaultWipeRepair    FaultKind = "wipe-repair"    // segment disk destroyed, re-replicated on heal
+	FaultAZOutage      FaultKind = "az-down"        // whole availability zone dark
+	FaultPacketLoss    FaultKind = "loss"           // 10% of every message silently dropped
+	FaultGraySlow      FaultKind = "gray-slow"      // alive-but-stalling replica (gray failure)
+	FaultCorruptPage   FaultKind = "corrupt"        // bit flips in a materialized base image
+	FaultGrow          FaultKind = "grow"           // live volume growth + rebalancing mid-traffic
+	FaultBackup        FaultKind = "backup"         // backup sweep mid-run, PITR verified after
+	FaultPageLag       FaultKind = "pagestore-lag"  // log/page split: feed paused, lagging page replica crashed
+	FaultNoisyNeighbor FaultKind = "noisy-neighbor" // co-tenant floods the shared hosts; quiet tenant's invariants must hold
 )
 
 // StressKind names the other axis: how the workload leans on the fault.
@@ -46,7 +49,8 @@ const (
 // Faults and Stressors enumerate the axes in matrix order.
 var (
 	Faults = []FaultKind{FaultCrash, FaultWipeRepair, FaultAZOutage, FaultPacketLoss,
-		FaultGraySlow, FaultCorruptPage, FaultGrow, FaultBackup, FaultPageLag}
+		FaultGraySlow, FaultCorruptPage, FaultGrow, FaultBackup, FaultPageLag,
+		FaultNoisyNeighbor}
 	Stressors = []StressKind{StressCycles, StressCommitters, StressBigTx, StressDeadline}
 )
 
@@ -89,7 +93,8 @@ func Plan(masterSeed int64, count int) []Scenario {
 
 // stack is one scenario's private cluster: its own simulated network,
 // 2-PG × 6-replica fleet, writer, and engine. Backup scenarios also get an
-// object store for the restore leg.
+// object store for the restore leg; noisy-neighbor scenarios get a shared
+// host pool and a second, hostile tenant for the fault to flood.
 type stack struct {
 	name  string
 	net   *netsim.Network
@@ -97,6 +102,11 @@ type stack struct {
 	fleet *volume.Fleet
 	vol   *volume.Client
 	db    *engine.DB
+
+	pool     *storage.Pool
+	hotFleet *volume.Fleet
+	hotVol   *volume.Client
+	hotDB    *engine.DB
 }
 
 func newStack(sc Scenario) (*stack, error) {
@@ -109,6 +119,15 @@ func newStack(sc Scenario) (*stack, error) {
 		Geometry: core.UniformGeometry(2),
 		Net:      st.net,
 		Disk:     disk.FastLocal(),
+	}
+	if sc.Fault == FaultNoisyNeighbor {
+		// Both tenants share one 9-host pool with per-tenant QoS: the cap is
+		// far above the quiet workload's needs, so only the flood is shaped.
+		st.pool = storage.NewPool(storage.PoolConfig{
+			Name: st.name + "p", Hosts: 9, Net: st.net, Disk: disk.FastLocal(),
+			QoS: storage.QoSConfig{IngestBytesPerSec: 4 << 20},
+		})
+		cfg.Vol, cfg.Pool = 1, st.pool
 	}
 	if sc.Fault == FaultBackup {
 		// Continuous backups would blur the ledger's restore window: only
@@ -137,10 +156,36 @@ func newStack(sc Scenario) (*stack, error) {
 	}
 	st.db = db
 	f.Start()
+	if sc.Fault == FaultNoisyNeighbor {
+		hf, err := volume.NewFleet(volume.FleetConfig{
+			Name: st.name + "hot", Vol: 2, Pool: st.pool,
+			Geometry: core.UniformGeometry(2), Net: st.net, Disk: disk.FastLocal(),
+		})
+		if err != nil {
+			st.teardown()
+			return nil, err
+		}
+		st.hotFleet = hf
+		st.hotVol = volume.Bootstrap(hf, volume.ClientConfig{WriterNode: netsim.NodeID(st.name + "hot-writer"), WriterAZ: 0})
+		hdb, err := engine.Create(st.hotVol, engine.Config{CachePages: 128})
+		if err != nil {
+			st.hotVol.Close()
+			hf.Stop()
+			st.hotFleet = nil
+			st.teardown()
+			return nil, err
+		}
+		st.hotDB = hdb
+		hf.Start()
+	}
 	return st, nil
 }
 
 func (st *stack) teardown() {
+	if st.hotDB != nil {
+		st.hotDB.Close()
+		st.hotFleet.Stop()
+	}
 	st.db.Close()
 	st.fleet.Stop()
 }
@@ -195,8 +240,59 @@ func makeFault(kind FaultKind, st *stack, led *Ledger, rng *rand.Rand, windows *
 		return backupFault(st, led, windows)
 	case FaultPageLag:
 		return pageLagFault(st, pg, rng)
+	case FaultNoisyNeighbor:
+		return noisyNeighborFault(st)
 	}
 	panic("matrix: unknown fault kind " + string(kind))
+}
+
+// noisyNeighborFault floods the co-tenant sharing the quiet tenant's host
+// pool with big multi-page commits for the fault window. The per-tenant QoS
+// on every shared host must contain the blast: the quiet tenant's ledger,
+// VDL and recovery invariants are judged exactly as in every other
+// scenario, with no allowance for the neighbor. Heal stops the flooders and
+// waits them out, so the goroutine-leak check also covers this fault.
+func noisyNeighborFault(st *stack) chaos.Fault {
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	return chaos.Fault{
+		Name: "co-tenant bigtx flood",
+		Inject: func(context.Context) {
+			for g := 0; g < 4; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					val := bytes.Repeat([]byte{0xbb}, 900)
+					for i := 0; ; i++ {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						opCtx, cancel := context.WithTimeout(context.Background(), chaos.Scaled(3*time.Second))
+						tx := st.hotDB.BeginCtx(opCtx)
+						ok := true
+						for k := 0; k < 4; k++ {
+							if err := tx.Put([]byte(fmt.Sprintf("hot%d-k%d", g, k)), val); err != nil {
+								tx.Abort()
+								ok = false
+								break
+							}
+						}
+						if ok {
+							_ = tx.CommitCtx(opCtx) // throttled/rejected commits are the point
+						}
+						cancel()
+					}
+				}(g)
+			}
+		},
+		Heal: func(context.Context) error {
+			close(stop)
+			wg.Wait()
+			return nil
+		},
+	}
 }
 
 // pageLagFault exercises the split's worst read-path case: the log→page

@@ -76,6 +76,7 @@ type Record struct {
 	Type    RecordType
 	Flags   uint8
 	PG      PGID
+	Vol     VolumeID // owning tenant volume (0 = legacy single-tenant)
 	Page    PageID
 	Txn     uint64
 	Offset  uint32 // byte offset within the page for RecPageDelta
@@ -106,12 +107,13 @@ func (r *Record) String() string {
 //	u8  type
 //	u8  flags
 //	u32 pg
+//	u32 vol
 //	u64 page
 //	u64 txn
 //	u32 offset
 //	u32 dataLen
 //	... data
-const recordHeaderSize = 4 + 4 + 8 + 8 + 1 + 1 + 4 + 8 + 8 + 4 + 4
+const recordHeaderSize = 4 + 4 + 8 + 8 + 1 + 1 + 4 + 4 + 8 + 8 + 4 + 4
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
@@ -139,10 +141,11 @@ func (r *Record) AppendEncode(buf []byte) []byte {
 	b[24] = byte(r.Type)
 	b[25] = r.Flags
 	binary.LittleEndian.PutUint32(b[26:], uint32(r.PG))
-	binary.LittleEndian.PutUint64(b[30:], uint64(r.Page))
-	binary.LittleEndian.PutUint64(b[38:], r.Txn)
-	binary.LittleEndian.PutUint32(b[46:], r.Offset)
-	binary.LittleEndian.PutUint32(b[50:], uint32(len(r.Data)))
+	binary.LittleEndian.PutUint32(b[30:], uint32(r.Vol))
+	binary.LittleEndian.PutUint64(b[34:], uint64(r.Page))
+	binary.LittleEndian.PutUint64(b[42:], r.Txn)
+	binary.LittleEndian.PutUint32(b[50:], r.Offset)
+	binary.LittleEndian.PutUint32(b[54:], uint32(len(r.Data)))
 	copy(b[recordHeaderSize:], r.Data)
 	crc := crc32.Checksum(b[4:], castagnoli)
 	binary.LittleEndian.PutUint32(b, crc)
@@ -166,7 +169,7 @@ func DecodeRecord(buf []byte) (Record, int, error) {
 	if crc := crc32.Checksum(buf[4:total], castagnoli); crc != binary.LittleEndian.Uint32(buf) {
 		return Record{}, 0, ErrBadChecksum
 	}
-	dataLen := int(binary.LittleEndian.Uint32(buf[50:]))
+	dataLen := int(binary.LittleEndian.Uint32(buf[54:]))
 	if recordHeaderSize+dataLen != total {
 		return Record{}, 0, ErrBadLength
 	}
@@ -176,9 +179,10 @@ func DecodeRecord(buf []byte) (Record, int, error) {
 		Type:    RecordType(buf[24]),
 		Flags:   buf[25],
 		PG:      PGID(binary.LittleEndian.Uint32(buf[26:])),
-		Page:    PageID(binary.LittleEndian.Uint64(buf[30:])),
-		Txn:     binary.LittleEndian.Uint64(buf[38:]),
-		Offset:  binary.LittleEndian.Uint32(buf[46:]),
+		Vol:     VolumeID(binary.LittleEndian.Uint32(buf[30:])),
+		Page:    PageID(binary.LittleEndian.Uint64(buf[34:])),
+		Txn:     binary.LittleEndian.Uint64(buf[42:]),
+		Offset:  binary.LittleEndian.Uint32(buf[50:]),
 	}
 	if r.Type == 0 || r.Type > RecCheckpointHint {
 		return Record{}, 0, ErrUnknownrecord
@@ -207,13 +211,14 @@ func (r *Record) Clone() Record {
 // accepted, for pre-geometry callers and tests).
 type Batch struct {
 	PG      PGID
+	Vol     VolumeID // owning tenant volume (0 = legacy single-tenant)
 	Epoch   uint64
 	Records []Record
 }
 
 // EncodedSize returns the wire size of the whole batch.
 func (b *Batch) EncodedSize() int {
-	n := 16 // u32 pg + u32 count + u64 geometry epoch
+	n := 20 // u32 pg + u32 count + u64 geometry epoch + u32 vol
 	for i := range b.Records {
 		n += b.Records[i].EncodedSize()
 	}
@@ -221,12 +226,13 @@ func (b *Batch) EncodedSize() int {
 }
 
 // AppendEncode appends the batch encoding: u32 pg, u32 count, u64 epoch,
-// records.
+// u32 vol, records.
 func (b *Batch) AppendEncode(buf []byte) []byte {
-	var hdr [16]byte
+	var hdr [20]byte
 	binary.LittleEndian.PutUint32(hdr[:4], uint32(b.PG))
 	binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(b.Records)))
-	binary.LittleEndian.PutUint64(hdr[8:], b.Epoch)
+	binary.LittleEndian.PutUint64(hdr[8:16], b.Epoch)
+	binary.LittleEndian.PutUint32(hdr[16:], uint32(b.Vol))
 	buf = append(buf, hdr[:]...)
 	for i := range b.Records {
 		buf = b.Records[i].AppendEncode(buf)
@@ -237,15 +243,16 @@ func (b *Batch) AppendEncode(buf []byte) []byte {
 // DecodeBatch decodes a batch produced by AppendEncode. Record data aliases
 // buf.
 func DecodeBatch(buf []byte) (Batch, int, error) {
-	if len(buf) < 16 {
+	if len(buf) < 20 {
 		return Batch{}, 0, ErrShortBuffer
 	}
 	b := Batch{
 		PG:    PGID(binary.LittleEndian.Uint32(buf)),
 		Epoch: binary.LittleEndian.Uint64(buf[8:]),
+		Vol:   VolumeID(binary.LittleEndian.Uint32(buf[16:])),
 	}
 	count := int(binary.LittleEndian.Uint32(buf[4:]))
-	off := 16
+	off := 20
 	b.Records = make([]Record, 0, count)
 	for i := 0; i < count; i++ {
 		r, n, err := DecodeRecord(buf[off:])

@@ -266,6 +266,7 @@ var Registry = map[string]func(Scale) *Result{
 	"latency":              LatencyAttribution,
 	"grow":                 GrowExperiment,
 	"logsplit":             LogSplitExperiment,
+	"tenants":              TenantsExperiment,
 }
 
 // Order is the canonical experiment order for "run everything".
@@ -273,5 +274,5 @@ var Order = []string{
 	"table1", "fig6", "fig7", "table2", "table3", "table4", "table5",
 	"fig8", "fig9", "fig10", "fig11", "fig12", "recovery", "durability",
 	"ablation-sync-commit", "ablation-coalesce", "ablation-full-pages",
-	"ablation-materialize", "latency", "grow", "logsplit",
+	"ablation-materialize", "latency", "grow", "logsplit", "tenants",
 }

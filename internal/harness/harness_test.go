@@ -226,3 +226,18 @@ func TestLogSplitShape(t *testing.T) {
 		t.Fatalf("page tier pulled no feed bytes; the async feed is not running")
 	}
 }
+
+func TestTenantsShape(t *testing.T) {
+	m := metrics(t, TenantsExperiment(Quick()))
+	if m["scaling_4v1"] <= 1 {
+		t.Fatalf("aggregate writes/sec at 4 tenants is %vx the 1-tenant run, want > 1 (shared hosts must scale)",
+			m["scaling_4v1"])
+	}
+	if m["quiet_retention"] < 0.7 {
+		t.Fatalf("quiet tenant kept %v of its solo fair-share throughput beside the flood, want >= 0.7",
+			m["quiet_retention"])
+	}
+	if m["hot_throttles"] <= 0 {
+		t.Fatalf("hot tenant was never throttled; the flood ran unshaped")
+	}
+}

@@ -1,0 +1,69 @@
+package quorum
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrNoPlacement is returned when the fleet cannot satisfy a protection
+// group's AZ-spread constraint (some replica's required AZ has no host left).
+var ErrNoPlacement = errors.New("quorum: no feasible placement for protection group")
+
+// HostInfo is a placement-time view of one storage host in a shared fleet.
+type HostInfo struct {
+	AZ       int // availability zone index, matching Config.ReplicaAZ
+	Segments int // total segments hosted, all tenants
+	Tenant   int // segments hosted for the volume being placed
+	Shared   int // distinct other tenants already on this host
+}
+
+// PlacePG chooses one host per replica of a new protection group on a shared
+// multi-tenant fleet, returning host indices (into hosts) ordered by replica
+// index. Hard constraints: replica i must land in cfg.ReplicaAZ(i) and no two
+// replicas of the PG may share a host. Among feasible hosts, preference order
+// implements blast-radius control (§2.2: correlated failures must stay
+// independent per tenant) and load balance:
+//
+//  1. fewest segments of the tenant being placed — spread each volume thin so
+//     losing a host costs the tenant at most a couple of segments, and so no
+//     two tenants end up fully co-resident on the same machines;
+//  2. fewest distinct other tenants — do not pile every volume on the same
+//     popular host (bounds how many tenants one machine failure touches);
+//  3. fewest total segments — global load balance;
+//  4. lowest index — determinism for tests and reproducible fleets.
+func PlacePG(cfg Config, hosts []HostInfo) ([]int, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	picks := make([]int, 0, cfg.V)
+	used := make(map[int]bool, cfg.V)
+	for i := 0; i < cfg.V; i++ {
+		az := cfg.ReplicaAZ(i)
+		best := -1
+		for j := range hosts {
+			if used[j] || hosts[j].AZ != az {
+				continue
+			}
+			if best < 0 || better(hosts[j], hosts[best]) {
+				best = j
+			}
+		}
+		if best < 0 {
+			return nil, fmt.Errorf("%w: replica %d needs az %d", ErrNoPlacement, i, az)
+		}
+		picks = append(picks, best)
+		used[best] = true
+	}
+	return picks, nil
+}
+
+// better reports whether host a is strictly preferred over host b.
+func better(a, b HostInfo) bool {
+	if a.Tenant != b.Tenant {
+		return a.Tenant < b.Tenant
+	}
+	if a.Shared != b.Shared {
+		return a.Shared < b.Shared
+	}
+	return a.Segments < b.Segments
+}

@@ -1,0 +1,90 @@
+package quorum
+
+import (
+	"errors"
+	"testing"
+)
+
+// nine hosts, three per AZ, empty fleet.
+func emptyHosts() []HostInfo {
+	hosts := make([]HostInfo, 9)
+	for i := range hosts {
+		hosts[i].AZ = i % 3
+	}
+	return hosts
+}
+
+func TestPlacePGSpreadsAZs(t *testing.T) {
+	q := Aurora()
+	picks, err := PlacePG(q, emptyHosts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(picks) != q.V {
+		t.Fatalf("%d picks, want %d", len(picks), q.V)
+	}
+	seen := map[int]bool{}
+	for i, j := range picks {
+		if seen[j] {
+			t.Fatalf("host %d picked twice", j)
+		}
+		seen[j] = true
+		if got, want := j%3, q.ReplicaAZ(i); got != want {
+			t.Fatalf("replica %d on AZ %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestPlacePGPrefersThinTenantSpread(t *testing.T) {
+	hosts := emptyHosts()
+	// The tenant already has segments on hosts 0 and 1: placement must
+	// prefer the tenant-free hosts in each AZ.
+	hosts[0].Tenant = 2
+	hosts[1].Tenant = 2
+	picks, err := PlacePG(Aurora(), hosts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range picks {
+		if j == 0 || j == 1 {
+			t.Fatalf("picked loaded host %d over a tenant-free one", j)
+		}
+	}
+}
+
+func TestPlacePGAvoidsCrowdedHosts(t *testing.T) {
+	hosts := emptyHosts()
+	// Host 3 (AZ 0) carries many other tenants; 0 and 6 are quieter.
+	hosts[3].Shared = 5
+	hosts[3].Segments = 30
+	picks, err := PlacePG(Aurora(), hosts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range picks {
+		if j == 3 {
+			t.Fatal("picked the most-shared host while empty peers exist")
+		}
+	}
+}
+
+func TestPlacePGNoFeasiblePlacement(t *testing.T) {
+	// Only AZ 0 and 1 have hosts: the 4/6 quorum needs two hosts in AZ 2.
+	hosts := []HostInfo{{AZ: 0}, {AZ: 0}, {AZ: 1}, {AZ: 1}}
+	if _, err := PlacePG(Aurora(), hosts); !errors.Is(err, ErrNoPlacement) {
+		t.Fatalf("err = %v, want ErrNoPlacement", err)
+	}
+}
+
+func TestPlacePGSplitQuorum(t *testing.T) {
+	q := TaurusMix()
+	picks, err := PlacePG(q, emptyHosts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, j := range picks {
+		if got, want := j%3, q.ReplicaAZ(i); got != want {
+			t.Fatalf("split replica %d on AZ %d, want %d", i, got, want)
+		}
+	}
+}

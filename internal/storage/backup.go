@@ -243,8 +243,14 @@ func sortedRecords(log map[core.LSN]*core.Record) []*core.Record {
 	return out
 }
 
-// BackupKey returns the object-store key for this segment's backups.
+// BackupKey returns the object-store key for this segment's backups. Keys
+// are namespaced by tenant volume so two tenants' PITR snapshots can never
+// collide on a shared store; the legacy volume 0 keeps its historical keys
+// so existing stores remain readable.
 func (n *Node) BackupKey() string {
+	if n.cfg.Vol != 0 {
+		return fmt.Sprintf("vol%d/backup/pg%04d/seg%d", uint32(n.cfg.Vol), n.cfg.Seg.PG, n.cfg.Seg.Replica)
+	}
 	return fmt.Sprintf("backup/pg%04d/seg%d", n.cfg.Seg.PG, n.cfg.Seg.Replica)
 }
 

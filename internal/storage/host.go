@@ -1,0 +1,140 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+
+	"aurora/internal/core"
+	"aurora/internal/disk"
+	"aurora/internal/netsim"
+	"aurora/internal/objstore"
+)
+
+// segKey addresses one hosted segment replica: which tenant volume it belongs
+// to and which of that volume's protection groups it serves. One host carries
+// at most one replica of any (volume, PG) pair — placement guarantees it, and
+// the registry enforces it.
+type segKey struct {
+	Vol core.VolumeID
+	PG  core.PGID
+}
+
+// HostConfig describes one physical storage machine in a shared fleet.
+type HostConfig struct {
+	ID    netsim.NodeID
+	AZ    netsim.AZ
+	Net   *netsim.Network
+	Disk  disk.Config     // one SSD shared by every hosted segment
+	Store *objstore.Store // shared object store for backups (may be nil)
+	QoS   QoSConfig       // per-tenant fair-share shaping (zero = no shaping)
+}
+
+// Host is one physical storage machine serving segments from many independent
+// tenant volumes (§1: thousands of customer volumes share one storage fleet).
+// Each hosted segment is still a *Node — the unit of completeness tracking,
+// gossip and repair is unchanged — but host-bound nodes share the host's
+// network identity, its SSD, and its per-tenant QoS scheduler instead of
+// owning private ones. The registry keyed by (volume, PG) is what lets the
+// host demultiplex incoming batches to the right tenant's segment.
+type Host struct {
+	cfg HostConfig
+	ssd *disk.SSD
+	qos *qos
+
+	mu   sync.Mutex
+	segs map[segKey]*Node
+}
+
+// NewHost registers the host with the network and provisions its disk.
+func NewHost(cfg HostConfig) *Host {
+	cfg.Net.AddNode(cfg.ID, cfg.AZ)
+	return &Host{
+		cfg:  cfg,
+		ssd:  disk.New(cfg.Disk),
+		qos:  newQoS(cfg.QoS),
+		segs: make(map[segKey]*Node),
+	}
+}
+
+// ID returns the host's network identity.
+func (h *Host) ID() netsim.NodeID { return h.cfg.ID }
+
+// AZ returns the availability zone the host lives in.
+func (h *Host) AZ() netsim.AZ { return h.cfg.AZ }
+
+// register adds a freshly provisioned segment node to the host's registry.
+// Placement never assigns two replicas of one (volume, PG) to the same host,
+// so a duplicate key is a caller bug, not a runtime condition.
+func (h *Host) register(n *Node) {
+	key := segKey{Vol: n.cfg.Vol, PG: n.cfg.Seg.PG}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, dup := h.segs[key]; dup {
+		panic(fmt.Sprintf("storage: host %s already hosts %s pg=%d", h.cfg.ID, key.Vol, key.PG))
+	}
+	h.segs[key] = n
+}
+
+// unregister removes a segment from the registry (volume teardown or segment
+// migration off the host).
+func (h *Host) unregister(n *Node) {
+	key := segKey{Vol: n.cfg.Vol, PG: n.cfg.Seg.PG}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.segs[key] == n {
+		delete(h.segs, key)
+	}
+}
+
+// Segments snapshots every segment node currently hosted.
+func (h *Host) Segments() []*Node {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]*Node, 0, len(h.segs))
+	for _, n := range h.segs {
+		out = append(out, n)
+	}
+	return out
+}
+
+// SegmentsOf snapshots the segments hosted for one tenant volume.
+func (h *Host) SegmentsOf(vol core.VolumeID) []*Node {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var out []*Node
+	for key, n := range h.segs {
+		if key.Vol == vol {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Tenants returns the set of volumes with at least one segment on this host.
+func (h *Host) Tenants() map[core.VolumeID]int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make(map[core.VolumeID]int)
+	for key := range h.segs {
+		out[key.Vol]++
+	}
+	return out
+}
+
+// QoSStats snapshots the per-tenant shaping counters on this host.
+func (h *Host) QoSStats() map[core.VolumeID]TenantStats { return h.qos.Stats() }
+
+// Crash takes the whole machine down: every hosted segment, every tenant.
+// This is the multi-tenant blast radius placement exists to bound.
+func (h *Host) Crash() {
+	for _, n := range h.Segments() {
+		n.Crash()
+	}
+}
+
+// Restart brings every hosted segment back up.
+func (h *Host) Restart() {
+	for _, n := range h.Segments() {
+		n.Restart()
+	}
+}

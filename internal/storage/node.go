@@ -45,6 +45,11 @@ var (
 	// (Taurus split): log replicas only append, CRC, fsync and ack — they
 	// never materialize pages, so the read must route to the page tier.
 	ErrWrongTier = errors.New("storage: log-tier replica cannot serve page reads")
+	// ErrWrongVolume is returned when a batch or record addressed to one
+	// tenant volume reaches a segment owned by another. On a shared fleet
+	// this is the tenancy boundary: a node vouches for exactly one
+	// (volume, PG) and refuses everyone else's bytes outright.
+	ErrWrongVolume = errors.New("storage: batch addressed to a different tenant volume")
 )
 
 // Config configures one storage node (one segment replica).
@@ -54,6 +59,15 @@ type Config struct {
 	AZ   netsim.AZ
 	Net  *netsim.Network
 	Disk disk.Config
+	// Vol is the tenant volume this segment belongs to. Zero is the legacy
+	// single-tenant volume; its wire format and backup keys are unchanged.
+	Vol core.VolumeID
+	// Host binds the node to a physical machine in a shared multi-tenant
+	// fleet: the node adopts the host's network identity, AZ and SSD,
+	// registers in its (volume, PG) segment registry, and runs foreground
+	// traffic through its per-tenant QoS scheduler. Nil keeps the classic
+	// one-node-per-segment deployment with private identity and disk.
+	Host *Host
 	// Store receives periodic backups; nil disables backup.
 	Store *objstore.Store
 	// GossipInterval controls the background gossip loop (Start).
@@ -170,31 +184,83 @@ type Node struct {
 	runCancel context.CancelFunc
 	stopped   sync.WaitGroup
 
-	batches   atomic.Uint64
-	records   atomic.Uint64
-	gossips   atomic.Uint64
-	gossiped  atomic.Uint64
-	feedBytes atomic.Uint64
-	coalesces atomic.Uint64
-	gced      atomic.Uint64
-	backups   atomic.Uint64
+	batches      atomic.Uint64
+	records      atomic.Uint64
+	gossips      atomic.Uint64
+	gossiped     atomic.Uint64
+	feedBytes    atomic.Uint64
+	coalesces    atomic.Uint64
+	gced         atomic.Uint64
+	backups      atomic.Uint64
 	scrubOK      atomic.Uint64
 	scrubFix     atomic.Uint64
 	reads        atomic.Uint64
 	corruptReads atomic.Uint64
 }
 
-// NewNode creates a storage node and registers it on the network.
+// NewNode creates a storage node and registers it on the network. A
+// host-bound node (cfg.Host != nil) instead adopts the host's already
+// registered identity and shares its SSD, object store and QoS scheduler
+// with every other segment on the machine — that sharing is what makes the
+// fleet multi-tenant rather than a set of dedicated nodes.
 func NewNode(cfg Config) *Node {
 	cfg.fillDefaults()
-	cfg.Net.AddNode(cfg.Node, cfg.AZ)
-	return &Node{
+	var ssd *disk.SSD
+	if h := cfg.Host; h != nil {
+		cfg.Node = h.cfg.ID
+		cfg.AZ = h.cfg.AZ
+		if cfg.Store == nil {
+			cfg.Store = h.cfg.Store
+		}
+		ssd = h.ssd
+	} else {
+		cfg.Net.AddNode(cfg.Node, cfg.AZ)
+		ssd = disk.New(cfg.Disk)
+	}
+	n := &Node{
 		cfg:   cfg,
-		ssd:   disk.New(cfg.Disk),
+		ssd:   ssd,
 		log:   make(map[core.LSN]*core.Record),
 		pages: make(map[core.PageID]*pageState),
 		gaps:  core.NewGapTracker(core.ZeroLSN),
 	}
+	if cfg.Host != nil {
+		cfg.Host.register(n)
+	}
+	return n
+}
+
+// Vol returns the tenant volume this segment belongs to.
+func (n *Node) Vol() core.VolumeID { return n.cfg.Vol }
+
+// Host returns the physical machine a host-bound node lives on (nil for a
+// classic dedicated node).
+func (n *Node) Host() *Host { return n.cfg.Host }
+
+// Detach removes a host-bound node from its host's segment registry (volume
+// teardown or migration off the host). No-op for dedicated nodes.
+func (n *Node) Detach() {
+	if n.cfg.Host != nil {
+		n.cfg.Host.unregister(n)
+	}
+}
+
+// qos returns the host's per-tenant scheduler, nil for dedicated nodes (all
+// qos methods treat a nil receiver as shaping disabled).
+func (n *Node) qos() *qos {
+	if n.cfg.Host != nil {
+		return n.cfg.Host.qos
+	}
+	return nil
+}
+
+// checkVol enforces the tenancy boundary on the foreground write path.
+func (n *Node) checkVol(vol core.VolumeID) error {
+	if vol != n.cfg.Vol {
+		return fmt.Errorf("%s seg pg=%d owned by %s, batch from %s: %w",
+			n.cfg.Node, n.cfg.Seg.PG, n.cfg.Vol, vol, ErrWrongVolume)
+	}
+	return nil
 }
 
 // Seg returns the segment identity this node hosts.
@@ -272,8 +338,14 @@ func (n *Node) ReceiveBatch(ctx context.Context, b *core.Batch, vdl, pgmrpl core
 	if n.down.Load() {
 		return Ack{}, fmt.Errorf("%s: %w", n.cfg.Node, ErrNodeDown)
 	}
+	if err := n.checkVol(b.Vol); err != nil {
+		return Ack{}, err
+	}
 	// Persist the batch to the hot log before acknowledging.
 	size := b.EncodedSize()
+	if err := n.qos().AdmitIngest(ctx, b.Vol, size); err != nil {
+		return Ack{}, err
+	}
 	if err := n.ssd.Write(size); err != nil {
 		return Ack{}, fmt.Errorf("%s hot log: %w", n.cfg.Node, err)
 	}
@@ -323,8 +395,20 @@ func (n *Node) ReceiveBatches(ctx context.Context, bs []*core.Batch, vdl, pgmrpl
 	size := 0
 	records := 0
 	for _, b := range bs {
+		if err := n.checkVol(b.Vol); err != nil {
+			return Ack{}, err
+		}
 		size += b.EncodedSize()
 		records += len(b.Records)
+	}
+	// QoS admission happens before any disk IO: a shaped tenant waits (or
+	// is rejected at its queue cap) without holding the hot log.
+	var vol core.VolumeID
+	if len(bs) > 0 {
+		vol = bs[0].Vol
+	}
+	if err := n.qos().AdmitIngest(ctx, vol, size); err != nil {
+		return Ack{}, err
 	}
 	ingest := parent.Child("storage.ingest")
 	ingest.Annotate("node", n.cfg.Node)
@@ -414,6 +498,12 @@ func (n *Node) logIdxTrimLocked(floor core.LSN) {
 // gap tracker, reporting whether the record was new. Duplicates and
 // annulled records are ignored.
 func (n *Node) ingestLocked(r *core.Record) bool {
+	// Defense in depth for multi-tenancy: even a record arriving via gossip
+	// or repair (paths that bypass the foreground batch check) must carry
+	// this segment's volume — a foreign tenant's record is never filed.
+	if r.Vol != n.cfg.Vol {
+		return false
+	}
 	if n.trunc.Annuls(r.LSN) || r.LSN <= n.gcTail {
 		return false
 	}
@@ -567,6 +657,9 @@ func (n *Node) ReadPageChecked(ctx context.Context, id core.PageID, readPoint, r
 	}
 	if n.cfg.Role == core.RoleLog {
 		return nil, fmt.Errorf("%s: %w", n.cfg.Node, ErrWrongTier)
+	}
+	if err := n.qos().AdmitRead(ctx, n.cfg.Vol); err != nil {
+		return nil, err
 	}
 	// A page replica whose applied LSN trails the read point replays the
 	// missing log from its peers before answering — the split's read

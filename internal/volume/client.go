@@ -250,6 +250,25 @@ func (p *PendingWrite) LastLSNFor(id core.PageID) core.LSN {
 	return last
 }
 
+// stampVol stamps the fleet's tenant volume onto freshly framed batches and
+// every record inside them, just before they become visible to the wire and
+// the gossip-replicated log. Storage verifies the stamp on ingest, so this
+// is the single point where a write acquires its tenancy. The legacy volume
+// 0 skips the walk.
+func (c *Client) stampVol(batches []core.Batch) {
+	vol := c.fleet.cfg.Vol
+	if vol == 0 {
+		return
+	}
+	for i := range batches {
+		batches[i].Vol = vol
+		recs := batches[i].Records
+		for j := range recs {
+			recs[j].Vol = vol
+		}
+	}
+}
+
 // FrameMTR assigns LSNs and backlinks to the MTR and registers its
 // consistency point, without performing any IO. The write is on the wire
 // once Ship is called; until then it occupies the allocation window. The
@@ -265,6 +284,7 @@ func (c *Client) FrameMTR(ctx context.Context, m *core.MTR) (*PendingWrite, erro
 		return nil, err
 	}
 	c.win.addCPL(cpl)
+	c.stampVol(batches)
 	for i := range batches {
 		c.tails.Add(&batches[i])
 	}
@@ -345,6 +365,7 @@ func (c *Client) FrameMTRs(ctx context.Context, ms []*core.MTR) (*GroupWrite, er
 		return nil, err
 	}
 	c.win.addCPLs(cpls)
+	c.stampVol(batches)
 	total := 0
 	for i := range batches {
 		c.tails.Add(&batches[i])

@@ -15,16 +15,32 @@ import (
 	"aurora/internal/storage"
 )
 
-// GeometryManifestKey is the object-store key the fleet publishes its
-// geometry under. Point-in-time restore reads the manifest as of the
-// restore point so a grown volume routes pages the way it did then.
-const GeometryManifestKey = "manifest/geometry"
+// GeometryManifestKey is the object-store key the fleet publishes volume
+// vol's geometry under. Point-in-time restore reads the manifest as of the
+// restore point so a grown volume routes pages the way it did then. Keys are
+// namespaced per tenant so two volumes sharing one store can never clobber
+// each other's manifest lineage; the legacy volume 0 keeps its historical
+// key so existing stores remain readable.
+func GeometryManifestKey(vol core.VolumeID) string {
+	if vol != 0 {
+		return fmt.Sprintf("vol%d/manifest/geometry", uint32(vol))
+	}
+	return "manifest/geometry"
+}
 
 // FleetConfig describes the storage fleet backing one volume.
 type FleetConfig struct {
 	// Name prefixes every storage node's network identity so several
 	// volumes can share one simulated network (multi-tenancy, §7.1).
 	Name string
+	// Vol is the tenant volume identity stamped on every record, batch,
+	// segment and backup key. Zero is the legacy single-tenant volume.
+	Vol core.VolumeID
+	// Pool places this volume's segments onto a shared multi-tenant host
+	// fleet (with AZ-spread and blast-radius scoring) instead of
+	// provisioning dedicated nodes. Requires Vol != 0 so tenants on the
+	// pool are distinguishable. Nil keeps the classic dedicated fleet.
+	Pool *storage.Pool
 	// Geometry is the volume's initial page→PG routing table — the single
 	// source of truth for placement. core.UniformGeometry(pgs) gives the
 	// classic uniform striping over pgs protection groups; the fleet
@@ -105,11 +121,23 @@ func NewFleet(cfg FleetConfig) (*Fleet, error) {
 	if cfg.Name == "" {
 		cfg.Name = "vol"
 	}
+	if cfg.Pool != nil {
+		if cfg.Vol == 0 {
+			return nil, errors.New("volume: a pooled fleet needs a nonzero VolumeID")
+		}
+		if cfg.Store == nil {
+			cfg.Store = cfg.Pool.Store()
+		}
+	}
 	f := &Fleet{cfg: cfg, q: q}
 	npgs := cfg.Geometry.PGs()
 	pgs := make([][]*storage.Node, npgs)
 	for g := 0; g < npgs; g++ {
-		pgs[g] = f.provisionPG(g)
+		replicas, err := f.provisionPG(g)
+		if err != nil {
+			return nil, err
+		}
+		pgs[g] = replicas
 	}
 	f.pgs.Store(&pgs)
 	f.health = newHealthTracker(cfg.Health, npgs, q.V)
@@ -125,8 +153,18 @@ func NewFleet(cfg FleetConfig) (*Fleet, error) {
 }
 
 // provisionPG builds the V replicas of one protection group and wires
-// their peers.
-func (f *Fleet) provisionPG(g int) []*storage.Node {
+// their peers. On a pooled fleet the replicas are placed onto shared hosts
+// chosen by the pool (AZ-spread, blast-radius limits); placement can fail
+// when an AZ has no host, so provisioning is fallible in pool mode.
+func (f *Fleet) provisionPG(g int) ([]*storage.Node, error) {
+	var hosts []*storage.Host
+	if f.cfg.Pool != nil {
+		var err error
+		hosts, err = f.cfg.Pool.Place(f.cfg.Vol, core.PGID(g), f.q)
+		if err != nil {
+			return nil, err
+		}
+	}
 	replicas := make([]*storage.Node, f.q.V)
 	for r := 0; r < f.q.V; r++ {
 		role := f.q.Role(r)
@@ -139,24 +177,29 @@ func (f *Fleet) provisionPG(g int) []*storage.Node {
 			// pre-check keeps idle rounds nearly free.
 			gossip = 5 * time.Millisecond
 		}
-		replicas[r] = storage.NewNode(storage.Config{
+		cfg := storage.Config{
 			Seg:              core.SegmentID{PG: core.PGID(g), Replica: uint8(r)},
 			Node:             f.nodeName(g, r, 0),
 			AZ:               netsim.AZ(f.q.ReplicaAZ(r)),
 			Net:              f.cfg.Net,
 			Disk:             f.cfg.Disk,
+			Vol:              f.cfg.Vol,
 			Store:            f.cfg.Store,
 			GossipInterval:   gossip,
 			CoalesceInterval: f.cfg.CoalesceInterval,
 			BackupInterval:   f.cfg.BackupInterval,
 			ScrubInterval:    f.cfg.ScrubInterval,
 			Role:             role,
-		})
+		}
+		if hosts != nil {
+			cfg.Host = hosts[r]
+		}
+		replicas[r] = storage.NewNode(cfg)
 	}
 	for _, n := range replicas {
 		n.SetPeers(replicas)
 	}
-	return replicas
+	return replicas, nil
 }
 
 // Health exposes the fleet's gray-failure tracker.
@@ -171,6 +214,14 @@ func (f *Fleet) nodeName(pg, replica, gen int) netsim.NodeID {
 
 // Quorum returns the replication scheme.
 func (f *Fleet) Quorum() quorum.Config { return f.q }
+
+// Vol returns the tenant volume identity this fleet serves (zero for a
+// legacy single-tenant fleet).
+func (f *Fleet) Vol() core.VolumeID { return f.cfg.Vol }
+
+// Pool returns the shared host fleet this volume is placed on (nil for a
+// dedicated fleet).
+func (f *Fleet) Pool() *storage.Pool { return f.cfg.Pool }
 
 // PGs returns the number of protection groups.
 func (f *Fleet) PGs() int { return len(*f.pgs.Load()) }
@@ -246,7 +297,7 @@ func (f *Fleet) publishLocked(g *core.Geometry, since core.LSN) error {
 
 func (f *Fleet) persistGeometry(g *core.Geometry) {
 	if f.cfg.Store != nil {
-		f.cfg.Store.Put(GeometryManifestKey, g.Encode())
+		f.cfg.Store.Put(GeometryManifestKey(f.cfg.Vol), g.Encode())
 	}
 }
 
@@ -280,7 +331,10 @@ func (f *Fleet) Grow(n int) ([]core.PGID, error) {
 	copy(pgs, cur)
 	added := make([]core.PGID, 0, n)
 	for g := old; g < old+n; g++ {
-		replicas := f.provisionPG(g)
+		replicas, err := f.provisionPG(g)
+		if err != nil {
+			return nil, err
+		}
 		pgs = append(pgs, replicas)
 		added = append(added, core.PGID(g))
 	}
@@ -353,6 +407,10 @@ func (f *Fleet) Stop() {
 	for _, pg := range *f.pgs.Load() {
 		for _, n := range pg {
 			n.Stop()
+			// A pooled volume's segments leave their hosts' registries on
+			// shutdown so the machines' capacity and blast-radius scores are
+			// freed for other tenants. No-op for dedicated nodes.
+			n.Detach()
 		}
 	}
 }
@@ -482,6 +540,12 @@ func (f *Fleet) RepairSegment(pg core.PGID, replica int) error {
 // node's background loops are not started automatically; callers that run
 // a started fleet should Start() the returned node.
 func (f *Fleet) MigrateSegment(pg core.PGID, replica int, az netsim.AZ) (*storage.Node, error) {
+	if f.cfg.Pool != nil {
+		// A pooled segment's machine is chosen by placement, not by the
+		// caller, and its network identity belongs to the host — the
+		// dedicated-node migration below would tear down a shared machine.
+		return nil, errors.New("volume: MigrateSegment not supported on a pooled fleet")
+	}
 	replicas := f.Replicas(pg)
 	old := replicas[replica]
 	f.gen++

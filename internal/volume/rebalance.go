@@ -237,6 +237,7 @@ func (c *Client) frameUnfenced(m *core.MTR) (*PendingWrite, error) {
 		return nil, err
 	}
 	c.win.addCPL(cpl)
+	c.stampVol(batches)
 	for i := range batches {
 		c.tails.Add(&batches[i])
 	}

@@ -36,6 +36,10 @@ type RestoreReport struct {
 //
 // The source fleet is untouched: restore always creates a new volume, as
 // the managed service does.
+//
+// cfg.Vol selects which tenant's namespaced backups and geometry manifest
+// are read from the shared store (zero = the legacy unprefixed keys), so
+// restoring one tenant can never pick up another tenant's snapshots.
 func RestoreFleet(cfg FleetConfig, asOf time.Time) (*Fleet, *RestoreReport, error) {
 	if cfg.Store == nil {
 		return nil, nil, errors.New("volume: restore requires an object store")
@@ -46,7 +50,7 @@ func RestoreFleet(cfg FleetConfig, asOf time.Time) (*Fleet, *RestoreReport, erro
 	// manifest, so the restored fleet provisions the right number of PGs and
 	// routes reads the way the backups were written. A volume from before
 	// geometry manifests falls back to the caller-supplied geometry.
-	if enc, _, err := cfg.Store.GetAsOf(GeometryManifestKey, asOf); err == nil {
+	if enc, _, err := cfg.Store.GetAsOf(GeometryManifestKey(cfg.Vol), asOf); err == nil {
 		g, err := core.DecodeGeometry(enc)
 		if err != nil {
 			return nil, nil, fmt.Errorf("volume: geometry manifest: %w", err)
