@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race chaos-smoke chaos-grow chaos-deadline chaos-matrix-smoke chaos-matrix examples-smoke bench bench-logsplit bench-tenants tenants-smoke ci
+.PHONY: all build vet lint test race chaos-smoke chaos-grow chaos-deadline chaos-matrix-smoke chaos-matrix examples-smoke bench bench-allocs bench-logsplit bench-tenants tenants-smoke ci
 
 all: build
 
@@ -28,9 +28,10 @@ test: build vet lint
 
 # Race-detector pass over the concurrency-heavy packages.
 race:
-	$(GO) test -race ./internal/trace/ ./internal/volume/ ./internal/chaos/ \
-		./internal/chaos/matrix/ ./internal/storage/ ./internal/netsim/ \
-		./internal/metrics/ ./internal/quorum/ ./internal/engine/
+	$(GO) test -race ./internal/core/ ./internal/trace/ ./internal/volume/ \
+		./internal/chaos/ ./internal/chaos/matrix/ ./internal/storage/ \
+		./internal/netsim/ ./internal/metrics/ ./internal/quorum/ \
+		./internal/engine/
 
 # Short gray-failure drill: fails unless zero data errors, >=99% write
 # success, and the retry / hedge / auto-repair machinery all engaged.
@@ -74,7 +75,15 @@ examples-smoke:
 # Quick benchmark snapshot for this PR: the throughput tables most
 # sensitive to the commit pipeline, written as JSON for comparison.
 bench:
-	$(GO) run ./cmd/aurora-bench -quick -exp table1,table3 -json BENCH_2.json
+	$(GO) run ./cmd/aurora-bench -quick -exp table1,table3 -json BENCH_9.json
+
+# Zero-allocation log hot path guardrail: the encode/frame pins must stay at
+# exactly zero allocations and the full commit steady state under one
+# allocation per record (0 allocs/record amortized). Fails CI on regression.
+bench-allocs:
+	$(GO) test -run 'TestRecordBodyEncodeZeroAllocs|TestFrameGroupSteadyStateZeroAllocs' -count=1 ./internal/core/
+	$(GO) test -run 'TestCommitSteadyStateAllocs' -count=1 ./internal/volume/
+	$(GO) test -run xxx -bench 'BenchmarkRecordBodyEncode|BenchmarkFrameGroup$$|BenchmarkCommitSteadyStateAllocs' -benchtime 100x ./internal/core/ ./internal/volume/
 
 # Log/page role split vs the classic 4/6 quorum at 160 connections on the
 # NVMe disk model: sync bytes per commit, commit p50/p95, throughput.
@@ -93,4 +102,4 @@ tenants-smoke:
 	$(GO) test -race -count=1 -run 'TestTenant|TestPlacement|TestPooledFleet|TestWrongVolume' ./internal/volume/
 	$(GO) run ./cmd/aurora-bench -quick -exp tenants
 
-ci: test race chaos-smoke chaos-grow chaos-deadline chaos-matrix-smoke tenants-smoke examples-smoke
+ci: test race bench-allocs chaos-smoke chaos-grow chaos-deadline chaos-matrix-smoke tenants-smoke examples-smoke

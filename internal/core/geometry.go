@@ -170,10 +170,10 @@ func (g *Geometry) GrowthPlan() []StripeMove {
 // geometryMagic guards the encoded form ("AGEO").
 const geometryMagic = uint32(0x4147454F)
 
-// Encode serialises the geometry for the object-store manifest, so a
-// point-in-time restore of a grown volume routes pages correctly.
-func (g *Geometry) Encode() []byte {
-	buf := make([]byte, 0, 20+4*len(g.stripes))
+// AppendEncode appends the geometry's manifest serialisation to buf and
+// returns the extended slice (append convention, matching Record/Batch),
+// so a point-in-time restore of a grown volume routes pages correctly.
+func (g *Geometry) AppendEncode(buf []byte) []byte {
 	var tmp [8]byte
 	binary.LittleEndian.PutUint32(tmp[:4], geometryMagic)
 	buf = append(buf, tmp[:4]...)
@@ -190,7 +190,7 @@ func (g *Geometry) Encode() []byte {
 	return buf
 }
 
-// DecodeGeometry decodes an Encode payload.
+// DecodeGeometry decodes an AppendEncode payload.
 func DecodeGeometry(buf []byte) (*Geometry, error) {
 	if len(buf) < 20 {
 		return nil, ErrBadGeometry

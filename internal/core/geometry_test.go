@@ -112,7 +112,7 @@ func TestGeometryEncodeDecode(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rt, err := DecodeGeometry(g.Encode())
+	rt, err := DecodeGeometry(g.AppendEncode(nil))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,13 +124,13 @@ func TestGeometryEncodeDecode(t *testing.T) {
 			t.Fatalf("stripe %d: %d != %d", s, rt.StripePG(s), g.StripePG(s))
 		}
 	}
-	for _, bad := range [][]byte{nil, {1, 2, 3}, g.Encode()[:10]} {
+	for _, bad := range [][]byte{nil, {1, 2, 3}, g.AppendEncode(nil)[:10]} {
 		if _, err := DecodeGeometry(bad); err == nil {
 			t.Fatalf("decoded malformed input %v", bad)
 		}
 	}
 	// Corrupt the magic.
-	enc := g.Encode()
+	enc := g.AppendEncode(nil)
 	enc[0] ^= 0xFF
 	if _, err := DecodeGeometry(enc); !errors.Is(err, ErrBadGeometry) {
 		t.Fatalf("bad magic: %v", err)

@@ -77,6 +77,31 @@ type Framer struct {
 	// nil route/epoch means fixed placement (pre-geometry callers, tests).
 	route func(PageID) PGID
 	epoch func() uint64
+
+	// vol is stamped onto every framed record and batch (0 = legacy
+	// single-tenant volume).
+	vol VolumeID
+
+	// Reusable framing state, all guarded by mu. pool recycles arenas and
+	// group shells; pgs is dense per-PG accumulator scratch indexed by PGID,
+	// invalidated per FrameGroup call by a generation stamp instead of
+	// clearing; touched lists the PGs of the current group in first-touch
+	// order.
+	pool    framePool
+	pgs     []pgAccum
+	touched []PGID
+	gen     uint64
+}
+
+// pgAccum accumulates one PG's batch layout across the two framing passes.
+type pgAccum struct {
+	gen         uint64
+	recs        int
+	bytes       int // body bytes
+	first, last LSN
+	hdrOff      int // arena offset of the batch header
+	bodyOff     int // arena write cursor during pass B
+	bodyStart   int
 }
 
 // SetPlacement installs the frame-time router and geometry-epoch source.
@@ -84,6 +109,14 @@ func (f *Framer) SetPlacement(route func(PageID) PGID, epoch func() uint64) {
 	f.mu.Lock()
 	f.route = route
 	f.epoch = epoch
+	f.mu.Unlock()
+}
+
+// SetVolume installs the tenant volume the framer stamps onto every record
+// and batch it frames (replacing the old post-frame re-stamping pass).
+func (f *Framer) SetVolume(vol VolumeID) {
+	f.mu.Lock()
+	f.vol = vol
 	f.mu.Unlock()
 }
 
@@ -98,57 +131,85 @@ func NewFramer(alloc *Allocator, lastPerPG map[PGID]LSN) *Framer {
 	return &Framer{alloc: alloc, last: last}
 }
 
-// Frame assigns LSNs and backlinks to the MTR's records in place, marks the
-// last record as a CPL, and returns the records sharded into per-PG batches
-// together with the MTR's CPL. Frame blocks if the LSN allocator is at its
-// allocation limit, until ctx cancels the wait.
+// Frame is the single-MTR convenience used by tests and cold paths: it
+// frames through the same arena pipeline as FrameGroup, then materialises
+// plain per-PG Batches (records deep-copied out of the arena, so callers
+// own them outright) and releases the group. The hot path uses FrameGroup
+// directly and ships the arena-backed wire images without materialising.
 func (f *Framer) Frame(ctx context.Context, m *MTR) ([]Batch, LSN, error) {
-	batches, cpls, err := f.FrameGroup(ctx, []*MTR{m})
+	g, err := f.FrameGroup(ctx, []*MTR{m})
 	if err != nil {
 		return nil, ZeroLSN, err
 	}
-	return batches, cpls[0], nil
+	defer g.Release()
+	batches := make([]Batch, 0, len(g.Batches))
+	for i := range g.Batches {
+		b, _, err := DecodeBatch(g.Batches[i].Wire)
+		if err != nil {
+			return nil, ZeroLSN, err
+		}
+		for j := range b.Records {
+			b.Records[j] = b.Records[j].Clone()
+		}
+		batches = append(batches, b)
+	}
+	return batches, g.CPLs[0], nil
 }
 
 // FrameGroup frames a group of MTRs through one allocation/chaining
 // critical section: a single Alloc covers every record of the group, and
 // the per-PG backlink chains are threaded across all of them in order. The
 // last record of each MTR is tagged as a CPL, so every member remains an
-// individually trackable consistency point. Records are returned sharded
-// into per-PG batches merged across the whole group (chain order equals
-// LSN order within each batch), together with the per-MTR CPLs in group
-// order. This is the group-commit primitive: N concurrent committers pay
-// one framing critical section instead of N (§4.2.2's "no synchronous
-// points" taken one step further).
-func (f *Framer) FrameGroup(ctx context.Context, ms []*MTR) ([]Batch, []LSN, error) {
+// individually trackable consistency point. This is the group-commit
+// primitive: N concurrent committers pay one framing critical section
+// instead of N (§4.2.2's "no synchronous points" taken one step further).
+//
+// The group's records are encoded straight into a pooled arena — per-PG
+// batches merged across the whole group (chain order equals LSN order
+// within each batch), one contiguous wire image per batch, one CRC-32C
+// pass per batch — and returned as a refcounted *FramedGroup. The caller
+// owns the creator reference and must Release it; see arena.go for the
+// byte-ownership contract. Framing allocates nothing in steady state: the
+// arena, group shell, and per-PG scratch are all reused across calls.
+//
+// The MTRs' records are stamped in place (LSN, PrevLSN, CPL flag, volume,
+// routed PG), so callers can read framed LSNs back off the MTRs they
+// passed in; record LSNs ascend in frame order within each PG.
+func (f *Framer) FrameGroup(ctx context.Context, ms []*MTR) (*FramedGroup, error) {
 	total := 0
 	for _, m := range ms {
 		if m.Empty() {
-			return nil, nil, ErrEmptyMTR
+			return nil, ErrEmptyMTR
 		}
 		total += len(m.Records)
 	}
 	if total == 0 {
-		return nil, nil, ErrEmptyMTR
+		return nil, ErrEmptyMTR
 	}
 	// LSN order must match chain order, so allocation and chaining happen
 	// under one lock — but that lock is held once per *group*, and only the
-	// dedicated framer stage ever blocks here on LAL back-pressure.
+	// dedicated framer stage ever blocks here on LAL back-pressure. The
+	// encode passes stay under the same lock because they use the framer's
+	// reusable scratch (the rebalancer can frame concurrently with the
+	// commit pipeline's framer stage).
 	f.mu.Lock()
 	first, err := f.alloc.Alloc(ctx, total)
 	if err != nil {
 		f.mu.Unlock()
-		return nil, nil, err
+		return nil, err
 	}
 	var epoch uint64
 	if f.epoch != nil {
 		epoch = f.epoch()
 	}
-	byPG := make(map[PGID]*Batch)
-	order := make([]PGID, 0, 2)
-	cpls := make([]LSN, len(ms))
+	g := f.pool.getGroup()
+	f.gen++
+	f.touched = f.touched[:0]
 	lsn := first
-	for mi, m := range ms {
+	// Pass A: route, stamp, and accumulate per-PG record counts and body
+	// sizes. The generation stamp makes per-PG scratch reuse O(touched)
+	// instead of O(all PGs ever seen).
+	for _, m := range ms {
 		n := len(m.Records)
 		for i := range m.Records {
 			r := &m.Records[i]
@@ -162,22 +223,55 @@ func (f *Framer) FrameGroup(ctx context.Context, ms []*MTR) ([]Batch, []LSN, err
 			if i == n-1 {
 				r.Flags |= FlagCPL
 			}
-			b, ok := byPG[r.PG]
-			if !ok {
-				b = &Batch{PG: r.PG, Epoch: epoch}
-				byPG[r.PG] = b
-				order = append(order, r.PG)
+			r.Vol = f.vol
+			if int(r.PG) >= len(f.pgs) {
+				f.pgs = append(f.pgs, make([]pgAccum, int(r.PG)+1-len(f.pgs))...)
 			}
-			b.Records = append(b.Records, *r)
+			acc := &f.pgs[r.PG]
+			if acc.gen != f.gen {
+				*acc = pgAccum{gen: f.gen, first: r.LSN}
+				f.touched = append(f.touched, r.PG)
+			}
+			acc.recs++
+			acc.bytes += r.BodySize()
+			acc.last = r.LSN
 		}
-		cpls[mi] = lsn - 1
+		g.CPLs = append(g.CPLs, lsn-1)
+	}
+	// Layout: carve one contiguous header+body region per touched PG.
+	off := 0
+	for _, pg := range f.touched {
+		acc := &f.pgs[pg]
+		acc.hdrOff = off
+		off += batchHeaderSize
+		acc.bodyStart = off
+		acc.bodyOff = off
+		off += acc.bytes
+	}
+	g.arena = f.pool.getArena(off)
+	buf := g.arena.b[:off]
+	// Pass B: encode record bodies into their PG regions in LSN order.
+	for _, m := range ms {
+		for i := range m.Records {
+			r := &m.Records[i]
+			acc := &f.pgs[r.PG]
+			acc.bodyOff += putRecordBody(buf[acc.bodyOff:], r)
+		}
+	}
+	// Headers last: one batched CRC pass over each contiguous body.
+	for _, pg := range f.touched {
+		acc := &f.pgs[pg]
+		end := acc.bodyStart + acc.bytes
+		body := buf[acc.bodyStart:end]
+		putBatchHeader(buf[acc.hdrOff:], pg, acc.recs, epoch, f.vol, acc.first, acc.last, body)
+		g.Batches = append(g.Batches, FramedBatch{
+			PG: pg, Vol: f.vol, Epoch: epoch,
+			First: acc.first, Last: acc.last, Records: acc.recs,
+			Wire: buf[acc.hdrOff:end:end],
+		})
 	}
 	f.mu.Unlock()
-	batches := make([]Batch, 0, len(order))
-	for _, pg := range order {
-		batches = append(batches, *byPG[pg])
-	}
-	return batches, cpls, nil
+	return g, nil
 }
 
 // ChainTail returns the last LSN framed for pg (ZeroLSN if none).

@@ -1,0 +1,9 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether the race detector is active. Its
+// instrumentation allocates on paths that are allocation-free in normal
+// builds, so the exact-zero allocation pins skip themselves under -race
+// (the amortized commit-path pin keeps enough slack to run either way).
+const raceEnabled = true

@@ -98,7 +98,10 @@ func (r *Record) String() string {
 		r.Type, r.LSN, r.PG, r.Page, r.PrevLSN, r.Txn, r.IsCPL(), len(r.Data))
 }
 
-// Wire format (little endian):
+// Standalone record wire format (little endian). This self-delimiting,
+// self-checksummed codec is used where records travel outside a batch
+// (backup snapshots). On the hot path records are encoded as bare bodies
+// inside a batch, covered by one batch-level CRC — see arena.go.
 //
 //	u32 crc      CRC-32C of everything after this field
 //	u32 length   total encoded length including crc and length fields
@@ -216,51 +219,59 @@ type Batch struct {
 	Records []Record
 }
 
-// EncodedSize returns the wire size of the whole batch.
+// EncodedSize returns the wire size of the whole batch (v2 format: one
+// header, one CRC, record bodies back to back — see arena.go).
 func (b *Batch) EncodedSize() int {
-	n := 20 // u32 pg + u32 count + u64 geometry epoch + u32 vol
+	n := batchHeaderSize
 	for i := range b.Records {
-		n += b.Records[i].EncodedSize()
+		n += b.Records[i].BodySize()
 	}
 	return n
 }
 
-// AppendEncode appends the batch encoding: u32 pg, u32 count, u64 epoch,
-// u32 vol, records.
+// AppendEncode appends the v2 batch encoding: one header carrying the
+// first/last LSNs and a single CRC-32C over the contiguous record-body
+// region. The per-record checksum of the standalone Record codec does not
+// apply inside a batch.
 func (b *Batch) AppendEncode(buf []byte) []byte {
-	var hdr [20]byte
-	binary.LittleEndian.PutUint32(hdr[:4], uint32(b.PG))
-	binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(b.Records)))
-	binary.LittleEndian.PutUint64(hdr[8:16], b.Epoch)
-	binary.LittleEndian.PutUint32(hdr[16:], uint32(b.Vol))
-	buf = append(buf, hdr[:]...)
+	start := len(buf)
+	buf = append(buf, make([]byte, b.EncodedSize())...)
+	w := buf[start:]
+	off := batchHeaderSize
 	for i := range b.Records {
-		buf = b.Records[i].AppendEncode(buf)
+		off += putRecordBody(w[off:], &b.Records[i])
 	}
+	var first, last LSN
+	if len(b.Records) > 0 {
+		first = b.Records[0].LSN
+		last = b.Records[len(b.Records)-1].LSN
+	}
+	putBatchHeader(w, b.PG, len(b.Records), b.Epoch, b.Vol, first, last, w[batchHeaderSize:off])
 	return buf
 }
 
-// DecodeBatch decodes a batch produced by AppendEncode. Record data aliases
-// buf.
+// DecodeBatch decodes and CRC-verifies a batch produced by AppendEncode.
+// Record data aliases buf.
 func DecodeBatch(buf []byte) (Batch, int, error) {
-	if len(buf) < 20 {
-		return Batch{}, 0, ErrShortBuffer
+	v, n, err := ParseBatchView(buf)
+	if err != nil {
+		return Batch{}, 0, err
+	}
+	if err := v.Verify(); err != nil {
+		return Batch{}, 0, err
 	}
 	b := Batch{
-		PG:    PGID(binary.LittleEndian.Uint32(buf)),
-		Epoch: binary.LittleEndian.Uint64(buf[8:]),
-		Vol:   VolumeID(binary.LittleEndian.Uint32(buf[16:])),
+		PG:      v.PG(),
+		Vol:     v.Vol(),
+		Epoch:   v.Epoch(),
+		Records: make([]Record, 0, v.NumRecords()),
 	}
-	count := int(binary.LittleEndian.Uint32(buf[4:]))
-	off := 20
-	b.Records = make([]Record, 0, count)
-	for i := 0; i < count; i++ {
-		r, n, err := DecodeRecord(buf[off:])
-		if err != nil {
-			return Batch{}, 0, fmt.Errorf("record %d/%d: %w", i, count, err)
-		}
-		b.Records = append(b.Records, r)
-		off += n
+	err = v.EachRecord(func(r *Record) bool {
+		b.Records = append(b.Records, *r)
+		return true
+	})
+	if err != nil {
+		return Batch{}, 0, fmt.Errorf("core: batch body: %w", err)
 	}
-	return b, off, nil
+	return b, n, nil
 }

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"container/heap"
 	"context"
 	"sync"
 	"sync/atomic"
@@ -24,17 +23,47 @@ type waiter struct {
 	ch     chan struct{}
 }
 
+// waiterHeap is a typed min-heap on waiter.target. It deliberately avoids
+// container/heap: the interface methods box every pushed and popped element,
+// which puts an allocation on the commit hot path for each durability wait.
 type waiterHeap []waiter
 
-func (h waiterHeap) Len() int            { return len(h) }
-func (h waiterHeap) Less(i, j int) bool  { return h[i].target < h[j].target }
-func (h waiterHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *waiterHeap) Push(x interface{}) { *h = append(*h, x.(waiter)) }
-func (h *waiterHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
+func (h *waiterHeap) push(w waiter) {
+	s := append(*h, w)
+	*h = s
+	for i := len(s) - 1; i > 0; {
+		p := (i - 1) / 2
+		if s[p].target <= s[i].target {
+			break
+		}
+		s[p], s[i] = s[i], s[p]
+		i = p
+	}
+}
+
+func (h *waiterHeap) pop() waiter {
+	s := *h
+	n := len(s) - 1
+	x := s[0]
+	s[0] = s[n]
+	s[n] = waiter{} // drop the channel reference
+	s = s[:n]
+	*h = s
+	for i := 0; ; {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && s[r].target < s[l].target {
+			m = r
+		}
+		if s[i].target <= s[m].target {
+			break
+		}
+		s[i], s[m] = s[m], s[i]
+		i = m
+	}
 	return x
 }
 
@@ -62,8 +91,7 @@ func (t *VDLTracker) Advance(vdl LSN) bool {
 	}
 	t.mu.Lock()
 	for len(t.waiters) > 0 && t.waiters[0].target <= vdl {
-		w := heap.Pop(&t.waiters).(waiter)
-		close(w.ch)
+		close(t.waiters.pop().ch)
 	}
 	t.mu.Unlock()
 	return true
@@ -79,7 +107,7 @@ func (t *VDLTracker) WaitChan(target LSN) <-chan struct{} {
 		close(ch)
 		return ch
 	}
-	heap.Push(&t.waiters, waiter{target: target, ch: ch})
+	t.waiters.push(waiter{target: target, ch: ch})
 	t.mu.Unlock()
 	return ch
 }
@@ -112,8 +140,7 @@ func (t *VDLTracker) Close() {
 	if !t.closed {
 		t.closed = true
 		for len(t.waiters) > 0 {
-			w := heap.Pop(&t.waiters).(waiter)
-			close(w.ch)
+			close(t.waiters.pop().ch)
 		}
 	}
 	t.mu.Unlock()

@@ -142,9 +142,11 @@ func Create(vol *volume.Client, cfg Config) (*DB, error) {
 	db.feed.publish(Event{Records: cloneRecords(m.Records), VDL: vol.VDL()})
 	ws.done()
 	if err := pending.Ship(db.rootCtx); err != nil {
+		pending.Release()
 		return nil, fmt.Errorf("engine: formatting volume: %w", err)
 	}
 	vol.WaitDurable(pending.CPL())
+	pending.Release()
 	db.feed.publish(Event{VDL: vol.VDL()})
 	db.pipeline = newCommitPipeline(db)
 	return db, nil

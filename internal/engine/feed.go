@@ -40,10 +40,13 @@ func newFeed() *feed {
 	return f
 }
 
-// publish enqueues an event for delivery.
+// publish enqueues an event for delivery. With no subscribers attached the
+// event is dropped outright — identical semantics to the pump fanning out
+// to an empty set (subscribers only see events published after they
+// attach), but the hot path skips the queue append entirely.
 func (f *feed) publish(ev Event) {
 	f.mu.Lock()
-	if f.closed {
+	if f.closed || len(f.subs) == 0 {
 		f.mu.Unlock()
 		return
 	}
@@ -53,6 +56,16 @@ func (f *feed) publish(ev Event) {
 	case f.wake <- struct{}{}:
 	default:
 	}
+}
+
+// active reports whether any subscriber is attached. Publishers use it to
+// skip building record clones nobody would receive; a subscriber attaching
+// right after the check simply misses that event, exactly as subscribe's
+// contract allows.
+func (f *feed) active() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return !f.closed && len(f.subs) > 0
 }
 
 func (f *feed) pump() {

@@ -207,8 +207,15 @@ func (p *commitPipeline) framerLoop() {
 			n++
 			recs += r
 		}
-		group := p.queue[:n]
-		p.queue = append([]*commitReq(nil), p.queue[n:]...)
+		// The group slice escapes to the completion watcher, so it is copied
+		// out; the queue itself compacts in place (no per-group reallocation),
+		// with vacated tail slots cleared so completed requests are not pinned.
+		group := append(make([]*commitReq, 0, n), p.queue[:n]...)
+		m := copy(p.queue, p.queue[n:])
+		for i := m; i < len(p.queue); i++ {
+			p.queue[i] = nil
+		}
+		p.queue = p.queue[:m]
 		p.cond.Broadcast() // queue space freed: wake reservers
 		p.mu.Unlock()
 
@@ -263,10 +270,17 @@ func (p *commitPipeline) frameGroup(group []*commitReq) {
 	// keep the eviction scan away from the header bytes being written),
 	// then release the pins: from here the VDL rule governs eviction.
 	ssp := gsp.Child("group.stamp")
-	var recs []core.Record
 	for _, req := range group {
 		req.rec.StampLSNs(req.mtr.LastLSNFor)
-		recs = append(recs, cloneRecords(req.mtr.Records)...)
+	}
+	// Record clones for the feed are built only when someone is listening:
+	// with no subscribers the clones would be dropped by the pump anyway,
+	// and the steady-state commit path stays allocation-free.
+	var recs []core.Record
+	if db.feed.active() {
+		for _, req := range group {
+			recs = append(recs, cloneRecords(req.mtr.Records)...)
+		}
 	}
 	for _, req := range group {
 		req.ws.done()
@@ -304,6 +318,7 @@ func (p *commitPipeline) completeGroup(group []*commitReq, gw *volume.GroupWrite
 	if err := gw.Ship(trace.NewContext(db.rootCtx, shipSp)); err != nil {
 		shipSp.Annotate("err", err)
 		shipSp.End()
+		gw.Release()
 		db.degraded.Store(true)
 		for _, req := range group {
 			endGroupSpan(req, gsp)
@@ -317,6 +332,10 @@ func (p *commitPipeline) completeGroup(group []*commitReq, gw *volume.GroupWrite
 	vsp := gsp.Child("vdl.wait")
 	<-db.vol.DurableChan(gw.MaxCPL())
 	vsp.End()
+	// The pipeline is done with the group's wire arena: any sender still
+	// retrying holds its own reference, so releasing here recycles the
+	// arena at the earliest safe point.
+	gw.Release()
 	db.feed.publish(Event{VDL: db.vol.VDL()})
 	for _, req := range group {
 		endGroupSpan(req, gsp)

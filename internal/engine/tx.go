@@ -107,7 +107,14 @@ func (tx *Tx) Put(key, val []byte) error {
 	if _, seen := tx.writes[k]; !seen {
 		tx.order = append(tx.order, k)
 	}
-	tx.writes[k] = writeOp{val: append([]byte(nil), val...)}
+	// Ownership: val is BORROWED until the transaction resolves — the engine
+	// does not copy it. Callers must not mutate the backing array between
+	// Put and Commit/Rollback; the B+-tree apply path copies the bytes into
+	// page images (and the framer copies them into the wire arena), so
+	// nothing references val after commit. Get's read-your-writes path
+	// copies out, so a caller mutating a value returned by Get cannot alias
+	// this buffer either.
+	tx.writes[k] = writeOp{val: val}
 	return nil
 }
 
@@ -410,6 +417,7 @@ func (tx *Tx) commitSync() error {
 		tx.db.vol.WaitDurable(pending.CPL())
 		vsp.End()
 	}
+	pending.Release()
 	tx.db.latch.Unlock()
 	if err != nil {
 		root.Annotate("err", err)

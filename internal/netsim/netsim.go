@@ -284,6 +284,25 @@ func (n *Network) Partition(a, b NodeID, blocked bool) {
 // partitioned, and ErrAbandoned (wrapping ctx.Err()) when the caller's
 // context fires mid-flight — the sender stopped waiting for the reply.
 func (n *Network) Send(ctx context.Context, from, to NodeID, size int) error {
+	return n.send(ctx, from, to, size)
+}
+
+// SendBytes transports the given payload views from one node to another
+// with the same latency/loss model as Send, sized by the sum of the view
+// lengths. The payloads are BORROWED: they are only guaranteed valid for
+// the duration of the call, and the network never retains them — the
+// simulated wire carries sizes, so zero-copy senders can pass views into a
+// recyclable arena and reclaim it as soon as the delivery round-trip
+// resolves. It returns the total payload size actually modelled.
+func (n *Network) SendBytes(ctx context.Context, from, to NodeID, payloads [][]byte) (int, error) {
+	size := 0
+	for _, p := range payloads {
+		size += len(p)
+	}
+	return size, n.send(ctx, from, to, size)
+}
+
+func (n *Network) send(ctx context.Context, from, to NodeID, size int) error {
 	if err := ctx.Err(); err != nil {
 		n.abandons.Add(1)
 		return fmt.Errorf("%w: %w", ErrAbandoned, err)

@@ -23,7 +23,7 @@ func TestReceiveBatchesCoalesced(t *testing.T) {
 		b := bs[0]
 		flight = append(flight, &b)
 	}
-	ack, err := n.ReceiveBatches(context.Background(), flight, 0, 0)
+	ack, err := receiveBatches(n, context.Background(), flight, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,12 +47,12 @@ func TestReceiveBatchesDownAndWiped(t *testing.T) {
 		LSN: 1, Type: core.RecPageDelta, PG: 0, Page: 1, Data: []byte("x"),
 	}}}
 	n.Crash()
-	if _, err := n.ReceiveBatches(context.Background(), []*core.Batch{b}, 0, 0); !errors.Is(err, ErrNodeDown) {
+	if _, err := receiveBatches(n, context.Background(), []*core.Batch{b}, 0, 0); !errors.Is(err, ErrNodeDown) {
 		t.Fatalf("crashed: %v", err)
 	}
 	n.Restart()
 	n.Wipe()
-	if _, err := n.ReceiveBatches(context.Background(), []*core.Batch{b}, 0, 0); !errors.Is(err, ErrWipedSegment) {
+	if _, err := receiveBatches(n, context.Background(), []*core.Batch{b}, 0, 0); !errors.Is(err, ErrWipedSegment) {
 		t.Fatalf("wiped: %v", err)
 	}
 }
@@ -64,7 +64,7 @@ func TestReceiveBatchesFailedDisk(t *testing.T) {
 	b := &core.Batch{PG: 0, Records: []core.Record{{
 		LSN: 1, Type: core.RecPageDelta, PG: 0, Page: 1, Data: []byte("x"),
 	}}}
-	if _, err := n.ReceiveBatches(context.Background(), []*core.Batch{b}, 0, 0); err == nil {
+	if _, err := receiveBatches(n, context.Background(), []*core.Batch{b}, 0, 0); err == nil {
 		t.Fatal("write to failed disk succeeded")
 	}
 }
@@ -77,7 +77,7 @@ func TestGCTailAndIngestBelowTail(t *testing.T) {
 		m := &core.MTR{Txn: uint64(i)}
 		m.AddDelta(0, 1, uint32(i), []byte{byte(i)})
 		bs, _, _ := f.Frame(context.Background(), m)
-		if _, err := n.ReceiveBatch(context.Background(), &bs[0], 6, 6); err != nil {
+		if _, err := receiveBatch(n, context.Background(), &bs[0], 6, 6); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -89,7 +89,7 @@ func TestGCTailAndIngestBelowTail(t *testing.T) {
 	dup := core.Batch{PG: 0, Records: []core.Record{{
 		LSN: 3, PrevLSN: 2, Type: core.RecPageDelta, PG: 0, Page: 1, Data: []byte("z"),
 	}}}
-	if _, err := n.ReceiveBatch(context.Background(), &dup, 6, 6); err != nil {
+	if _, err := receiveBatch(n, context.Background(), &dup, 6, 6); err != nil {
 		t.Fatal(err)
 	}
 	if s := n.Stats(); s.RecordsHeld != 0 {
@@ -124,12 +124,12 @@ func TestReceiveBatchesRedeliveryIdempotent(t *testing.T) {
 		b := bs[0]
 		flight = append(flight, &b)
 	}
-	ack1, err := n.ReceiveBatches(context.Background(), flight, 0, 0)
+	ack1, err := receiveBatches(n, context.Background(), flight, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	held := n.Stats().RecordsHeld
-	ack2, err := n.ReceiveBatches(context.Background(), flight, 0, 0)
+	ack2, err := receiveBatches(n, context.Background(), flight, 0, 0)
 	if err != nil {
 		t.Fatalf("redelivery rejected: %v", err)
 	}

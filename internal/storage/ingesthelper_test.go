@@ -1,0 +1,42 @@
+package storage
+
+import (
+	"context"
+
+	"aurora/internal/core"
+)
+
+// Test shims over Node.Ingest. Production traffic arrives as wire-encoded
+// BatchViews borrowed from the sender's arena; tests mostly build []core.Batch
+// values, so these helpers encode them the way the framer would and fold the
+// per-batch results back into a single error (the first per-batch rejection),
+// matching the pre-Ingest ReceiveBatch/ReceiveBatches semantics they replace.
+
+// receiveBatches encodes and ingests a flight. Node-level errors come back
+// from Ingest itself; otherwise the first per-batch rejection is returned.
+func receiveBatches(n *Node, ctx context.Context, flight []*core.Batch, vdl, mrpl core.LSN) (Ack, error) {
+	views := make([]core.BatchView, 0, len(flight))
+	for _, b := range flight {
+		wire := b.AppendEncode(nil)
+		v, _, err := core.ParseBatchView(wire)
+		if err != nil {
+			return Ack{}, err
+		}
+		views = append(views, v)
+	}
+	ack, results, err := n.Ingest(ctx, views, vdl, mrpl, nil)
+	if err != nil {
+		return ack, err
+	}
+	for _, res := range results {
+		if res.Err != nil {
+			return ack, res.Err
+		}
+	}
+	return ack, nil
+}
+
+// receiveBatch ingests a single batch, mirroring the old ReceiveBatch.
+func receiveBatch(n *Node, ctx context.Context, b *core.Batch, vdl, mrpl core.LSN) (Ack, error) {
+	return receiveBatches(n, ctx, []*core.Batch{b}, vdl, mrpl)
+}

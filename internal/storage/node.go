@@ -325,107 +325,81 @@ func (n *Node) Wipe() {
 	n.wiped = true
 }
 
-// ReceiveBatch is the foreground write path: steps (1) and (2) of Figure 4.
-// The records are queued, persisted to the hot log on local SSD, and
-// acknowledged. Everything else happens in the background. VDL and PGMRPL
-// are piggybacked from the writer on every batch. A canceled ctx is
-// honored only before persistence begins: once the hot-log write starts the
-// batch is durable and the ack is returned regardless.
-func (n *Node) ReceiveBatch(ctx context.Context, b *core.Batch, vdl, pgmrpl core.LSN) (Ack, error) {
-	if err := ctx.Err(); err != nil {
-		return Ack{}, err
-	}
-	if n.down.Load() {
-		return Ack{}, fmt.Errorf("%s: %w", n.cfg.Node, ErrNodeDown)
-	}
-	if err := n.checkVol(b.Vol); err != nil {
-		return Ack{}, err
-	}
-	// Persist the batch to the hot log before acknowledging.
-	size := b.EncodedSize()
-	if err := n.qos().AdmitIngest(ctx, b.Vol, size); err != nil {
-		return Ack{}, err
-	}
-	if err := n.ssd.Write(size); err != nil {
-		return Ack{}, fmt.Errorf("%s hot log: %w", n.cfg.Node, err)
-	}
-	if err := n.ssd.Sync(); err != nil {
-		return Ack{}, fmt.Errorf("%s hot log sync: %w", n.cfg.Node, err)
-	}
-
-	n.mu.Lock()
-	if n.wiped {
-		n.mu.Unlock()
-		return Ack{}, fmt.Errorf("%s: %w", n.cfg.Node, ErrWipedSegment)
-	}
-	if err := n.observeGeometryLocked(b.Epoch); err != nil {
-		n.mu.Unlock()
-		return Ack{}, err
-	}
-	for i := range b.Records {
-		n.ingestLocked(&b.Records[i])
-	}
-	n.observePointsLocked(vdl, pgmrpl)
-	scl := n.gaps.SCL()
-	n.mu.Unlock()
-
-	n.batches.Add(1)
-	n.records.Add(uint64(len(b.Records)))
-	return Ack{Seg: n.cfg.Seg, SCL: scl}, nil
+// BatchResult is the per-batch outcome of one Ingest flight. A nil Err
+// means the batch was persisted and filed; a non-nil Err is a
+// NON-TRANSIENT rejection of just that batch (wrong volume, stale geometry
+// epoch, corrupt wire bytes) that redelivery cannot fix — the sender nacks
+// that batch's quorum tracker immediately instead of retrying the flight.
+type BatchResult struct {
+	PG      core.PGID
+	Records int // records newly filed (duplicates excluded)
+	Err     error
 }
 
-// ReceiveBatches is the coalesced foreground write path: several batches
-// (accumulated by the writer's per-segment sender while a previous flight
-// was in the air) arrive as one network message and are persisted with one
-// hot-log write and one sync. This is what drives IOs per transaction below
-// one at high concurrency (Table 1).
+// Ingest is the foreground write path: steps (1) and (2) of Figure 4. A
+// flight of encoded batches (accumulated by the writer's per-segment sender
+// while a previous flight was in the air) arrives as one network message
+// and is persisted with one hot-log write and one sync — this is what
+// drives IOs per transaction below one at high concurrency (Table 1). The
+// wire bytes are fsynced BEFORE decoding: the hot log persists what the
+// wire carried, and filing into the in-memory indexes happens after
+// durability, exactly as a real log-structured store would replay it.
+//
+// The flight views are BORROWED for the duration of the call (they
+// typically point into the sender's arena). Anything the node retains is
+// copied: per batch, one body buffer plus one record slab whose Data fields
+// alias that buffer — the slab stays reachable until every record filed
+// from it is GC'd, which is the price of two allocations per batch instead
+// of two per record.
+//
+// Outcomes are split by scope: a node-level error (down, wiped, disk
+// failure, QoS rejection, canceled ctx) fails the whole flight and the
+// sender retries it; per-batch rejections land in results (appended to and
+// returned, so callers can pass reusable scratch) and fail only that
+// batch. VDL and PGMRPL are piggybacked from the writer on every flight.
 //
 // When ctx carries a sampled span (trace.FromContext), the ingest is
 // recorded as a storage.ingest span decomposed into disk.write, disk.sync
 // and storage.apply children — the last hops of a commit's critical path.
-// Like ReceiveBatch, cancellation is honored only before persistence.
-func (n *Node) ReceiveBatches(ctx context.Context, bs []*core.Batch, vdl, pgmrpl core.LSN) (Ack, error) {
+// Cancellation is honored only before persistence begins: once the hot-log
+// write starts the flight is durable and the ack is returned regardless.
+func (n *Node) Ingest(ctx context.Context, flight []core.BatchView, vdl, pgmrpl core.LSN, results []BatchResult) (Ack, []BatchResult, error) {
 	if err := ctx.Err(); err != nil {
-		return Ack{}, err
+		return Ack{}, results, err
 	}
 	parent := trace.FromContext(ctx)
 	if n.down.Load() {
-		return Ack{}, fmt.Errorf("%s: %w", n.cfg.Node, ErrNodeDown)
+		return Ack{}, results, fmt.Errorf("%s: %w", n.cfg.Node, ErrNodeDown)
 	}
 	size := 0
-	records := 0
-	for _, b := range bs {
-		if err := n.checkVol(b.Vol); err != nil {
-			return Ack{}, err
-		}
-		size += b.EncodedSize()
-		records += len(b.Records)
+	for _, v := range flight {
+		size += v.Len()
 	}
 	// QoS admission happens before any disk IO: a shaped tenant waits (or
 	// is rejected at its queue cap) without holding the hot log.
-	var vol core.VolumeID
-	if len(bs) > 0 {
-		vol = bs[0].Vol
+	vol := n.cfg.Vol
+	if len(flight) > 0 {
+		vol = flight[0].Vol()
 	}
 	if err := n.qos().AdmitIngest(ctx, vol, size); err != nil {
-		return Ack{}, err
+		return Ack{}, results, err
 	}
 	ingest := parent.Child("storage.ingest")
 	ingest.Annotate("node", n.cfg.Node)
-	ingest.Annotate("batches", len(bs))
+	ingest.Annotate("batches", len(flight))
 	ingest.Annotate("bytes", size)
 	wsp := ingest.Child("disk.write")
 	if err := n.ssd.Write(size); err != nil {
 		wsp.End()
 		ingest.End()
-		return Ack{}, fmt.Errorf("%s hot log: %w", n.cfg.Node, err)
+		return Ack{}, results, fmt.Errorf("%s hot log: %w", n.cfg.Node, err)
 	}
 	wsp.End()
 	ssp := ingest.Child("disk.sync")
 	if err := n.ssd.Sync(); err != nil {
 		ssp.End()
 		ingest.End()
-		return Ack{}, fmt.Errorf("%s hot log sync: %w", n.cfg.Node, err)
+		return Ack{}, results, fmt.Errorf("%s hot log sync: %w", n.cfg.Node, err)
 	}
 	ssp.End()
 	asp := ingest.Child("storage.apply")
@@ -434,20 +408,17 @@ func (n *Node) ReceiveBatches(ctx context.Context, bs []*core.Batch, vdl, pgmrpl
 		n.mu.Unlock()
 		asp.End()
 		ingest.End()
-		return Ack{}, fmt.Errorf("%s: %w", n.cfg.Node, ErrWipedSegment)
+		return Ack{}, results, fmt.Errorf("%s: %w", n.cfg.Node, ErrWipedSegment)
 	}
-	for _, b := range bs {
-		if err := n.observeGeometryLocked(b.Epoch); err != nil {
-			n.mu.Unlock()
-			asp.End()
-			ingest.End()
-			return Ack{}, err
+	accepted, filedTotal := 0, 0
+	for _, v := range flight {
+		res := BatchResult{PG: v.PG()}
+		res.Records, res.Err = n.ingestBatchLocked(v)
+		if res.Err == nil {
+			accepted++
+			filedTotal += res.Records
 		}
-	}
-	for _, b := range bs {
-		for i := range b.Records {
-			n.ingestLocked(&b.Records[i])
-		}
+		results = append(results, res)
 	}
 	n.observePointsLocked(vdl, pgmrpl)
 	scl := n.gaps.SCL()
@@ -455,9 +426,42 @@ func (n *Node) ReceiveBatches(ctx context.Context, bs []*core.Batch, vdl, pgmrpl
 	asp.End()
 	ingest.Annotate("scl", scl)
 	ingest.End()
-	n.batches.Add(uint64(len(bs)))
-	n.records.Add(uint64(records))
-	return Ack{Seg: n.cfg.Seg, SCL: scl}, nil
+	n.batches.Add(uint64(accepted))
+	n.records.Add(uint64(filedTotal))
+	return Ack{Seg: n.cfg.Seg, SCL: scl}, results, nil
+}
+
+// ingestBatchLocked validates one borrowed batch view and files its records,
+// returning how many were newly filed. The records are decoded zero-copy
+// into one retained body buffer + record slab per batch (see Ingest).
+func (n *Node) ingestBatchLocked(v core.BatchView) (int, error) {
+	if err := n.checkVol(v.Vol()); err != nil {
+		return 0, err
+	}
+	if err := n.observeGeometryLocked(v.Epoch()); err != nil {
+		return 0, err
+	}
+	if err := v.Verify(); err != nil {
+		return 0, fmt.Errorf("%s: batch pg=%d: %w", n.cfg.Node, v.PG(), err)
+	}
+	// The one copy the node owes: the view's bytes die with the sender's
+	// arena, so the retained records decode against a private body buffer.
+	body := append([]byte(nil), v.Body()...)
+	slab := make([]core.Record, v.NumRecords())
+	off := 0
+	filed := 0
+	for i := range slab {
+		consumed, err := core.DecodeRecordInto(body[off:], &slab[i])
+		if err != nil {
+			return filed, fmt.Errorf("%s: batch pg=%d record %d: %w", n.cfg.Node, v.PG(), i, err)
+		}
+		off += consumed
+		if n.admitRecordLocked(&slab[i]) {
+			n.fileLocked(&slab[i])
+			filed++
+		}
+	}
+	return filed, nil
 }
 
 // logIdxInsertLocked records lsn in the sorted key index kept alongside the
@@ -494,10 +498,22 @@ func (n *Node) logIdxTrimLocked(floor core.LSN) {
 	n.logIdx = append([]core.LSN(nil), n.logIdx[i:]...)
 }
 
-// ingestLocked files one record into the log, page chains, CPL index and
-// gap tracker, reporting whether the record was new. Duplicates and
-// annulled records are ignored.
+// ingestLocked clones and files one record, reporting whether it was new.
+// It serves the cold paths that hold records decoded from elsewhere
+// (gossip, repair, snapshot restore); the foreground Ingest path files slab
+// records directly via admitRecordLocked+fileLocked without the clone.
 func (n *Node) ingestLocked(r *core.Record) bool {
+	if !n.admitRecordLocked(r) {
+		return false
+	}
+	cl := r.Clone()
+	n.fileLocked(&cl)
+	return true
+}
+
+// admitRecordLocked reports whether the record should be filed. Duplicates,
+// annulled and GC'd records are rejected silently.
+func (n *Node) admitRecordLocked(r *core.Record) bool {
 	// Defense in depth for multi-tenancy: even a record arriving via gossip
 	// or repair (paths that bypass the foreground batch check) must carry
 	// this segment's volume — a foreign tenant's record is never filed.
@@ -510,10 +526,15 @@ func (n *Node) ingestLocked(r *core.Record) bool {
 	if _, dup := n.log[r.LSN]; dup {
 		return false
 	}
-	cl := r.Clone()
-	rec := &cl
-	n.log[r.LSN] = rec
-	n.logIdxInsertLocked(r.LSN)
+	return true
+}
+
+// fileLocked files an admitted record into the log, page chains, CPL index
+// and gap tracker. The node takes ownership of *rec (and whatever its Data
+// aliases) from this point on; records are immutable once filed.
+func (n *Node) fileLocked(rec *core.Record) {
+	n.log[rec.LSN] = rec
+	n.logIdxInsertLocked(rec.LSN)
 	if rec.PageRecord() {
 		ps := n.pages[rec.Page]
 		if ps == nil {
@@ -539,7 +560,6 @@ func (n *Node) ingestLocked(r *core.Record) bool {
 		}
 	}
 	n.gaps.Add(rec.PrevLSN, rec.LSN)
-	return true
 }
 
 // observeGeometryLocked folds a piggybacked geometry epoch into the node's

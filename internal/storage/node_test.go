@@ -47,7 +47,7 @@ func writeMTRs(t *testing.T, nodes []*Node, count int, to func(i int) []*Node) *
 		}
 		for _, n := range to(i) {
 			for bi := range batches {
-				if _, err := n.ReceiveBatch(context.Background(), &batches[bi], core.ZeroLSN, core.ZeroLSN); err != nil {
+				if _, err := receiveBatch(n, context.Background(), &batches[bi], core.ZeroLSN, core.ZeroLSN); err != nil {
 					t.Fatal(err)
 				}
 			}
@@ -87,7 +87,7 @@ func TestReceiveBatchDuplicatesIgnored(t *testing.T) {
 	m.AddDelta(0, 1, 0, []byte("x"))
 	batches, _, _ := f.Frame(context.Background(), m)
 	for i := 0; i < 3; i++ {
-		if _, err := nodes[0].ReceiveBatch(context.Background(), &batches[0], 0, 0); err != nil {
+		if _, err := receiveBatch(nodes[0], context.Background(), &batches[0], 0, 0); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -103,14 +103,14 @@ func TestCrashedNodeRejects(t *testing.T) {
 		t.Fatal("Down not reported")
 	}
 	b := &core.Batch{PG: 0}
-	if _, err := nodes[0].ReceiveBatch(context.Background(), b, 0, 0); !errors.Is(err, ErrNodeDown) {
+	if _, err := receiveBatch(nodes[0], context.Background(), b, 0, 0); !errors.Is(err, ErrNodeDown) {
 		t.Fatalf("receive on crashed node: %v", err)
 	}
 	if _, err := nodes[0].ReadPage(context.Background(), 1, 0, 0); !errors.Is(err, ErrNodeDown) {
 		t.Fatalf("read on crashed node: %v", err)
 	}
 	nodes[0].Restart()
-	if _, err := nodes[0].ReceiveBatch(context.Background(), b, 0, 0); err != nil {
+	if _, err := receiveBatch(nodes[0], context.Background(), b, 0, 0); err != nil {
 		t.Fatalf("receive after restart: %v", err)
 	}
 }
@@ -191,7 +191,7 @@ func TestReadPageMaterializesAtReadPoint(t *testing.T) {
 		m.AddDelta(0, 7, 0, []byte(s))
 		batches, _, _ := f.Frame(context.Background(), m)
 		for _, n := range nodes {
-			if _, err := n.ReceiveBatch(context.Background(), &batches[0], 0, 0); err != nil {
+			if _, err := receiveBatch(n, context.Background(), &batches[0], 0, 0); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -247,7 +247,7 @@ func TestTruncateAnnulsTail(t *testing.T) {
 	manual := core.Batch{PG: 0, Records: []core.Record{{
 		LSN: 8, PrevLSN: 6, Type: core.RecPageDelta, PG: 0, Page: 1, Data: []byte("np"),
 	}}}
-	if _, err := n.ReceiveBatch(context.Background(), &manual, 0, 0); err != nil {
+	if _, err := receiveBatch(n, context.Background(), &manual, 0, 0); err != nil {
 		t.Fatal(err)
 	}
 	if s := n.Stats(); s.RecordsHeld != 6 {
@@ -271,7 +271,7 @@ func TestHighestCPLAtOrBelow(t *testing.T) {
 	n := nodes[0]
 	for _, b := range append(b1, b2...) {
 		bb := b
-		if _, err := n.ReceiveBatch(context.Background(), &bb, 0, 0); err != nil {
+		if _, err := receiveBatch(n, context.Background(), &bb, 0, 0); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -299,7 +299,7 @@ func TestCoalesceAdvancesBaseAndGCs(t *testing.T) {
 		if i == 7 {
 			vdl, mrpl = 8, 5
 		}
-		if _, err := n.ReceiveBatch(context.Background(), &batches[0], vdl, mrpl); err != nil {
+		if _, err := receiveBatch(n, context.Background(), &batches[0], vdl, mrpl); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -382,7 +382,7 @@ func TestSnapshotAfterCoalesce(t *testing.T) {
 		m := &core.MTR{Txn: uint64(i)}
 		m.AddDelta(0, 2, uint32(i), []byte{byte('A' + i)})
 		batches, _, _ := f.Frame(context.Background(), m)
-		if _, err := n.ReceiveBatch(context.Background(), &batches[0], 6, 4); err != nil {
+		if _, err := receiveBatch(n, context.Background(), &batches[0], 6, 4); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -422,7 +422,7 @@ func TestScrubDetectsAndRepairsCorruption(t *testing.T) {
 		m.AddDelta(0, 3, uint32(i), []byte{byte('a' + i)})
 		batches, _, _ := f.Frame(context.Background(), m)
 		for _, n := range nodes {
-			if _, err := n.ReceiveBatch(context.Background(), &batches[0], 4, 4); err != nil {
+			if _, err := receiveBatch(n, context.Background(), &batches[0], 4, 4); err != nil {
 				t.Fatal(err)
 			}
 		}

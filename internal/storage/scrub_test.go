@@ -25,7 +25,7 @@ func scrubPG(t *testing.T) []*Node {
 			vdl, mrpl = 8, 5
 		}
 		for _, n := range nodes {
-			if _, err := n.ReceiveBatch(context.Background(), &batches[0], vdl, mrpl); err != nil {
+			if _, err := receiveBatch(n, context.Background(), &batches[0], vdl, mrpl); err != nil {
 				t.Fatal(err)
 			}
 		}

@@ -9,7 +9,6 @@
 package volume
 
 import (
-	"container/heap"
 	"sync"
 
 	"aurora/internal/core"
@@ -27,17 +26,46 @@ type ackWindow struct {
 	vdl      core.LSN
 }
 
+// lsnHeap is a typed min-heap of LSNs. It deliberately avoids
+// container/heap: the interface methods box every pushed and popped LSN,
+// which costs one allocation per CPL on the commit hot path.
 type lsnHeap []core.LSN
 
-func (h lsnHeap) Len() int            { return len(h) }
-func (h lsnHeap) Less(i, j int) bool  { return h[i] < h[j] }
-func (h lsnHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *lsnHeap) Push(x interface{}) { *h = append(*h, x.(core.LSN)) }
-func (h *lsnHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
+func (h *lsnHeap) push(x core.LSN) {
+	s := append(*h, x)
+	*h = s
+	for i := len(s) - 1; i > 0; {
+		p := (i - 1) / 2
+		if s[p] <= s[i] {
+			break
+		}
+		s[p], s[i] = s[i], s[p]
+		i = p
+	}
+}
+
+func (h *lsnHeap) pop() core.LSN {
+	s := *h
+	n := len(s) - 1
+	x := s[0]
+	s[0] = s[n]
+	s = s[:n]
+	*h = s
+	for i := 0; ; {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && s[r] < s[l] {
+			m = r
+		}
+		if s[i] <= s[m] {
+			break
+		}
+		s[i], s[m] = s[m], s[i]
+		i = m
+	}
 	return x
 }
 
@@ -54,7 +82,7 @@ func newAckWindow(start core.LSN) *ackWindow {
 // addCPL registers a framed MTR's consistency point.
 func (w *ackWindow) addCPL(lsn core.LSN) {
 	w.mu.Lock()
-	heap.Push(&w.cpls, lsn)
+	w.cpls.push(lsn)
 	w.mu.Unlock()
 }
 
@@ -63,7 +91,7 @@ func (w *ackWindow) addCPL(lsn core.LSN) {
 func (w *ackWindow) addCPLs(lsns []core.LSN) {
 	w.mu.Lock()
 	for _, lsn := range lsns {
-		heap.Push(&w.cpls, lsn)
+		w.cpls.push(lsn)
 	}
 	w.mu.Unlock()
 }
@@ -86,7 +114,7 @@ func (w *ackWindow) markAcked(first, last core.LSN) core.LSN {
 		w.frontier++
 	}
 	for len(w.cpls) > 0 && w.cpls[0] <= w.frontier {
-		w.vdl = heap.Pop(&w.cpls).(core.LSN)
+		w.vdl = w.cpls.pop()
 	}
 	return w.vdl
 }
@@ -101,7 +129,7 @@ func (w *ackWindow) skipTo(to core.LSN) {
 		w.frontier = to
 	}
 	for len(w.cpls) > 0 && w.cpls[0] <= w.frontier {
-		lsn := heap.Pop(&w.cpls).(core.LSN)
+		lsn := w.cpls.pop()
 		if lsn > w.vdl {
 			w.vdl = lsn
 		}
@@ -137,13 +165,30 @@ func NewPGTailTracker(seed map[core.PGID]core.LSN) *PGTailTracker {
 	return &PGTailTracker{pending: make(map[core.PGID][]core.LSN), durable: d}
 }
 
-// Add registers the record LSNs of a framed batch (ascending per PG).
-func (t *PGTailTracker) Add(b *core.Batch) {
+// AddMTR registers the record LSNs of one framed MTR. The framer stamps
+// LSN and routed PG onto the MTR's records in place, ascending per PG in
+// frame order, so feeding the tracker from the MTR is equivalent to feeding
+// it from the per-PG batches — without materializing them.
+func (t *PGTailTracker) AddMTR(m *core.MTR) {
 	t.mu.Lock()
-	for i := range b.Records {
-		t.pending[b.PG] = append(t.pending[b.PG], b.Records[i].LSN)
+	t.addMTRLocked(m)
+	t.mu.Unlock()
+}
+
+// AddMTRs registers a whole framed group under one lock acquisition.
+func (t *PGTailTracker) AddMTRs(ms []*core.MTR) {
+	t.mu.Lock()
+	for _, m := range ms {
+		t.addMTRLocked(m)
 	}
 	t.mu.Unlock()
+}
+
+func (t *PGTailTracker) addMTRLocked(m *core.MTR) {
+	for i := range m.Records {
+		r := &m.Records[i]
+		t.pending[r.PG] = append(t.pending[r.PG], r.LSN)
+	}
 }
 
 // Advance moves durable tails up to the new VDL.
@@ -158,7 +203,11 @@ func (t *PGTailTracker) Advance(vdl core.LSN) {
 			if lsns[i-1] > t.durable[pg] {
 				t.durable[pg] = lsns[i-1]
 			}
-			t.pending[pg] = lsns[i:]
+			// Compact in place instead of reslicing forward: keeping the
+			// slice anchored preserves its append capacity, so steady-state
+			// refills after each advance do not reallocate.
+			n := copy(lsns, lsns[i:])
+			t.pending[pg] = lsns[:n]
 		}
 	}
 	t.mu.Unlock()

@@ -91,11 +91,11 @@ func TestPGTailTracker(t *testing.T) {
 	if tr.DurableTail(2) != 50 || tr.DurableTail(0) != 0 {
 		t.Fatal("seed tails wrong")
 	}
-	tr.Add(&core.Batch{PG: 0, Records: []core.Record{
+	tr.AddMTR(&core.MTR{Records: []core.Record{
 		{LSN: 60, Type: core.RecPageDelta, PG: 0, Page: 1},
 		{LSN: 62, Type: core.RecPageDelta, PG: 0, Page: 2},
 	}})
-	tr.Add(&core.Batch{PG: 2, Records: []core.Record{
+	tr.AddMTR(&core.MTR{Records: []core.Record{
 		{LSN: 61, Type: core.RecPageDelta, PG: 2, Page: 3},
 	}})
 	tr.Advance(61)

@@ -1,0 +1,78 @@
+package volume
+
+import (
+	"context"
+	"testing"
+
+	"aurora/internal/core"
+	"aurora/internal/disk"
+	"aurora/internal/netsim"
+)
+
+// BenchmarkCommitSteadyStateAllocs drives the full commit hot path — group
+// framing into the arena, wire shipping to all six replicas, quorum ack,
+// VDL wait, arena recycle — and reports allocations per record. The group
+// shape (128 MTRs x 4 records) matches a loaded commit pipeline, where the
+// per-group fixed costs (GroupWrite shell, per-batch trackers and watcher
+// goroutines, durability channel) amortize across 512 records.
+func BenchmarkCommitSteadyStateAllocs(b *testing.B) {
+	const mtrs, recsPerMTR = 128, 4
+	net := netsim.New(netsim.FastLocal())
+	f, err := NewFleet(FleetConfig{Name: "bench", Geometry: core.UniformGeometry(2), Net: net, Disk: disk.FastLocal()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := Bootstrap(f, ClientConfig{WriterNode: "writer", WriterAZ: 0})
+	b.Cleanup(c.Close)
+
+	ms := make([]*core.MTR, mtrs)
+	payload := make([]byte, 48)
+	for i := range ms {
+		m := &core.MTR{Txn: uint64(i + 1)}
+		for j := 0; j < recsPerMTR; j++ {
+			m.AddDelta(0, core.PageID(i*recsPerMTR+j), 0, payload)
+		}
+		ms[i] = m
+	}
+	ctx := context.Background()
+
+	commitGroup := func() {
+		gw, err := c.FrameMTRs(ctx, ms)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := gw.Ship(ctx); err != nil {
+			b.Fatal(err)
+		}
+		c.WaitDurable(gw.MaxCPL())
+		gw.Release()
+	}
+	commitGroup() // warm the pools before measuring
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		commitGroup()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(mtrs*recsPerMTR), "records/op")
+}
+
+// TestCommitSteadyStateAllocs pins the hot path at under one allocation per
+// record (i.e. 0 allocs/record once truncated to an integer): the wire
+// image, CRC, and ship path must not allocate per record, only the small
+// per-group fixed overhead remains. A regression here fails plain
+// `go test`, not just a benchmark run.
+func TestCommitSteadyStateAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation pin needs the full benchmark loop")
+	}
+	res := testing.Benchmark(BenchmarkCommitSteadyStateAllocs)
+	const recordsPerOp = 128 * 4
+	perRecord := float64(res.AllocsPerOp()) / recordsPerOp
+	t.Logf("commit steady state: %d allocs/op over %d records = %.3f allocs/record",
+		res.AllocsPerOp(), recordsPerOp, perRecord)
+	if perRecord >= 1.0 {
+		t.Fatalf("commit hot path allocates %.2f times per record, want < 1 (0 per record after amortization)", perRecord)
+	}
+}

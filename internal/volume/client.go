@@ -140,6 +140,10 @@ func newClient(f *Fleet, cfg ClientConfig, start core.LSN, tails map[core.PGID]c
 	// an MTR built before a stripe cutover but framed after it must route to
 	// the stripe's new PG (see core.Framer).
 	c.framer.SetPlacement(f.PGOf, func() uint64 { return f.Geometry().Epoch() })
+	// Tenancy is stamped inside the framing pass: every record and batch
+	// carries the fleet's volume from the moment it is encoded, and storage
+	// verifies the stamp on ingest.
+	c.framer.SetVolume(f.cfg.Vol)
 	return c
 }
 
@@ -223,99 +227,94 @@ func (c *Client) RegisterReadPoint() (core.LSN, func()) {
 }
 
 // PendingWrite is a framed mini-transaction whose batches have not yet
-// been shipped. Framing (LSN assignment) is cheap and can run under engine
-// latches; shipping waits for write quorums and must not.
+// been shipped. Framing (LSN assignment + arena encode) is cheap and can
+// run under engine latches; shipping waits for write quorums and must not.
+//
+// The write holds the creator reference on its arena-backed FramedGroup:
+// the caller must call Release exactly once when it is done with the write
+// (after Ship returns, or on an error path). Senders hold their own
+// references, so releasing never invalidates an in-flight delivery — even
+// one that outlives a deadline-detached committer.
 type PendingWrite struct {
-	c       *Client
-	batches []core.Batch
-	cpl     core.LSN
-	shipped bool
+	c        *Client
+	g        *core.FramedGroup
+	mtr      *core.MTR
+	cpl      core.LSN
+	shipped  bool
+	released atomic.Bool
 }
 
 // CPL returns the mini-transaction's consistency point LSN.
 func (p *PendingWrite) CPL() core.LSN { return p.cpl }
 
 // LastLSNFor returns the highest LSN this MTR assigned to records of the
-// given page (ZeroLSN if none) — the engine stamps cached page LSNs with it.
+// given page (ZeroLSN if none) — the engine stamps cached page LSNs with
+// it. It reads the framed LSNs straight off the MTR (stamped in place by
+// the framer), so it stays valid after Release.
 func (p *PendingWrite) LastLSNFor(id core.PageID) core.LSN {
-	var last core.LSN
-	for i := range p.batches {
-		for j := range p.batches[i].Records {
-			r := &p.batches[i].Records[j]
-			if r.PageRecord() && r.Page == id && r.LSN > last {
-				last = r.LSN
-			}
-		}
-	}
-	return last
+	return p.mtr.LastLSNFor(id)
 }
 
-// stampVol stamps the fleet's tenant volume onto freshly framed batches and
-// every record inside them, just before they become visible to the wire and
-// the gossip-replicated log. Storage verifies the stamp on ingest, so this
-// is the single point where a write acquires its tenancy. The legacy volume
-// 0 skips the walk.
-func (c *Client) stampVol(batches []core.Batch) {
-	vol := c.fleet.cfg.Vol
-	if vol == 0 {
-		return
+// Release drops the write's reference on its framed group. Idempotent.
+func (p *PendingWrite) Release() {
+	if !p.released.Swap(true) {
+		p.g.Release()
 	}
-	for i := range batches {
-		batches[i].Vol = vol
-		recs := batches[i].Records
-		for j := range recs {
-			recs[j].Vol = vol
-		}
+}
+
+// frame frames ms through the arena pipeline under the shared geometry
+// fence and registers consistency points and per-PG tails. Volume stamping
+// happens inside the framer (SetVolume at client construction).
+func (c *Client) frame(ctx context.Context, ms []*core.MTR) (*core.FramedGroup, error) {
+	if c.closed.Load() {
+		return nil, ErrClosed
 	}
+	c.geomMu.RLock()
+	g, err := c.framer.FrameGroup(ctx, ms)
+	if err != nil {
+		c.geomMu.RUnlock()
+		return nil, err
+	}
+	c.win.addCPLs(g.CPLs)
+	// Feed the tail tracker from the stamped MTRs, not the batches: the
+	// completeness demanded of a read (DurableTail) must cover exactly the
+	// record LSNs that exist, and the MTRs carry them post-framing.
+	c.tails.AddMTRs(ms)
+	c.geomMu.RUnlock()
+	total := 0
+	for _, m := range ms {
+		total += len(m.Records)
+	}
+	c.mtrs.Add(uint64(len(ms)))
+	c.frames.Add(1)
+	c.recsWritten.Add(uint64(total))
+	return g, nil
 }
 
 // FrameMTR assigns LSNs and backlinks to the MTR and registers its
 // consistency point, without performing any IO. The write is on the wire
 // once Ship is called; until then it occupies the allocation window. The
-// LAL back-pressure wait inside framing selects on ctx.
+// LAL back-pressure wait inside framing selects on ctx. The caller owns
+// the returned write's group reference (see PendingWrite).
 func (c *Client) FrameMTR(ctx context.Context, m *core.MTR) (*PendingWrite, error) {
-	if c.closed.Load() {
-		return nil, ErrClosed
-	}
-	c.geomMu.RLock()
-	batches, cpl, err := c.framer.Frame(ctx, m)
+	g, err := c.frame(ctx, []*core.MTR{m})
 	if err != nil {
-		c.geomMu.RUnlock()
 		return nil, err
 	}
-	c.win.addCPL(cpl)
-	c.stampVol(batches)
-	for i := range batches {
-		c.tails.Add(&batches[i])
-	}
-	c.geomMu.RUnlock()
-	c.mtrs.Add(1)
-	c.frames.Add(1)
-	c.recsWritten.Add(uint64(len(m.Records)))
-	return &PendingWrite{c: c, batches: batches, cpl: cpl}, nil
+	return &PendingWrite{c: c, g: g, mtr: m, cpl: g.CPLs[0]}, nil
 }
 
-// Ship delivers the framed batches to the storage fleet and returns once
-// every batch has reached its write quorum or ctx fires. Durability of the
-// MTR (VDL >= CPL) may still lag and is awaited separately — worker threads
-// never stall on commit (§4.2.2). A ctx deadline detaches only the waiter:
-// the batches stay in the sender pipelines and the VDL still advances when
-// their quorums resolve. When ctx carries a sampled span, the quorum
-// flights are recorded as its children. Ship must be called exactly once.
-func (p *PendingWrite) Ship(ctx context.Context) error {
-	if p.shipped {
-		return errors.New("volume: pending write shipped twice")
-	}
-	p.shipped = true
-	c := p.c
+// shipGroup fans the group's encoded batches out to their sender pipelines
+// and waits for every write quorum (or ctx).
+func (c *Client) shipGroup(ctx context.Context, g *core.FramedGroup) error {
 	sp := trace.FromContext(ctx)
 	var wg sync.WaitGroup
-	errs := make([]error, len(p.batches))
-	for i := range p.batches {
+	errs := make([]error, len(g.Batches))
+	for i := range g.Batches {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			errs[i] = c.shipBatch(ctx, &p.batches[i], sp)
+			errs[i] = c.shipBatch(ctx, g, &g.Batches[i], sp)
 		}(i)
 	}
 	wg.Wait()
@@ -328,26 +327,55 @@ func (p *PendingWrite) Ship(ctx context.Context) error {
 	return nil
 }
 
+// Ship delivers the framed batches to the storage fleet and returns once
+// every batch has reached its write quorum or ctx fires. Durability of the
+// MTR (VDL >= CPL) may still lag and is awaited separately — worker threads
+// never stall on commit (§4.2.2). A ctx deadline detaches only the waiter:
+// the batches stay in the sender pipelines (each holding its own group
+// reference) and the VDL still advances when their quorums resolve. When
+// ctx carries a sampled span, the quorum flights are recorded as its
+// children. Ship must be called exactly once.
+func (p *PendingWrite) Ship(ctx context.Context) error {
+	if p.shipped {
+		return errors.New("volume: pending write shipped twice")
+	}
+	p.shipped = true
+	return p.c.shipGroup(ctx, p.g)
+}
+
 // GroupWrite is a framed group of mini-transactions: the unit the commit
 // pipeline's framer stage produces. The group's records occupy one
 // contiguous LSN range, its per-PG batches are merged across members (so a
 // busy PG costs one quorum tracker per group, not per commit), and each
 // member MTR keeps its own CPL so durability is still acknowledged
 // per-transaction as the VDL advances.
+//
+// Like PendingWrite, the group holds the creator reference on its arena;
+// the commit pipeline must Release it when done (after the durability
+// wait). MaxCPL is cached at frame time and stays valid after Release.
 type GroupWrite struct {
-	c       *Client
-	batches []core.Batch
-	cpls    []core.LSN // per-MTR consistency points, ascending
-	shipped bool
+	c        *Client
+	g        *core.FramedGroup
+	maxCPL   core.LSN
+	shipped  bool
+	released atomic.Bool
 }
 
-// CPLs returns the per-MTR consistency points in group order.
-func (g *GroupWrite) CPLs() []core.LSN { return g.cpls }
+// CPLs returns the per-MTR consistency points in group order. The slice is
+// borrowed from the framed group: it is only valid before Release.
+func (g *GroupWrite) CPLs() []core.LSN { return g.g.CPLs }
 
 // MaxCPL returns the group's highest consistency point: VDL >= MaxCPL
 // implies every member of the group is durable (the group's LSN range is
 // contiguous).
-func (g *GroupWrite) MaxCPL() core.LSN { return g.cpls[len(g.cpls)-1] }
+func (g *GroupWrite) MaxCPL() core.LSN { return g.maxCPL }
+
+// Release drops the group write's reference on its framed group. Idempotent.
+func (g *GroupWrite) Release() {
+	if !g.released.Swap(true) {
+		g.g.Release()
+	}
+}
 
 // FrameMTRs frames a group of MTRs through one LSN-allocation/ordering
 // critical section and registers every member's consistency point. Like
@@ -355,27 +383,11 @@ func (g *GroupWrite) MaxCPL() core.LSN { return g.cpls[len(g.cpls)-1] }
 // called. The MTRs' own records are stamped with their LSNs in place, so
 // callers can compute per-page stamp LSNs from each MTR directly.
 func (c *Client) FrameMTRs(ctx context.Context, ms []*core.MTR) (*GroupWrite, error) {
-	if c.closed.Load() {
-		return nil, ErrClosed
-	}
-	c.geomMu.RLock()
-	batches, cpls, err := c.framer.FrameGroup(ctx, ms)
+	g, err := c.frame(ctx, ms)
 	if err != nil {
-		c.geomMu.RUnlock()
 		return nil, err
 	}
-	c.win.addCPLs(cpls)
-	c.stampVol(batches)
-	total := 0
-	for i := range batches {
-		c.tails.Add(&batches[i])
-		total += len(batches[i].Records)
-	}
-	c.geomMu.RUnlock()
-	c.mtrs.Add(uint64(len(ms)))
-	c.frames.Add(1)
-	c.recsWritten.Add(uint64(total))
-	return &GroupWrite{c: c, batches: batches, cpls: cpls}, nil
+	return &GroupWrite{c: c, g: g, maxCPL: g.CPLs[len(g.CPLs)-1]}, nil
 }
 
 // Ship delivers the group's merged batches to the storage fleet and
@@ -390,25 +402,7 @@ func (g *GroupWrite) Ship(ctx context.Context) error {
 		return errors.New("volume: group write shipped twice")
 	}
 	g.shipped = true
-	c := g.c
-	sp := trace.FromContext(ctx)
-	var wg sync.WaitGroup
-	errs := make([]error, len(g.batches))
-	for i := range g.batches {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			errs[i] = c.shipBatch(ctx, &g.batches[i], sp)
-		}(i)
-	}
-	wg.Wait()
-	for _, e := range errs {
-		if e != nil {
-			c.writeFails.Add(1)
-			return e
-		}
-	}
-	return nil
+	return g.c.shipGroup(ctx, g.g)
 }
 
 // WriteMTR frames a mini-transaction into the log and ships it to the
@@ -419,6 +413,7 @@ func (c *Client) WriteMTR(ctx context.Context, m *core.MTR) (core.LSN, error) {
 	if err != nil {
 		return core.ZeroLSN, err
 	}
+	defer p.Release()
 	return p.cpl, p.Ship(ctx)
 }
 

@@ -297,7 +297,7 @@ func (f *Fleet) publishLocked(g *core.Geometry, since core.LSN) error {
 
 func (f *Fleet) persistGeometry(g *core.Geometry) {
 	if f.cfg.Store != nil {
-		f.cfg.Store.Put(GeometryManifestKey(f.cfg.Vol), g.Encode())
+		f.cfg.Store.Put(GeometryManifestKey(f.cfg.Vol), g.AppendEncode(nil))
 	}
 }
 

@@ -1,0 +1,28 @@
+package volume
+
+import (
+	"context"
+
+	"aurora/internal/core"
+	"aurora/internal/storage"
+)
+
+// nodeIngest wire-encodes one batch and drives it through the node's Ingest
+// entry point the way a sender would, folding the per-batch result into the
+// returned error. Tests use it to inject hand-built batches directly into a
+// storage node.
+func nodeIngest(n *storage.Node, b *core.Batch, vdl, mrpl core.LSN) (storage.Ack, error) {
+	wire := b.AppendEncode(nil)
+	v, _, err := core.ParseBatchView(wire)
+	if err != nil {
+		return storage.Ack{}, err
+	}
+	ack, results, err := n.Ingest(context.Background(), []core.BatchView{v}, vdl, mrpl, nil)
+	if err != nil {
+		return ack, err
+	}
+	if results[0].Err != nil {
+		return ack, results[0].Err
+	}
+	return ack, nil
+}

@@ -211,12 +211,17 @@ func (c *Client) copyStripePageFenced(id core.PageID, to core.PGID) (core.LSN, c
 		PG:    to,
 		Page:  id,
 		Flags: core.FlagPlaced,
-		Data:  append([]byte(nil), p.Payload()...),
+		// Ownership: Materialize builds a fresh payload for every read (the
+		// storage node never hands out its own buffers), and the framer
+		// copies Data into the wire arena before Ship returns — no second
+		// defensive copy is needed.
+		Data: p.Payload(),
 	})
 	pw, err := c.frameUnfenced(m)
 	if err != nil {
 		return core.ZeroLSN, core.ZeroLSN, err
 	}
+	defer pw.Release()
 	if err := pw.Ship(ctx); err != nil {
 		return core.ZeroLSN, core.ZeroLSN, err
 	}
@@ -232,17 +237,15 @@ func (c *Client) frameUnfenced(m *core.MTR) (*PendingWrite, error) {
 	if c.closed.Load() {
 		return nil, ErrClosed
 	}
-	batches, cpl, err := c.framer.Frame(c.rootCtx, m)
+	g, err := c.framer.FrameGroup(c.rootCtx, []*core.MTR{m})
 	if err != nil {
 		return nil, err
 	}
+	cpl := g.CPLs[0]
 	c.win.addCPL(cpl)
-	c.stampVol(batches)
-	for i := range batches {
-		c.tails.Add(&batches[i])
-	}
+	c.tails.AddMTR(m)
 	c.mtrs.Add(1)
 	c.frames.Add(1)
 	c.recsWritten.Add(uint64(len(m.Records)))
-	return &PendingWrite{c: c, batches: batches, cpl: cpl}, nil
+	return &PendingWrite{c: c, g: g, mtr: m, cpl: cpl}, nil
 }

@@ -29,10 +29,33 @@ func sendHop(ctx context.Context, net *netsim.Network, parent *trace.Span, name 
 	return err
 }
 
-// shipment is one batch awaiting delivery to one segment replica, with the
-// quorum tracker that resolves its MTR.
+// sendHopBytes is sendHop for a payload-carrying send: the views are
+// borrowed by the network only for the duration of the call (see
+// netsim.SendBytes), so the caller's arena can be recycled as soon as the
+// delivery resolves.
+func sendHopBytes(ctx context.Context, net *netsim.Network, parent *trace.Span, name string, from, to netsim.NodeID, payloads [][]byte) error {
+	sp := parent.Child(name)
+	sp.Annotate("from", from)
+	sp.Annotate("to", to)
+	size, err := net.SendBytes(ctx, from, to, payloads)
+	sp.Annotate("bytes", size)
+	if err != nil {
+		sp.Annotate("err", err)
+	}
+	sp.End()
+	return err
+}
+
+// shipment is one encoded batch awaiting delivery to one segment replica,
+// with the quorum tracker that resolves its MTR. wire is a view into the
+// group's arena; the shipment's holder keeps one reference on group for as
+// long as it may touch wire, released exactly once when the shipment is
+// acked, nacked, or dropped.
 type shipment struct {
-	batch *core.Batch
+	wire  []byte
+	pg    core.PGID
+	recs  int
+	group *core.FramedGroup
 	tr    *quorum.Tracker
 	sp    *trace.Span // batch.ship span of a sampled commit; nil otherwise
 }
@@ -43,6 +66,10 @@ type shipment struct {
 // the storage node — the batching of §3.2's IO flow. It is this pipeline
 // that pushes network IOs per transaction below one at high concurrency
 // (Table 1) and lets commit throughput scale with connections (Table 3).
+//
+// The queue is a ring buffer and the flight state (shipments, payload and
+// view slices, per-batch results) is reusable scratch owned by the loop
+// goroutine, so steady-state delivery allocates nothing.
 type replicaSender struct {
 	c    *Client
 	pg   core.PGID
@@ -51,10 +78,18 @@ type replicaSender struct {
 
 	mu         sync.Mutex
 	cond       *sync.Cond
-	queue      []shipment
+	q          []shipment // ring buffer
+	qhead      int
+	qlen       int
 	stopped    bool // terminal: loop exited, enqueue nacks
 	draining   bool // graceful: loop delivers the queue, then stops
 	noCoalesce bool
+
+	// Loop-owned scratch, reused across flights.
+	flight   []shipment
+	payloads [][]byte
+	views    []core.BatchView
+	results  []storage.BatchResult
 }
 
 func newReplicaSender(c *Client, pg core.PGID, idx int, node *storage.Node, noCoalesce bool) *replicaSender {
@@ -64,29 +99,65 @@ func newReplicaSender(c *Client, pg core.PGID, idx int, node *storage.Node, noCo
 	return s
 }
 
-// enqueue adds a shipment to the pipeline.
+// pushLocked appends to the ring, growing it by doubling when full (the
+// steady state never grows: the ring keeps its high-water capacity).
+func (s *replicaSender) pushLocked(sh shipment) {
+	if s.qlen == len(s.q) {
+		n := len(s.q) * 2
+		if n == 0 {
+			n = 16
+		}
+		nq := make([]shipment, n)
+		for i := 0; i < s.qlen; i++ {
+			nq[i] = s.q[(s.qhead+i)%len(s.q)]
+		}
+		s.q = nq
+		s.qhead = 0
+	}
+	s.q[(s.qhead+s.qlen)%len(s.q)] = sh
+	s.qlen++
+}
+
+// popLocked removes the oldest shipment, zeroing its slot so the ring does
+// not pin the group's arena.
+func (s *replicaSender) popLocked() shipment {
+	sh := s.q[s.qhead]
+	s.q[s.qhead] = shipment{}
+	s.qhead = (s.qhead + 1) % len(s.q)
+	s.qlen--
+	return sh
+}
+
+// enqueue adds a shipment to the pipeline. The caller has already retained
+// the shipment's group on this sender's behalf; every exit path out of the
+// pipeline releases it exactly once.
 func (s *replicaSender) enqueue(sh shipment) {
 	s.mu.Lock()
 	if s.stopped || s.draining {
 		s.mu.Unlock()
 		sh.tr.Nack(s.idx)
+		sh.group.Release()
 		return
 	}
-	s.queue = append(s.queue, sh)
+	s.pushLocked(sh)
 	s.cond.Signal()
 	s.mu.Unlock()
 }
 
-// stop tears the pipeline down abruptly: queued shipments are nacked.
+// stop tears the pipeline down abruptly: queued shipments are nacked and
+// their group references dropped.
 func (s *replicaSender) stop() {
 	s.mu.Lock()
 	s.stopped = true
-	pending := s.queue
-	s.queue = nil
+	var pending []shipment
+	for s.qlen > 0 {
+		pending = append(pending, s.popLocked())
+	}
 	s.cond.Broadcast()
 	s.mu.Unlock()
 	for _, sh := range pending {
 		sh.tr.Nack(s.idx)
+		sh.group.Release()
 	}
 }
 
@@ -106,38 +177,67 @@ func (s *replicaSender) drain() {
 func (s *replicaSender) loop() {
 	for {
 		s.mu.Lock()
-		for len(s.queue) == 0 && !s.stopped && !s.draining {
+		for s.qlen == 0 && !s.stopped && !s.draining {
 			s.cond.Wait()
 		}
-		if s.stopped || len(s.queue) == 0 {
+		if s.stopped || s.qlen == 0 {
 			// Abrupt stop, or graceful drain with nothing left to deliver.
 			s.stopped = true
 			s.cond.Broadcast()
 			s.mu.Unlock()
 			return
 		}
-		var flight []shipment
+		s.flight = s.flight[:0]
 		if s.noCoalesce {
-			flight = s.queue[:1]
-			s.queue = append([]shipment(nil), s.queue[1:]...)
+			s.flight = append(s.flight, s.popLocked())
 		} else {
-			flight = s.queue
-			s.queue = nil
+			for s.qlen > 0 {
+				s.flight = append(s.flight, s.popLocked())
+			}
 		}
 		s.mu.Unlock()
 
-		s.deliver(flight)
+		s.deliver(s.flight)
+		s.clearScratch()
 	}
 }
 
-// deliver ships one coalesced flight: one send, one ReceiveBatches, one
-// ack. A failed flight is redelivered with capped exponential backoff plus
-// jitter — the gray case of a single dropped message must not nack a live
-// replica — and the replica is nacked only once the retry budget is
-// exhausted. If every batch in the flight resolves its quorum while we back
-// off, the redelivery is dropped: the 4/6 quorum absorbed the failure and
-// gossip repairs this replica later (§3.3). Storage ingestion is
-// idempotent, so a redelivery racing a flight that did land is harmless.
+// clearScratch zeroes the flight scratch after a delivery so the retained
+// capacity does not pin any group's arena between flights.
+func (s *replicaSender) clearScratch() {
+	for i := range s.flight {
+		s.flight[i] = shipment{}
+	}
+	for i := range s.payloads {
+		s.payloads[i] = nil
+	}
+	for i := range s.views {
+		s.views[i] = core.BatchView{}
+	}
+	for i := range s.results {
+		s.results[i] = storage.BatchResult{}
+	}
+}
+
+// releaseFlight drops the pipeline's group references for a flight that has
+// fully resolved (acked, nacked, or dropped as already-settled).
+func releaseFlight(flight []shipment) {
+	for _, sh := range flight {
+		sh.group.Release()
+	}
+}
+
+// deliver ships one coalesced flight: one send, one Ingest, one ack. A
+// failed flight is redelivered with capped exponential backoff plus jitter
+// — the gray case of a single dropped message must not nack a live replica
+// — and the replica is nacked only once the retry budget is exhausted. A
+// batch the node rejects for a NON-transient reason (wrong volume, stale
+// geometry, corrupt bytes) is nacked immediately on an otherwise successful
+// flight: redelivery cannot fix it. If every batch in the flight resolves
+// its quorum while we back off, the redelivery is dropped: the 4/6 quorum
+// absorbed the failure and gossip repairs this replica later (§3.3).
+// Storage ingestion is idempotent, so a redelivery racing a flight that did
+// land is harmless.
 func (s *replicaSender) deliver(flight []shipment) {
 	c := s.c
 	// Delivery runs under the client's root context: a Crash abandons the
@@ -147,10 +247,8 @@ func (s *replicaSender) deliver(flight []shipment) {
 	// waiter).
 	ctx := c.rootCtx
 	size := 0
-	batches := make([]*core.Batch, len(flight))
-	for i, sh := range flight {
-		batches[i] = sh.batch
-		size += sh.batch.EncodedSize()
+	for i := range flight {
+		size += len(flight[i].wire)
 	}
 	for try := 0; ; try++ {
 		// One replica.flight span per traced shipment per attempt. The
@@ -178,7 +276,7 @@ func (s *replicaSender) deliver(flight []shipment) {
 			flightSpans = append(flightSpans, fsp)
 		}
 		start := time.Now()
-		ack, err := s.attempt(ctx, batches, size, lead)
+		ack, results, err := s.attempt(ctx, flight, lead)
 		for _, fsp := range flightSpans {
 			if err != nil {
 				fsp.Annotate("err", err)
@@ -193,9 +291,14 @@ func (s *replicaSender) deliver(flight []shipment) {
 			// resolved tracker is a no-op, so stale acks still advance the
 			// segment's completeness view safely.
 			c.noteSCL(ack)
-			for _, sh := range flight {
-				sh.tr.Ack(s.idx)
+			for i, sh := range flight {
+				if results[i].Err != nil {
+					sh.tr.Nack(s.idx)
+				} else {
+					sh.tr.Ack(s.idx)
+				}
 			}
+			releaseFlight(flight)
 			return
 		}
 		if ctx.Err() != nil {
@@ -206,6 +309,7 @@ func (s *replicaSender) deliver(flight []shipment) {
 			break
 		}
 		if s.resolvedAll(flight) {
+			releaseFlight(flight)
 			return // settled without us; gossip will catch this replica up
 		}
 		// Backoff selects on the root context so a crashing client never
@@ -227,26 +331,42 @@ func (s *replicaSender) deliver(flight []shipment) {
 	for _, sh := range flight {
 		sh.tr.Nack(s.idx)
 	}
+	releaseFlight(flight)
 }
 
-// attempt performs one delivery exchange: request send, persist+ack on the
-// storage node, ack send back. sp (the lead flight span, nil when the
-// flight carries no sampled commit) parents the hop and ingest spans.
-func (s *replicaSender) attempt(ctx context.Context, batches []*core.Batch, size int, sp *trace.Span) (storage.Ack, error) {
+// attempt performs one delivery exchange: request send carrying the flight's
+// borrowed wire views, persist+ack on the storage node, ack send back. sp
+// (the lead flight span, nil when the flight carries no sampled commit)
+// parents the hop and ingest spans. The returned results slice is the
+// sender's scratch, valid until the next attempt.
+func (s *replicaSender) attempt(ctx context.Context, flight []shipment, sp *trace.Span) (storage.Ack, []storage.BatchResult, error) {
 	c := s.c
-	if err := sendHop(ctx, c.fleet.cfg.Net, sp, "net.req", c.node, s.node.NodeID(), size); err != nil {
-		return storage.Ack{}, err
+	s.payloads = s.payloads[:0]
+	s.views = s.views[:0]
+	for i := range flight {
+		s.payloads = append(s.payloads, flight[i].wire)
+		v, _, err := core.ParseBatchView(flight[i].wire)
+		if err != nil {
+			// Cannot happen for framer-produced wire; fail the flight rather
+			// than ship garbage.
+			return storage.Ack{}, nil, fmt.Errorf("volume: bad shipment wire: %w", err)
+		}
+		s.views = append(s.views, v)
+	}
+	if err := sendHopBytes(ctx, c.fleet.cfg.Net, sp, "net.req", c.node, s.node.NodeID(), s.payloads); err != nil {
+		return storage.Ack{}, nil, err
 	}
 	vdlNow := c.vdl.VDL()
 	mrpl := c.mrpl(vdlNow)
-	ack, err := s.node.ReceiveBatches(trace.NewContext(ctx, sp), batches, vdlNow, mrpl)
+	ack, results, err := s.node.Ingest(trace.NewContext(ctx, sp), s.views, vdlNow, mrpl, s.results[:0])
+	s.results = results
 	if err != nil {
-		return storage.Ack{}, err
+		return storage.Ack{}, nil, err
 	}
 	if err := sendHop(ctx, c.fleet.cfg.Net, sp, "net.ack", s.node.NodeID(), c.node, ackSize); err != nil {
-		return storage.Ack{}, err
+		return storage.Ack{}, nil, err
 	}
-	return ack, nil
+	return ack, results, nil
 }
 
 // resolvedAll reports whether every batch in the flight has already
@@ -260,18 +380,22 @@ func (s *replicaSender) resolvedAll(flight []shipment) bool {
 	return true
 }
 
-// shipBatch hands one batch to every replica's sender pipeline and waits
-// for the write quorum, or until ctx fires. A non-nil sp (a sampled
+// shipBatch hands one encoded batch to every replica's sender pipeline and
+// waits for the write quorum, or until ctx fires. A non-nil sp (a sampled
 // commit's ship span) gets a batch.ship child carrying the per-replica
 // flights, and a quorum.wait child covering the time blocked on the 4/6
 // tracker.
 //
-// VDL advancement is decoupled from the wait: a dedicated watcher advances
-// the durable point when the quorum resolves, so a caller that detaches on
-// deadline does not stall durability — the batch still ships, the VDL still
-// moves, and only the waiter returns early (the deadline-vs-durability
-// contract in DESIGN.md).
-func (c *Client) shipBatch(ctx context.Context, b *core.Batch, sp *trace.Span) error {
+// Each enqueue retains the framed group once on the pipeline's behalf, so
+// the arena stays alive for exactly as long as any replica might read the
+// batch's wire view — including retried and hedged flights that outlive a
+// deadline-detached committer. VDL advancement is decoupled from the wait:
+// a dedicated watcher advances the durable point when the quorum resolves
+// (using First/Last copied out of the batch header, holding no group
+// reference), so a caller that detaches on deadline does not stall
+// durability — the batch still ships, the VDL still moves, and only the
+// waiter returns early (the deadline-vs-durability contract in DESIGN.md).
+func (c *Client) shipBatch(ctx context.Context, g *core.FramedGroup, b *core.FramedBatch, sp *trace.Span) error {
 	all := *c.senders.Load()
 	senders := all[int(b.PG)%len(all)]
 	trCfg := c.q
@@ -287,9 +411,11 @@ func (c *Client) shipBatch(ctx context.Context, b *core.Batch, sp *trace.Span) e
 	tr := quorum.NewTracker(trCfg)
 	bsp := sp.Child("batch.ship")
 	bsp.Annotate("pg", b.PG)
-	bsp.Annotate("records", len(b.Records))
-	sh := shipment{batch: b, tr: tr, sp: bsp}
+	bsp.Annotate("records", b.Records)
+	first, last := b.First, b.Last
+	sh := shipment{wire: b.Wire, pg: b.PG, recs: b.Records, group: g, tr: tr, sp: bsp}
 	for _, s := range senders {
+		g.Retain()
 		s.enqueue(sh)
 	}
 	done, _ := c.trackInflight()
@@ -301,8 +427,6 @@ func (c *Client) shipBatch(ctx context.Context, b *core.Batch, sp *trace.Span) e
 		if tr.Err() != nil {
 			return
 		}
-		first := b.Records[0].LSN
-		last := b.Records[len(b.Records)-1].LSN
 		newVDL := c.win.markAcked(first, last)
 		if c.vdl.Advance(newVDL) {
 			c.alloc.AdvanceVDL(newVDL)

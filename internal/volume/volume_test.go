@@ -341,7 +341,7 @@ func TestRecoveryTruncatesDanglingTail(t *testing.T) {
 		LSN: 5, PrevLSN: 3, Type: core.RecPageDelta, PG: 0, Page: 0,
 		Flags: core.FlagCPL, Data: []byte("orphan"),
 	}}}
-	if _, err := f.Node(0, 0).ReceiveBatch(context.Background(), &orphan, 0, 0); err != nil {
+	if _, err := nodeIngest(f.Node(0, 0), &orphan, 0, 0); err != nil {
 		t.Fatal(err)
 	}
 	c2, rep, err := Recover(context.Background(), f, ClientConfig{WriterNode: "writer2", WriterAZ: 0})
