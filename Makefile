@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race chaos-smoke chaos-grow chaos-deadline chaos-matrix-smoke chaos-matrix examples-smoke bench bench-allocs bench-logsplit bench-tenants tenants-smoke ci
+.PHONY: all build vet lint test race chaos-smoke chaos-grow chaos-deadline chaos-matrix-smoke chaos-matrix examples-smoke bench bench-allocs bench-logsplit bench-tenants bench-autotune tenants-smoke ci
 
 all: build
 
@@ -21,6 +21,8 @@ lint:
 		echo 'lint: *Traced( API resurrected — carry the span in the context'; exit 1; fi
 	@if grep -rn 'time\.Sleep' internal/engine internal/volume internal/storage --include='*.go' | grep -v _test ; then \
 		echo 'lint: time.Sleep in engine/volume/storage — waits must select on a ctx'; exit 1; fi
+	@if grep -rnE 'maxInflightGroups|deliverMaxBackoff|hedgeMult *\*|maxGroup +int' internal/engine internal/volume --include='*.go' | grep -v _test | grep -vE 'internal/control|MaxInflightGroups|hedgeMultPct' ; then \
+		echo 'lint: hardcoded tuning constant resurrected — latency knobs live in internal/control'; exit 1; fi
 
 # Tier-1: the suite that must stay green on every change.
 test: build vet lint
@@ -31,7 +33,7 @@ race:
 	$(GO) test -race ./internal/core/ ./internal/trace/ ./internal/volume/ \
 		./internal/chaos/ ./internal/chaos/matrix/ ./internal/storage/ \
 		./internal/netsim/ ./internal/metrics/ ./internal/quorum/ \
-		./internal/engine/
+		./internal/engine/ ./internal/control/
 
 # Short gray-failure drill: fails unless zero data errors, >=99% write
 # success, and the retry / hedge / auto-repair machinery all engaged.
@@ -55,15 +57,17 @@ chaos-deadline:
 # scenarios under the race detector, zero checksum mismatches / lost acked
 # commits / VDL regressions / goroutine leaks required. Failures print a
 # one-line replay command carrying the seed. The pinned runs sweep one full
-# matrix (count 40) filtered to the pagestore-lag fault (log/page role
-# split) and the noisy-neighbor fault (co-tenant flood on a shared pool)
+# matrix (count 44) filtered to the pagestore-lag fault (log/page role
+# split), the noisy-neighbor fault (co-tenant flood on a shared pool) and
+# the autotune fault (gray-slow + flood with the adaptive controller live)
 # across all four stressors — the smoke draw does not always include them.
 chaos-matrix-smoke:
 	$(GO) run -race ./cmd/aurora-chaos -matrix -tier smoke -seed 1
-	$(GO) run -race ./cmd/aurora-chaos -matrix -tier smoke -seed 1 -count 40 -only pagestore-lag
-	$(GO) run -race ./cmd/aurora-chaos -matrix -tier smoke -seed 1 -count 40 -only noisy-neighbor
+	$(GO) run -race ./cmd/aurora-chaos -matrix -tier smoke -seed 1 -count 44 -only pagestore-lag
+	$(GO) run -race ./cmd/aurora-chaos -matrix -tier smoke -seed 1 -count 44 -only noisy-neighbor
+	$(GO) run -race ./cmd/aurora-chaos -matrix -tier smoke -seed 1 -count 44 -only autotune
 
-# Nightly tier: three full sweeps of the matrix (120 scenarios).
+# Nightly tier: three full sweeps of the matrix (132 scenarios).
 chaos-matrix:
 	$(GO) run -race ./cmd/aurora-chaos -matrix -tier full -seed 1
 
@@ -89,6 +93,12 @@ bench-allocs:
 # NVMe disk model: sync bytes per commit, commit p50/p95, throughput.
 bench-logsplit:
 	$(GO) run ./cmd/aurora-bench -exp logsplit
+
+# Adaptive control plane vs static knobs at 160 connections: commit.queue
+# critical-path share, commit p50/p95, writes/sec, knob trajectory. JSON for
+# comparison across PRs.
+bench-autotune:
+	$(GO) run ./cmd/aurora-bench -exp autotune -json BENCH_10.json
 
 # Multi-tenant fleet benchmark: aggregate throughput scaling 1->4 tenants
 # on shared hosts, plus the noisy-neighbor QoS containment run, written as

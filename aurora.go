@@ -90,6 +90,14 @@ type Options struct {
 	CachePages int
 	// LockTimeout bounds row-lock waits (deadlock resolution).
 	LockTimeout time.Duration
+	// AutoTune runs the adaptive control plane: a feedback controller that
+	// steers the latency knobs (commit-group size, inflight-group budget,
+	// hedged-read deadline multiplier, sender backoff ceiling) from
+	// windowed per-stage latency measurements instead of leaving them at
+	// their static defaults. Knob values and controller activity surface
+	// in Stats. Enabling AutoTune forces trace sampling on (the write-path
+	// signal rides the stage histograms).
+	AutoTune bool
 
 	// --- Tracing & observability ---
 
@@ -198,7 +206,7 @@ func NewCluster(opts Options) (*Cluster, error) {
 	})
 	db, err := engine.Create(vol, engine.Config{
 		CachePages: opts.CachePages, LockTimeout: opts.LockTimeout,
-		TraceEvery: opts.TraceEvery,
+		TraceEvery: opts.TraceEvery, AutoTune: opts.AutoTune,
 	})
 	if err != nil {
 		vol.Close()
@@ -310,7 +318,10 @@ func (c *Cluster) Failover() (*RecoveryReport, error) {
 	db, rep, err := engine.Recover(context.Background(), c.fleet, volume.ClientConfig{
 		WriterNode: netsim.NodeID(fmt.Sprintf("%s-writer-g%d", c.opts.Name, c.writerGen)),
 		WriterAZ:   netsim.AZ(c.writerGen % 3),
-	}, engine.Config{CachePages: c.opts.CachePages, LockTimeout: c.opts.LockTimeout})
+	}, engine.Config{
+		CachePages: c.opts.CachePages, LockTimeout: c.opts.LockTimeout,
+		TraceEvery: c.opts.TraceEvery, AutoTune: c.opts.AutoTune,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -387,7 +398,10 @@ func (c *Cluster) RestoreAt(name string, asOf time.Time) (*Cluster, error) {
 	}
 	db, _, err := engine.Recover(context.Background(), fleet, volume.ClientConfig{
 		WriterNode: netsim.NodeID(name + "-writer"), WriterAZ: 0,
-	}, engine.Config{CachePages: c.opts.CachePages, LockTimeout: c.opts.LockTimeout})
+	}, engine.Config{
+		CachePages: c.opts.CachePages, LockTimeout: c.opts.LockTimeout,
+		TraceEvery: c.opts.TraceEvery, AutoTune: c.opts.AutoTune,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -467,7 +481,10 @@ func (c *Cluster) Patch(timeout time.Duration) (sessions int, pause time.Duratio
 		db, _, err := engine.Recover(context.Background(), c.fleet, volume.ClientConfig{
 			WriterNode: netsim.NodeID(fmt.Sprintf("%s-writer-g%d", c.opts.Name, c.writerGen)),
 			WriterAZ:   0,
-		}, engine.Config{CachePages: c.opts.CachePages, LockTimeout: c.opts.LockTimeout})
+		}, engine.Config{
+			CachePages: c.opts.CachePages, LockTimeout: c.opts.LockTimeout,
+			TraceEvery: c.opts.TraceEvery, AutoTune: c.opts.AutoTune,
+		})
 		if err == nil {
 			c.db = db
 			c.replicas = nil
@@ -543,6 +560,27 @@ type Stats struct {
 
 	// TracesSampled counts finished causal traces (0 with sampling off).
 	TracesSampled uint64
+
+	// Adaptive control plane (Options.AutoTune). Knobs always lists the
+	// registered latency knobs with their current values — static defaults
+	// when AutoTune is off, the controller's steered values when on — so
+	// experiments and chaos runs can watch trajectories. The counters
+	// record controller windows stepped and knob movements made.
+	Knobs           []KnobState
+	AutoTuneSteps   uint64
+	AutoTuneAdjusts uint64
+}
+
+// KnobState is a public snapshot of one control-plane knob: its canonical
+// name (e.g. "engine.commit_group"), current and default values, allowed
+// range, and how many times the controller (or any caller) has moved it.
+type KnobState struct {
+	Name    string
+	Value   int64
+	Default int64
+	Min     int64
+	Max     int64
+	Adjusts uint64
 }
 
 // Stats returns a cluster-wide snapshot.
@@ -579,6 +617,14 @@ func (c *Cluster) Stats() Stats {
 		RebalancePagesCopied:  es.Volume.RebalancePagesCopied,
 		GeometryReadRetries:   es.Volume.GeomRetries,
 	}
+	for _, k := range es.Knobs {
+		s.Knobs = append(s.Knobs, KnobState{
+			Name: k.Name, Value: k.Value, Default: k.Default,
+			Min: k.Min, Max: k.Max, Adjusts: k.Adjusts,
+		})
+	}
+	s.AutoTuneSteps = es.AutoTuneSteps
+	s.AutoTuneAdjusts = es.AutoTuneAdjusts
 	if c.store != nil {
 		s.BackupObjects = c.store.Count()
 	}

@@ -23,7 +23,7 @@ type Config struct {
 	// campaign.
 	Seed int64
 	// Tier picks the default scenario count: "smoke" (12, CI-sized) or
-	// "full" (120, three sweeps of the matrix — nightly-sized).
+	// "full" (132, three sweeps of the matrix — nightly-sized).
 	Tier string
 	// Count overrides the tier's scenario count when > 0.
 	Count int
@@ -72,7 +72,7 @@ func Run(ctx context.Context, cfg Config) (*Results, error) {
 	count := cfg.Count
 	if count <= 0 {
 		if cfg.Tier == "full" {
-			count = 120
+			count = 132
 		} else {
 			count = 12
 		}

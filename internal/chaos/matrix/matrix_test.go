@@ -65,3 +65,18 @@ func (w testWriter) Write(p []byte) (int, error) {
 	w.t.Logf("%s", p)
 	return len(p), nil
 }
+
+// TestMatrixAutotuneScenario pins the adaptive-control row: the controller
+// runs live while a gray-slow replica and a co-tenant flood force it to
+// adapt, and every ledger/VDL/recovery invariant must still hold. The heal
+// itself asserts the controller stepped, so a pass also proves liveness.
+func TestMatrixAutotuneScenario(t *testing.T) {
+	sc := Scenario{Index: 0, Fault: FaultAutotune, Stress: StressCommitters, Seed: 17}
+	res := runScenario(context.Background(), sc)
+	if res.failed() {
+		t.Fatalf("autotune scenario violations: %v", res.Violations)
+	}
+	if res.WritesOK == 0 || res.ReadsOK == 0 {
+		t.Fatalf("no verified traffic (%d writes, %d reads)", res.WritesOK, res.ReadsOK)
+	}
+}

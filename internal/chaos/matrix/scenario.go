@@ -34,6 +34,7 @@ const (
 	FaultBackup        FaultKind = "backup"         // backup sweep mid-run, PITR verified after
 	FaultPageLag       FaultKind = "pagestore-lag"  // log/page split: feed paused, lagging page replica crashed
 	FaultNoisyNeighbor FaultKind = "noisy-neighbor" // co-tenant floods the shared hosts; quiet tenant's invariants must hold
+	FaultAutotune      FaultKind = "autotune"       // gray-slow replica + co-tenant flood with the adaptive controller live
 )
 
 // StressKind names the other axis: how the workload leans on the fault.
@@ -50,7 +51,7 @@ const (
 var (
 	Faults = []FaultKind{FaultCrash, FaultWipeRepair, FaultAZOutage, FaultPacketLoss,
 		FaultGraySlow, FaultCorruptPage, FaultGrow, FaultBackup, FaultPageLag,
-		FaultNoisyNeighbor}
+		FaultNoisyNeighbor, FaultAutotune}
 	Stressors = []StressKind{StressCycles, StressCommitters, StressBigTx, StressDeadline}
 )
 
@@ -120,7 +121,10 @@ func newStack(sc Scenario) (*stack, error) {
 		Net:      st.net,
 		Disk:     disk.FastLocal(),
 	}
-	if sc.Fault == FaultNoisyNeighbor {
+	// The autotune fault reuses the noisy-neighbor topology: both tenants
+	// share one host pool so the co-tenant flood has somewhere to land.
+	needsPool := sc.Fault == FaultNoisyNeighbor || sc.Fault == FaultAutotune
+	if needsPool {
 		// Both tenants share one 9-host pool with per-tenant QoS: the cap is
 		// far above the quiet workload's needs, so only the flood is shaped.
 		st.pool = storage.NewPool(storage.PoolConfig{
@@ -149,14 +153,21 @@ func newStack(sc Scenario) (*stack, error) {
 	st.vol = volume.Bootstrap(f, volume.ClientConfig{WriterNode: netsim.NodeID(st.name + "-writer"), WriterAZ: 0})
 	// A small cache keeps snapshot readers going to the storage fleet for
 	// truth instead of serving everything warm from the writer's memory.
-	db, err := engine.Create(st.vol, engine.Config{CachePages: 128})
+	ecfg := engine.Config{CachePages: 128}
+	if sc.Fault == FaultAutotune {
+		// The controller must be live and stepping fast enough to re-steer
+		// its knobs inside the fault window.
+		ecfg.AutoTune = true
+		ecfg.AutoTuneInterval = chaos.Scaled(10 * time.Millisecond)
+	}
+	db, err := engine.Create(st.vol, ecfg)
 	if err != nil {
 		st.vol.Close()
 		return nil, err
 	}
 	st.db = db
 	f.Start()
-	if sc.Fault == FaultNoisyNeighbor {
+	if needsPool {
 		hf, err := volume.NewFleet(volume.FleetConfig{
 			Name: st.name + "hot", Vol: 2, Pool: st.pool,
 			Geometry: core.UniformGeometry(2), Net: st.net, Disk: disk.FastLocal(),
@@ -242,8 +253,42 @@ func makeFault(kind FaultKind, st *stack, led *Ledger, rng *rand.Rand, windows *
 		return pageLagFault(st, pg, rng)
 	case FaultNoisyNeighbor:
 		return noisyNeighborFault(st)
+	case FaultAutotune:
+		return autotuneFault(st, pg, rng)
 	}
 	panic("matrix: unknown fault kind " + string(kind))
+}
+
+// autotuneFault runs the adaptive control plane through a compound fault: a
+// same-AZ replica of the quiet tenant goes gray-slow while the co-tenant
+// floods the shared host pool, so the controller is forced to re-steer the
+// hedge deadline and batching budgets mid-chaos. The ledger, VDL and
+// recovery invariants are judged exactly as in every other scenario —
+// adaptation may trade latency but must never cost correctness. Heal
+// additionally asserts the controller actually stepped: an autotune row
+// whose controller slept would prove nothing.
+func autotuneFault(st *stack, pg core.PGID, rng *rand.Rand) chaos.Fault {
+	slow := st.fleet.Node(pg, rng.Intn(2))
+	flood := noisyNeighborFault(st)
+	return chaos.Fault{
+		Name: fmt.Sprintf("autotune: gray-slow %s + co-tenant flood", slow.NodeID()),
+		Inject: func(ctx context.Context) {
+			_ = st.net.SetNodeDelay(slow.NodeID(), chaos.GraySlowDelay())
+			flood.Inject(ctx)
+		},
+		Heal: func(ctx context.Context) error {
+			if err := st.net.SetNodeDelay(slow.NodeID(), 0); err != nil {
+				return err
+			}
+			if err := flood.Heal(ctx); err != nil {
+				return err
+			}
+			if st.db.Stats().AutoTuneSteps == 0 {
+				return errors.New("adaptive controller never stepped during the fault window")
+			}
+			return nil
+		},
+	}
 }
 
 // noisyNeighborFault floods the co-tenant sharing the quiet tenant's host

@@ -1,0 +1,327 @@
+package control
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+func testPanel() *Panel {
+	p := NewPanel()
+	p.Register(KnobCommitGroup, 64, 8, 512)
+	p.Register(KnobInflightGroups, 4, 1, 64)
+	p.Register(KnobHedgeMultPct, 300, 150, 800)
+	p.Register(KnobBackoffCapUS, 2000, 200, 50000)
+	return p
+}
+
+func TestKnobClampAndAdjusts(t *testing.T) {
+	k := NewKnob("x", 10, 1, 100)
+	if got := k.Load(); got != 10 {
+		t.Fatalf("default = %d, want 10", got)
+	}
+	if !k.Set(500) {
+		t.Fatal("Set(500) reported no change")
+	}
+	if got := k.Load(); got != 100 {
+		t.Fatalf("clamped value = %d, want 100", got)
+	}
+	if k.Set(100) {
+		t.Fatal("Set to same value reported a change")
+	}
+	if !k.Set(-5) {
+		t.Fatal("Set(-5) reported no change")
+	}
+	if got := k.Load(); got != 1 {
+		t.Fatalf("clamped value = %d, want 1", got)
+	}
+	if got := k.Adjusts(); got != 2 {
+		t.Fatalf("adjusts = %d, want 2", got)
+	}
+	k.Reset()
+	if got := k.Load(); got != 10 {
+		t.Fatalf("after Reset = %d, want 10", got)
+	}
+}
+
+func TestPanelRegisterIdempotentAndSnapshot(t *testing.T) {
+	p := testPanel()
+	k1 := p.Knob(KnobCommitGroup)
+	k1.Set(128)
+	// Re-registering must return the live knob, not reset it.
+	k2 := p.Register(KnobCommitGroup, 64, 8, 512)
+	if k2 != k1 {
+		t.Fatal("Register returned a different knob for an existing name")
+	}
+	if got := k2.Load(); got != 128 {
+		t.Fatalf("re-register reset knob to %d", got)
+	}
+	snap := p.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("snapshot has %d knobs, want 4", len(snap))
+	}
+	if snap[0].Name != KnobCommitGroup || snap[0].Value != 128 {
+		t.Fatalf("snapshot[0] = %+v, want commit_group=128", snap[0])
+	}
+	if p.Knob("nope") != nil {
+		t.Fatal("unknown knob lookup returned non-nil")
+	}
+}
+
+// queueDominated models an under-batched pipeline: commits pile up waiting
+// for the framer while framing and shipping themselves are fast.
+func queueDominated() Window {
+	return Window{
+		QueueP95: 8 * time.Millisecond,
+		FrameP95: 500 * time.Microsecond,
+		ShipP95:  2 * time.Millisecond,
+		Commits:  400,
+	}
+}
+
+// frameDominated models over-batching: giant groups make framing/shipping
+// slow while the queue drains instantly.
+func frameDominated() Window {
+	return Window{
+		QueueP95: 200 * time.Microsecond,
+		FrameP95: 3 * time.Millisecond,
+		ShipP95:  5 * time.Millisecond,
+		Commits:  400,
+	}
+}
+
+// balanced sits inside the dead band: queue wait is a small fraction of
+// service and framing is cheap, so neither direction has evidence.
+func balanced() Window {
+	return Window{
+		QueueP95: 1 * time.Millisecond,
+		FrameP95: 500 * time.Microsecond,
+		ShipP95:  4 * time.Millisecond,
+		Commits:  400,
+	}
+}
+
+// TestStepLoadConvergence is the satellite's step-load unit test: a
+// queue-dominated phase must grow the batching knobs, a frame-dominated
+// phase must shrink them back, and a balanced phase must hold them still.
+func TestStepLoadConvergence(t *testing.T) {
+	p := testPanel()
+	c := NewController(Config{Panel: p, Gather: func() Window { return Window{} }})
+	group := p.Knob(KnobCommitGroup)
+	infl := p.Knob(KnobInflightGroups)
+
+	// Phase 1: queue-dominated step load. Knobs must grow.
+	g0, i0 := group.Load(), infl.Load()
+	for n := 0; n < 6; n++ {
+		c.Step(queueDominated())
+	}
+	if group.Load() <= g0 || infl.Load() <= i0 {
+		t.Fatalf("queue-dominated load did not grow knobs: group %d→%d, inflight %d→%d",
+			g0, group.Load(), i0, infl.Load())
+	}
+	if group.Load() > group.Max() || infl.Load() > infl.Max() {
+		t.Fatalf("knobs exceeded bounds: group %d, inflight %d", group.Load(), infl.Load())
+	}
+
+	// Phase 2: balanced. Knobs must settle (no movement).
+	g1, i1 := group.Load(), infl.Load()
+	a1 := c.Adjusts()
+	for n := 0; n < 6; n++ {
+		c.Step(balanced())
+	}
+	if group.Load() != g1 || infl.Load() != i1 || c.Adjusts() != a1 {
+		t.Fatalf("balanced load moved knobs: group %d→%d, inflight %d→%d, adjusts %d→%d",
+			g1, group.Load(), i1, infl.Load(), a1, c.Adjusts())
+	}
+
+	// Phase 3: frame-dominated step. Knobs must shrink.
+	for n := 0; n < 6; n++ {
+		c.Step(frameDominated())
+	}
+	if group.Load() >= g1 || infl.Load() >= i1 {
+		t.Fatalf("frame-dominated load did not shrink knobs: group %d→%d, inflight %d→%d",
+			g1, group.Load(), i1, infl.Load())
+	}
+	if group.Load() < group.Min() || infl.Load() < infl.Min() {
+		t.Fatalf("knobs undershot bounds: group %d, inflight %d", group.Load(), infl.Load())
+	}
+
+	// Sustained shrink pressure must converge to the floor, not oscillate.
+	for n := 0; n < 40; n++ {
+		c.Step(frameDominated())
+	}
+	if group.Load() != group.Min() || infl.Load() != infl.Min() {
+		t.Fatalf("sustained shrink did not settle at floor: group %d (min %d), inflight %d (min %d)",
+			group.Load(), group.Min(), infl.Load(), infl.Min())
+	}
+	steady := c.Adjusts()
+	for n := 0; n < 10; n++ {
+		c.Step(frameDominated())
+	}
+	if c.Adjusts() != steady {
+		t.Fatal("controller kept adjusting after knobs hit their floor")
+	}
+}
+
+// TestHysteresisSingleWindowNoise verifies one noisy window cannot move a
+// knob: the streak requirement demands consecutive agreeing windows, and
+// an idle window in between resets the streak.
+func TestHysteresisSingleWindowNoise(t *testing.T) {
+	p := testPanel()
+	c := NewController(Config{Panel: p, Gather: func() Window { return Window{} }})
+	group := p.Knob(KnobCommitGroup)
+	g0 := group.Load()
+
+	c.Step(queueDominated())
+	if group.Load() != g0 {
+		t.Fatal("a single queue-dominated window moved the knob")
+	}
+	// An idle window (below the commit floor) must reset the streak.
+	c.Step(Window{Commits: 3, QueueP95: time.Second, FrameP95: time.Microsecond, ShipP95: time.Microsecond})
+	c.Step(queueDominated())
+	if group.Load() != g0 {
+		t.Fatal("streak survived an idle window")
+	}
+	// Two consecutive windows complete the streak.
+	c.Step(queueDominated())
+	if group.Load() == g0 {
+		t.Fatal("two consecutive pressure windows did not move the knob")
+	}
+}
+
+func TestHedgeDeadlineControl(t *testing.T) {
+	p := testPanel()
+	c := NewController(Config{Panel: p, Gather: func() Window { return Window{} }})
+	hedge := p.Knob(KnobHedgeMultPct)
+	h0 := hedge.Load()
+
+	// Hedges winning most races: deadline too loose, multiplier tightens.
+	c.Step(Window{Reads: 100, Hedges: 20, HedgeWins: 15})
+	if hedge.Load() >= h0 {
+		t.Fatalf("high hedge win rate did not tighten multiplier: %d→%d", h0, hedge.Load())
+	}
+	// Too few hedges: no evidence, no movement.
+	h1 := hedge.Load()
+	c.Step(Window{Reads: 100, Hedges: 3, HedgeWins: 3})
+	if hedge.Load() != h1 {
+		t.Fatal("low-signal hedge window moved the multiplier")
+	}
+	// Hedges never winning: wasted reads, multiplier relaxes.
+	c.Step(Window{Reads: 100, Hedges: 50, HedgeWins: 0})
+	if hedge.Load() <= h1 {
+		t.Fatalf("zero hedge win rate did not relax multiplier: %d→%d", h1, hedge.Load())
+	}
+}
+
+func TestBackoffTracksDeliveryRTT(t *testing.T) {
+	p := testPanel()
+	c := NewController(Config{Panel: p, Gather: func() Window { return Window{} }})
+	boff := p.Knob(KnobBackoffCapUS)
+	b0 := boff.Load() // 2000µs default
+
+	// Slow replicas: cap eases up toward 4×RTT.
+	c.Step(Window{Deliveries: 100, DeliveryP95: 5 * time.Millisecond}) // target 20000µs
+	if boff.Load() <= b0 {
+		t.Fatalf("slow delivery RTT did not raise backoff cap: %d→%d", b0, boff.Load())
+	}
+	// Fast replicas: cap eases back down.
+	hi := boff.Load()
+	for n := 0; n < 10; n++ {
+		c.Step(Window{Deliveries: 100, DeliveryP95: 100 * time.Microsecond}) // target 400µs
+	}
+	if boff.Load() >= hi {
+		t.Fatalf("fast delivery RTT did not lower backoff cap: %d→%d", hi, boff.Load())
+	}
+	if boff.Load() < boff.Min() {
+		t.Fatalf("backoff cap undershot floor: %d", boff.Load())
+	}
+}
+
+// TestControllerLoopStartStop exercises the goroutine lifecycle: the loop
+// must gather on its interval and Stop must be idempotent and not hang.
+func TestControllerLoopStartStop(t *testing.T) {
+	p := testPanel()
+	var mu sync.Mutex
+	gathers := 0
+	c := NewController(Config{
+		Panel:    p,
+		Interval: time.Millisecond,
+		Gather: func() Window {
+			mu.Lock()
+			gathers++
+			mu.Unlock()
+			return queueDominated()
+		},
+	})
+	c.Start(context.Background())
+	deadline := time.After(2 * time.Second)
+	for {
+		mu.Lock()
+		n := gathers
+		mu.Unlock()
+		if n >= 3 {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("controller loop never gathered")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	c.Stop()
+	c.Stop() // idempotent
+	if c.Steps() < 3 {
+		t.Fatalf("steps = %d, want >= 3", c.Steps())
+	}
+	// Knobs must have moved under sustained pressure from the live loop.
+	if p.Knob(KnobCommitGroup).Load() == p.Knob(KnobCommitGroup).Default() {
+		t.Fatal("live loop under sustained pressure never moved the group knob")
+	}
+}
+
+// TestKnobRace hammers Set/Load/Snapshot concurrently; run under -race this
+// is the satellite's knob-vs-hot-path safety check at the package level
+// (the engine/volume -race tests cover the integrated paths).
+func TestKnobRace(t *testing.T) {
+	p := testPanel()
+	k := p.Knob(KnobCommitGroup)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			v := seed
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k.Set(v%512 + 1)
+				v += 7
+			}
+		}(int64(i * 13))
+	}
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if v := k.Load(); v < k.Min() || v > k.Max() {
+					panic("knob value escaped bounds")
+				}
+				_ = p.Snapshot()
+			}
+		}()
+	}
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+}

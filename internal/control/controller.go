@@ -1,0 +1,250 @@
+package control
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Window is one interval's worth of observed signal: delta quantiles over
+// the stage histograms since the previous window, never lifetime values.
+// Durations are what the trace windows measured; counts gate significance
+// (a window with three commits says nothing about queue pressure).
+type Window struct {
+	// Write-path stages, from the trace stage windows.
+	QueueP95 time.Duration // commit.queue: apply→framer wait
+	FrameP95 time.Duration // group.frame: framing critical section
+	ShipP95  time.Duration // group.ship: quorum ship + VDL wait
+	Commits  uint64        // commit.queue observations in the window
+
+	// Read path, from the volume's windowed read-attempt histogram.
+	ReadP95   time.Duration // read attempt p95 (windowed)
+	Reads     uint64        // read attempts in the window
+	Hedges    uint64        // hedges launched in the window
+	HedgeWins uint64        // hedges that beat the primary in the window
+
+	// Sender path: observed replica delivery RTT (windowed p95).
+	DeliveryP95 time.Duration
+	Deliveries  uint64
+}
+
+// Config wires a Controller to its signal source and its knobs.
+type Config struct {
+	// Panel holds the knobs to steer. Knobs the panel lacks are skipped.
+	Panel *Panel
+	// Gather produces the next window's signal. Called once per interval
+	// from the controller goroutine. Required.
+	Gather func() Window
+	// Interval between control steps. The paper's scale suggests ~1s; the
+	// scaled-down simulator defaults to 100ms so short runs still adapt.
+	Interval time.Duration
+}
+
+// Controller is the single feedback loop that owns every latency knob.
+// One goroutine wakes each interval, gathers a windowed signal, and runs
+// a deterministic Step. All decision logic lives in Step so tests can
+// drive synthetic step-loads without goroutines or clocks.
+//
+// Stability comes from hysteresis, not gain tuning: multiplicative moves
+// are small (×2 up, halve down for budgets; ±25% for deadlines), each
+// direction requires a streak of consecutive agreeing windows, and
+// low-signal windows (too few observations) reset streaks rather than
+// extrapolate. Knob bounds clamp everything, so a misbehaving signal can
+// cost performance but never correctness — every knob bounds a budget.
+type Controller struct {
+	cfg   Config
+	group *Knob
+	infl  *Knob
+	hedge *Knob
+	boff  *Knob
+
+	// Hysteresis streaks: consecutive windows agreeing on a direction.
+	growStreak   int
+	shrinkStreak int
+
+	steps   atomic.Uint64
+	adjusts atomic.Uint64
+
+	cancel context.CancelFunc
+	done   chan struct{}
+	once   sync.Once
+}
+
+// Minimum per-window observation counts below which a signal is ignored.
+const (
+	minCommitsPerWindow = 16
+	minHedgesPerWindow  = 8
+	minDeliverPerWindow = 16
+)
+
+// Hysteresis thresholds. Queue time is pure wait — a commit sitting in
+// commit.queue is throttled by the inflight budget, not doing work — so the
+// budgets grow whenever queue p95 is a meaningful fraction of service
+// (frame+ship) p95 for growAfter consecutive windows. Ship time is quorum
+// RTT the batching knobs cannot reduce, so shrinking is NOT the mirror
+// condition: it fires only when the framing critical section itself is both
+// expensive in absolute terms (> frameFloor) and exceeds the queueing it
+// amortizes — the over-batched regime. Everything between is the dead band
+// where the pipeline is balanced and knobs hold still.
+const (
+	growRatio   = 0.4              // queue wait > 40% of service ⇒ budget-throttled
+	frameFloor  = time.Millisecond // framing must genuinely cost before shrinking
+	growAfter   = 2
+	shrinkAfter = 2
+)
+
+// Hedge win-rate bands: if most hedges win, the deadline fires too late
+// (primary was doomed long before) — tighten. If almost none win, hedges
+// are wasted reads — relax. Between the bands the deadline holds.
+const (
+	hedgeWinHigh = 0.50
+	hedgeWinLow  = 0.05
+)
+
+// NewController builds a controller over the panel's knobs. Knobs are
+// looked up by their canonical names; a panel missing some knobs yields a
+// controller that steers only the ones present.
+func NewController(cfg Config) *Controller {
+	if cfg.Interval <= 0 {
+		cfg.Interval = 100 * time.Millisecond
+	}
+	c := &Controller{cfg: cfg, done: make(chan struct{})}
+	if p := cfg.Panel; p != nil {
+		c.group = p.Knob(KnobCommitGroup)
+		c.infl = p.Knob(KnobInflightGroups)
+		c.hedge = p.Knob(KnobHedgeMultPct)
+		c.boff = p.Knob(KnobBackoffCapUS)
+	}
+	return c
+}
+
+// Start launches the control loop. ctx cancellation or Stop ends it.
+func (c *Controller) Start(ctx context.Context) {
+	ctx, c.cancel = context.WithCancel(ctx)
+	go c.run(ctx)
+}
+
+// Stop halts the control loop and waits for it to exit. Knobs keep their
+// last steered values — static behavior resumes only via Reset.
+func (c *Controller) Stop() {
+	c.once.Do(func() {
+		if c.cancel != nil {
+			c.cancel()
+		}
+		<-c.done
+	})
+}
+
+func (c *Controller) run(ctx context.Context) {
+	defer close(c.done)
+	t := time.NewTicker(c.cfg.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			c.Step(c.cfg.Gather())
+		}
+	}
+}
+
+// Steps returns how many control intervals have run.
+func (c *Controller) Steps() uint64 { return c.steps.Load() }
+
+// Adjusts returns how many knob movements the controller has made.
+func (c *Controller) Adjusts() uint64 { return c.adjusts.Load() }
+
+// Step runs one deterministic control decision on a window of signal.
+// Exported so tests can drive synthetic step-loads directly.
+func (c *Controller) Step(w Window) {
+	c.steps.Add(1)
+	c.stepBatching(w)
+	c.stepHedge(w)
+	c.stepBackoff(w)
+}
+
+// stepBatching grows the commit-group and inflight budgets while queueing
+// dominates service, shrinks them while framing dominates, with streak
+// hysteresis in both directions.
+func (c *Controller) stepBatching(w Window) {
+	if c.group == nil && c.infl == nil {
+		return
+	}
+	if w.Commits < minCommitsPerWindow {
+		// Idle or trickle traffic: no pressure evidence either way.
+		c.growStreak, c.shrinkStreak = 0, 0
+		return
+	}
+	service := w.FrameP95 + w.ShipP95
+	if service <= 0 {
+		return
+	}
+	ratio := float64(w.QueueP95) / float64(service)
+	switch {
+	case ratio > growRatio:
+		c.growStreak++
+		c.shrinkStreak = 0
+		if c.growStreak >= growAfter {
+			c.growStreak = 0
+			c.bump(c.group, 2.0)
+			c.bump(c.infl, 2.0)
+		}
+	case w.FrameP95 > frameFloor && w.FrameP95 > w.QueueP95:
+		c.shrinkStreak++
+		c.growStreak = 0
+		if c.shrinkStreak >= shrinkAfter {
+			c.shrinkStreak = 0
+			c.bump(c.group, 0.5)
+			c.bump(c.infl, 0.5)
+		}
+	default:
+		// Dead band: balanced pipeline, hold still and decay streaks.
+		c.growStreak, c.shrinkStreak = 0, 0
+	}
+}
+
+// stepHedge moves the hedge deadline multiplier against the windowed hedge
+// win rate. The deadline itself is mult × windowed read p95, computed at
+// the read path; the controller only steers the multiplier.
+func (c *Controller) stepHedge(w Window) {
+	if c.hedge == nil || w.Hedges < minHedgesPerWindow {
+		return
+	}
+	winRate := float64(w.HedgeWins) / float64(w.Hedges)
+	if winRate > hedgeWinHigh {
+		c.bump(c.hedge, 0.75) // hedges usually win: deadline too loose
+	} else if winRate < hedgeWinLow {
+		c.bump(c.hedge, 1.25) // hedges almost never win: wasted reads
+	}
+}
+
+// stepBackoff eases the sender redelivery backoff ceiling halfway toward
+// 4× the observed windowed delivery RTT p95, so retries on a fast network
+// stop sleeping for a slow network's worst case and vice versa.
+func (c *Controller) stepBackoff(w Window) {
+	if c.boff == nil || w.Deliveries < minDeliverPerWindow || w.DeliveryP95 <= 0 {
+		return
+	}
+	target := 4 * w.DeliveryP95.Microseconds()
+	cur := c.boff.Load()
+	next := cur + (target-cur)/2
+	if c.boff.Set(next) {
+		c.adjusts.Add(1)
+	}
+}
+
+// bump multiplies a knob by factor (nil-safe, clamped by the knob).
+func (c *Controller) bump(k *Knob, factor float64) {
+	if k == nil {
+		return
+	}
+	next := int64(float64(k.Load()) * factor)
+	if next < 1 {
+		next = 1
+	}
+	if k.Set(next) {
+		c.adjusts.Add(1)
+	}
+}

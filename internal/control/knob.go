@@ -1,0 +1,186 @@
+// Package control is the unified adaptive control plane: every latency
+// tuning constant on the write and read paths lives behind a Knob, and one
+// trace-fed feedback Controller owns them all. The paper's throughput story
+// (§4.2) depends on batching aggressively without letting queueing delay eat
+// the latency budget — but the right batch size, in-flight budget, hedge
+// deadline and retry backoff depend on the deployment (disk model, network,
+// connection count), and hardcoded constants smeared across layers
+// systematically miss where time actually goes. Here the knobs are atomic
+// variables with static defaults (a deployment that never starts the
+// controller behaves exactly as before), and the controller steers them from
+// windowed per-stage latency distributions — deltas over ~1s windows, never
+// lifetime histograms, so a cold-start outlier cannot pin a knob forever.
+package control
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Knob is one adaptively tunable parameter: an atomic current value bounded
+// to [Min, Max], with the static default it holds when no controller steers
+// it. Hot paths call Load (a single atomic load); only the controller — or a
+// test — calls Set. Values are int64; duration-valued knobs store
+// microseconds, ratio-valued knobs store percent, by convention recorded in
+// the knob's name suffix ("_us", "_pct").
+type Knob struct {
+	name     string
+	def      int64
+	min, max int64
+	v        atomic.Int64
+	adjusts  atomic.Uint64
+}
+
+// NewKnob returns a standalone knob (see Panel.Register for the usual path).
+func NewKnob(name string, def, min, max int64) *Knob {
+	if min > max {
+		min, max = max, min
+	}
+	k := &Knob{name: name, def: clamp(def, min, max), min: min, max: max}
+	k.v.Store(k.def)
+	return k
+}
+
+func clamp(v, lo, hi int64) int64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Load returns the knob's current value. This is the hot-path read: one
+// atomic load, safe from any goroutine, never blocking.
+func (k *Knob) Load() int64 { return k.v.Load() }
+
+// Set moves the knob, clamped to its bounds, and reports whether the stored
+// value actually changed. Concurrent with Load by design — the framer or a
+// read path may consume the old value for one more iteration, which is
+// harmless: every knob bounds a budget, not a correctness invariant.
+func (k *Knob) Set(v int64) bool {
+	v = clamp(v, k.min, k.max)
+	if k.v.Swap(v) == v {
+		return false
+	}
+	k.adjusts.Add(1)
+	return true
+}
+
+// Reset returns the knob to its static default.
+func (k *Knob) Reset() { k.Set(k.def) }
+
+// Name returns the knob's registry name.
+func (k *Knob) Name() string { return k.name }
+
+// Default returns the static fallback value.
+func (k *Knob) Default() int64 { return k.def }
+
+// Min returns the lower bound.
+func (k *Knob) Min() int64 { return k.min }
+
+// Max returns the upper bound.
+func (k *Knob) Max() int64 { return k.max }
+
+// Adjusts returns how many times Set changed the stored value — the knob's
+// trajectory length, surfaced in Stats so experiments can see the
+// controller steering.
+func (k *Knob) Adjusts() uint64 { return k.adjusts.Load() }
+
+// KnobState is an observable snapshot of one knob for Stats and benchmarks.
+type KnobState struct {
+	Name    string
+	Value   int64
+	Default int64
+	Min     int64
+	Max     int64
+	Adjusts uint64
+}
+
+// Panel is a named registry of knobs — the single place every latency
+// tuning constant now lives. Layers register their knobs at construction
+// (volume: hedge deadline, sender backoff; engine: commit group and
+// in-flight budgets); the controller looks them up by name; Stats snapshots
+// them all. Future knobs (QoS shares, feed cadence) join by registering.
+type Panel struct {
+	mu    sync.Mutex
+	knobs map[string]*Knob
+	order []string
+}
+
+// NewPanel returns an empty panel.
+func NewPanel() *Panel { return &Panel{knobs: make(map[string]*Knob)} }
+
+// Register adds a knob (or returns the existing one of that name — layers
+// recreated against a shared panel, e.g. an engine reopened on a volume
+// client, reuse the knob rather than resetting it).
+func (p *Panel) Register(name string, def, min, max int64) *Knob {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if k, ok := p.knobs[name]; ok {
+		return k
+	}
+	k := NewKnob(name, def, min, max)
+	p.knobs[name] = k
+	p.order = append(p.order, name)
+	return k
+}
+
+// Knob returns the named knob, or nil if none is registered.
+func (p *Panel) Knob(name string) *Knob {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.knobs[name]
+}
+
+// Snapshot returns every knob's state in registration order.
+func (p *Panel) Snapshot() []KnobState {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]KnobState, 0, len(p.order))
+	for _, name := range p.order {
+		k := p.knobs[name]
+		out = append(out, KnobState{
+			Name: k.name, Value: k.Load(), Default: k.def,
+			Min: k.min, Max: k.max, Adjusts: k.Adjusts(),
+		})
+	}
+	return out
+}
+
+// Canonical knob names. Every layer registers under these so the controller,
+// Stats and experiments agree on identity.
+const (
+	// KnobCommitGroup is the engine pipeline's max commits per framed group
+	// (was the MaxCommitGroup constant's role).
+	KnobCommitGroup = "engine.commit_group"
+	// KnobInflightGroups is the pipeline's framed-groups-in-flight budget
+	// (was the unexported maxInflightGroups constant).
+	KnobInflightGroups = "engine.inflight_groups"
+	// KnobHedgeMultPct is the hedged-read deadline multiplier in percent of
+	// the windowed read-attempt p95 (was HealthConfig.HedgeMult x100).
+	KnobHedgeMultPct = "volume.hedge_mult_pct"
+	// KnobBackoffCapUS is the sender redelivery backoff ceiling in
+	// microseconds (was the deliverMaxBackoff constant).
+	KnobBackoffCapUS = "volume.backoff_cap_us"
+)
+
+// Static defaults and bounds for the canonical knobs. These are the single
+// home of the retired tuning constants: layers register their knobs with
+// these values, and without a controller the system behaves exactly as it
+// did when they were hardcoded.
+const (
+	DefaultCommitGroup    = 64
+	MinCommitGroup        = 8
+	MaxCommitGroup        = 512
+	DefaultInflightGroups = 4
+	MinInflightGroups     = 1
+	MaxInflightGroups     = 64
+	DefaultHedgeMultPct   = 300 // 3x the windowed read p95
+	MinHedgeMultPct       = 150
+	MaxHedgeMultPct       = 800
+	DefaultBackoffCapUS   = 2000 // the old 2ms deliverMaxBackoff
+	MinBackoffCapUS       = 200
+	MaxBackoffCapUS       = 50000
+)

@@ -1,0 +1,72 @@
+package engine
+
+import (
+	"aurora/internal/control"
+)
+
+// This file wires the adaptive control plane: one feedback controller per
+// instance, gathering windowed signal from three sources —
+//
+//	trace stage windows  → commit.queue / group.frame / group.ship delta
+//	                       p95s (the write-path pressure-vs-service signal)
+//	health read window   → windowed read-attempt p95 + hedge win rate
+//	                       (the hedged-read deadline signal)
+//	sender deliver window→ windowed replica delivery RTT (the backoff
+//	                       ceiling signal)
+//
+// — and steering the knobs registered in the volume client's panel. The
+// signal is always windowed deltas, never lifetime aggregates: the
+// controller reacts to where time goes now. All decision logic lives in
+// control.Controller.Step; this file only plumbs measurements.
+
+// startAutoTune launches the controller when Config.AutoTune is set. Trace
+// sampling is already forced on by withDefaults (the write-path signal
+// rides the stage histograms, which only sampled commits feed).
+func (db *DB) startAutoTune() {
+	if !db.cfg.AutoTune {
+		return
+	}
+	stages := db.tracer.NewStageWindow()
+	var prevHedges, prevWins uint64
+	gather := func() control.Window {
+		var w control.Window
+		deltas := stages.Advance()
+		if q, ok := deltas["commit.queue"]; ok {
+			w.QueueP95 = q.P95
+			w.Commits = q.Count
+		}
+		w.FrameP95 = deltas["group.frame"].P95
+		w.ShipP95 = deltas["group.ship"].P95
+
+		rw := db.vol.ReadWindow()
+		w.ReadP95 = rw.QuantileDuration(0.95)
+		w.Reads = rw.Count()
+		// Hedge launch/win counters are lifetime; the controller wants
+		// per-window rates, so difference them here. The gather closure is
+		// the single consumer, so plain locals carry the previous values.
+		hs := db.vol.Stats()
+		w.Hedges = hs.Hedges - prevHedges
+		w.HedgeWins = hs.HedgeWins - prevWins
+		prevHedges, prevWins = hs.Hedges, hs.HedgeWins
+
+		dw := db.vol.DeliverWindow()
+		w.DeliveryP95 = dw.QuantileDuration(0.95)
+		w.Deliveries = dw.Count()
+		return w
+	}
+	db.ctl = control.NewController(control.Config{
+		Panel:    db.vol.Knobs(),
+		Gather:   gather,
+		Interval: db.cfg.AutoTuneInterval,
+	})
+	db.ctl.Start(db.rootCtx)
+}
+
+// stopAutoTune halts the controller (idempotent; no-op when AutoTune is
+// off). Knobs keep their last steered values until a new engine registers
+// over them.
+func (db *DB) stopAutoTune() {
+	if db.ctl != nil {
+		db.ctl.Stop()
+	}
+}

@@ -1,0 +1,164 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"aurora/internal/control"
+)
+
+func knobValue(t *testing.T, s Stats, name string) control.KnobState {
+	t.Helper()
+	for _, k := range s.Knobs {
+		if k.Name == name {
+			return k
+		}
+	}
+	t.Fatalf("knob %q missing from Stats (have %v)", name, s.Knobs)
+	return control.KnobState{}
+}
+
+// TestKnobsSurfaceInStats verifies every canonical knob appears in Stats
+// with its static default when AutoTune is off, and that the promoted
+// MaxInflightGroups config field lands in its knob.
+func TestKnobsSurfaceInStats(t *testing.T) {
+	_, db := testDB(t, Config{MaxCommitGroup: 32, MaxInflightGroups: 7})
+	s := db.Stats()
+	if len(s.Knobs) != 4 {
+		t.Fatalf("Stats has %d knobs, want 4: %v", len(s.Knobs), s.Knobs)
+	}
+	if g := knobValue(t, s, control.KnobCommitGroup); g.Value != 32 || g.Default != 32 {
+		t.Fatalf("commit_group knob = %+v, want value/default 32", g)
+	}
+	if i := knobValue(t, s, control.KnobInflightGroups); i.Value != 7 {
+		t.Fatalf("inflight_groups knob = %+v, want 7", i)
+	}
+	if h := knobValue(t, s, control.KnobHedgeMultPct); h.Value != control.DefaultHedgeMultPct {
+		t.Fatalf("hedge knob = %+v", h)
+	}
+	if b := knobValue(t, s, control.KnobBackoffCapUS); b.Value != control.DefaultBackoffCapUS {
+		t.Fatalf("backoff knob = %+v", b)
+	}
+	if s.AutoTuneSteps != 0 || s.AutoTuneAdjusts != 0 {
+		t.Fatalf("controller counters nonzero with AutoTune off: %d/%d", s.AutoTuneSteps, s.AutoTuneAdjusts)
+	}
+}
+
+// TestMaxInflightGroupsConfig verifies the promoted field defaults to 4
+// when zero and accepts an out-of-range sweep value (bounds widen rather
+// than clamp, so ablations get exactly what they asked for).
+func TestMaxInflightGroupsConfig(t *testing.T) {
+	_, db := testDB(t, Config{})
+	if v := knobValue(t, db.Stats(), control.KnobInflightGroups); v.Value != control.DefaultInflightGroups {
+		t.Fatalf("zero config inflight = %+v, want default %d", v, control.DefaultInflightGroups)
+	}
+
+	_, db2 := testDB(t, Config{MaxCommitGroup: 1, MaxInflightGroups: 100})
+	s := db2.Stats()
+	if v := knobValue(t, s, control.KnobCommitGroup); v.Value != 1 {
+		t.Fatalf("MaxCommitGroup=1 sweep clamped to %d", v.Value)
+	}
+	if v := knobValue(t, s, control.KnobInflightGroups); v.Value != 100 {
+		t.Fatalf("MaxInflightGroups=100 sweep clamped to %d", v.Value)
+	}
+	// Commits still work at the extreme settings.
+	for i := 0; i < 10; i++ {
+		if err := db2.Put([]byte(fmt.Sprintf("k%02d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestAutoTuneLiveController runs a real workload with AutoTune on and a
+// fast control interval: the controller must step, trace sampling must be
+// forced on for its signal, and commits must stay correct throughout.
+func TestAutoTuneLiveController(t *testing.T) {
+	_, db := testDB(t, Config{AutoTune: true, AutoTuneInterval: 5 * time.Millisecond})
+	if db.Tracer().SampleEvery() == 0 {
+		t.Fatal("AutoTune did not enable trace sampling")
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if err := db.Put([]byte(fmt.Sprintf("w%d-%03d", w, i)), []byte("v")); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	deadline := time.Now().Add(2 * time.Second)
+	for db.Stats().AutoTuneSteps == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("controller never stepped")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Every write must be readable with the controller live.
+	for w := 0; w < 4; w++ {
+		for i := 0; i < 100; i += 25 {
+			k := []byte(fmt.Sprintf("w%d-%03d", w, i))
+			if _, ok, err := db.Get(k); err != nil || !ok {
+				t.Fatalf("get %s: %v %v", k, ok, err)
+			}
+		}
+	}
+}
+
+// TestKnobUpdatesRaceFramer is the engine half of the knob-safety
+// satellite: hammer the batching knobs from a steering goroutine while
+// committers and the framer run full tilt, under -race. The knobs bound
+// budgets, not invariants, so any interleaving must stay correct.
+func TestKnobUpdatesRaceFramer(t *testing.T) {
+	_, db := testDB(t, Config{})
+	panel := db.Volume().Knobs()
+	group := panel.Knob(control.KnobCommitGroup)
+	infl := panel.Knob(control.KnobInflightGroups)
+
+	stop := make(chan struct{})
+	var steer sync.WaitGroup
+	steer.Add(1)
+	go func() {
+		defer steer.Done()
+		v := int64(1)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			group.Set(v%128 + 1)
+			infl.Set(v%16 + 1)
+			v++
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 150; i++ {
+				if err := db.Put([]byte(fmt.Sprintf("r%d-%03d", w, i)), []byte("v")); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	steer.Wait()
+	for w := 0; w < 8; w++ {
+		k := []byte(fmt.Sprintf("r%d-%03d", w, 149))
+		if _, ok, err := db.Get(k); err != nil || !ok {
+			t.Fatalf("get %s after knob race: %v %v", k, ok, err)
+		}
+	}
+}

@@ -20,6 +20,7 @@ import (
 
 	"aurora/internal/btree"
 	"aurora/internal/bufcache"
+	"aurora/internal/control"
 	"aurora/internal/core"
 	"aurora/internal/metrics"
 	"aurora/internal/page"
@@ -64,8 +65,24 @@ type Config struct {
 	// back-pressure throttles writers without ever blocking readers.
 	CommitQueueDepth int
 	// MaxCommitGroup caps how many queued commits one framing critical
-	// section absorbs (default 64).
+	// section absorbs (default 64). This is the static starting point of
+	// the engine.commit_group knob; AutoTune steers it from there.
 	MaxCommitGroup int
+	// MaxInflightGroups bounds how many framed groups may be awaiting
+	// durability at once before the framer pauses (default 4; previously a
+	// hardcoded pipeline constant). Static starting point of the
+	// engine.inflight_groups knob.
+	MaxInflightGroups int
+	// AutoTune runs the adaptive control plane: a feedback controller that
+	// steers every latency knob (commit group size, in-flight group budget,
+	// hedged-read deadline multiplier, sender backoff ceiling) from
+	// windowed per-stage latency distributions. Off, the knobs hold the
+	// static values above. AutoTune needs the write-path stage signal, so
+	// it enables trace sampling (TraceEvery = 8) when sampling is off.
+	AutoTune bool
+	// AutoTuneInterval is the controller's window length (default 100ms at
+	// simulation scale; the paper's deployment would use ~1s).
+	AutoTuneInterval time.Duration
 	// TraceEvery samples 1 in N commits (and cache-miss page reads) into
 	// the causal tracing subsystem; 0 disables sampling, leaving only an
 	// atomic load on the hot path. It can be changed at runtime through
@@ -83,7 +100,16 @@ func (c Config) withDefaults() Config {
 		c.CommitQueueDepth = 256
 	}
 	if c.MaxCommitGroup <= 0 {
-		c.MaxCommitGroup = 64
+		c.MaxCommitGroup = control.DefaultCommitGroup
+	}
+	if c.MaxInflightGroups <= 0 {
+		c.MaxInflightGroups = control.DefaultInflightGroups
+	}
+	if c.AutoTuneInterval <= 0 {
+		c.AutoTuneInterval = 100 * time.Millisecond
+	}
+	if c.AutoTune && c.TraceEvery <= 0 {
+		c.TraceEvery = 8
 	}
 	return c
 }
@@ -99,6 +125,7 @@ type DB struct {
 	feed     *feed
 	pipeline *commitPipeline
 	tracer   *trace.Collector
+	ctl      *control.Controller // adaptive control plane; nil unless AutoTune
 
 	// rootCtx bounds the instance's own IO (background framing, group
 	// shipping, default read paths). Close cancels it only after the commit
@@ -149,6 +176,7 @@ func Create(vol *volume.Client, cfg Config) (*DB, error) {
 	pending.Release()
 	db.feed.publish(Event{VDL: vol.VDL()})
 	db.pipeline = newCommitPipeline(db)
+	db.startAutoTune()
 	return db, nil
 }
 
@@ -163,6 +191,7 @@ func Open(vol *volume.Client, cfg Config) (*DB, error) {
 		return nil, err
 	}
 	db.pipeline = newCommitPipeline(db)
+	db.startAutoTune()
 	return db, nil
 }
 
@@ -225,6 +254,7 @@ func (db *DB) Degraded() bool { return db.degraded.Load() }
 // commit pipeline is drained (closing the volume client first unblocks a
 // framer stalled on the LAL), and cached state is discarded.
 func (db *DB) Close() {
+	db.stopAutoTune()
 	db.locks.Close()
 	db.pipeline.stop()
 	db.vol.Close()
@@ -240,6 +270,7 @@ func (db *DB) Close() {
 // durable.
 func (db *DB) Crash() {
 	db.rootCancel()
+	db.stopAutoTune()
 	db.locks.Close()
 	db.pipeline.stop()
 	db.cache.Invalidate()
@@ -275,6 +306,15 @@ type Stats struct {
 	Trace    trace.Stats
 	Waits    uint64
 	Wounds   uint64
+
+	// Knobs is the control-plane panel snapshot: every latency knob's
+	// current value, static default, bounds and adjustment count — the
+	// knob trajectories experiments and chaos observe the controller by.
+	Knobs []control.KnobState
+	// AutoTuneSteps / AutoTuneAdjusts count controller windows stepped and
+	// knob movements made (both 0 with AutoTune off).
+	AutoTuneSteps   uint64
+	AutoTuneAdjusts uint64
 }
 
 // Stats returns a snapshot of engine counters.
@@ -298,7 +338,7 @@ func (db *DB) Stats() Stats {
 		ps.QueuedCommits = len(db.pipeline.queue)
 		db.pipeline.mu.Unlock()
 	}
-	return Stats{
+	s := Stats{
 		Begins:   db.begins.Load(),
 		Commits:  db.commits.Load(),
 		Aborts:   db.aborts.Load(),
@@ -309,7 +349,13 @@ func (db *DB) Stats() Stats {
 		Trace:    db.tracer.Stats(),
 		Waits:    waits,
 		Wounds:   wounds,
+		Knobs:    db.vol.Knobs().Snapshot(),
 	}
+	if db.ctl != nil {
+		s.AutoTuneSteps = db.ctl.Steps()
+		s.AutoTuneAdjusts = db.ctl.Adjusts()
+	}
+	return s
 }
 
 // Rows returns the approximate number of live rows.

@@ -267,6 +267,7 @@ var Registry = map[string]func(Scale) *Result{
 	"grow":                 GrowExperiment,
 	"logsplit":             LogSplitExperiment,
 	"tenants":              TenantsExperiment,
+	"autotune":             AutotuneExperiment,
 }
 
 // Order is the canonical experiment order for "run everything".
@@ -275,4 +276,5 @@ var Order = []string{
 	"fig8", "fig9", "fig10", "fig11", "fig12", "recovery", "durability",
 	"ablation-sync-commit", "ablation-coalesce", "ablation-full-pages",
 	"ablation-materialize", "latency", "grow", "logsplit", "tenants",
+	"autotune",
 }

@@ -1,0 +1,100 @@
+package trace
+
+import (
+	"testing"
+	"time"
+)
+
+// finishRoot runs one sampled trace through the collector with a single
+// child stage, backdating nothing — the stage histograms only care about
+// the observed durations, which we inject via observeStage directly to
+// keep the test deterministic.
+func observeN(c *Collector, stage string, d time.Duration, n int) {
+	for i := 0; i < n; i++ {
+		c.observeStage(stage, d)
+	}
+}
+
+func TestStageWindowDeltas(t *testing.T) {
+	c := NewCollector(16)
+	// Pre-window history: a slow cold start the window must not see.
+	observeN(c, "commit.queue", 50*time.Millisecond, 100)
+
+	w := c.NewStageWindow()
+
+	// First window: fast queue waits only.
+	observeN(c, "commit.queue", time.Millisecond, 200)
+	observeN(c, "group.frame", 200*time.Microsecond, 50)
+	d1 := w.Advance()
+
+	q, ok := d1["commit.queue"]
+	if !ok {
+		t.Fatal("commit.queue missing from window")
+	}
+	if q.Count != 200 {
+		t.Fatalf("window count = %d, want 200 (lifetime history leaked in)", q.Count)
+	}
+	// The 50ms cold-start samples are lifetime-only; the windowed p95 must
+	// reflect the 1ms traffic (factor-of-two bucket resolution).
+	if q.P95 > 4*time.Millisecond {
+		t.Fatalf("window p95 = %v, cold-start outliers leaked into the delta", q.P95)
+	}
+	if f := d1["group.frame"]; f.Count != 50 {
+		t.Fatalf("group.frame count = %d, want 50", f.Count)
+	}
+
+	// Second window: nothing happened — stage omitted entirely.
+	d2 := w.Advance()
+	if len(d2) != 0 {
+		t.Fatalf("idle window reported %d stages, want 0", len(d2))
+	}
+
+	// Third window: load shifts to framing; deltas must follow.
+	observeN(c, "group.frame", 8*time.Millisecond, 150)
+	d3 := w.Advance()
+	if _, ok := d3["commit.queue"]; ok {
+		t.Fatal("commit.queue reported with zero new observations")
+	}
+	f := d3["group.frame"]
+	if f.Count != 150 {
+		t.Fatalf("group.frame count = %d, want 150", f.Count)
+	}
+	if f.P95 < 4*time.Millisecond {
+		t.Fatalf("group.frame window p95 = %v, want ~8ms", f.P95)
+	}
+	if f.P50 > f.P95 || f.P95 > f.P99 {
+		t.Fatalf("window quantiles not monotone: %v/%v/%v", f.P50, f.P95, f.P99)
+	}
+}
+
+func TestStageWindowNewStagesAppearMidStream(t *testing.T) {
+	c := NewCollector(16)
+	w := c.NewStageWindow()
+	// A stage born after the window anchor must still be fully counted.
+	observeN(c, "read.attempt", 500*time.Microsecond, 40)
+	d := w.Advance()
+	if r := d["read.attempt"]; r.Count != 40 {
+		t.Fatalf("new stage count = %d, want 40", r.Count)
+	}
+}
+
+func TestStageWindowThroughSampledTraces(t *testing.T) {
+	// End-to-end: real sampled spans (not direct observeStage) must land in
+	// the stage windows once their trace finishes.
+	c := NewCollector(16)
+	c.SetSampleEvery(1)
+	w := c.NewStageWindow()
+	for i := 0; i < 10; i++ {
+		root := c.Start("commit")
+		sp := root.Child("commit.queue")
+		sp.End()
+		root.End()
+	}
+	d := w.Advance()
+	if d["commit.queue"].Count != 10 {
+		t.Fatalf("sampled spans in window = %d, want 10", d["commit.queue"].Count)
+	}
+	if d["commit"].Count != 10 {
+		t.Fatalf("root spans in window = %d, want 10", d["commit"].Count)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"aurora/internal/control"
 	"aurora/internal/core"
 	"aurora/internal/metrics"
 	"aurora/internal/netsim"
@@ -60,13 +61,19 @@ type HealthConfig struct {
 	// peer's EWMA — the gray-slow signature (defaults 1ms, 8x).
 	DegradedLatencyFloor  time.Duration
 	DegradedLatencyFactor float64
-	// Per-attempt read deadline: HedgeMult times the observed p95 read
+	// Per-attempt read deadline: HedgeMult times the windowed p95 read
 	// latency, clamped to [HedgeMin, HedgeMax] (defaults 3x, 250µs, 50ms).
 	// When an attempt exceeds it a hedge is launched to the next-best
 	// replica (§4.2.3's tail-avoidance without quorum reads).
 	HedgeMult float64
 	HedgeMin  time.Duration
 	HedgeMax  time.Duration
+	// WindowInterval is the rotation interval of the windowed read-latency
+	// histograms the hedge deadline derives from (default 250ms at
+	// simulation scale). The deadline reflects only the last one-to-two
+	// windows of traffic, so a cold-start outlier stops inflating it one
+	// rotation later — the failure mode of the old lifetime-P95 estimator.
+	WindowInterval time.Duration
 	// MonitorInterval paces the fleet's self-driven repair loop
 	// (default 5ms at simulation scale).
 	MonitorInterval time.Duration
@@ -97,6 +104,9 @@ func (c HealthConfig) withDefaults() HealthConfig {
 	if c.HedgeMax <= 0 {
 		c.HedgeMax = 50 * time.Millisecond
 	}
+	if c.WindowInterval <= 0 {
+		c.WindowInterval = 250 * time.Millisecond
+	}
 	if c.MonitorInterval <= 0 {
 		c.MonitorInterval = 5 * time.Millisecond
 	}
@@ -114,12 +124,14 @@ type replicaHealth struct {
 	errs     uint64
 }
 
-// pgLatency derives the hedge deadline for one protection group from a
-// reservoir of recent successful read latencies. The percentile sort is
-// amortized: the deadline is recomputed every deadlineEvery samples and
-// cached in an atomic.
+// pgLatency derives the hedge deadline for one protection group from the
+// windowed distribution of recent successful read latencies — only the
+// last one-to-two window intervals count, so a startup outlier cannot
+// permanently inflate the deadline the way a lifetime reservoir did. The
+// quantile walk is amortized: the deadline is recomputed every
+// deadlineEvery samples and cached in an atomic.
 type pgLatency struct {
-	hist     *metrics.Histogram
+	win      *metrics.WindowedHistogram
 	n        atomic.Uint64
 	deadline atomic.Int64 // nanoseconds; 0 means "no data yet"
 }
@@ -144,6 +156,17 @@ type HealthTracker struct {
 	reps atomic.Pointer[[][]*replicaHealth]
 	lat  atomic.Pointer[[]*pgLatency]
 
+	// hedgeKnob, when set (by the writer client wiring the control plane),
+	// overrides cfg.HedgeMult as the deadline multiplier, in percent. The
+	// static fallback is the config value — a tracker with no knob behaves
+	// exactly as before.
+	hedgeKnob atomic.Pointer[control.Knob]
+
+	// readWin aggregates successful read-attempt latencies across all PGs
+	// in the same windowed form the per-PG estimators use: the adaptive
+	// controller's read-path signal.
+	readWin *metrics.WindowedHistogram
+
 	retries      metrics.Counter
 	hedges       metrics.Counter
 	hedgeWins    metrics.Counter
@@ -154,11 +177,12 @@ type HealthTracker struct {
 
 func newHealthTracker(cfg HealthConfig, pgs, replicas int) *HealthTracker {
 	h := &HealthTracker{cfg: cfg.withDefaults()}
+	h.readWin = metrics.NewWindowedHistogram(h.cfg.WindowInterval)
 	reps := make([][]*replicaHealth, pgs)
 	lat := make([]*pgLatency, pgs)
 	for g := range reps {
 		reps[g] = newPGHealth(replicas)
-		lat[g] = &pgLatency{hist: metrics.NewHistogram(512)}
+		lat[g] = &pgLatency{win: metrics.NewWindowedHistogram(h.cfg.WindowInterval)}
 	}
 	h.reps.Store(&reps)
 	h.lat.Store(&lat)
@@ -188,7 +212,7 @@ func (h *HealthTracker) Grow(newPGs, replicas int) {
 	copy(nl, lat)
 	for g := len(reps); g < newPGs; g++ {
 		nr = append(nr, newPGHealth(replicas))
-		nl = append(nl, &pgLatency{hist: metrics.NewHistogram(512)})
+		nl = append(nl, &pgLatency{win: metrics.NewWindowedHistogram(h.cfg.WindowInterval)})
 	}
 	h.reps.Store(&nr)
 	h.lat.Store(&nl)
@@ -373,16 +397,34 @@ func candLess(a, b readCand) bool {
 	return a.idx < b.idx
 }
 
-// observeReadLatency feeds the per-PG deadline estimator with one
-// successful read attempt.
+// SetHedgeKnob routes the hedge-deadline multiplier through a control-plane
+// knob (value in percent: 300 = 3x the windowed p95). A nil knob restores
+// the static config multiplier. Called once at client wiring time.
+func (h *HealthTracker) SetHedgeKnob(k *control.Knob) { h.hedgeKnob.Store(k) }
+
+// hedgeMultPct returns the current deadline multiplier in percent.
+func (h *HealthTracker) hedgeMultPct() int64 {
+	if k := h.hedgeKnob.Load(); k != nil {
+		return k.Load()
+	}
+	return int64(h.cfg.HedgeMult * 100)
+}
+
+// ReadWindow exposes the all-PG windowed read-attempt distribution — the
+// adaptive controller's read-path signal source.
+func (h *HealthTracker) ReadWindow() *metrics.WindowedHistogram { return h.readWin }
+
+// observeReadLatency feeds the per-PG deadline estimator (and the global
+// controller signal) with one successful read attempt.
 func (h *HealthTracker) observeReadLatency(pg core.PGID, d time.Duration) {
+	h.readWin.ObserveDuration(d)
 	lat := *h.lat.Load()
 	l := lat[int(pg)%len(lat)]
-	l.hist.Record(d)
+	l.win.ObserveDuration(d)
 	if l.n.Add(1)%deadlineEvery != 0 {
 		return
 	}
-	dl := time.Duration(h.cfg.HedgeMult * float64(l.hist.Percentile(95)))
+	dl := time.Duration(h.hedgeMultPct()) * l.win.QuantileDuration(0.95) / 100
 	if dl < h.cfg.HedgeMin {
 		dl = h.cfg.HedgeMin
 	}
@@ -393,7 +435,7 @@ func (h *HealthTracker) observeReadLatency(pg core.PGID, d time.Duration) {
 }
 
 // ReadDeadline returns the per-attempt deadline for reads of a PG, derived
-// from the observed latency percentiles (HedgeMult x p95, clamped).
+// from the windowed latency distribution (multiplier x p95, clamped).
 func (h *HealthTracker) ReadDeadline(pg core.PGID) time.Duration {
 	lat := *h.lat.Load()
 	if d := lat[int(pg)%len(lat)].deadline.Load(); d > 0 {
@@ -522,20 +564,22 @@ func (h *HealthTracker) runHedged(ctx context.Context, pg core.PGID, cands []int
 // exponential backoff plus jitter before the replica is nacked. The budget
 // is deliberately small — the 4/6 quorum masks a replica that stays bad,
 // and gossip repairs it (§3.3) — but one retry absorbs the overwhelmingly
-// common gray case of a single dropped or rejected message.
+// common gray case of a single dropped or rejected message. The backoff
+// ceiling is a control-plane knob (control.KnobBackoffCapUS, default
+// control.DefaultBackoffCapUS) scaled against the observed windowed
+// delivery RTT; the base and attempt budget stay fixed.
 const (
 	deliverAttempts    = 4 // 1 initial + 3 retries
 	deliverBaseBackoff = 200 * time.Microsecond
-	deliverMaxBackoff  = 2 * time.Millisecond
 )
 
-// backoffFor returns the pre-retry sleep for retry number n (0-based) with
-// up to 50% uniform jitter, so retries from senders that failed together do
-// not re-collide.
-func backoffFor(n int) time.Duration {
+// backoffFor returns the pre-retry sleep for retry number n (0-based),
+// capped at cap, with up to 50% uniform jitter so retries from senders
+// that failed together do not re-collide.
+func backoffFor(n int, cap time.Duration) time.Duration {
 	d := deliverBaseBackoff << uint(n)
-	if d > deliverMaxBackoff {
-		d = deliverMaxBackoff
+	if cap > 0 && d > cap {
+		d = cap
 	}
 	return d + time.Duration(rand.Int63n(int64(d)/2+1))
 }

@@ -1,0 +1,164 @@
+package volume
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"aurora/internal/control"
+	"aurora/internal/core"
+)
+
+// TestHedgeDeadlineForgetsColdStart is the regression test for the
+// lifetime-P95 bug: a slow cold start used to inflate the hedge deadline
+// permanently (the reservoir never forgot it). With windowed quantiles the
+// deadline must recover once the slow samples age out of the window — even
+// with AutoTune off (no knob steering involved here).
+func TestHedgeDeadlineForgetsColdStart(t *testing.T) {
+	h := newHealthTracker(HealthConfig{WindowInterval: 20 * time.Millisecond}, 1, 6)
+	pg := core.PGID(0)
+
+	// Cold start: a full recompute batch of slow reads.
+	for i := 0; i < deadlineEvery; i++ {
+		h.observeReadLatency(pg, 5*time.Millisecond)
+	}
+	inflated := h.ReadDeadline(pg)
+	if inflated < 5*time.Millisecond {
+		t.Fatalf("cold-start deadline = %v, want >= 3x the slow p95", inflated)
+	}
+
+	// Let the cold-start samples age out of both windows, then observe
+	// steady fast traffic.
+	time.Sleep(50 * time.Millisecond)
+	for i := 0; i < deadlineEvery; i++ {
+		h.observeReadLatency(pg, 100*time.Microsecond)
+	}
+	recovered := h.ReadDeadline(pg)
+	if recovered >= inflated {
+		t.Fatalf("deadline never recovered from cold start: %v -> %v", inflated, recovered)
+	}
+	if recovered > time.Millisecond {
+		t.Fatalf("recovered deadline = %v, want < 1ms for 100µs traffic", recovered)
+	}
+}
+
+// TestHedgeKnobScalesDeadline verifies the control-plane multiplier knob
+// overrides the static config multiplier, and that clearing it restores
+// the static fallback.
+func TestHedgeKnobScalesDeadline(t *testing.T) {
+	h := newHealthTracker(HealthConfig{WindowInterval: time.Second}, 1, 6)
+	pg := core.PGID(0)
+	feed := func() {
+		for i := 0; i < deadlineEvery; i++ {
+			h.observeReadLatency(pg, time.Millisecond)
+		}
+	}
+	feed()
+	static := h.ReadDeadline(pg) // ~3x windowed p95
+
+	k := control.NewKnob(control.KnobHedgeMultPct, control.DefaultHedgeMultPct,
+		control.MinHedgeMultPct, control.MaxHedgeMultPct)
+	k.Set(control.MaxHedgeMultPct) // 8x
+	h.SetHedgeKnob(k)
+	feed()
+	loose := h.ReadDeadline(pg)
+	if loose <= static {
+		t.Fatalf("8x knob did not loosen deadline: static=%v knob=%v", static, loose)
+	}
+
+	k.Set(control.MinHedgeMultPct) // 1.5x
+	feed()
+	tight := h.ReadDeadline(pg)
+	if tight >= loose {
+		t.Fatalf("1.5x knob did not tighten deadline: loose=%v tight=%v", loose, tight)
+	}
+
+	h.SetHedgeKnob(nil)
+	feed()
+	back := h.ReadDeadline(pg)
+	if back <= tight {
+		t.Fatalf("clearing the knob did not restore the 3x fallback: %v", back)
+	}
+}
+
+// TestBackoffRespectsKnobCap verifies backoffFor honours an adaptively
+// lowered or raised ceiling, jitter included.
+func TestBackoffRespectsKnobCap(t *testing.T) {
+	for try := 0; try < deliverAttempts; try++ {
+		capAt := 500 * time.Microsecond
+		for i := 0; i < 50; i++ {
+			d := backoffFor(try, capAt)
+			// Jitter adds up to 50% on top of the capped base.
+			if d > capAt+capAt/2 {
+				t.Fatalf("try %d: backoff %v exceeds cap %v (+jitter)", try, d, capAt)
+			}
+			if d <= 0 {
+				t.Fatalf("try %d: non-positive backoff %v", try, d)
+			}
+		}
+	}
+	// A generous cap must not truncate the early exponential steps.
+	base := backoffFor(0, 50*time.Millisecond)
+	if base < deliverBaseBackoff {
+		t.Fatalf("first backoff %v below base %v", base, deliverBaseBackoff)
+	}
+}
+
+// TestKnobUpdatesRaceReadPath hammers hedge-mult and backoff-cap knob
+// updates while reads and deadline recomputes run concurrently — the
+// volume half of the knob-vs-hot-path -race safety satellite.
+func TestKnobUpdatesRaceReadPath(t *testing.T) {
+	h := newHealthTracker(HealthConfig{WindowInterval: 5 * time.Millisecond}, 4, 6)
+	k := control.NewKnob(control.KnobHedgeMultPct, control.DefaultHedgeMultPct,
+		control.MinHedgeMultPct, control.MaxHedgeMultPct)
+	h.SetHedgeKnob(k)
+	boff := control.NewKnob(control.KnobBackoffCapUS, control.DefaultBackoffCapUS,
+		control.MinBackoffCapUS, control.MaxBackoffCapUS)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			pg := core.PGID(g)
+			lat := time.Duration(100+g*50) * time.Microsecond
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				h.observeReadLatency(pg, lat)
+				_ = h.ReadDeadline(pg)
+				_ = backoffFor(1, time.Duration(boff.Load())*time.Microsecond)
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		v := int64(control.MinHedgeMultPct)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			k.Set(v)
+			boff.Set(v * 10)
+			v++
+			if v > control.MaxHedgeMultPct {
+				v = control.MinHedgeMultPct
+			}
+		}
+	}()
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	for g := 0; g < 4; g++ {
+		if d := h.ReadDeadline(core.PGID(g)); d <= 0 {
+			t.Fatalf("pg %d deadline %v after race", g, d)
+		}
+	}
+}

@@ -284,7 +284,9 @@ func (s *replicaSender) deliver(flight []shipment) {
 			fsp.End()
 		}
 		if err == nil {
-			c.fleet.health.ObserveOK(s.pg, s.idx, time.Since(start))
+			rtt := time.Since(start)
+			c.fleet.health.ObserveOK(s.pg, s.idx, rtt)
+			c.deliverWin.ObserveDuration(rtt)
 			c.logBytes.Add(uint64(size))
 			// A late ack from a retried flight may arrive after the quorum
 			// already resolved; noteSCL is a monotonic max and Ack on a
@@ -313,8 +315,8 @@ func (s *replicaSender) deliver(flight []shipment) {
 			return // settled without us; gossip will catch this replica up
 		}
 		// Backoff selects on the root context so a crashing client never
-		// waits out a retry schedule.
-		bt := time.NewTimer(backoffFor(try))
+		// waits out a retry schedule. The ceiling is a control-plane knob.
+		bt := time.NewTimer(backoffFor(try, c.backoffCap()))
 		select {
 		case <-bt.C:
 		case <-ctx.Done():
